@@ -1,0 +1,133 @@
+package dualradio_test
+
+// The benchmark harness regenerates every reproduction table (E1–E15, see
+// DESIGN.md for the theorem → experiment index). Each benchmark runs one
+// full experiment per iteration at quick scale and reports its headline
+// metric, so
+//
+//	go test -bench=. -benchmem
+//
+// reproduces the paper's claims end to end. cmd/experiments prints the same
+// tables at full scale.
+
+import (
+	"testing"
+
+	"dualradio/internal/expr"
+)
+
+func benchExperiment(b *testing.B, run func(expr.Config) (*expr.Result, error), metrics ...string) {
+	b.Helper()
+	cfg := expr.QuickConfig()
+	var last *expr.Result
+	for i := 0; i < b.N; i++ {
+		res, err := run(cfg)
+		if err != nil {
+			b.Fatalf("experiment: %v", err)
+		}
+		last = res
+	}
+	if last != nil {
+		for _, m := range metrics {
+			b.ReportMetric(last.Metrics[m], m)
+		}
+	}
+}
+
+// BenchmarkE1MISScaling regenerates the Theorem 4.6 table: MIS
+// rounds-until-decided across network sizes, with the log-power fit.
+func BenchmarkE1MISScaling(b *testing.B) {
+	benchExperiment(b, expr.E1MISScaling, "exponent_vs_logn")
+}
+
+// BenchmarkE2MISDensity regenerates the Corollary 4.7 table: MIS density
+// within distance r versus the hexagonal overlay bound I_r.
+func BenchmarkE2MISDensity(b *testing.B) {
+	benchExperiment(b, expr.E2MISDensity, "max_density_r2", "bound_r2")
+}
+
+// BenchmarkE3CCDSRounds regenerates the Theorem 5.3 table: CCDS rounds over
+// the (Δ, b) sweep with the small-b/large-b growth factors.
+func BenchmarkE3CCDSRounds(b *testing.B) {
+	benchExperiment(b, expr.E3CCDSRounds, "growth_small_b", "growth_large_b")
+}
+
+// BenchmarkE4TauCCDS regenerates the Theorem 6.2 table: τ-CCDS rounds
+// growing linearly in Δ.
+func BenchmarkE4TauCCDS(b *testing.B) {
+	benchExperiment(b, expr.E4TauCCDS, "exponent_vs_delta")
+}
+
+// BenchmarkE5LowerBound regenerates the Theorem 7.1 table: the Ω(Δ)
+// crossing time on the two-clique bridge network versus the near-flat τ=0
+// round count.
+func BenchmarkE5LowerBound(b *testing.B) {
+	benchExperiment(b, expr.E5LowerBound, "crossing_exponent_vs_beta", "fast_exponent_vs_beta")
+}
+
+// BenchmarkE6HittingGame regenerates the Section 7 game table: Θ(β) rounds
+// for the single hitting game and the Lemma 7.3 reduction.
+func BenchmarkE6HittingGame(b *testing.B) {
+	benchExperiment(b, expr.E6HittingGame, "random_over_beta_64")
+}
+
+// BenchmarkE7DynamicCCDS regenerates the Theorem 8.1 table: continuous CCDS
+// validity at stabilization + 2·δ_CDS.
+func BenchmarkE7DynamicCCDS(b *testing.B) {
+	benchExperiment(b, expr.E7DynamicCCDS, "valid_fraction", "period")
+}
+
+// BenchmarkE8AsyncMIS regenerates the Theorem 9.4 table: per-process
+// decision latency of the asynchronous-start MIS in the classic model.
+func BenchmarkE8AsyncMIS(b *testing.B) {
+	benchExperiment(b, expr.E8AsyncMIS, "exponent_vs_logn")
+}
+
+// BenchmarkE9BannedListAblation regenerates the Section 5 ablation table:
+// banned-list versus naive-enumeration schedule lengths across Δ.
+func BenchmarkE9BannedListAblation(b *testing.B) {
+	benchExperiment(b, expr.E9BannedListAblation, "speedup_delta2048")
+}
+
+// BenchmarkE10Subroutines regenerates the Lemma 5.1 table: bounded-broadcast
+// delivery rates under increasing contention.
+func BenchmarkE10Subroutines(b *testing.B) {
+	benchExperiment(b, expr.E10Subroutines, "delivery_k1", "delivery_k16")
+}
+
+// BenchmarkE10DirectedDecay regenerates the Lemma 5.2 table: directed-decay
+// delivery across covered-set sizes.
+func BenchmarkE10DirectedDecay(b *testing.B) {
+	benchExperiment(b, expr.E10DirectedDecay, "delivery_k16")
+}
+
+// BenchmarkE11Backbone regenerates the Section 1 motivation table: broadcast
+// transmissions over the CCDS backbone versus flooding.
+func BenchmarkE11Backbone(b *testing.B) {
+	benchExperiment(b, expr.E11Backbone, "tx_saving_96")
+}
+
+// BenchmarkE12ReannounceAblation regenerates the design-choice ablation
+// table: one-shot announcements versus member re-announcement under the
+// collision-seeking adversary.
+func BenchmarkE12ReannounceAblation(b *testing.B) {
+	benchExperiment(b, expr.E12ReannounceAblation, "valid_reannounce", "valid_oneshot")
+}
+
+// BenchmarkE13IncompleteDetectors regenerates the footnote-1 table:
+// correctness under detectors that misclassify reliable links as unreliable.
+func BenchmarkE13IncompleteDetectors(b *testing.B) {
+	benchExperiment(b, expr.E13IncompleteDetectors, "mis_valid_p0.300")
+}
+
+// BenchmarkE14RadioBroadcast regenerates the in-model broadcast table:
+// CCDS-backbone dissemination versus full decay flooding.
+func BenchmarkE14RadioBroadcast(b *testing.B) {
+	benchExperiment(b, expr.E14RadioBroadcast, "tx_saving")
+}
+
+// BenchmarkE15TauSweep regenerates the Section 10 open-problem table:
+// growing τ budgets against round counts and realized CCDS degree.
+func BenchmarkE15TauSweep(b *testing.B) {
+	benchExperiment(b, expr.E15TauSweep, "rounds_tau4", "maxdeg_tau4")
+}

@@ -1,0 +1,115 @@
+package dualradio_test
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"dualradio"
+)
+
+func TestFacadeMIS(t *testing.T) {
+	net, err := dualradio.Generate(dualradio.NetworkOptions{Nodes: 96, Seed: 5})
+	if err != nil {
+		t.Fatalf("generate: %v", err)
+	}
+	if err := net.Validate(); err != nil {
+		t.Fatalf("model invariants: %v", err)
+	}
+	res, err := dualradio.BuildMIS(net, dualradio.RunOptions{Seed: 5})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if err := res.Verify(); err != nil {
+		t.Errorf("verify: %v", err)
+	}
+	if res.Size() == 0 {
+		t.Error("empty MIS")
+	}
+}
+
+func TestFacadeCCDS(t *testing.T) {
+	net, err := dualradio.Generate(dualradio.NetworkOptions{Nodes: 96, Seed: 6})
+	if err != nil {
+		t.Fatalf("generate: %v", err)
+	}
+	res, err := dualradio.BuildCCDS(net, dualradio.RunOptions{Seed: 6, MessageBits: 512})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if err := res.Verify(); err != nil {
+		t.Errorf("verify: %v", err)
+	}
+	flood, back, err := dualradio.BroadcastCost(net, res, 0)
+	if err != nil {
+		t.Fatalf("broadcast cost: %v", err)
+	}
+	if back >= flood {
+		t.Errorf("backbone broadcast (%d tx) should beat flooding (%d tx)", back, flood)
+	}
+}
+
+func TestFacadeCCDSRejectsTauNetwork(t *testing.T) {
+	net, err := dualradio.Generate(dualradio.NetworkOptions{Nodes: 64, Seed: 7, Tau: 1})
+	if err != nil {
+		t.Fatalf("generate: %v", err)
+	}
+	if _, err := dualradio.BuildCCDS(net, dualradio.RunOptions{Seed: 7, MessageBits: 512}); err == nil {
+		t.Error("BuildCCDS accepted a tau>0 network")
+	}
+}
+
+func TestFacadeTauCCDS(t *testing.T) {
+	net, err := dualradio.Generate(dualradio.NetworkOptions{Nodes: 64, Seed: 8, Tau: 1})
+	if err != nil {
+		t.Fatalf("generate: %v", err)
+	}
+	res, err := dualradio.BuildTauCCDS(net, dualradio.RunOptions{Seed: 8, MessageBits: 1 << 15})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if err := res.Verify(); err != nil {
+		t.Errorf("verify: %v", err)
+	}
+}
+
+func TestFacadeAsyncMIS(t *testing.T) {
+	net, err := dualradio.Generate(dualradio.NetworkOptions{Nodes: 64, Seed: 9, GrayProb: -1})
+	if err != nil {
+		t.Fatalf("generate: %v", err)
+	}
+	rng := rand.New(rand.NewPCG(9, 9))
+	wake := make([]int, net.N())
+	for v := range wake {
+		wake[v] = rng.IntN(300)
+	}
+	res, err := dualradio.BuildMISAsync(net, wake, true, dualradio.RunOptions{Seed: 9})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	for v, l := range res.Latency {
+		if l < 0 {
+			t.Errorf("node %d never decided", v)
+		}
+	}
+}
+
+func TestFacadeContinuousCCDS(t *testing.T) {
+	net, err := dualradio.Generate(dualradio.NetworkOptions{Nodes: 64, Seed: 10})
+	if err != nil {
+		t.Fatalf("generate: %v", err)
+	}
+	period, err := dualradio.CCDSRounds(net.N(), net.Delta(), 512)
+	if err != nil {
+		t.Fatalf("period: %v", err)
+	}
+	stab := period + period/2
+	checkpoint := stab + 2*period
+	res, err := dualradio.BuildContinuousCCDS(net, 2, stab, 5, []int{checkpoint},
+		dualradio.RunOptions{Seed: 10, MessageBits: 512})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if err := res.VerifyAt(checkpoint); err != nil {
+		t.Errorf("not solved at r+2δ: %v", err)
+	}
+}

@@ -1,0 +1,52 @@
+// Dynamic: long-lived networks where link quality changes. The link
+// detector service starts out fooled by bursty gray-zone links (two
+// misclassified links per node) and stabilizes mid-execution; the Section 8
+// continuous CCDS reruns the construction every δ_CDS rounds and its
+// committed outputs solve the CCDS problem within two periods of
+// stabilization (Theorem 8.1).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dualradio"
+)
+
+func main() {
+	net, err := dualradio.Generate(dualradio.NetworkOptions{Nodes: 96, Seed: 11})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	const bits = 512
+	period, err := dualradio.CCDSRounds(net.N(), net.Delta(), bits)
+	if err != nil {
+		log.Fatal(err)
+	}
+	stabilize := period + period/2 // links settle mid-second-period
+	deadline := stabilize + 2*period
+	fmt.Printf("δ_CDS = %d rounds; detector stabilizes at round %d\n", period, stabilize)
+	fmt.Printf("Theorem 8.1 deadline: round %d (stabilize + 2·δ_CDS)\n", deadline)
+
+	res, err := dualradio.BuildContinuousCCDS(net,
+		2,         // mistakes per node before stabilization
+		stabilize, // stabilization round
+		5,         // periods to simulate
+		[]int{stabilize, deadline},
+		dualradio.RunOptions{Seed: 11, MessageBits: bits},
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	if err := res.VerifyAt(stabilize); err != nil {
+		fmt.Printf("at stabilization (round %d): not yet solved — %v\n", stabilize, err)
+	} else {
+		fmt.Printf("at stabilization (round %d): already solved\n", stabilize)
+	}
+	if err := res.VerifyAt(deadline); err != nil {
+		log.Fatalf("at deadline (round %d): STILL NOT SOLVED: %v", deadline, err)
+	}
+	fmt.Printf("at deadline (round %d): CCDS conditions hold — Theorem 8.1 confirmed\n", deadline)
+}

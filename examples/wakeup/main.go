@@ -1,0 +1,59 @@
+// Wakeup: asynchronous deployments. Sensor nodes power up over several
+// minutes rather than in lockstep; the Section 9 MIS variant handles this
+// with per-process epochs that begin with a listening phase, and requires no
+// topology knowledge at all in the classic radio model. Theorem 9.4: each
+// process decides within O(log³ n) rounds of its own wake-up.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"math/rand/v2"
+
+	"dualradio"
+)
+
+func main() {
+	const n = 128
+	// Classic radio model: no unreliable links (GrayProb < 0).
+	net, err := dualradio.Generate(dualradio.NetworkOptions{
+		Nodes:    n,
+		GrayProb: -1,
+		Seed:     13,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Nodes wake over a 2000-round window.
+	rng := rand.New(rand.NewPCG(13, 1))
+	wake := make([]int, n)
+	for v := range wake {
+		wake[v] = rng.IntN(2000)
+	}
+
+	res, err := dualradio.BuildMISAsync(net, wake, true /* classic model */, dualradio.RunOptions{Seed: 13})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := res.Verify(); err != nil {
+		log.Fatal(err)
+	}
+
+	var worst, total int
+	for _, l := range res.Latency {
+		total += l
+		if l > worst {
+			worst = l
+		}
+	}
+	logN := math.Log2(float64(n))
+	bound := logN * logN * logN
+	fmt.Printf("MIS of %d nodes built despite staggered wake-ups\n", res.Size())
+	fmt.Printf("decision latency after waking: mean %.0f rounds, worst %d rounds\n",
+		float64(total)/float64(n), worst)
+	fmt.Printf("Theorem 9.4 scale: log³(%d) = %.0f (worst/bound = %.2f)\n",
+		n, bound, float64(worst)/bound)
+	fmt.Println("no process used any topology information — ids and n only")
+}

@@ -1,0 +1,103 @@
+package dualradio
+
+import (
+	"math/rand/v2"
+
+	"dualradio/internal/core"
+	"dualradio/internal/detector"
+	"dualradio/internal/routing"
+)
+
+// AsyncResult extends Result with per-process decision latencies.
+type AsyncResult struct {
+	Result
+	// Latency holds, per node, the number of rounds between the process
+	// waking and fixing its output (-1 if undecided). Theorem 9.4 bounds
+	// it by O(log³ n) w.h.p.
+	Latency []int
+}
+
+// BuildMISAsync runs the Section 9 asynchronous-start MIS variant. wake
+// gives each node's wake-up round; classic selects the classic radio model
+// behavior (no detector filtering — correct when the network has no
+// unreliable edges).
+func BuildMISAsync(nw *Network, wake []int, classic bool, opts RunOptions) (*AsyncResult, error) {
+	s := nw.scenario(opts)
+	s.MaxRounds = 1 << 20
+	filter := core.FilterDetector
+	if classic {
+		filter = core.FilterNone
+		s.Det = nil
+	}
+	out, err := s.RunAsyncMIS(wake, filter)
+	if err != nil {
+		return nil, err
+	}
+	res := fromOutcome(nw, "mis", &out.Outcome)
+	return &AsyncResult{Result: *res, Latency: out.Latency}, nil
+}
+
+// DynamicResult reports a continuous CCDS execution (Section 8).
+type DynamicResult struct {
+	// Period is δ_CDS, the rerun period in rounds.
+	Period int
+	// OutputsAt maps each requested checkpoint round to the committed
+	// outputs observed there.
+	OutputsAt map[int][]int
+	// Final holds the committed outputs at the end of the execution.
+	Final []int
+
+	nw *Network
+}
+
+// VerifyAt checks the committed outputs at the given checkpoint against the
+// CCDS conditions under the network's (stabilized) detectors.
+func (r *DynamicResult) VerifyAt(round int) error {
+	outputs, ok := r.OutputsAt[round]
+	if !ok {
+		outputs = r.Final
+	}
+	h := r.nw.H()
+	return verifyCCDS(r.nw, h, outputs)
+}
+
+// BuildContinuousCCDS runs the Section 8 continuous CCDS: the algorithm is
+// rerun every δ_CDS rounds with a dynamic link detector that serves a noisy
+// view (mistakes per node up to noisyTau) until stabilizeRound, and the
+// network's true detector afterwards. Committed outputs are sampled at the
+// checkpoint rounds; Theorem 8.1 guarantees validity from
+// stabilizeRound + 2·δ_CDS onward.
+func BuildContinuousCCDS(nw *Network, noisyTau, stabilizeRound, periods int,
+	checkpoints []int, opts RunOptions) (*DynamicResult, error) {
+	drng := rand.New(rand.NewPCG(opts.Seed, 0xD14A))
+	noisy := detector.TauComplete(nw.net, nw.asg, noisyTau, detector.PlaceGrayFirst, drng)
+	dyn := detector.NewSchedule(
+		detector.ScheduleStep{Round: 0, Detector: noisy},
+		detector.ScheduleStep{Round: stabilizeRound, Detector: nw.det},
+	)
+	out, err := nw.scenario(opts).RunContinuousCCDS(dyn, periods, checkpoints)
+	if err != nil {
+		return nil, err
+	}
+	return &DynamicResult{
+		Period:    out.Period,
+		OutputsAt: out.Checkpoints,
+		Final:     out.Final,
+		nw:        nw,
+	}, nil
+}
+
+// BroadcastCost compares network-wide dissemination by flooding against
+// dissemination relayed only by the given CCDS backbone, over the graph H.
+// It returns (floodTransmissions, backboneTransmissions).
+func BroadcastCost(nw *Network, res *Result, src int) (int, int, error) {
+	member := make([]bool, nw.N())
+	for v, o := range res.Outputs {
+		member[v] = o == 1
+	}
+	flood, back, err := routing.Compare(nw.H(), member, src)
+	if err != nil {
+		return 0, 0, err
+	}
+	return flood.Transmissions, back.Transmissions, nil
+}

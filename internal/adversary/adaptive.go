@@ -1,0 +1,150 @@
+package adversary
+
+import "dualradio/internal/dualgraph"
+
+type grayArc struct {
+	peer int32
+	idx  int32
+}
+
+// grayAdjacency builds, for each node, the list of gray edges incident to it.
+func grayAdjacency(net *dualgraph.Network) [][]grayArc {
+	adj := make([][]grayArc, net.N())
+	for i, e := range net.GrayEdges() {
+		u, v := e[0], e[1]
+		adj[u] = append(adj[u], grayArc{peer: int32(v), idx: int32(i)})
+		adj[v] = append(adj[v], grayArc{peer: int32(u), idx: int32(i)})
+	}
+	return adj
+}
+
+// CollisionSeeking is a greedy adaptive adversary: whenever a silent node
+// would receive a unique message over reliable edges, it activates a gray
+// edge from some other broadcaster to that node, turning the delivery into a
+// collision. This is the strongest general-purpose strategy the model
+// permits without knowledge of algorithm internals, and it is the behavior
+// the paper's Section 4 discussion warns about: unreliable edges thwarting
+// standard contention-reduction techniques.
+type CollisionSeeking struct {
+	net     *dualgraph.Network
+	grayAdj [][]grayArc
+	relCnt  []int32
+	touched []int32
+	reuse   []int
+}
+
+var _ Adversary = (*CollisionSeeking)(nil)
+
+// NewCollisionSeeking returns a CollisionSeeking adversary bound to net.
+func NewCollisionSeeking(net *dualgraph.Network) *CollisionSeeking {
+	return &CollisionSeeking{
+		net:     net,
+		grayAdj: grayAdjacency(net),
+		relCnt:  make([]int32, net.N()),
+	}
+}
+
+// Reach implements Adversary.
+func (c *CollisionSeeking) Reach(_ int, bcast []bool) []int {
+	c.reuse = c.reuse[:0]
+	g := c.net.G()
+	// Count reliable broadcasters reaching each node.
+	for u, b := range bcast {
+		if !b {
+			continue
+		}
+		for _, v := range g.Neighbors(u) {
+			if c.relCnt[v] == 0 {
+				c.touched = append(c.touched, v)
+			}
+			c.relCnt[v]++
+		}
+	}
+	// Destroy every unique delivery that a gray edge can reach.
+	for _, v := range c.touched {
+		if c.relCnt[v] == 1 && !bcast[v] {
+			for _, arc := range c.grayAdj[v] {
+				if bcast[arc.peer] {
+					c.reuse = append(c.reuse, int(arc.idx))
+					break
+				}
+			}
+		}
+	}
+	for _, v := range c.touched {
+		c.relCnt[v] = 0
+	}
+	c.touched = c.touched[:0]
+	return c.reuse
+}
+
+// CliqueIsolating is the adversary from the Section 7 lower bound proof,
+// specialized to the two-clique bridge network: it keeps the two cliques
+// informationally independent by colliding any message that would cross the
+// bridge while a second broadcaster exists anywhere in the network. Cross
+// information can then flow only when a bridge endpoint broadcasts alone
+// network-wide — the Ω(Δ) "hitting" event.
+type CliqueIsolating struct {
+	grayAdj  [][]grayArc
+	g        *dualgraph.Network
+	bridgeA  int
+	bridgeB  int
+	reuse    []int
+	bcasters []int
+}
+
+var _ Adversary = (*CliqueIsolating)(nil)
+
+// NewCliqueIsolating returns the lower-bound adversary. bridgeA and bridgeB
+// are the node indices of the bridge endpoints (see gen.BridgeCliques).
+func NewCliqueIsolating(net *dualgraph.Network, bridgeA, bridgeB int) *CliqueIsolating {
+	return &CliqueIsolating{
+		grayAdj: grayAdjacency(net),
+		g:       net,
+		bridgeA: bridgeA,
+		bridgeB: bridgeB,
+	}
+}
+
+// Reach implements Adversary.
+func (c *CliqueIsolating) Reach(_ int, bcast []bool) []int {
+	c.reuse = c.reuse[:0]
+	c.bcasters = c.bcasters[:0]
+	for v, b := range bcast {
+		if b {
+			c.bcasters = append(c.bcasters, v)
+		}
+	}
+	if len(c.bcasters) < 2 {
+		// A solo broadcast cannot be collided; if it comes from a bridge
+		// endpoint it crosses, which is exactly the hitting event.
+		return c.reuse
+	}
+	c.blockBridge(bcast, c.bridgeA, c.bridgeB)
+	c.blockBridge(bcast, c.bridgeB, c.bridgeA)
+	return c.reuse
+}
+
+// blockBridge collides the delivery from broadcasting endpoint src to silent
+// endpoint dst by activating a gray edge from any other broadcaster to dst.
+func (c *CliqueIsolating) blockBridge(bcast []bool, src, dst int) {
+	if !bcast[src] || bcast[dst] {
+		return
+	}
+	// If dst already hears 2+ reliable broadcasters it is collided anyway.
+	relCount := 0
+	for _, w := range c.g.G().Neighbors(dst) {
+		if bcast[w] {
+			relCount++
+		}
+	}
+	if relCount != 1 {
+		return
+	}
+	for _, arc := range c.grayAdj[dst] {
+		if bcast[arc.peer] && int(arc.peer) != src {
+			c.reuse = append(c.reuse, int(arc.idx))
+			return
+		}
+	}
+}

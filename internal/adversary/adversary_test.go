@@ -1,0 +1,165 @@
+package adversary_test
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"dualradio/internal/adversary"
+	"dualradio/internal/dualgraph"
+	"dualradio/internal/gen"
+	"dualradio/internal/geom"
+	"dualradio/internal/graph"
+)
+
+// lineNet builds a 4-node unit line with skip-one gray edges: gray edges are
+// (0,2) and (1,3).
+func lineNet(t *testing.T) *dualgraph.Network {
+	t.Helper()
+	n := 4
+	g := graph.New(n)
+	gp := graph.New(n)
+	coords := make([]geom.Point, n)
+	for i := 0; i < n; i++ {
+		coords[i] = geom.Point{X: float64(i)}
+	}
+	add := func(gr *graph.Graph, u, v int) {
+		if err := gr.AddEdge(u, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i+1 < n; i++ {
+		add(g, i, i+1)
+		add(gp, i, i+1)
+	}
+	for i := 0; i+2 < n; i++ {
+		add(gp, i, i+2)
+	}
+	return dualgraph.New(g, gp, coords, 2)
+}
+
+func TestNoneActivatesNothing(t *testing.T) {
+	var a adversary.None
+	if got := a.Reach(0, []bool{true, true, true, true}); len(got) != 0 {
+		t.Errorf("None activated %v", got)
+	}
+}
+
+func TestFullActivatesEverything(t *testing.T) {
+	net := lineNet(t)
+	a := adversary.NewFull(net)
+	got := a.Reach(0, []bool{false, false, false, false})
+	if len(got) != len(net.GrayEdges()) {
+		t.Errorf("Full activated %d of %d", len(got), len(net.GrayEdges()))
+	}
+}
+
+func TestUniformPExtremes(t *testing.T) {
+	net := lineNet(t)
+	bcast := []bool{true, true, true, true}
+	never := adversary.NewUniformP(net, 0, rand.New(rand.NewPCG(1, 1)))
+	if got := never.Reach(0, bcast); len(got) != 0 {
+		t.Errorf("p=0 activated %v", got)
+	}
+	always := adversary.NewUniformP(net, 1, rand.New(rand.NewPCG(1, 1)))
+	if got := always.Reach(0, bcast); len(got) != len(net.GrayEdges()) {
+		t.Errorf("p=1 activated %d edges", len(got))
+	}
+	// Edges not incident to a broadcaster are never activated.
+	if got := always.Reach(0, []bool{false, false, false, false}); len(got) != 0 {
+		t.Errorf("idle round activated %v", got)
+	}
+}
+
+// TestCollisionSeekingDestroysUniqueDelivery: node 1 broadcasts; node 2
+// would uniquely receive; node 3 also broadcasts and has a gray edge to
+// node 1... more precisely the adversary should activate gray (1,3) to
+// collide node 1's reception or (0,2)-style edges for node 0.
+func TestCollisionSeekingDestroysUniqueDelivery(t *testing.T) {
+	net := lineNet(t)
+	a := adversary.NewCollisionSeeking(net)
+	// Node 0 and node 3 broadcast. Node 1 uniquely hears node 0 over G;
+	// gray edge (1,3) lets the adversary collide it. Symmetrically node 2
+	// hears node 3 and gray (0,2) collides it.
+	got := a.Reach(0, []bool{true, false, false, true})
+	if len(got) != 2 {
+		t.Fatalf("expected 2 activations, got %v", got)
+	}
+	gray := net.GrayEdges()
+	seen := map[[2]int]bool{}
+	for _, idx := range got {
+		seen[gray[idx]] = true
+	}
+	if !seen[[2]int{0, 2}] || !seen[[2]int{1, 3}] {
+		t.Errorf("activated %v, want {0,2} and {1,3}", seen)
+	}
+}
+
+func TestCollisionSeekingLeavesHopelessAlone(t *testing.T) {
+	net := lineNet(t)
+	a := adversary.NewCollisionSeeking(net)
+	// Only node 0 broadcasts: node 1's unique delivery cannot be collided
+	// (node 1's only gray neighbor, node 3, is silent).
+	if got := a.Reach(0, []bool{true, false, false, false}); len(got) != 0 {
+		t.Errorf("activated %v with no colliding partner available", got)
+	}
+}
+
+func TestCliqueIsolatingBlocksBridge(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 3))
+	net, meta, err := gen.BridgeCliques(4, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := adversary.NewCliqueIsolating(net, meta.BridgeA, meta.BridgeB)
+
+	// Bridge endpoint A broadcasts alongside another node: the adversary
+	// must activate a gray edge into endpoint B to collide the crossing.
+	bcast := make([]bool, net.N())
+	bcast[meta.BridgeA] = true
+	other := (meta.BridgeA + 1) % meta.Beta // another clique-A node
+	bcast[other] = true
+	got := a.Reach(0, bcast)
+	if len(got) == 0 {
+		t.Fatal("adversary failed to block the bridge crossing")
+	}
+	gray := net.GrayEdges()
+	blocked := false
+	for _, idx := range got {
+		e := gray[idx]
+		if e[0] == meta.BridgeB || e[1] == meta.BridgeB {
+			blocked = true
+		}
+	}
+	if !blocked {
+		t.Errorf("activations %v do not reach bridge endpoint B", got)
+	}
+
+	// A solo broadcast by the bridge endpoint cannot be blocked.
+	solo := make([]bool, net.N())
+	solo[meta.BridgeA] = true
+	if got := a.Reach(1, solo); len(got) != 0 {
+		t.Errorf("solo crossing should be unblockable, activated %v", got)
+	}
+}
+
+func TestCliqueIsolatingIgnoresIntraCliqueTraffic(t *testing.T) {
+	rng := rand.New(rand.NewPCG(4, 4))
+	net, meta, err := gen.BridgeCliques(4, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := adversary.NewCliqueIsolating(net, meta.BridgeA, meta.BridgeB)
+	// Two non-bridge nodes of clique A broadcast: no cross threat, no
+	// activations.
+	bcast := make([]bool, net.N())
+	count := 0
+	for v := 0; v < meta.Beta && count < 2; v++ {
+		if v != meta.BridgeA {
+			bcast[v] = true
+			count++
+		}
+	}
+	if got := a.Reach(0, bcast); len(got) != 0 {
+		t.Errorf("intra-clique traffic triggered activations %v", got)
+	}
+}

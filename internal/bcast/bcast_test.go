@@ -1,0 +1,140 @@
+package bcast_test
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"dualradio/internal/adversary"
+	"dualradio/internal/bcast"
+	"dualradio/internal/gen"
+	"dualradio/internal/sim"
+)
+
+func TestBuildValidation(t *testing.T) {
+	net, err := gen.Line(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := bcast.Build(bcast.Config{Net: net, Source: -1}); err == nil {
+		t.Error("negative source accepted")
+	}
+	if _, err := bcast.Build(bcast.Config{Net: net, Source: 9}); err == nil {
+		t.Error("out-of-range source accepted")
+	}
+	if _, err := bcast.Build(bcast.Config{Net: net, Source: 0, Relay: make([]bool, 3)}); err == nil {
+		t.Error("relay mask size mismatch accepted")
+	}
+}
+
+func TestFloodCoversLine(t *testing.T) {
+	net, err := gen.Line(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := bcast.Run(bcast.Config{Net: net, Source: 0, Seed: 1},
+		sim.Config{}, 10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Covered != net.N() {
+		t.Errorf("covered %d of %d", res.Covered, net.N())
+	}
+	if res.Rounds <= 0 || res.Transmissions == 0 {
+		t.Errorf("result = %+v", res)
+	}
+}
+
+func TestBackboneRelaysOnly(t *testing.T) {
+	net, err := gen.Line(9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Relays: every even node (a dominating connected set on the line via
+	// gray... on the reliable line 0-2-4... is NOT connected; use interior
+	// nodes 1..7 instead).
+	relay := make([]bool, net.N())
+	for v := 1; v < net.N()-1; v++ {
+		relay[v] = true
+	}
+	procs, err := bcast.Build(bcast.Config{Net: net, Source: 0, Relay: relay, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := sim.NewRunner(sim.Config{Net: net, Processes: procs, MaxRounds: 5000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	covered := func() bool {
+		for _, p := range procs {
+			if !p.(*bcast.Proc).Informed() {
+				return false
+			}
+		}
+		return true
+	}
+	if _, err := r.RunUntil(covered); err != nil {
+		t.Fatal(err)
+	}
+	if !covered() {
+		t.Fatal("backbone dissemination failed to cover")
+	}
+	// The last node (a non-relay) must never have transmitted.
+	if procs[net.N()-1].(*bcast.Proc).Sent() != 0 {
+		t.Error("non-relay node transmitted")
+	}
+	// The source transmits even if not flagged a relay.
+	if procs[0].(*bcast.Proc).Sent() == 0 {
+		t.Error("source never transmitted")
+	}
+}
+
+func TestFloodUnderAdversary(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 3))
+	net, err := gen.RandomGeometric(gen.GeometricConfig{N: 48}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := bcast.Run(bcast.Config{Net: net, Source: 0, Seed: 3},
+		sim.Config{Adversary: adversary.NewCollisionSeeking(net)}, 20000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Covered != net.N() {
+		t.Errorf("adversarial flood covered %d of %d", res.Covered, net.N())
+	}
+}
+
+func TestHeardAtOrdering(t *testing.T) {
+	net, err := gen.Line(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	procs, err := bcast.Build(bcast.Config{Net: net, Source: 0, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := sim.NewRunner(sim.Config{Net: net, Processes: procs, MaxRounds: 5000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	covered := func() bool {
+		for _, p := range procs {
+			if !p.(*bcast.Proc).Informed() {
+				return false
+			}
+		}
+		return true
+	}
+	if _, err := r.RunUntil(covered); err != nil {
+		t.Fatal(err)
+	}
+	// On a line (ignoring the gray skip edges, which only accelerate),
+	// information flows outward: node v+2 cannot hear before node v.
+	for v := 0; v+2 < net.N(); v++ {
+		a := procs[v].(*bcast.Proc).HeardAt()
+		b := procs[v+2].(*bcast.Proc).HeardAt()
+		if v > 0 && b >= 0 && a >= 0 && b < a {
+			t.Errorf("node %d heard at %d before node %d at %d", v+2, b, v, a)
+		}
+	}
+}

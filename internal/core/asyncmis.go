@@ -1,0 +1,183 @@
+package core
+
+import (
+	"math"
+
+	"dualradio/internal/detector"
+	"dualradio/internal/sim"
+)
+
+// AsyncMISProcess is the Section 9 MIS variant for asynchronous starts.
+// Each process runs its own locally-timed epochs: a listening phase of
+// Θ(log² n) silent rounds, then the usual doubling competition phases, then
+// an announcement phase. Any kept message received while competing or
+// listening knocks the process back to a fresh epoch (restarting with a new
+// listening phase). A process that joins the MIS announces with probability
+// 1/2 for the remainder of the execution, so late wakers still learn of it.
+//
+// With FilterNone the algorithm uses no topology information at all and is
+// correct in the classic radio network model (G = G'); with FilterDetector
+// and a 0-complete detector it is correct in the dual graph model
+// (Theorem 9.4).
+type AsyncMISProcess struct {
+	cfg       MISConfig
+	wake      int
+	sched     misSchedule
+	listenLen int
+	epochLen  int
+
+	awake    bool
+	epochPos int
+	out      int
+	joined   bool
+	misSet   *detector.Set
+	epochs   int // epochs started, for instrumentation
+	finished bool
+	decided  int // local round at which the output was fixed, -1 before
+}
+
+var _ sim.Process = (*AsyncMISProcess)(nil)
+
+// NewAsyncMISProcess returns a process that wakes at global round wakeRound.
+func NewAsyncMISProcess(cfg MISConfig, wakeRound int) (*AsyncMISProcess, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	s := newMISSchedule(cfg.N, cfg.Params)
+	listen := scaled(cfg.Params.Listen, s.logN*s.logN)
+	return &AsyncMISProcess{
+		cfg:       cfg,
+		wake:      wakeRound,
+		sched:     s,
+		listenLen: listen,
+		epochLen:  listen + (s.phases+1)*s.phaseLen,
+		out:       sim.Undecided,
+		misSet:    detector.NewSet(cfg.N),
+		decided:   -1,
+	}, nil
+}
+
+// Output implements sim.Process.
+func (p *AsyncMISProcess) Output() int { return p.out }
+
+// Done implements sim.Process. An MIS member is never done — it announces
+// forever, as Section 9 requires — so executions are bounded by the runner's
+// round cap or an all-decided observer.
+func (p *AsyncMISProcess) Done() bool { return p.finished }
+
+// InMIS reports whether the process joined the MIS.
+func (p *AsyncMISProcess) InMIS() bool { return p.joined }
+
+// MISSet returns M_u (owned by the process).
+func (p *AsyncMISProcess) MISSet() *detector.Set { return p.misSet }
+
+// EpochsStarted returns how many epochs the process has begun, a measure of
+// how often it was knocked back.
+func (p *AsyncMISProcess) EpochsStarted() int { return p.epochs }
+
+// WakeRound returns the global round at which the process wakes.
+func (p *AsyncMISProcess) WakeRound() int { return p.wake }
+
+// DecisionLatency returns the number of local rounds (since waking) the
+// process needed to fix its output, or -1 while undecided. Theorem 9.4
+// bounds this by O(log³ n) w.h.p.
+func (p *AsyncMISProcess) DecisionLatency() int { return p.decided }
+
+// Broadcast implements sim.Process.
+func (p *AsyncMISProcess) Broadcast(round int) sim.Message {
+	if round < p.wake {
+		return nil
+	}
+	if !p.awake {
+		p.awake = true
+		p.epochPos = 0
+		p.epochs = 1
+	}
+	if p.out == 0 {
+		return nil
+	}
+	if p.joined {
+		// Permanent announcement duty.
+		if p.cfg.Rng.Float64() < 0.5 {
+			return newAnnounce(p.cfg.N, p.cfg.ID, p.detLabelAsync())
+		}
+		return nil
+	}
+	pos := p.epochPos
+	if pos < p.listenLen {
+		return nil // listening phase: sending probability 0
+	}
+	pos -= p.listenLen
+	phase := pos / p.sched.phaseLen
+	if phase < p.sched.phases {
+		prob := math.Ldexp(1/float64(p.cfg.N), phase)
+		if prob > 0.5 {
+			prob = 0.5
+		}
+		if p.cfg.Rng.Float64() < prob {
+			return newContender(p.cfg.N, p.cfg.ID, p.detLabelAsync())
+		}
+		return nil
+	}
+	// Reaching the announcement phase means the process survived every
+	// competition phase of this epoch: it joins the MIS.
+	p.joined = true
+	p.out = 1
+	p.misSet.Add(p.cfg.ID)
+	p.decided = round - p.wake
+	if p.cfg.Rng.Float64() < 0.5 {
+		return newAnnounce(p.cfg.N, p.cfg.ID, p.detLabelAsync())
+	}
+	return nil
+}
+
+func (p *AsyncMISProcess) detLabelAsync() *detector.Set {
+	if p.cfg.LabelMessages {
+		return p.cfg.Detector
+	}
+	return nil
+}
+
+// Receive implements sim.Process.
+func (p *AsyncMISProcess) Receive(round int, msg sim.Message) {
+	if !p.awake {
+		return
+	}
+	defer func() { p.epochPos++ }()
+	if msg == nil || msg.From() == p.cfg.ID || p.joined || p.out == 0 {
+		return
+	}
+	switch m := msg.(type) {
+	case *contenderMsg:
+		if !p.keepAsync(m.from, m.det) {
+			return
+		}
+		p.restartEpoch()
+	case *announceMsg:
+		if !p.keepAsync(m.from, m.det) {
+			return
+		}
+		p.misSet.Add(m.from)
+		p.out = 0
+		p.decided = round - p.wake
+		p.finished = true
+	}
+}
+
+func (p *AsyncMISProcess) keepAsync(from int, label *detector.Set) bool {
+	switch p.cfg.Filter {
+	case FilterNone:
+		return true
+	case FilterMutual:
+		return p.cfg.Detector.Contains(from) && label.Contains(p.cfg.ID)
+	default:
+		return p.cfg.Detector.Contains(from)
+	}
+}
+
+// restartEpoch knocks the process back to the start of a fresh epoch,
+// beginning with a new listening phase.
+func (p *AsyncMISProcess) restartEpoch() {
+	p.epochPos = -1 // incremented to 0 by the deferred update
+	p.epochs++
+}

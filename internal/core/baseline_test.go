@@ -1,0 +1,92 @@
+package core
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"dualradio/internal/detector"
+	"dualradio/internal/dualgraph"
+	"dualradio/internal/gen"
+	"dualradio/internal/sim"
+)
+
+// TestBaselineSolvesOnLine: the naive enumeration CCDS produces a connected
+// dominating structure on a path.
+func TestBaselineSolvesOnLine(t *testing.T) {
+	net, err := gen.Line(14)
+	if err != nil {
+		t.Fatal(err)
+	}
+	asg := dualgraph.IdentityAssignment(net.N())
+	det := detector.Complete(net, asg)
+	procs := make([]sim.Process, net.N())
+	for v := 0; v < net.N(); v++ {
+		p, err := NewBaselineCCDSProcess(CCDSConfig{
+			ID: asg.ID(v), N: net.N(), Delta: net.Delta(), B: 1 << 12,
+			Detector: det.Set(v), Params: DefaultParams(),
+			Rng: rand.New(rand.NewPCG(4, uint64(v+1))),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		procs[v] = p
+	}
+	r, err := sim.NewRunner(sim.Config{Net: net, Processes: procs, MessageBits: 1 << 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Run(); err != nil {
+		t.Fatal(err)
+	}
+	member := make([]bool, net.N())
+	for v, p := range procs {
+		if p.Output() == sim.Undecided {
+			t.Errorf("node %d undecided", v)
+		}
+		member[v] = p.Output() == 1
+	}
+	if !net.G().ConnectedSubset(member) {
+		t.Error("baseline CCDS disconnected")
+	}
+	for v := range member {
+		if member[v] {
+			continue
+		}
+		dominated := false
+		for _, w := range net.G().Neighbors(v) {
+			if member[w] {
+				dominated = true
+			}
+		}
+		if !dominated {
+			t.Errorf("node %d undominated", v)
+		}
+	}
+}
+
+// TestBaselineScheduleDominatedByDelta: the baseline's schedule grows with Δ
+// while the banned-list algorithm's stays flat at large b — the quantitative
+// design claim of Section 5.
+func TestBaselineScheduleDominatedByDelta(t *testing.T) {
+	p := DefaultParams()
+	const n, b = 2048, 1 << 14
+	prevBase := 0
+	for _, delta := range []int{64, 256, 1024} {
+		banned, err := CCDSRounds(n, delta, b, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		naive, err := BaselineCCDSRounds(n, delta, b, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if naive <= prevBase {
+			t.Errorf("baseline schedule not growing with Δ at %d", delta)
+		}
+		prevBase = naive
+		if delta >= 1024 && naive <= banned {
+			t.Errorf("at Δ=%d the baseline (%d) should exceed banned-list (%d)",
+				delta, naive, banned)
+		}
+	}
+}

@@ -1,0 +1,196 @@
+package core
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"dualradio/internal/detector"
+	"dualradio/internal/dualgraph"
+	"dualradio/internal/gen"
+	"dualradio/internal/sim"
+)
+
+func ccdsProc(t *testing.T, cfg CCDSConfig) *CCDSProcess {
+	t.Helper()
+	p, err := NewCCDSProcess(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestCCDSConfigValidation(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 1))
+	base := CCDSConfig{
+		ID: 1, N: 8, Delta: 3, B: 512,
+		Detector: detector.NewSet(8),
+		Params:   DefaultParams(),
+		Rng:      rng,
+	}
+	bad := base
+	bad.Delta = 0
+	if _, err := NewCCDSProcess(bad); err == nil {
+		t.Error("zero delta accepted")
+	}
+	bad = base
+	bad.B = 4
+	if _, err := NewCCDSProcess(bad); err == nil {
+		t.Error("tiny b accepted")
+	}
+}
+
+// TestCCDSRunsFixedSchedule: a full run terminates exactly at the schedule
+// length with every output decided.
+func TestCCDSRunsFixedSchedule(t *testing.T) {
+	net, err := gen.Line(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	asg := dualgraph.IdentityAssignment(net.N())
+	det := detector.Complete(net, asg)
+	procs := make([]sim.Process, net.N())
+	var total int
+	for v := 0; v < net.N(); v++ {
+		p := ccdsProc(t, CCDSConfig{
+			ID: asg.ID(v), N: net.N(), Delta: net.Delta(), B: 512,
+			Detector: det.Set(v), Params: DefaultParams(),
+			Rng: rand.New(rand.NewPCG(3, uint64(v))),
+		})
+		procs[v] = p
+		total = p.Rounds()
+	}
+	r, err := sim.NewRunner(sim.Config{Net: net, Processes: procs, MessageBits: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := r.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Rounds != total+1 && st.Rounds != total {
+		t.Errorf("ran %d rounds, schedule is %d", st.Rounds, total)
+	}
+	for v, p := range procs {
+		if p.Output() == sim.Undecided {
+			t.Errorf("node %d undecided at schedule end", v)
+		}
+	}
+}
+
+// TestCCDSPathConnectsMISOnLine: on a path the MIS members are ≥2 hops
+// apart; the search epochs must add relays so the CCDS is connected, and
+// every relay lies between two MIS members.
+func TestCCDSPathConnectsMISOnLine(t *testing.T) {
+	net, err := gen.Line(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	asg := dualgraph.IdentityAssignment(net.N())
+	det := detector.Complete(net, asg)
+	procs := make([]sim.Process, net.N())
+	for v := 0; v < net.N(); v++ {
+		procs[v] = ccdsProc(t, CCDSConfig{
+			ID: asg.ID(v), N: net.N(), Delta: net.Delta(), B: 512,
+			Detector: det.Set(v), Params: DefaultParams(),
+			Rng: rand.New(rand.NewPCG(9, uint64(v))),
+		})
+	}
+	r, err := sim.NewRunner(sim.Config{Net: net, Processes: procs, MessageBits: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Run(); err != nil {
+		t.Fatal(err)
+	}
+	member := make([]bool, net.N())
+	for v, p := range procs {
+		member[v] = p.Output() == 1
+	}
+	if !net.G().ConnectedSubset(member) {
+		t.Error("CCDS disconnected on the line")
+	}
+	for v, p := range procs {
+		if p.Output() == 0 {
+			dominated := false
+			for _, w := range net.G().Neighbors(v) {
+				if member[w] {
+					dominated = true
+				}
+			}
+			if !dominated {
+				t.Errorf("node %d undominated", v)
+			}
+		}
+	}
+}
+
+// TestCCDSMessageBudgetRespected: a full execution with the runner's size
+// enforcement active never violates the b bound.
+func TestCCDSMessageBudgetRespected(t *testing.T) {
+	rng := rand.New(rand.NewPCG(11, 1))
+	net, err := gen.RandomGeometric(gen.GeometricConfig{N: 64}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	asg := dualgraph.RandomAssignment(net.N(), rng)
+	det := detector.Complete(net, asg)
+	const b = 160 // small: forces multi-chunk banned lists
+	procs := make([]sim.Process, net.N())
+	for v := 0; v < net.N(); v++ {
+		procs[v] = ccdsProc(t, CCDSConfig{
+			ID: asg.ID(v), N: net.N(), Delta: net.Delta(), B: b,
+			Detector: det.Set(v), Params: DefaultParams(),
+			Rng: rand.New(rand.NewPCG(11, uint64(v+1))),
+		})
+	}
+	r, err := sim.NewRunner(sim.Config{Net: net, Processes: procs, MessageBits: b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Run(); err != nil {
+		t.Fatalf("message budget violated: %v", err)
+	}
+}
+
+// TestCCDSDiscoveriesWithinThreeHops: every MIS id discovered through
+// exploration belongs to an MIS process within 3 hops in G (the Section 5
+// invariant behind Claim 1).
+func TestCCDSDiscoveriesWithinThreeHops(t *testing.T) {
+	rng := rand.New(rand.NewPCG(21, 1))
+	net, err := gen.RandomGeometric(gen.GeometricConfig{N: 80}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	asg := dualgraph.RandomAssignment(net.N(), rng)
+	det := detector.Complete(net, asg)
+	procs := make([]sim.Process, net.N())
+	for v := 0; v < net.N(); v++ {
+		procs[v] = ccdsProc(t, CCDSConfig{
+			ID: asg.ID(v), N: net.N(), Delta: net.Delta(), B: 512,
+			Detector: det.Set(v), Params: DefaultParams(),
+			Rng: rand.New(rand.NewPCG(21, uint64(v+1))),
+		})
+	}
+	r, err := sim.NewRunner(sim.Config{Net: net, Processes: procs, MessageBits: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for v, p := range procs {
+		cp := p.(*CCDSProcess)
+		if !cp.InMIS() {
+			continue
+		}
+		for _, id := range cp.Discovered() {
+			w := asg.Node(id)
+			if d := net.G().HopDistance(v, w); d < 0 || d > 3 {
+				t.Errorf("MIS node %d discovered %d at hop distance %d", v, w, d)
+			}
+			if !procs[w].(*CCDSProcess).InMIS() {
+				t.Errorf("discovered id %d is not an MIS process", id)
+			}
+		}
+	}
+}

@@ -1,0 +1,99 @@
+package core
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"dualradio/internal/detector"
+)
+
+func TestContinuousConfigValidation(t *testing.T) {
+	cfg := ContinuousConfig{
+		ID: 1, N: 8, Delta: 3, B: 512,
+		Params: DefaultParams(),
+		Rng:    rand.New(rand.NewPCG(1, 1)),
+	}
+	if _, err := NewContinuousCCDSProcess(cfg); err == nil {
+		t.Error("nil detector view accepted")
+	}
+	cfg.DetectorAt = func(int) *detector.Set { return detector.NewSet(8) }
+	cfg.B = 4
+	if _, err := NewContinuousCCDSProcess(cfg); err == nil {
+		t.Error("tiny b accepted")
+	}
+}
+
+// TestContinuousCommitsAtPeriodBoundary: the committed output only changes
+// at multiples of δ_CDS, and reflects the previous period's result.
+func TestContinuousCommitsAtPeriodBoundary(t *testing.T) {
+	n := 8
+	views := 0
+	cfg := ContinuousConfig{
+		ID: 1, N: n, Delta: 3, B: 512,
+		DetectorAt: func(int) *detector.Set {
+			views++
+			return detector.NewSet(n)
+		},
+		Params: DefaultParams(),
+		Rng:    rand.New(rand.NewPCG(2, 2)),
+	}
+	p, err := NewContinuousCCDSProcess(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	period := p.Period()
+	// Before the first period completes the output is undecided.
+	for r := 0; r < period; r++ {
+		p.Broadcast(r)
+		p.Receive(r, nil)
+		if p.Output() != -1 {
+			t.Fatalf("output committed mid-period at round %d", r)
+		}
+	}
+	// The boundary commit happens on the first Broadcast of the next
+	// period. A lone process always ends in its own CCDS.
+	p.Broadcast(period)
+	if p.Output() != 1 {
+		t.Errorf("committed output = %d, want 1 for a lone process", p.Output())
+	}
+	if views != 2 {
+		t.Errorf("detector consulted %d times, want once per period start", views)
+	}
+	if p.Done() {
+		t.Error("continuous process must never report done")
+	}
+}
+
+// TestContinuousTracksDetectorChanges: when the detector view changes
+// between periods, the new period's inner run uses the new view.
+func TestContinuousTracksDetectorChanges(t *testing.T) {
+	n := 8
+	var served []*detector.Set
+	cfg := ContinuousConfig{
+		ID: 1, N: n, Delta: 3, B: 512,
+		DetectorAt: func(round int) *detector.Set {
+			s := detector.NewSet(n)
+			if round > 0 {
+				s.Add(2)
+			}
+			served = append(served, s)
+			return s
+		},
+		Params: DefaultParams(),
+		Rng:    rand.New(rand.NewPCG(3, 3)),
+	}
+	p, err := NewContinuousCCDSProcess(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r <= p.Period(); r++ {
+		p.Broadcast(r)
+		p.Receive(r, nil)
+	}
+	if len(served) != 2 {
+		t.Fatalf("served %d views", len(served))
+	}
+	if served[0].Contains(2) || !served[1].Contains(2) {
+		t.Error("detector views not taken at period starts")
+	}
+}

@@ -1,0 +1,254 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+
+	"dualradio/internal/detector"
+	"dualradio/internal/sim"
+)
+
+// FilterMode selects which received messages an algorithm keeps.
+type FilterMode int
+
+const (
+	// FilterDetector keeps a message iff its sender is in the receiver's
+	// link detector set (the Section 4 rule: "processes discard messages
+	// received from a process not in its link detector set").
+	FilterDetector FilterMode = iota + 1
+	// FilterMutual keeps a message iff sender and receiver are in each
+	// other's detector sets, i.e. they are H-neighbors. Used by the
+	// Section 6 iterated MIS, whose messages are labeled with the
+	// sender's detector set.
+	FilterMutual
+	// FilterNone keeps every message. Used by the Section 9 variant in
+	// the classic radio model (G = G'), which needs no topology knowledge.
+	FilterNone
+)
+
+// MISConfig configures one MIS process.
+type MISConfig struct {
+	// ID is this process's id in [1, n].
+	ID int
+	// N is the network size n, known to all processes.
+	N int
+	// Detector is the process's link detector set L. May be nil only with
+	// FilterNone.
+	Detector *detector.Set
+	// Filter selects the reception filter.
+	Filter FilterMode
+	// LabelMessages attaches the detector set to outgoing messages
+	// (required by FilterMutual receivers).
+	LabelMessages bool
+	// DisableReannounce is an ablation switch: when set, MIS members stop
+	// broadcasting after their joining epoch's announcement phase (the
+	// literal one-shot reading of Section 4). Under an adversarial
+	// reach-set this loses the robustness that member re-announcement
+	// provides, demonstrating why Section 9's "announce forever" rule is
+	// load-bearing in the dual graph model.
+	DisableReannounce bool
+	// Params holds the constant factors.
+	Params Params
+	// Rng is the process's private randomness stream.
+	Rng *rand.Rand
+}
+
+func (c *MISConfig) validate() error {
+	if c.ID < 1 || c.ID > c.N {
+		return fmt.Errorf("core: id %d outside [1,%d]", c.ID, c.N)
+	}
+	if c.Rng == nil {
+		return fmt.Errorf("core: process %d has no RNG", c.ID)
+	}
+	if c.Detector == nil && c.Filter != FilterNone {
+		return fmt.Errorf("core: process %d needs a detector for its filter mode", c.ID)
+	}
+	if c.Filter == 0 {
+		c.Filter = FilterDetector
+	}
+	return c.Params.Validate()
+}
+
+// MISProcess is the Section 4 MIS algorithm with synchronous starts: the
+// execution is divided into ℓ_E epochs; each epoch runs ceil(log₂ n)
+// competition phases with doubling broadcast probabilities (1/n up to 1/2),
+// followed by an announcement phase in which survivors join the MIS and
+// announce it.
+type MISProcess struct {
+	cfg   MISConfig
+	sched misSchedule
+
+	out         int
+	misSet      *detector.Set // M_u: known MIS members (may include self)
+	active      bool
+	joinedEpoch int
+	finished    bool
+}
+
+var _ sim.Process = (*MISProcess)(nil)
+
+// NewMISProcess validates cfg and returns a ready process.
+func NewMISProcess(cfg MISConfig) (*MISProcess, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	return &MISProcess{
+		cfg:         cfg,
+		sched:       newMISSchedule(cfg.N, cfg.Params),
+		out:         sim.Undecided,
+		misSet:      detector.NewSet(cfg.N),
+		joinedEpoch: -1,
+	}, nil
+}
+
+// Rounds returns the algorithm's fixed total length in rounds.
+func (p *MISProcess) Rounds() int { return p.sched.total }
+
+// Output implements sim.Process.
+func (p *MISProcess) Output() int { return p.out }
+
+// Done implements sim.Process.
+func (p *MISProcess) Done() bool { return p.finished }
+
+// InMIS reports whether the process joined the MIS.
+func (p *MISProcess) InMIS() bool { return p.out == 1 }
+
+// MISSet returns M_u, the set of known MIS member ids (including the
+// process's own id if it joined). The set is owned by the process.
+func (p *MISProcess) MISSet() *detector.Set { return p.misSet }
+
+// JoinedEpoch returns the epoch in which the process joined the MIS, or -1.
+func (p *MISProcess) JoinedEpoch() int { return p.joinedEpoch }
+
+// Masters returns the ids of known MIS members other than the process
+// itself — for a covered process, the MIS neighbors that dominate it.
+func (p *MISProcess) Masters() []int {
+	var out []int
+	for _, id := range p.misSet.IDs() {
+		if id != p.cfg.ID {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// detLabel returns the detector label to attach to outgoing messages.
+func (p *MISProcess) detLabel() *detector.Set {
+	if p.cfg.LabelMessages {
+		return p.cfg.Detector
+	}
+	return nil
+}
+
+// Broadcast implements sim.Process.
+func (p *MISProcess) Broadcast(round int) sim.Message {
+	if round >= p.sched.total {
+		p.finished = true
+		return nil
+	}
+	epoch := round / p.sched.epochLen
+	off := round % p.sched.epochLen
+	phase := off / p.sched.phaseLen
+
+	if off == 0 {
+		// Epoch start: a process is active iff M_u contains neither its
+		// own id nor a detector neighbor's id — equivalently, iff it has
+		// not yet output 0 or 1.
+		p.active = p.out == sim.Undecided
+	}
+
+	if phase < p.sched.phases {
+		// Competition phase `phase`: broadcast probability 2^phase/n,
+		// capped at 1/2 as in the paper's final phase.
+		//
+		// MIS members re-enter every later epoch's competition with the
+		// same probability schedule, broadcasting announcements instead
+		// of contender messages. This is the paper's Section 9 remedy
+		// ("once a process joins the MIS, it must continue to broadcast
+		// and announce this information") adapted to the epoch structure:
+		// it lets a process whose announcement was jammed by the
+		// adversary learn of an established neighbor before it could
+		// erroneously join, while preserving the Lemma 4.3 contention
+		// profile (members behave exactly like active competitors).
+		if !p.active && p.joinedEpoch < 0 {
+			return nil
+		}
+		if p.joinedEpoch >= 0 && p.cfg.DisableReannounce {
+			return nil
+		}
+		prob := math.Ldexp(1/float64(p.cfg.N), phase)
+		if prob > 0.5 {
+			prob = 0.5
+		}
+		if p.cfg.Rng.Float64() < prob {
+			if p.joinedEpoch >= 0 {
+				return newAnnounce(p.cfg.N, p.cfg.ID, p.detLabel())
+			}
+			return newContender(p.cfg.N, p.cfg.ID, p.detLabel())
+		}
+		return nil
+	}
+
+	// Announcement phase. An active survivor joins the MIS at the first
+	// announcement round of its epoch; members announce with probability
+	// 1/2 in the announcement phase of every epoch from then on.
+	if p.active && p.joinedEpoch < 0 && p.out == sim.Undecided {
+		p.join(epoch)
+	}
+	if p.joinedEpoch >= 0 && (epoch == p.joinedEpoch || !p.cfg.DisableReannounce) &&
+		p.cfg.Rng.Float64() < 0.5 {
+		return newAnnounce(p.cfg.N, p.cfg.ID, p.detLabel())
+	}
+	return nil
+}
+
+func (p *MISProcess) join(epoch int) {
+	p.out = 1
+	p.misSet.Add(p.cfg.ID)
+	p.joinedEpoch = epoch
+	p.active = false
+}
+
+// keep applies the configured reception filter.
+func (p *MISProcess) keep(from int, label *detector.Set) bool {
+	switch p.cfg.Filter {
+	case FilterNone:
+		return true
+	case FilterMutual:
+		return p.cfg.Detector.Contains(from) && label.Contains(p.cfg.ID)
+	default:
+		return p.cfg.Detector.Contains(from)
+	}
+}
+
+// Receive implements sim.Process.
+func (p *MISProcess) Receive(round int, msg sim.Message) {
+	if msg == nil || msg.From() == p.cfg.ID {
+		return
+	}
+	switch m := msg.(type) {
+	case *contenderMsg:
+		if !p.keep(m.from, m.det) {
+			return
+		}
+		// A knocked-out process stays silent for the rest of the epoch.
+		if p.active && p.joinedEpoch < 0 {
+			p.active = false
+		}
+	case *announceMsg:
+		if !p.keep(m.from, m.det) {
+			return
+		}
+		p.misSet.Add(m.from)
+		if p.out == sim.Undecided {
+			p.out = 0
+		}
+		// An announcement also knocks the receiver out of the current
+		// competition: a covered process must not proceed to join.
+		if p.joinedEpoch < 0 {
+			p.active = false
+		}
+	}
+	_ = round
+}

@@ -1,0 +1,250 @@
+package core
+
+import (
+	"dualradio/internal/detector"
+)
+
+// tagBits is the per-message type-tag cost charged by the honest bit
+// accounting. Every message additionally pays idBits(n) for its sender id
+// and idBits(n) per carried id.
+const tagBits = 4
+
+// countBits is charged per variable-length list in a message (an 8-bit
+// element count).
+const countBits = 8
+
+// header carries the fields common to all protocol messages.
+type header struct {
+	from int
+	bits int
+	// det is the sender's link detector set label used by the Section 6
+	// iterated MIS ("processes label their messages with their local link
+	// detector sets"). nil when unlabeled; when present its size is
+	// included in bits.
+	det *detector.Set
+}
+
+// From implements sim.Message.
+func (h header) From() int { return h.from }
+
+// BitSize implements sim.Message.
+func (h header) BitSize() int { return h.bits }
+
+// DetLabel returns the sender's detector set label, or nil.
+func (h header) DetLabel() *detector.Set { return h.det }
+
+func newHeader(n, from int, payloadBits int, det *detector.Set) header {
+	b := tagBits + idBits(n) + payloadBits
+	if det != nil {
+		b += countBits + det.Len()*idBits(n)
+	}
+	return header{from: from, bits: b, det: det}
+}
+
+// contenderMsg is the Section 4 competition message.
+type contenderMsg struct{ header }
+
+func newContender(n, from int, det *detector.Set) *contenderMsg {
+	return &contenderMsg{newHeader(n, from, 0, det)}
+}
+
+// announceMsg declares MIS membership (the "MIS message" of Section 4).
+type announceMsg struct{ header }
+
+func newAnnounce(n, from int, det *detector.Set) *announceMsg {
+	return &announceMsg{newHeader(n, from, 0, det)}
+}
+
+// bannedChunkMsg carries one chunk of an MIS node's banned list during
+// phase 1 of a CCDS search epoch. Seq orders chunks within the epoch.
+type bannedChunkMsg struct {
+	header
+	Seq int
+	IDs []int
+}
+
+func newBannedChunk(n, from, seq int, ids []int, det *detector.Set) *bannedChunkMsg {
+	return &bannedChunkMsg{
+		header: newHeader(n, from, countBits*2+len(ids)*idBits(n), det),
+		Seq:    seq,
+		IDs:    ids,
+	}
+}
+
+// nomination is one entry of a directed-decay nomination: the sender
+// proposes Candidate for exploration by MIS process Dest.
+type nomination struct {
+	Dest      int
+	Candidate int
+}
+
+// nominateMsg batches the sender's simulated covered processes that fired
+// this round (directed-decay combines concurrent simulated broadcasts).
+type nominateMsg struct {
+	header
+	Entries []nomination
+}
+
+func newNominate(n, from int, entries []nomination) *nominateMsg {
+	return &nominateMsg{
+		header:  newHeader(n, from, countBits+len(entries)*2*idBits(n), nil),
+		Entries: entries,
+	}
+}
+
+// stopMsg is a directed-decay stop order from an MIS process to its covered
+// set.
+type stopMsg struct{ header }
+
+func newStop(n, from int) *stopMsg {
+	return &stopMsg{newHeader(n, from, 0, nil)}
+}
+
+// selectMsg tells nominator V that MIS process From selected its candidate W
+// for exploration (CCDS search phase 3, step 1).
+type selectMsg struct {
+	header
+	V int
+	W int
+}
+
+func newSelect(n, from, v, w int) *selectMsg {
+	return &selectMsg{header: newHeader(n, from, 2*idBits(n), nil), V: v, W: w}
+}
+
+// queryEntry asks Target to describe itself on behalf of MIS process Origin.
+type queryEntry struct {
+	Origin int
+	Target int
+}
+
+// queryMsg is step 2 of search phase 3: the nominator forwards exploration
+// requests to its candidates (batched, one entry per selecting MIS process).
+type queryMsg struct {
+	header
+	Entries []queryEntry
+}
+
+func newQuery(n, from int, entries []queryEntry) *queryMsg {
+	return &queryMsg{
+		header:  newHeader(n, from, countBits+len(entries)*2*idBits(n), nil),
+		Entries: entries,
+	}
+}
+
+// respondEntry is one chunk of an exploration answer destined for Origin:
+// MISID is the discovered MIS process (the responder itself, or its chosen
+// MIS neighbor), and IDs is chunk Seq of that MIS process's neighbor ids.
+type respondEntry struct {
+	Origin int
+	MISID  int
+	Seq    int
+	IDs    []int
+}
+
+func entryBits(n int, entries []respondEntry) int {
+	b := countBits
+	for _, e := range entries {
+		b += 3*idBits(n) + countBits + len(e.IDs)*idBits(n)
+	}
+	return b
+}
+
+// respondMsg is step 3 of search phase 3: the explored process describes the
+// discovered MIS node (batched per origin).
+type respondMsg struct {
+	header
+	Entries []respondEntry
+}
+
+func newRespond(n, from int, entries []respondEntry) *respondMsg {
+	return &respondMsg{
+		header:  newHeader(n, from, entryBits(n, entries), nil),
+		Entries: entries,
+	}
+}
+
+// relayMsg is step 4 of search phase 3: the nominator relays the response
+// back to the selecting MIS process.
+type relayMsg struct {
+	header
+	Entries []respondEntry
+}
+
+func newRelay(n, from int, entries []respondEntry) *relayMsg {
+	return &relayMsg{
+		header:  newHeader(n, from, entryBits(n, entries), nil),
+		Entries: entries,
+	}
+}
+
+// annAMsg is phase A of the Section 6 enumeration connect: a covered process
+// announces its id and the dominators covering it ("its id and master").
+type annAMsg struct {
+	header
+	Masters []int
+}
+
+func newAnnA(n, from int, masters []int, det *detector.Set) *annAMsg {
+	return &annAMsg{
+		header:  newHeader(n, from, countBits+len(masters)*idBits(n), det),
+		Masters: masters,
+	}
+}
+
+// domWitness records that dominator Dom is reachable through Witness.
+type domWitness struct {
+	Dom     int
+	Witness int
+}
+
+// annBMsg is phase B of the enumeration connect: a covered process announces
+// every dominator it has heard of, each with a witness neighbor on the path.
+type annBMsg struct {
+	header
+	Entries []domWitness
+}
+
+func newAnnB(n, from int, entries []domWitness, det *detector.Set) *annBMsg {
+	return &annBMsg{
+		header:  newHeader(n, from, countBits+len(entries)*2*idBits(n), det),
+		Entries: entries,
+	}
+}
+
+// pathChoice is a dominator's selected connecting path to dominator Dom via
+// covered relays V (its own neighbor) and W (V's neighbor; 0 when the path
+// has two hops).
+type pathChoice struct {
+	Dom int
+	V   int
+	W   int
+}
+
+// selPathsMsg is phase C of the enumeration connect: a dominator announces
+// its selected connecting paths so the relays can join the CCDS.
+type selPathsMsg struct {
+	header
+	Paths []pathChoice
+}
+
+func newSelPaths(n, from int, paths []pathChoice, det *detector.Set) *selPathsMsg {
+	return &selPathsMsg{
+		header: newHeader(n, from, countBits+len(paths)*3*idBits(n), det),
+		Paths:  paths,
+	}
+}
+
+// relaySelMsg is phase D of the enumeration connect: a first-hop relay
+// forwards the selection to the second-hop relays.
+type relaySelMsg struct {
+	header
+	Ws []int
+}
+
+func newRelaySel(n, from int, ws []int, det *detector.Set) *relaySelMsg {
+	return &relaySelMsg{
+		header: newHeader(n, from, countBits+len(ws)*idBits(n), det),
+		Ws:     ws,
+	}
+}

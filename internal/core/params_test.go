@@ -1,0 +1,205 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDefaultParamsValid(t *testing.T) {
+	if err := DefaultParams().Validate(); err != nil {
+		t.Errorf("defaults invalid: %v", err)
+	}
+	if err := FastParams().Validate(); err != nil {
+		t.Errorf("fast params invalid: %v", err)
+	}
+}
+
+func TestParamsValidationRejects(t *testing.T) {
+	bad := []Params{
+		{},
+		func() Params { p := DefaultParams(); p.Epochs = 0; return p }(),
+		func() Params { p := DefaultParams(); p.Phase = -1; return p }(),
+		func() Params { p := DefaultParams(); p.DeltaBB = 30; return p }(),
+		func() Params { p := DefaultParams(); p.SearchEpochs = 0; return p }(),
+		func() Params { p := DefaultParams(); p.MaxMasters = 0; return p }(),
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d: invalid params accepted: %+v", i, p)
+		}
+	}
+}
+
+func TestLog2Ceil(t *testing.T) {
+	cases := map[int]int{1: 1, 2: 1, 3: 2, 4: 2, 5: 3, 8: 3, 9: 4, 1024: 10, 1025: 11}
+	for n, want := range cases {
+		if got := log2Ceil(n); got != want {
+			t.Errorf("log2Ceil(%d) = %d, want %d", n, got, want)
+		}
+	}
+}
+
+func TestIDBits(t *testing.T) {
+	cases := map[int]int{1: 1, 2: 2, 3: 2, 4: 3, 255: 8, 256: 9, 0: 1}
+	for n, want := range cases {
+		if got := idBits(n); got != want {
+			t.Errorf("idBits(%d) = %d, want %d", n, got, want)
+		}
+	}
+}
+
+func TestMISScheduleShape(t *testing.T) {
+	p := DefaultParams()
+	s := newMISSchedule(256, p)
+	if s.logN != 8 {
+		t.Errorf("logN = %d", s.logN)
+	}
+	if s.phases != s.logN {
+		t.Errorf("competition phases = %d, want logN", s.phases)
+	}
+	if s.epochLen != (s.phases+1)*s.phaseLen {
+		t.Error("epoch length inconsistent")
+	}
+	if s.total != s.epochs*s.epochLen {
+		t.Error("total inconsistent")
+	}
+}
+
+// TestMISScheduleCubicGrowth verifies the schedule is Θ(log³ n): the ratio
+// total/log³n stays within a constant band across sizes.
+func TestMISScheduleCubicGrowth(t *testing.T) {
+	p := DefaultParams()
+	var ratios []float64
+	for _, n := range []int{64, 256, 1024, 4096, 1 << 14} {
+		s := newMISSchedule(n, p)
+		l := float64(s.logN)
+		ratios = append(ratios, float64(s.total)/(l*l*l))
+	}
+	for _, r := range ratios {
+		if r < ratios[0]/2 || r > ratios[0]*2 {
+			t.Errorf("rounds/log³n ratios drift: %v", ratios)
+		}
+	}
+}
+
+func TestCCDSScheduleTermStructure(t *testing.T) {
+	p := DefaultParams()
+	// Large b: rounds must be independent of Δ (the Δ·log²n/b term
+	// collapses to one chunk).
+	big1, err := CCDSRounds(1024, 32, 1<<20, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big2, err := CCDSRounds(1024, 1024, 1<<20, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if big1 != big2 {
+		t.Errorf("large-b rounds depend on Δ: %d vs %d", big1, big2)
+	}
+	// Small b: rounds must grow with Δ.
+	small1, err := CCDSRounds(1024, 32, 256, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	small2, err := CCDSRounds(1024, 1024, 256, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if small2 <= small1 {
+		t.Errorf("small-b rounds do not grow with Δ: %d vs %d", small1, small2)
+	}
+	// Rounds shrink (weakly) as b grows.
+	prev := 1 << 62
+	for _, b := range []int{200, 400, 1600, 1 << 16} {
+		r, err := CCDSRounds(512, 256, b, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r > prev {
+			t.Errorf("rounds increased with larger b: %d -> %d at b=%d", prev, r, b)
+		}
+		prev = r
+	}
+}
+
+func TestCCDSRoundsRejectsTinyB(t *testing.T) {
+	if _, err := CCDSRounds(1024, 32, 8, DefaultParams()); err == nil {
+		t.Error("b too small for one id should be rejected")
+	}
+}
+
+func TestBaselineRoundsLinearInDelta(t *testing.T) {
+	p := DefaultParams()
+	r1, err := BaselineCCDSRounds(1024, 64, 4096, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := BaselineCCDSRounds(1024, 640, 4096, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The enumeration phases dominate: 10x Δ should grow rounds by ~>3x.
+	if float64(r2) < 3*float64(r1)/2 {
+		t.Errorf("baseline rounds not growing with Δ: %d -> %d", r1, r2)
+	}
+	if _, err := TauCCDSRounds(128, 16, 4096, p, -1); err == nil {
+		t.Error("negative tau accepted")
+	}
+	tau0, err := TauCCDSRounds(128, 16, 4096, p, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tau2, err := TauCCDSRounds(128, 16, 4096, p, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mis := newMISSchedule(128, p).total
+	if tau2-tau0 != 2*mis {
+		t.Errorf("each extra tau iteration should add one MIS run: %d vs %d", tau2-tau0, 2*mis)
+	}
+}
+
+// TestChunkifyProperties: chunkify partitions the input into bounded chunks
+// preserving all elements in sorted order.
+func TestChunkifyProperties(t *testing.T) {
+	f := func(raw []uint16, capRaw uint8) bool {
+		capIDs := 1 + int(capRaw%16)
+		ids := make([]int, len(raw))
+		for i, x := range raw {
+			ids[i] = int(x)
+		}
+		chunks := chunkify(append([]int(nil), ids...), capIDs)
+		var flat []int
+		for _, c := range chunks {
+			if len(c) == 0 || len(c) > capIDs {
+				return false
+			}
+			flat = append(flat, c...)
+		}
+		if len(flat) != len(ids) {
+			return false
+		}
+		for i := 1; i < len(flat); i++ {
+			if flat[i-1] > flat[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+	if chunkify(nil, 4) != nil {
+		t.Error("empty input should produce no chunks")
+	}
+}
+
+func TestScaled(t *testing.T) {
+	if scaled(0.1, 1) != 1 {
+		t.Error("scaled must be at least 1")
+	}
+	if scaled(2.5, 4) != 10 {
+		t.Errorf("scaled(2.5,4) = %d", scaled(2.5, 4))
+	}
+}

@@ -1,0 +1,343 @@
+package core
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"dualradio/internal/detector"
+	"dualradio/internal/sim"
+)
+
+// Wire encoding for protocol messages. The simulator itself passes message
+// values in memory — BitSize provides the model's b-bit accounting — but a
+// deployment would serialize them, and round-tripping through a real
+// encoding keeps the accounting honest: EncodeMessage's output length is
+// verified (by tests) to stay within BitSize/8 + a small constant framing
+// overhead for every message type.
+//
+// Format: one tag byte, the sender id as uvarint, a presence byte plus the
+// detector-set label when attached, then per-type payload fields, all
+// uvarint/length-prefixed.
+
+// wire tags, one per concrete message type.
+const (
+	wireContender byte = iota + 1
+	wireAnnounce
+	wireBannedChunk
+	wireNominate
+	wireStop
+	wireSelect
+	wireQuery
+	wireRespond
+	wireRelay
+	wireAnnA
+	wireAnnB
+	wireSelPaths
+	wireRelaySel
+)
+
+// ErrUnknownWireTag reports an unrecognized message tag during decoding.
+var ErrUnknownWireTag = errors.New("core: unknown wire tag")
+
+// EncodeMessage serializes any protocol message produced by this package;
+// n is the network size, which fixes the bit width ids are packed at.
+func EncodeMessage(msg sim.Message, n int) ([]byte, error) {
+	w := &wireWriter{idb: idBits(n)}
+	switch m := msg.(type) {
+	case *contenderMsg:
+		w.byte(wireContender)
+		w.uvarint(uint64(m.from))
+		w.label(m.det)
+	case *announceMsg:
+		w.byte(wireAnnounce)
+		w.uvarint(uint64(m.from))
+		w.label(m.det)
+	case *bannedChunkMsg:
+		w.byte(wireBannedChunk)
+		w.uvarint(uint64(m.from))
+		w.label(m.det)
+		w.uvarint(uint64(m.Seq))
+		w.ints(m.IDs)
+	case *nominateMsg:
+		w.byte(wireNominate)
+		w.uvarint(uint64(m.from))
+		w.label(m.det)
+		w.uvarint(uint64(len(m.Entries)))
+		for _, e := range m.Entries {
+			w.uvarint(uint64(e.Dest))
+			w.uvarint(uint64(e.Candidate))
+		}
+	case *stopMsg:
+		w.byte(wireStop)
+		w.uvarint(uint64(m.from))
+		w.label(m.det)
+	case *selectMsg:
+		w.byte(wireSelect)
+		w.uvarint(uint64(m.from))
+		w.label(m.det)
+		w.uvarint(uint64(m.V))
+		w.uvarint(uint64(m.W))
+	case *queryMsg:
+		w.byte(wireQuery)
+		w.uvarint(uint64(m.from))
+		w.label(m.det)
+		w.uvarint(uint64(len(m.Entries)))
+		for _, e := range m.Entries {
+			w.uvarint(uint64(e.Origin))
+			w.uvarint(uint64(e.Target))
+		}
+	case *respondMsg:
+		w.byte(wireRespond)
+		w.uvarint(uint64(m.from))
+		w.label(m.det)
+		w.entries(m.Entries)
+	case *relayMsg:
+		w.byte(wireRelay)
+		w.uvarint(uint64(m.from))
+		w.label(m.det)
+		w.entries(m.Entries)
+	case *annAMsg:
+		w.byte(wireAnnA)
+		w.uvarint(uint64(m.from))
+		w.label(m.det)
+		w.ints(m.Masters)
+	case *annBMsg:
+		w.byte(wireAnnB)
+		w.uvarint(uint64(m.from))
+		w.label(m.det)
+		w.uvarint(uint64(len(m.Entries)))
+		for _, e := range m.Entries {
+			w.uvarint(uint64(e.Dom))
+			w.uvarint(uint64(e.Witness))
+		}
+	case *selPathsMsg:
+		w.byte(wireSelPaths)
+		w.uvarint(uint64(m.from))
+		w.label(m.det)
+		w.uvarint(uint64(len(m.Paths)))
+		for _, p := range m.Paths {
+			w.uvarint(uint64(p.Dom))
+			w.uvarint(uint64(p.V))
+			w.uvarint(uint64(p.W))
+		}
+	case *relaySelMsg:
+		w.byte(wireRelaySel)
+		w.uvarint(uint64(m.from))
+		w.label(m.det)
+		w.ints(m.Ws)
+	default:
+		return nil, fmt.Errorf("core: cannot encode message type %T", msg)
+	}
+	return w.buf, nil
+}
+
+// DecodeMessage reconstructs a protocol message; n is the network size used
+// to rebuild detector-set labels and recompute bit accounting.
+func DecodeMessage(data []byte, n int) (sim.Message, error) {
+	r := &wireReader{buf: data, idb: idBits(n)}
+	tag := r.byte()
+	from := int(r.uvarint())
+	det := r.label(n)
+	var msg sim.Message
+	switch tag {
+	case wireContender:
+		msg = newContender(n, from, det)
+	case wireAnnounce:
+		msg = newAnnounce(n, from, det)
+	case wireBannedChunk:
+		seq := int(r.uvarint())
+		msg = newBannedChunk(n, from, seq, r.ints(), det)
+	case wireNominate:
+		k := int(r.uvarint())
+		entries := make([]nomination, k)
+		for i := range entries {
+			entries[i] = nomination{Dest: int(r.uvarint()), Candidate: int(r.uvarint())}
+		}
+		msg = newNominate(n, from, entries)
+	case wireStop:
+		msg = newStop(n, from)
+	case wireSelect:
+		msg = newSelect(n, from, int(r.uvarint()), int(r.uvarint()))
+	case wireQuery:
+		k := int(r.uvarint())
+		entries := make([]queryEntry, k)
+		for i := range entries {
+			entries[i] = queryEntry{Origin: int(r.uvarint()), Target: int(r.uvarint())}
+		}
+		msg = newQuery(n, from, entries)
+	case wireRespond:
+		msg = newRespond(n, from, r.entries())
+	case wireRelay:
+		msg = newRelay(n, from, r.entries())
+	case wireAnnA:
+		msg = newAnnA(n, from, r.ints(), det)
+	case wireAnnB:
+		k := int(r.uvarint())
+		entries := make([]domWitness, k)
+		for i := range entries {
+			entries[i] = domWitness{Dom: int(r.uvarint()), Witness: int(r.uvarint())}
+		}
+		msg = newAnnB(n, from, entries, det)
+	case wireSelPaths:
+		k := int(r.uvarint())
+		paths := make([]pathChoice, k)
+		for i := range paths {
+			paths[i] = pathChoice{Dom: int(r.uvarint()), V: int(r.uvarint()), W: int(r.uvarint())}
+		}
+		msg = newSelPaths(n, from, paths, det)
+	case wireRelaySel:
+		msg = newRelaySel(n, from, r.ints(), det)
+	default:
+		return nil, fmt.Errorf("%w: %d", ErrUnknownWireTag, tag)
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	return msg, nil
+}
+
+// wireWriter accumulates an encoded message. Id lists are bit-packed at a
+// fixed idb-bit width so the on-wire size matches the model's BitSize
+// accounting (plus byte-alignment and framing).
+type wireWriter struct {
+	buf []byte
+	idb int
+}
+
+func (w *wireWriter) byte(b byte) { w.buf = append(w.buf, b) }
+
+func (w *wireWriter) uvarint(x uint64) {
+	w.buf = binary.AppendUvarint(w.buf, x)
+}
+
+// ints writes a length-prefixed, bit-packed id list.
+func (w *wireWriter) ints(ids []int) {
+	w.uvarint(uint64(len(ids)))
+	var acc uint64
+	bits := 0
+	for _, id := range ids {
+		acc |= uint64(id) << bits
+		bits += w.idb
+		for bits >= 8 {
+			w.buf = append(w.buf, byte(acc))
+			acc >>= 8
+			bits -= 8
+		}
+	}
+	if bits > 0 {
+		w.buf = append(w.buf, byte(acc))
+	}
+}
+
+func (w *wireWriter) label(det *detector.Set) {
+	if det == nil {
+		w.byte(0)
+		return
+	}
+	w.byte(1)
+	w.ints(det.IDs())
+}
+
+func (w *wireWriter) entries(es []respondEntry) {
+	w.uvarint(uint64(len(es)))
+	for _, e := range es {
+		w.uvarint(uint64(e.Origin))
+		w.uvarint(uint64(e.MISID))
+		w.uvarint(uint64(e.Seq))
+		w.ints(e.IDs)
+	}
+}
+
+// wireReader consumes an encoded message.
+type wireReader struct {
+	buf []byte
+	idb int
+	err error
+}
+
+func (r *wireReader) byte() byte {
+	if r.err != nil || len(r.buf) == 0 {
+		r.fail()
+		return 0
+	}
+	b := r.buf[0]
+	r.buf = r.buf[1:]
+	return b
+}
+
+func (r *wireReader) uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	x, k := binary.Uvarint(r.buf)
+	if k <= 0 {
+		r.fail()
+		return 0
+	}
+	r.buf = r.buf[k:]
+	return x
+}
+
+// ints reads a length-prefixed, bit-packed id list.
+func (r *wireReader) ints() []int {
+	k := int(r.uvarint())
+	if r.err != nil || k < 0 {
+		r.fail()
+		return nil
+	}
+	need := (k*r.idb + 7) / 8
+	if need > len(r.buf) {
+		r.fail()
+		return nil
+	}
+	out := make([]int, 0, k)
+	var acc uint64
+	bits := 0
+	pos := 0
+	mask := uint64(1)<<r.idb - 1
+	for i := 0; i < k; i++ {
+		for bits < r.idb {
+			acc |= uint64(r.buf[pos]) << bits
+			pos++
+			bits += 8
+		}
+		out = append(out, int(acc&mask))
+		acc >>= r.idb
+		bits -= r.idb
+	}
+	r.buf = r.buf[need:]
+	return out
+}
+
+func (r *wireReader) label(n int) *detector.Set {
+	present := r.byte()
+	if present == 0 || r.err != nil {
+		return nil
+	}
+	return detector.SetOf(n, r.ints()...)
+}
+
+func (r *wireReader) entries() []respondEntry {
+	k := int(r.uvarint())
+	if r.err != nil || k > len(r.buf)+1 {
+		r.fail()
+		return nil
+	}
+	out := make([]respondEntry, 0, k)
+	for i := 0; i < k; i++ {
+		out = append(out, respondEntry{
+			Origin: int(r.uvarint()),
+			MISID:  int(r.uvarint()),
+			Seq:    int(r.uvarint()),
+			IDs:    r.ints(),
+		})
+	}
+	return out
+}
+
+func (r *wireReader) fail() {
+	if r.err == nil {
+		r.err = errors.New("core: truncated wire message")
+	}
+}

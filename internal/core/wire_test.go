@@ -1,0 +1,174 @@
+package core
+
+import (
+	"math/rand/v2"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"dualradio/internal/detector"
+	"dualradio/internal/sim"
+)
+
+// roundTrip encodes and decodes a message, failing on error.
+func roundTrip(t *testing.T, msg sim.Message, n int) sim.Message {
+	t.Helper()
+	data, err := EncodeMessage(msg, n)
+	if err != nil {
+		t.Fatalf("encode %T: %v", msg, err)
+	}
+	out, err := DecodeMessage(data, n)
+	if err != nil {
+		t.Fatalf("decode %T: %v", msg, err)
+	}
+	return out
+}
+
+// TestWireRoundTripAllTypes round-trips one instance of every message type
+// and checks full structural equality (including the recomputed BitSize).
+func TestWireRoundTripAllTypes(t *testing.T) {
+	n := 256
+	label := detector.SetOf(n, 3, 7, 200)
+	msgs := []sim.Message{
+		newContender(n, 5, nil),
+		newContender(n, 5, label),
+		newAnnounce(n, 6, label),
+		newBannedChunk(n, 7, 2, []int{1, 9, 120}, nil),
+		newNominate(n, 8, []nomination{{Dest: 1, Candidate: 2}, {Dest: 3, Candidate: 4}}),
+		newStop(n, 9),
+		newSelect(n, 10, 11, 12),
+		newQuery(n, 13, []queryEntry{{Origin: 1, Target: 2}}),
+		newRespond(n, 14, []respondEntry{{Origin: 1, MISID: 2, Seq: 0, IDs: []int{5, 6}}}),
+		newRelay(n, 15, []respondEntry{{Origin: 3, MISID: 4, Seq: 1, IDs: []int{7}}}),
+		newAnnA(n, 16, []int{1, 2, 3}, nil),
+		newAnnB(n, 17, []domWitness{{Dom: 1, Witness: 0}, {Dom: 2, Witness: 9}}, label),
+		newSelPaths(n, 18, []pathChoice{{Dom: 1, V: 2, W: 3}}, nil),
+		newRelaySel(n, 19, []int{4, 5}, nil),
+	}
+	for _, msg := range msgs {
+		got := roundTrip(t, msg, n)
+		if !wireEqual(msg, got) {
+			t.Errorf("%T round trip mismatch:\n in: %#v\nout: %#v", msg, msg, got)
+		}
+		if got.BitSize() != msg.BitSize() {
+			t.Errorf("%T bit size changed: %d -> %d", msg, msg.BitSize(), got.BitSize())
+		}
+	}
+}
+
+// wireEqual compares messages structurally, treating empty and nil slices
+// as equal (encoding does not distinguish them).
+func wireEqual(a, b sim.Message) bool {
+	if a.From() != b.From() {
+		return false
+	}
+	switch am := a.(type) {
+	case *bannedChunkMsg:
+		bm, ok := b.(*bannedChunkMsg)
+		return ok && am.Seq == bm.Seq && intsEqual(am.IDs, bm.IDs)
+	case *nominateMsg:
+		bm, ok := b.(*nominateMsg)
+		return ok && reflect.DeepEqual(am.Entries, bm.Entries)
+	case *selectMsg:
+		bm, ok := b.(*selectMsg)
+		return ok && am.V == bm.V && am.W == bm.W
+	case *queryMsg:
+		bm, ok := b.(*queryMsg)
+		return ok && reflect.DeepEqual(am.Entries, bm.Entries)
+	case *respondMsg:
+		bm, ok := b.(*respondMsg)
+		return ok && entriesEqual(am.Entries, bm.Entries)
+	case *relayMsg:
+		bm, ok := b.(*relayMsg)
+		return ok && entriesEqual(am.Entries, bm.Entries)
+	case *annAMsg:
+		bm, ok := b.(*annAMsg)
+		return ok && intsEqual(am.Masters, bm.Masters)
+	case *annBMsg:
+		bm, ok := b.(*annBMsg)
+		return ok && reflect.DeepEqual(am.Entries, bm.Entries)
+	case *selPathsMsg:
+		bm, ok := b.(*selPathsMsg)
+		return ok && reflect.DeepEqual(am.Paths, bm.Paths)
+	case *relaySelMsg:
+		bm, ok := b.(*relaySelMsg)
+		return ok && intsEqual(am.Ws, bm.Ws)
+	default:
+		return reflect.TypeOf(a) == reflect.TypeOf(b)
+	}
+}
+
+func intsEqual(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func entriesEqual(a, b []respondEntry) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Origin != b[i].Origin || a[i].MISID != b[i].MISID ||
+			a[i].Seq != b[i].Seq || !intsEqual(a[i].IDs, b[i].IDs) {
+			return false
+		}
+	}
+	return true
+}
+
+// TestWireLabelRoundTrip verifies detector labels survive encoding.
+func TestWireLabelRoundTrip(t *testing.T) {
+	n := 64
+	label := detector.SetOf(n, 1, 33, 63)
+	got := roundTrip(t, newAnnounce(n, 2, label), n)
+	am, ok := got.(*announceMsg)
+	if !ok || am.det == nil || !am.det.Equal(label) {
+		t.Errorf("label lost: %#v", got)
+	}
+}
+
+// TestWireEncodingWithinBitBudget: the real encoding never exceeds the
+// BitSize accounting plus small framing slack — the accounting is honest.
+func TestWireEncodingWithinBitBudget(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 41))
+		n := 16 + rng.IntN(2000)
+		ids := make([]int, rng.IntN(20))
+		for i := range ids {
+			ids[i] = 1 + rng.IntN(n)
+		}
+		msg := newBannedChunk(n, 1+rng.IntN(n), rng.IntN(8), ids, nil)
+		data, err := EncodeMessage(msg, n)
+		if err != nil {
+			return false
+		}
+		// Allow 4 bytes of framing slack over the model accounting.
+		return len(data) <= msg.BitSize()/8+4
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestWireDecodeRejectsGarbage: truncated or foreign bytes fail cleanly.
+func TestWireDecodeRejectsGarbage(t *testing.T) {
+	if _, err := DecodeMessage([]byte{99, 1}, 16); err == nil {
+		t.Error("unknown tag accepted")
+	}
+	data, err := EncodeMessage(newBannedChunk(64, 3, 1, []int{5, 6}, nil), 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := 0; cut < len(data); cut++ {
+		if _, err := DecodeMessage(data[:cut], 64); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+}

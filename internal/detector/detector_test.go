@@ -1,0 +1,159 @@
+package detector
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"dualradio/internal/dualgraph"
+	"dualradio/internal/geom"
+	"dualradio/internal/graph"
+)
+
+// lineNetwork builds a 5-node unit-spaced line with skip-one gray edges.
+func lineNetwork(t *testing.T) *dualgraph.Network {
+	t.Helper()
+	n := 5
+	g := graph.New(n)
+	gp := graph.New(n)
+	coords := make([]geom.Point, n)
+	for i := 0; i < n; i++ {
+		coords[i] = geom.Point{X: float64(i)}
+	}
+	for i := 0; i+1 < n; i++ {
+		addEdge(t, g, i, i+1)
+		addEdge(t, gp, i, i+1)
+	}
+	for i := 0; i+2 < n; i++ {
+		addEdge(t, gp, i, i+2)
+	}
+	return dualgraph.New(g, gp, coords, 2)
+}
+
+func addEdge(t *testing.T, g *graph.Graph, u, v int) {
+	t.Helper()
+	if err := g.AddEdge(u, v); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompleteDetector(t *testing.T) {
+	net := lineNetwork(t)
+	asg := dualgraph.IdentityAssignment(net.N())
+	d := Complete(net, asg)
+	if err := d.Verify(net, asg, 0); err != nil {
+		t.Fatal(err)
+	}
+	// Node 2's reliable neighbors are 1 and 3 -> ids 2 and 4.
+	got := d.Set(2).IDs()
+	if len(got) != 2 || got[0] != 2 || got[1] != 4 {
+		t.Errorf("L_2 = %v", got)
+	}
+}
+
+func TestTauCompleteWithinBudget(t *testing.T) {
+	net := lineNetwork(t)
+	asg := dualgraph.IdentityAssignment(net.N())
+	for _, tau := range []int{0, 1, 2, 3} {
+		rng := rand.New(rand.NewPCG(uint64(tau), 1))
+		d := TauComplete(net, asg, tau, PlaceGrayFirst, rng)
+		if err := d.Verify(net, asg, tau); err != nil {
+			t.Errorf("tau=%d: %v", tau, err)
+		}
+	}
+}
+
+func TestTauCompletePlacementPrefersGray(t *testing.T) {
+	net := lineNetwork(t)
+	asg := dualgraph.IdentityAssignment(net.N())
+	rng := rand.New(rand.NewPCG(1, 1))
+	d := TauComplete(net, asg, 1, PlaceGrayFirst, rng)
+	// Node 0's gray neighbor is node 2 (distance 2). With exactly one
+	// false positive and gray-first placement, it must be id 3.
+	mistakes := 0
+	for _, id := range d.Set(0).IDs() {
+		if !net.G().HasEdge(0, asg.Node(id)) {
+			mistakes++
+			if asg.Node(id) != 2 {
+				t.Errorf("false positive at node %d, want gray neighbor 2", asg.Node(id))
+			}
+		}
+	}
+	if mistakes != 1 {
+		t.Errorf("mistakes = %d, want 1", mistakes)
+	}
+}
+
+func TestVerifyDetectsMissingNeighbor(t *testing.T) {
+	net := lineNetwork(t)
+	asg := dualgraph.IdentityAssignment(net.N())
+	d := Complete(net, asg)
+	d.Set(0).Remove(2) // drop node 1's id from node 0's set
+	if err := d.Verify(net, asg, 0); err == nil {
+		t.Error("missing reliable neighbor not detected")
+	}
+}
+
+func TestVerifyDetectsExcessMistakes(t *testing.T) {
+	net := lineNetwork(t)
+	asg := dualgraph.IdentityAssignment(net.N())
+	d := Complete(net, asg)
+	d.Set(0).Add(4) // node 3 is not a reliable neighbor of node 0
+	if err := d.Verify(net, asg, 0); err == nil {
+		t.Error("excess mistake not detected")
+	}
+	if err := d.Verify(net, asg, 1); err != nil {
+		t.Errorf("one mistake should pass tau=1: %v", err)
+	}
+}
+
+func TestBuildHEqualsGForZeroComplete(t *testing.T) {
+	net := lineNetwork(t)
+	asg := dualgraph.IdentityAssignment(net.N())
+	h := BuildH(net, asg, Complete(net, asg))
+	if h.M() != net.G().M() {
+		t.Fatalf("H has %d edges, G has %d", h.M(), net.G().M())
+	}
+	net.G().Edges(func(u, v int) {
+		if !h.HasEdge(u, v) {
+			t.Errorf("H missing G edge (%d,%d)", u, v)
+		}
+	})
+}
+
+// TestBuildHContainsG verifies G ⊆ H for any τ-complete detector (the
+// Section 3 observation), under random assignments and mistake budgets.
+func TestBuildHContainsG(t *testing.T) {
+	net := lineNetwork(t)
+	f := func(seed uint64, tauRaw uint8) bool {
+		rng := rand.New(rand.NewPCG(seed, 3))
+		tau := int(tauRaw % 4)
+		asg := dualgraph.RandomAssignment(net.N(), rng)
+		d := TauComplete(net, asg, tau, PlaceUniform, rng)
+		ok := true
+		net.G().Edges(func(u, v int) {
+			if !BuildH(net, asg, d).HasEdge(u, v) {
+				ok = false
+			}
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMistakeCount(t *testing.T) {
+	net := lineNetwork(t)
+	asg := dualgraph.IdentityAssignment(net.N())
+	d := Complete(net, asg)
+	for v, m := range d.MistakeCount(net, asg) {
+		if m != 0 {
+			t.Errorf("node %d: %d mistakes on complete detector", v, m)
+		}
+	}
+	d.Set(1).Add(5)
+	if d.MistakeCount(net, asg)[1] != 1 {
+		t.Error("injected mistake not counted")
+	}
+}

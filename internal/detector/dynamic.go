@@ -1,0 +1,77 @@
+package detector
+
+// Dynamic is the Section 8 dynamic link detector: a service providing a set
+// to each process at the beginning of every round. A dynamic detector
+// stabilizes at round r if from r onward its output matches a static
+// detector and never changes again.
+type Dynamic interface {
+	// At returns the detector in effect at the given round.
+	At(round int) *Detector
+	// StabilizesAt returns the round from which the output is fixed.
+	StabilizesAt() int
+}
+
+// Static wraps a fixed detector as a Dynamic that is stable from round 0.
+type Static struct {
+	d *Detector
+}
+
+var _ Dynamic = (*Static)(nil)
+
+// NewStatic returns a Dynamic whose output never changes.
+func NewStatic(d *Detector) *Static { return &Static{d: d} }
+
+// At implements Dynamic.
+func (s *Static) At(int) *Detector { return s.d }
+
+// StabilizesAt implements Dynamic.
+func (s *Static) StabilizesAt() int { return 0 }
+
+// Schedule is a Dynamic defined by a sequence of detector epochs: Steps[i]
+// takes effect at round Steps[i].Round and remains in effect until the next
+// step. The last step is the stabilized output.
+type Schedule struct {
+	steps []ScheduleStep
+}
+
+// ScheduleStep is one epoch of a Schedule.
+type ScheduleStep struct {
+	Round    int
+	Detector *Detector
+}
+
+var _ Dynamic = (*Schedule)(nil)
+
+// NewSchedule builds a Dynamic from ordered steps. Steps must be sorted by
+// round ascending, with the first step at round 0; violations are repaired
+// by treating the first step as round 0 and ignoring out-of-order steps.
+func NewSchedule(steps ...ScheduleStep) *Schedule {
+	var clean []ScheduleStep
+	for _, st := range steps {
+		if len(clean) == 0 {
+			st.Round = 0
+			clean = append(clean, st)
+			continue
+		}
+		if st.Round > clean[len(clean)-1].Round {
+			clean = append(clean, st)
+		}
+	}
+	return &Schedule{steps: clean}
+}
+
+// At implements Dynamic.
+func (s *Schedule) At(round int) *Detector {
+	cur := s.steps[0].Detector
+	for _, st := range s.steps[1:] {
+		if st.Round <= round {
+			cur = st.Detector
+		}
+	}
+	return cur
+}
+
+// StabilizesAt implements Dynamic.
+func (s *Schedule) StabilizesAt() int {
+	return s.steps[len(s.steps)-1].Round
+}

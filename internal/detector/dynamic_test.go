@@ -1,0 +1,59 @@
+package detector
+
+import "testing"
+
+func TestStaticDynamic(t *testing.T) {
+	d := NewEmpty(3)
+	s := NewStatic(d)
+	if s.At(0) != d || s.At(1000) != d {
+		t.Error("static detector should be constant")
+	}
+	if s.StabilizesAt() != 0 {
+		t.Error("static stabilizes at 0")
+	}
+}
+
+func TestScheduleTransitions(t *testing.T) {
+	d0 := NewEmpty(3)
+	d1 := NewEmpty(3)
+	d2 := NewEmpty(3)
+	sched := NewSchedule(
+		ScheduleStep{Round: 0, Detector: d0},
+		ScheduleStep{Round: 10, Detector: d1},
+		ScheduleStep{Round: 20, Detector: d2},
+	)
+	cases := []struct {
+		round int
+		want  *Detector
+	}{
+		{0, d0}, {9, d0}, {10, d1}, {19, d1}, {20, d2}, {1000, d2},
+	}
+	for _, c := range cases {
+		if got := sched.At(c.round); got != c.want {
+			t.Errorf("At(%d) wrong detector", c.round)
+		}
+	}
+	if sched.StabilizesAt() != 20 {
+		t.Errorf("stabilizes at %d", sched.StabilizesAt())
+	}
+}
+
+func TestScheduleRepairsBadSteps(t *testing.T) {
+	d0, d1, d2 := NewEmpty(2), NewEmpty(2), NewEmpty(2)
+	// The first step is forced to round 0; an out-of-order later step is
+	// dropped.
+	sched := NewSchedule(
+		ScheduleStep{Round: 5, Detector: d0},
+		ScheduleStep{Round: 10, Detector: d1},
+		ScheduleStep{Round: 7, Detector: d2},
+	)
+	if sched.At(0) != d0 {
+		t.Error("first step should take effect at round 0")
+	}
+	if sched.At(12) != d1 {
+		t.Error("in-order step should apply")
+	}
+	if sched.StabilizesAt() != 10 {
+		t.Errorf("out-of-order step should be dropped, stabilizes at %d", sched.StabilizesAt())
+	}
+}

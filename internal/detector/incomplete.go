@@ -1,0 +1,76 @@
+package detector
+
+import (
+	"math/rand/v2"
+
+	"dualradio/internal/dualgraph"
+	"dualradio/internal/graph"
+)
+
+// Incomplete builds a detector that misclassifies reliable links as
+// unreliable: each direction of a reliable edge is dropped from the
+// corresponding detector set with probability dropProb, except where the
+// drop would disconnect the graph of mutually retained reliable edges.
+//
+// This realizes footnote 1 of the paper: τ-complete detectors never drop
+// reliable neighbors, but the authors "suspect such misclassifications would
+// not affect our algorithms' correctness, provided that the correctly
+// classified reliable edges still describe a connected graph". The
+// connectivity proviso is enforced here by construction, so experiments can
+// test the conjecture directly.
+func Incomplete(net *dualgraph.Network, asg *dualgraph.Assignment,
+	dropProb float64, rng *rand.Rand) *Detector {
+	d := Complete(net, asg)
+	if dropProb <= 0 {
+		return d
+	}
+	// retained tracks the subgraph of reliable edges kept in both
+	// directions; an edge may be dropped only if retained stays connected.
+	retained := net.G().Clone()
+	var edges [][2]int
+	net.G().Edges(func(u, v int) { edges = append(edges, [2]int{u, v}) })
+	rng.Shuffle(len(edges), func(i, j int) { edges[i], edges[j] = edges[j], edges[i] })
+	for _, e := range edges {
+		if rng.Float64() >= dropProb {
+			continue
+		}
+		if !removableKeepingConnected(retained, e[0], e[1]) {
+			continue
+		}
+		retained.RemoveEdge(e[0], e[1])
+		// Drop one or both directions: either breaks mutuality, removing
+		// the edge from H.
+		switch rng.IntN(3) {
+		case 0:
+			d.sets[e[0]].Remove(asg.ID(e[1]))
+		case 1:
+			d.sets[e[1]].Remove(asg.ID(e[0]))
+		default:
+			d.sets[e[0]].Remove(asg.ID(e[1]))
+			d.sets[e[1]].Remove(asg.ID(e[0]))
+		}
+	}
+	return d
+}
+
+// removableKeepingConnected reports whether deleting (u, v) keeps the graph
+// connected.
+func removableKeepingConnected(g *graph.Graph, u, v int) bool {
+	c := g.Clone()
+	c.RemoveEdge(u, v)
+	return c.Connected()
+}
+
+// RetainedReliableGraph returns the subgraph of reliable edges kept in both
+// directions by d — the graph the footnote's proviso requires to be
+// connected.
+func RetainedReliableGraph(net *dualgraph.Network, asg *dualgraph.Assignment, d *Detector) *graph.Graph {
+	kept := graph.New(net.N())
+	net.G().Edges(func(u, v int) {
+		if d.sets[u].Contains(asg.ID(v)) && d.sets[v].Contains(asg.ID(u)) {
+			// Error ignored: subgraph of a valid simple graph.
+			_ = kept.AddEdge(u, v)
+		}
+	})
+	return kept
+}

@@ -1,0 +1,85 @@
+package detector
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"dualradio/internal/dualgraph"
+	"dualradio/internal/geom"
+	"dualradio/internal/graph"
+)
+
+func TestIncompleteZeroDropIsComplete(t *testing.T) {
+	net := lineNetwork(t)
+	asg := dualgraph.IdentityAssignment(net.N())
+	d := Incomplete(net, asg, 0, rand.New(rand.NewPCG(1, 1)))
+	if err := d.Verify(net, asg, 0); err != nil {
+		t.Errorf("zero drop should be 0-complete: %v", err)
+	}
+}
+
+func TestIncompleteNeverAddsMistakes(t *testing.T) {
+	net := lineNetwork(t)
+	asg := dualgraph.IdentityAssignment(net.N())
+	for seed := uint64(1); seed <= 10; seed++ {
+		d := Incomplete(net, asg, 0.5, rand.New(rand.NewPCG(seed, 2)))
+		for v, m := range d.MistakeCount(net, asg) {
+			if m != 0 {
+				t.Errorf("seed %d: node %d has %d false positives", seed, v, m)
+			}
+		}
+	}
+}
+
+func TestIncompleteKeepsRetainedConnected(t *testing.T) {
+	net := lineNetwork(t)
+	asg := dualgraph.IdentityAssignment(net.N())
+	for seed := uint64(1); seed <= 20; seed++ {
+		// Even at drop probability 1 the proviso must hold: on a line no
+		// edge is removable, so the detector stays complete.
+		d := Incomplete(net, asg, 1, rand.New(rand.NewPCG(seed, 3)))
+		retained := RetainedReliableGraph(net, asg, d)
+		if !retained.Connected() {
+			t.Fatalf("seed %d: retained graph disconnected", seed)
+		}
+		if retained.M() != net.G().M() {
+			t.Errorf("seed %d: line edges are all bridges, none should drop", seed)
+		}
+	}
+}
+
+func TestIncompleteDropsOnDenseGraph(t *testing.T) {
+	// A 4-cycle has removable edges; with drop probability 1 at least one
+	// must be dropped (and exactly one, since removing two disconnects...
+	// removing two opposite edges leaves a path: still connected — up to
+	// two may drop).
+	net := cycleNetwork(t, 6)
+	asg := dualgraph.IdentityAssignment(net.N())
+	d := Incomplete(net, asg, 1, rand.New(rand.NewPCG(7, 7)))
+	retained := RetainedReliableGraph(net, asg, d)
+	if retained.M() >= net.G().M() {
+		t.Error("no edge dropped on a cycle")
+	}
+	if !retained.Connected() {
+		t.Error("retained graph disconnected")
+	}
+}
+
+// cycleNetwork builds an n-cycle with unit chords: points on a circle whose
+// adjacent chord length is exactly 1, so only consecutive nodes are forced
+// into the reliable graph.
+func cycleNetwork(t *testing.T, n int) *dualgraph.Network {
+	t.Helper()
+	g := graph.New(n)
+	coords := make([]geom.Point, n)
+	radius := 0.5 / math.Sin(math.Pi/float64(n))
+	for i := 0; i < n; i++ {
+		theta := 2 * math.Pi * float64(i) / float64(n)
+		coords[i] = geom.Point{X: radius * math.Cos(theta), Y: radius * math.Sin(theta)}
+	}
+	for i := 0; i < n; i++ {
+		addEdge(t, g, i, (i+1)%n)
+	}
+	return dualgraph.New(g, g.Clone(), coords, 2)
+}

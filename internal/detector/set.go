@@ -1,0 +1,140 @@
+// Package detector implements the link detector formalism of Section 2 of
+// the paper: each process u is provided a set L_u of process ids estimating
+// which neighbors are connected to u by a reliable link. A τ-complete
+// detector contains the id of every reliable neighbor plus up to τ
+// additional (mistaken) ids. The package also provides the dynamic variant
+// of Section 8, whose output may change from round to round before
+// stabilizing.
+package detector
+
+import (
+	"math/bits"
+	"sort"
+)
+
+// Set is a set of process ids in [1, n], stored as a bitset for O(1)
+// membership tests during message filtering (the algorithms test detector
+// membership on every reception).
+type Set struct {
+	words []uint64
+	size  int
+}
+
+// NewSet returns an empty set able to hold ids 1..n.
+func NewSet(n int) *Set {
+	return &Set{words: make([]uint64, (n+64)/64)}
+}
+
+// SetOf returns a set holding exactly the provided ids.
+func SetOf(n int, ids ...int) *Set {
+	s := NewSet(n)
+	for _, id := range ids {
+		s.Add(id)
+	}
+	return s
+}
+
+// Add inserts id. Ids outside the set's range are ignored.
+func (s *Set) Add(id int) {
+	if id < 0 || id/64 >= len(s.words) {
+		return
+	}
+	w, b := id/64, uint(id%64)
+	if s.words[w]&(1<<b) == 0 {
+		s.words[w] |= 1 << b
+		s.size++
+	}
+}
+
+// Remove deletes id if present.
+func (s *Set) Remove(id int) {
+	if id < 0 || id/64 >= len(s.words) {
+		return
+	}
+	w, b := id/64, uint(id%64)
+	if s.words[w]&(1<<b) != 0 {
+		s.words[w] &^= 1 << b
+		s.size--
+	}
+}
+
+// Contains reports whether id is in the set.
+func (s *Set) Contains(id int) bool {
+	if s == nil || id < 0 || id/64 >= len(s.words) {
+		return false
+	}
+	return s.words[id/64]&(1<<uint(id%64)) != 0
+}
+
+// Len returns the number of ids in the set.
+func (s *Set) Len() int {
+	if s == nil {
+		return 0
+	}
+	return s.size
+}
+
+// IDs returns the members in ascending order.
+func (s *Set) IDs() []int {
+	if s == nil {
+		return nil
+	}
+	out := make([]int, 0, s.size)
+	for w, word := range s.words {
+		for word != 0 {
+			b := bits.TrailingZeros64(word)
+			out = append(out, w*64+b)
+			word &= word - 1
+		}
+	}
+	return out
+}
+
+// Clone returns a deep copy of s.
+func (s *Set) Clone() *Set {
+	c := &Set{words: append([]uint64(nil), s.words...), size: s.size}
+	return c
+}
+
+// Union adds every member of other to s.
+func (s *Set) Union(other *Set) {
+	if other == nil {
+		return
+	}
+	for _, id := range other.IDs() {
+		s.Add(id)
+	}
+}
+
+// Diff returns the members of s not present in other, ascending.
+func (s *Set) Diff(other *Set) []int {
+	var out []int
+	for _, id := range s.IDs() {
+		if !other.Contains(id) {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// Equal reports whether s and other contain exactly the same ids.
+func (s *Set) Equal(other *Set) bool {
+	a, b := s.IDs(), other.IDs()
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// sortedCopy returns a sorted copy of ids (helper for deterministic
+// adversarial placement).
+func sortedCopy(ids []int) []int {
+	out := append([]int(nil), ids...)
+	sort.Ints(out)
+	return out
+}

@@ -1,0 +1,126 @@
+package detector
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func TestSetBasics(t *testing.T) {
+	s := NewSet(100)
+	if s.Len() != 0 || s.Contains(5) {
+		t.Error("new set should be empty")
+	}
+	s.Add(5)
+	s.Add(64) // word boundary
+	s.Add(5)  // duplicate
+	if s.Len() != 2 || !s.Contains(5) || !s.Contains(64) {
+		t.Errorf("set state wrong: %v", s.IDs())
+	}
+	s.Remove(5)
+	s.Remove(5) // double remove
+	if s.Len() != 1 || s.Contains(5) {
+		t.Error("remove failed")
+	}
+}
+
+func TestSetOutOfRangeIgnored(t *testing.T) {
+	s := NewSet(10)
+	s.Add(-1)
+	s.Add(1000)
+	s.Remove(-1)
+	if s.Len() != 0 {
+		t.Error("out-of-range ids should be ignored")
+	}
+	if s.Contains(-1) || s.Contains(1000) {
+		t.Error("out-of-range contains should be false")
+	}
+}
+
+func TestNilSetSafe(t *testing.T) {
+	var s *Set
+	if s.Contains(1) || s.Len() != 0 || s.IDs() != nil {
+		t.Error("nil set should behave as empty")
+	}
+}
+
+func TestSetIDsSorted(t *testing.T) {
+	s := SetOf(100, 42, 7, 99, 1)
+	ids := s.IDs()
+	for i := 1; i < len(ids); i++ {
+		if ids[i-1] >= ids[i] {
+			t.Fatalf("IDs not sorted: %v", ids)
+		}
+	}
+}
+
+func TestSetCloneIndependent(t *testing.T) {
+	s := SetOf(50, 1, 2, 3)
+	c := s.Clone()
+	c.Add(4)
+	s.Remove(1)
+	if s.Contains(4) || !c.Contains(1) {
+		t.Error("clone aliases original")
+	}
+}
+
+func TestSetUnionDiffEqual(t *testing.T) {
+	a := SetOf(50, 1, 2, 3)
+	b := SetOf(50, 3, 4)
+	a.Union(b)
+	if a.Len() != 4 {
+		t.Errorf("union = %v", a.IDs())
+	}
+	diff := a.Diff(SetOf(50, 2, 3))
+	if len(diff) != 2 || diff[0] != 1 || diff[1] != 4 {
+		t.Errorf("diff = %v", diff)
+	}
+	if !a.Equal(SetOf(50, 1, 2, 3, 4)) {
+		t.Error("equal sets reported unequal")
+	}
+	if a.Equal(SetOf(50, 1, 2, 3)) {
+		t.Error("unequal sets reported equal")
+	}
+	a.Union(nil) // must not panic
+}
+
+// TestSetMatchesMapModel drives the bitset against a map model with random
+// operations — the core property test for the structure every algorithm
+// depends on.
+func TestSetMatchesMapModel(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 11))
+		n := 1 + rng.IntN(200)
+		s := NewSet(n)
+		model := map[int]bool{}
+		for op := 0; op < 300; op++ {
+			id := rng.IntN(n + 1)
+			switch rng.IntN(3) {
+			case 0:
+				s.Add(id)
+				if id >= 0 && id/64 < (n+64)/64 {
+					model[id] = true
+				}
+			case 1:
+				s.Remove(id)
+				delete(model, id)
+			default:
+				if s.Contains(id) != model[id] {
+					return false
+				}
+			}
+		}
+		if s.Len() != len(model) {
+			return false
+		}
+		for _, id := range s.IDs() {
+			if !model[id] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,65 @@
+package dualgraph
+
+import (
+	"fmt"
+	"math/rand/v2"
+)
+
+// Assignment is the bijection proc from processes to graph nodes fixed at
+// the start of an execution (Section 2). Process ids are the integers
+// 1..n; node indices are 0..n-1. The adversary controls the bijection, so
+// experiments can use either the identity mapping or a seeded random
+// permutation.
+type Assignment struct {
+	idOf   []int // node index -> process id (1-based)
+	nodeOf []int // process id (1-based) -> node index; slot 0 unused
+}
+
+// IdentityAssignment maps node v to process id v+1.
+func IdentityAssignment(n int) *Assignment {
+	a := &Assignment{idOf: make([]int, n), nodeOf: make([]int, n+1)}
+	for v := 0; v < n; v++ {
+		a.idOf[v] = v + 1
+		a.nodeOf[v+1] = v
+	}
+	return a
+}
+
+// RandomAssignment maps nodes to a seeded random permutation of 1..n,
+// modelling the adversary's control over process placement.
+func RandomAssignment(n int, rng *rand.Rand) *Assignment {
+	a := IdentityAssignment(n)
+	rng.Shuffle(n, func(i, j int) {
+		a.idOf[i], a.idOf[j] = a.idOf[j], a.idOf[i]
+	})
+	for v, id := range a.idOf {
+		a.nodeOf[id] = v
+	}
+	return a
+}
+
+// NewAssignment builds an assignment from an explicit node->id mapping.
+// ids must be a permutation of 1..len(ids).
+func NewAssignment(ids []int) (*Assignment, error) {
+	n := len(ids)
+	a := &Assignment{idOf: make([]int, n), nodeOf: make([]int, n+1)}
+	seen := make([]bool, n+1)
+	for v, id := range ids {
+		if id < 1 || id > n || seen[id] {
+			return nil, fmt.Errorf("dualgraph: ids are not a permutation of 1..%d (id %d at node %d)", n, id, v)
+		}
+		seen[id] = true
+		a.idOf[v] = id
+		a.nodeOf[id] = v
+	}
+	return a, nil
+}
+
+// N returns the number of processes.
+func (a *Assignment) N() int { return len(a.idOf) }
+
+// ID returns the process id assigned to node v.
+func (a *Assignment) ID(v int) int { return a.idOf[v] }
+
+// Node returns the node index hosting process id.
+func (a *Assignment) Node(id int) int { return a.nodeOf[id] }

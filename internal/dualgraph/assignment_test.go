@@ -1,0 +1,63 @@
+package dualgraph
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func TestIdentityAssignment(t *testing.T) {
+	a := IdentityAssignment(5)
+	for v := 0; v < 5; v++ {
+		if a.ID(v) != v+1 || a.Node(v+1) != v {
+			t.Errorf("identity broken at %d", v)
+		}
+	}
+	if a.N() != 5 {
+		t.Errorf("N = %d", a.N())
+	}
+}
+
+// TestRandomAssignmentIsBijection verifies the id assignment is always a
+// permutation of 1..n with consistent inverse.
+func TestRandomAssignmentIsBijection(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 7))
+		n := 1 + rng.IntN(50)
+		a := RandomAssignment(n, rng)
+		seen := make([]bool, n+1)
+		for v := 0; v < n; v++ {
+			id := a.ID(v)
+			if id < 1 || id > n || seen[id] {
+				return false
+			}
+			seen[id] = true
+			if a.Node(id) != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNewAssignment(t *testing.T) {
+	a, err := NewAssignment([]int{3, 1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.ID(0) != 3 || a.Node(3) != 0 {
+		t.Error("explicit mapping broken")
+	}
+	for _, bad := range [][]int{
+		{1, 1, 2}, // duplicate
+		{0, 1, 2}, // below range
+		{1, 2, 4}, // above range
+	} {
+		if _, err := NewAssignment(bad); err == nil {
+			t.Errorf("accepted invalid ids %v", bad)
+		}
+	}
+}

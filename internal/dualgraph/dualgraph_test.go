@@ -1,0 +1,138 @@
+package dualgraph
+
+import (
+	"errors"
+	"testing"
+
+	"dualradio/internal/geom"
+	"dualradio/internal/graph"
+)
+
+// triangle builds a valid 3-node network: unit-spaced line in G with a
+// gray-zone edge across.
+func triangle(t *testing.T) *Network {
+	t.Helper()
+	g := graph.New(3)
+	gp := graph.New(3)
+	for _, e := range [][2]int{{0, 1}, {1, 2}} {
+		if err := g.AddEdge(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+		if err := gp.AddEdge(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := gp.AddEdge(0, 2); err != nil {
+		t.Fatal(err)
+	}
+	coords := []geom.Point{{X: 0}, {X: 1}, {X: 2}}
+	return New(g, gp, coords, 2)
+}
+
+func TestValidateAccepts(t *testing.T) {
+	if err := triangle(t).Validate(); err != nil {
+		t.Errorf("valid network rejected: %v", err)
+	}
+}
+
+func TestValidateRejectsSubgraphViolation(t *testing.T) {
+	g := graph.New(3)
+	gp := graph.New(3)
+	mustAdd(t, g, 0, 1)
+	mustAdd(t, g, 1, 2)
+	mustAdd(t, gp, 0, 1) // (1,2) missing from G'
+	coords := []geom.Point{{X: 0}, {X: 1}, {X: 2}}
+	net := New(g, gp, coords, 2)
+	if err := net.Validate(); !errors.Is(err, ErrNotSubgraph) {
+		t.Errorf("want ErrNotSubgraph, got %v", err)
+	}
+}
+
+func TestValidateRejectsDisconnected(t *testing.T) {
+	g := graph.New(4)
+	gp := graph.New(4)
+	mustAdd(t, g, 0, 1)
+	mustAdd(t, gp, 0, 1)
+	mustAdd(t, g, 2, 3)
+	mustAdd(t, gp, 2, 3)
+	coords := []geom.Point{{X: 0}, {X: 1}, {X: 5}, {X: 6}}
+	net := New(g, gp, coords, 2)
+	if err := net.Validate(); !errors.Is(err, ErrDisconnected) {
+		t.Errorf("want ErrDisconnected, got %v", err)
+	}
+}
+
+func TestValidateRejectsMissingUnitEdge(t *testing.T) {
+	g := graph.New(3)
+	gp := graph.New(3)
+	mustAdd(t, g, 0, 1)
+	mustAdd(t, gp, 0, 1)
+	mustAdd(t, g, 1, 2)
+	mustAdd(t, gp, 1, 2)
+	// Node 2 at distance 0.5 of node 0, but no (0,2) reliable edge.
+	coords := []geom.Point{{X: 0}, {X: 0.4}, {X: 0.5}}
+	net := New(g, gp, coords, 2)
+	if err := net.Validate(); !errors.Is(err, ErrMissingEdge) {
+		t.Errorf("want ErrMissingEdge, got %v", err)
+	}
+}
+
+func TestValidateRejectsLongGrayEdge(t *testing.T) {
+	g := graph.New(3)
+	gp := graph.New(3)
+	mustAdd(t, g, 0, 1)
+	mustAdd(t, gp, 0, 1)
+	mustAdd(t, g, 1, 2)
+	mustAdd(t, gp, 1, 2)
+	mustAdd(t, gp, 0, 2) // distance 2.2 > d = 2
+	coords := []geom.Point{{X: 0}, {X: 1.1}, {X: 2.2}}
+	net := New(g, gp, coords, 2)
+	if err := net.Validate(); !errors.Is(err, ErrEdgeTooLong) {
+		t.Errorf("want ErrEdgeTooLong, got %v", err)
+	}
+}
+
+func TestValidateRejectsBadGrayZone(t *testing.T) {
+	net := triangle(t)
+	bad := New(net.G(), net.GPrime(), net.Coords(), 0.5)
+	if err := bad.Validate(); !errors.Is(err, ErrBadGrayZone) {
+		t.Errorf("want ErrBadGrayZone, got %v", err)
+	}
+}
+
+func TestValidateRejectsTooFew(t *testing.T) {
+	g := graph.New(2)
+	gp := graph.New(2)
+	mustAdd(t, g, 0, 1)
+	mustAdd(t, gp, 0, 1)
+	net := New(g, gp, []geom.Point{{}, {X: 1}}, 2)
+	if err := net.Validate(); !errors.Is(err, ErrTooFewProcesses) {
+		t.Errorf("want ErrTooFewProcesses, got %v", err)
+	}
+}
+
+func TestValidateRejectsSizeMismatch(t *testing.T) {
+	net := triangle(t)
+	bad := New(net.G(), graph.New(4), net.Coords(), 2)
+	if err := bad.Validate(); !errors.Is(err, ErrSizeMismatch) {
+		t.Errorf("want ErrSizeMismatch, got %v", err)
+	}
+}
+
+func TestGrayEdges(t *testing.T) {
+	net := triangle(t)
+	gray := net.GrayEdges()
+	if len(gray) != 1 || gray[0] != [2]int{0, 2} {
+		t.Errorf("gray edges = %v", gray)
+	}
+	if net.Delta() != 2 || net.DeltaPrime() != 2 {
+		t.Errorf("Δ=%d Δ'=%d", net.Delta(), net.DeltaPrime())
+	}
+}
+
+func mustAdd(t *testing.T, g *graph.Graph, u, v int) {
+	t.Helper()
+	if err := g.AddEdge(u, v); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,50 @@
+package expr_test
+
+import (
+	"testing"
+
+	"dualradio/internal/expr"
+)
+
+// TestAllExperimentsRun executes the complete reproduction suite at quick
+// scale: every experiment must complete without error and carry a table and
+// at least one metric. This is the end-to-end guard behind cmd/experiments.
+func TestAllExperimentsRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full sweep")
+	}
+	results, err := expr.All(expr.QuickConfig())
+	if err != nil {
+		t.Fatalf("suite: %v", err)
+	}
+	if len(results) < 15 {
+		t.Fatalf("only %d experiments ran", len(results))
+	}
+	seen := map[string]bool{}
+	for _, r := range results {
+		if seen[r.ID] {
+			t.Errorf("duplicate experiment id %s", r.ID)
+		}
+		seen[r.ID] = true
+		if r.Table == nil || len(r.Table.Rows) == 0 {
+			t.Errorf("%s: empty table", r.ID)
+		}
+		if len(r.Metrics) == 0 {
+			t.Errorf("%s: no metrics", r.ID)
+		}
+		if r.Claim == "" {
+			t.Errorf("%s: missing claim", r.ID)
+		}
+	}
+}
+
+func TestConfigs(t *testing.T) {
+	def := expr.DefaultConfig()
+	if def.Quick || def.Seeds < 3 {
+		t.Errorf("default config = %+v", def)
+	}
+	q := expr.QuickConfig()
+	if !q.Quick || q.Seeds < 1 {
+		t.Errorf("quick config = %+v", q)
+	}
+}

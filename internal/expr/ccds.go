@@ -1,0 +1,207 @@
+package expr
+
+import (
+	"math"
+
+	"dualradio/internal/core"
+	"dualradio/internal/detector"
+	"dualradio/internal/verify"
+)
+
+// coreParams returns the default constant factors used by the experiments.
+func coreParams() core.Params { return core.DefaultParams() }
+
+// E3CCDSRounds reproduces the Theorem 5.3 running time
+// O(Δ·log²n/b + log³n): for fixed n the round count is swept over Δ and the
+// message bound b. For large b the Δ·log²n/b term vanishes and the time is
+// flat in Δ (polylogarithmic); for small b it grows linearly in Δ. The
+// crossover falls where Δ·log²n/b ≈ log³n, i.e. b ≈ Δ/log n. Every run is
+// also validated against the CCDS conditions.
+func E3CCDSRounds(cfg Config) (*Result, error) {
+	res := newResult("E3", "CCDS in O(Δ·log²n/b + log³n) rounds (Thm 5.3)",
+		"n", "Δ target", "b bits", "mean rounds", "rounds/log^3 n", "valid")
+	n := 192
+	degs := []float64{12, 24, 48}
+	bs := []int{160, 512, 4096}
+	if cfg.Quick {
+		n = 96
+		degs = []float64{12, 24}
+		bs = []int{160, 2048}
+	}
+	l3 := math.Pow(log2f(n), 3)
+	type point struct{ deg, b, rounds float64 }
+	var pts []point
+	for _, deg := range degs {
+		for _, b := range bs {
+			var sample []float64
+			valid := 0
+			for seed := 0; seed < cfg.Seeds; seed++ {
+				s, err := buildScenario(scenarioSpec{
+					n: n, targetDeg: deg, b: b, seed: uint64(seed + 1),
+				})
+				if err != nil {
+					return nil, err
+				}
+				out, err := s.RunCCDS()
+				if err != nil {
+					return nil, err
+				}
+				sample = append(sample, float64(out.Rounds))
+				h := detector.BuildH(s.Net, s.Asg, s.Det)
+				if verify.CCDS(s.Net, h, out.Outputs, 0).OK() {
+					valid++
+				}
+			}
+			sum := statsOf(sample)
+			res.Table.AddRow(fmtInt(n), f(deg), fmtInt(b), f(sum.Mean),
+				f(sum.Mean/l3), ratio(valid, cfg.Seeds))
+			pts = append(pts, point{deg, float64(b), sum.Mean})
+			res.Metrics["valid_d"+f(deg)+"_b"+fmtInt(b)] = float64(valid) / float64(cfg.Seeds)
+		}
+	}
+	// Headline separation: rounds growth from smallest to largest Δ, for
+	// the smallest and largest b.
+	growth := func(b float64) float64 {
+		var lo, hi float64
+		for _, p := range pts {
+			if p.b != b {
+				continue
+			}
+			if p.deg == degs[0] {
+				lo = p.rounds
+			}
+			if p.deg == degs[len(degs)-1] {
+				hi = p.rounds
+			}
+		}
+		if lo == 0 {
+			return 0
+		}
+		return hi / lo
+	}
+	res.Metrics["growth_small_b"] = growth(float64(bs[0]))
+	res.Metrics["growth_large_b"] = growth(float64(bs[len(bs)-1]))
+	res.Table.AddRow("growth", "Δ x"+f(degs[len(degs)-1]/degs[0]), "small b",
+		"x"+f(res.Metrics["growth_small_b"]), "", "")
+	res.Table.AddRow("growth", "Δ x"+f(degs[len(degs)-1]/degs[0]), "large b",
+		"x"+f(res.Metrics["growth_large_b"]), "", "")
+	return res, nil
+}
+
+// E4TauCCDS reproduces Theorem 6.2: with τ-complete detectors (τ = O(1))
+// the Section 6 algorithm solves CCDS in O(Δ·polylog n) rounds — linear in
+// Δ regardless of message size.
+func E4TauCCDS(cfg Config) (*Result, error) {
+	res := newResult("E4", "τ-CCDS in O(Δ·polylog n) rounds (Thm 6.2)",
+		"n", "Δ target", "τ", "mean rounds", "rounds/(Δ·log²n)", "valid")
+	n := 128
+	degs := []float64{12, 24, 48}
+	taus := []int{1, 2}
+	if cfg.Quick {
+		n = 96
+		degs = []float64{12, 24}
+		taus = []int{1}
+	}
+	l2 := math.Pow(log2f(n), 2)
+	var degPts, roundPts []float64
+	for _, tau := range taus {
+		for _, deg := range degs {
+			var sample []float64
+			valid := 0
+			var realizedDelta float64
+			for seed := 0; seed < cfg.Seeds; seed++ {
+				s, err := buildScenario(scenarioSpec{
+					n: n, targetDeg: deg, b: 1 << 16, tau: tau, seed: uint64(seed + 1),
+				})
+				if err != nil {
+					return nil, err
+				}
+				out, err := s.RunTauCCDS(tau)
+				if err != nil {
+					return nil, err
+				}
+				sample = append(sample, float64(out.Rounds))
+				realizedDelta += float64(s.Net.Delta())
+				h := detector.BuildH(s.Net, s.Asg, s.Det)
+				if verify.CCDS(s.Net, h, out.Outputs, 0).OK() {
+					valid++
+				}
+			}
+			sum := statsOf(sample)
+			realizedDelta /= float64(cfg.Seeds)
+			res.Table.AddRow(fmtInt(n), f(deg), fmtInt(tau), f(sum.Mean),
+				f(sum.Mean/(realizedDelta*l2)), ratio(valid, cfg.Seeds))
+			if tau == taus[0] {
+				degPts = append(degPts, realizedDelta)
+				roundPts = append(roundPts, sum.Mean)
+			}
+			res.Metrics["valid_tau"+fmtInt(tau)+"_d"+f(deg)] = float64(valid) / float64(cfg.Seeds)
+		}
+	}
+	exp, r2 := powerLaw(degPts, roundPts)
+	res.Metrics["exponent_vs_delta"] = exp
+	res.Table.AddRow("fit", "rounds ~ Δ^"+f(exp), "R2="+f(r2), "", "", "")
+	return res, nil
+}
+
+// E9BannedListAblation reproduces the Section 5 design claim: the banned
+// list reduces the work per MIS node from Θ(Δ) explorations (the naive
+// baseline, which enumerates every neighbor) to O(1) explorations. Both
+// algorithms run on fixed global schedules, so their round counts are
+// deterministic functions of (n, Δ, b); the table sweeps Δ to expose the
+// crossover, and a simulated run at moderate scale confirms both algorithms
+// still produce valid CCDS structures.
+func E9BannedListAblation(cfg Config) (*Result, error) {
+	res := newResult("E9", "banned list: O(1) explorations vs O(Δ) naive (Sec 5)",
+		"n", "Δ", "b bits", "banned rounds", "naive rounds", "speedup")
+	n := 1024
+	deltas := []int{32, 128, 512, 2048}
+	b := 4096
+	if cfg.Quick {
+		deltas = []int{32, 256, 2048}
+	}
+	params := coreParams()
+	for _, delta := range deltas {
+		banned, err := core.CCDSRounds(n, delta, b, params)
+		if err != nil {
+			return nil, err
+		}
+		naive, err := core.BaselineCCDSRounds(n, delta, b, params)
+		if err != nil {
+			return nil, err
+		}
+		speed := float64(naive) / float64(banned)
+		res.Table.AddRow(fmtInt(n), fmtInt(delta), fmtInt(b),
+			fmtInt(banned), fmtInt(naive), "x"+f(speed))
+		res.Metrics["speedup_delta"+fmtInt(delta)] = speed
+	}
+	// Simulated validity check at moderate scale: both algorithms must
+	// produce correct structures, not just favorable schedules.
+	valid := 0
+	nSim := 96
+	for seed := 0; seed < cfg.Seeds; seed++ {
+		s, err := buildScenario(scenarioSpec{
+			n: nSim, targetDeg: 16, b: b, seed: uint64(seed + 1),
+		})
+		if err != nil {
+			return nil, err
+		}
+		outB, err := s.RunCCDS()
+		if err != nil {
+			return nil, err
+		}
+		outN, err := s.RunBaselineCCDS()
+		if err != nil {
+			return nil, err
+		}
+		h := detector.BuildH(s.Net, s.Asg, s.Det)
+		if verify.CCDS(s.Net, h, outB.Outputs, 0).OK() &&
+			verify.CCDS(s.Net, h, outN.Outputs, 0).OK() {
+			valid++
+		}
+	}
+	res.Table.AddRow("sim", fmtInt(nSim), fmtInt(b), "valid",
+		ratio(valid, cfg.Seeds), "")
+	res.Metrics["sim_valid_fraction"] = float64(valid) / float64(cfg.Seeds)
+	return res, nil
+}

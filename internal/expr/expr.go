@@ -1,0 +1,105 @@
+// Package expr defines the reproduction experiments E1–E15 that map the
+// paper's theorems to measurable quantities (see DESIGN.md for the index).
+// Each experiment returns a Result with a plain-text table — the analogue of
+// the tables/figures an empirical paper would print — plus headline metrics
+// that the test suite asserts and EXPERIMENTS.md records.
+package expr
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+
+	"dualradio/internal/adversary"
+	"dualradio/internal/core"
+	"dualradio/internal/detector"
+	"dualradio/internal/dualgraph"
+	"dualradio/internal/gen"
+	"dualradio/internal/harness"
+	"dualradio/internal/stats"
+)
+
+// Config controls experiment scale.
+type Config struct {
+	// Seeds is the number of independent runs per parameter point.
+	Seeds int
+	// Quick trims the parameter sweeps for fast regression runs.
+	Quick bool
+}
+
+// DefaultConfig returns the full-scale configuration.
+func DefaultConfig() Config { return Config{Seeds: 5} }
+
+// QuickConfig returns a configuration suitable for unit tests and smoke
+// benchmarks.
+func QuickConfig() Config { return Config{Seeds: 3, Quick: true} }
+
+// Result is one experiment's output.
+type Result struct {
+	// ID is the experiment identifier (E1..E11).
+	ID string
+	// Claim restates the paper claim under test.
+	Claim string
+	// Table is the regenerated table.
+	Table *stats.Table
+	// Metrics holds headline numbers for assertions and EXPERIMENTS.md.
+	Metrics map[string]float64
+}
+
+func newResult(id, claim string, cols ...string) *Result {
+	return &Result{
+		ID:      id,
+		Claim:   claim,
+		Table:   &stats.Table{Title: id + ": " + claim, Columns: cols},
+		Metrics: make(map[string]float64),
+	}
+}
+
+// scenarioSpec parameterizes scenario construction.
+type scenarioSpec struct {
+	n         int
+	targetDeg float64
+	grayProb  float64
+	tau       int
+	b         int
+	seed      uint64
+	params    core.Params
+}
+
+// buildScenario generates a network, assignment, detector and adversary.
+func buildScenario(sp scenarioSpec) (*harness.Scenario, error) {
+	rng := rand.New(rand.NewPCG(sp.seed, 0x5EED))
+	net, err := gen.RandomGeometric(gen.GeometricConfig{
+		N:            sp.n,
+		TargetDegree: sp.targetDeg,
+		GrayProb:     sp.grayProb,
+	}, rng)
+	if err != nil {
+		return nil, err
+	}
+	asg := dualgraph.RandomAssignment(sp.n, rng)
+	var det *detector.Detector
+	if sp.tau == 0 {
+		det = detector.Complete(net, asg)
+	} else {
+		det = detector.TauComplete(net, asg, sp.tau, detector.PlaceGrayFirst, rng)
+	}
+	params := sp.params
+	if params == (core.Params{}) {
+		params = core.DefaultParams()
+	}
+	return &harness.Scenario{
+		Net:    net,
+		Asg:    asg,
+		Det:    det,
+		Adv:    adversary.NewCollisionSeeking(net),
+		Params: params,
+		Seed:   sp.seed,
+		B:      sp.b,
+	}, nil
+}
+
+// log2f returns log₂ n as a float.
+func log2f(n int) float64 { return math.Log2(float64(n)) }
+
+func fmtInt(x int) string { return fmt.Sprintf("%d", x) }

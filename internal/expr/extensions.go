@@ -1,0 +1,223 @@
+package expr
+
+import (
+	"math/rand/v2"
+
+	"dualradio/internal/adversary"
+	"dualradio/internal/bcast"
+	"dualradio/internal/core"
+	"dualradio/internal/detector"
+	"dualradio/internal/dualgraph"
+	"dualradio/internal/gen"
+	"dualradio/internal/harness"
+	"dualradio/internal/sim"
+	"dualradio/internal/verify"
+)
+
+// E12ReannounceAblation quantifies the Section 4 remark that unreliable
+// edges "thwart standard contention reduction techniques": the one-shot
+// reading of the MIS algorithm (members never speak after their joining
+// epoch's announcement) fails regularly under the collision-seeking
+// adversary, while member re-announcement — the Section 9 rule this library
+// adopts — drives the failure rate to zero.
+func E12ReannounceAblation(cfg Config) (*Result, error) {
+	res := newResult("E12", "member re-announcement is load-bearing under adversarial links (Sec 4/9)",
+		"variant", "n", "runs", "valid runs", "violations")
+	n := 128
+	runs := cfg.Seeds * 4
+	if cfg.Quick {
+		n = 96
+		runs = cfg.Seeds * 3
+	}
+	for _, variant := range []struct {
+		name    string
+		disable bool
+	}{
+		{"re-announce (ours)", false},
+		{"one-shot announce", true},
+	} {
+		valid, violations := 0, 0
+		for seed := 0; seed < runs; seed++ {
+			rng := rand.New(rand.NewPCG(uint64(seed+1), 0xAB1A))
+			net, err := gen.RandomGeometric(gen.GeometricConfig{N: n}, rng)
+			if err != nil {
+				return nil, err
+			}
+			asg := dualgraph.RandomAssignment(n, rng)
+			det := detector.Complete(net, asg)
+			procs := make([]sim.Process, n)
+			for v := 0; v < n; v++ {
+				p, err := core.NewMISProcess(core.MISConfig{
+					ID:                asg.ID(v),
+					N:                 n,
+					Detector:          det.Set(v),
+					Filter:            core.FilterDetector,
+					DisableReannounce: variant.disable,
+					Params:            core.DefaultParams(),
+					Rng:               rand.New(rand.NewPCG(uint64(seed+1), uint64(v)+7)),
+				})
+				if err != nil {
+					return nil, err
+				}
+				procs[v] = p
+			}
+			runner, err := sim.NewRunner(sim.Config{
+				Net:       net,
+				Adversary: adversary.NewCollisionSeeking(net),
+				Processes: procs,
+			})
+			if err != nil {
+				return nil, err
+			}
+			if _, err := runner.Run(); err != nil {
+				return nil, err
+			}
+			outputs := make([]int, n)
+			for v, p := range procs {
+				outputs[v] = p.Output()
+			}
+			rep := verify.MIS(net, net.G(), outputs)
+			if rep.OK() {
+				valid++
+			} else {
+				violations += len(rep.Violations)
+			}
+		}
+		res.Table.AddRow(variant.name, fmtInt(n), fmtInt(runs),
+			ratio(valid, runs), fmtInt(violations))
+		key := "valid_reannounce"
+		if variant.disable {
+			key = "valid_oneshot"
+		}
+		res.Metrics[key] = float64(valid) / float64(runs)
+	}
+	return res, nil
+}
+
+// E13IncompleteDetectors tests footnote 1 of the paper: detectors that
+// misclassify some reliable links as unreliable (dropping them from the
+// sets) should not break correctness as long as the retained reliable edges
+// stay connected. Maximality/domination are judged over H, which shrinks
+// with the detector; independence is judged over the mutually retained
+// reliable edges — with a dropped link, both endpoints discard each other's
+// messages, so no algorithm can coordinate across it (the footnote's
+// implicit reading of "correctness").
+func E13IncompleteDetectors(cfg Config) (*Result, error) {
+	res := newResult("E13", "dropping reliable links keeps MIS/CCDS correct while connected (footnote 1)",
+		"drop prob", "runs", "MIS valid", "CCDS valid", "retained connected")
+	n := 96
+	if cfg.Quick {
+		n = 64
+	}
+	for _, drop := range []float64{0.1, 0.3} {
+		misValid, ccdsValid, connected := 0, 0, 0
+		for seed := 0; seed < cfg.Seeds; seed++ {
+			rng := rand.New(rand.NewPCG(uint64(seed+1), 0x1C0))
+			net, err := gen.RandomGeometric(gen.GeometricConfig{N: n}, rng)
+			if err != nil {
+				return nil, err
+			}
+			asg := dualgraph.RandomAssignment(n, rng)
+			det := detector.Incomplete(net, asg, drop, rng)
+			if detector.RetainedReliableGraph(net, asg, det).Connected() {
+				connected++
+			}
+			s := &harness.Scenario{
+				Net: net, Asg: asg, Det: det,
+				Adv:  adversary.NewCollisionSeeking(net),
+				Seed: uint64(seed + 1),
+				B:    1024,
+			}
+			h := detector.BuildH(net, asg, det)
+			retained := detector.RetainedReliableGraph(net, asg, det)
+			// Mutual filtering (the Section 6 labeling technique) keeps
+			// maximality well-defined over H when drops are asymmetric.
+			outMIS, err := s.RunMISFiltered(core.FilterMutual)
+			if err != nil {
+				return nil, err
+			}
+			if verify.MISOver(retained, h, outMIS.Outputs).OK() {
+				misValid++
+			}
+			outCCDS, err := s.RunCCDS()
+			if err != nil {
+				return nil, err
+			}
+			if verify.CCDS(net, h, outCCDS.Outputs, 0).OK() {
+				ccdsValid++
+			}
+		}
+		res.Table.AddRow(f(drop), fmtInt(cfg.Seeds), ratio(misValid, cfg.Seeds),
+			ratio(ccdsValid, cfg.Seeds), ratio(connected, cfg.Seeds))
+		res.Metrics["mis_valid_p"+f(drop)] = float64(misValid) / float64(cfg.Seeds)
+		res.Metrics["ccds_valid_p"+f(drop)] = float64(ccdsValid) / float64(cfg.Seeds)
+	}
+	return res, nil
+}
+
+// E14RadioBroadcast runs the multihop broadcast workload inside the radio
+// model (not just on the graph): decay-flooding with every node relaying
+// versus relaying restricted to a prebuilt CCDS backbone, under the
+// collision-seeking adversary. The backbone cuts transmissions sharply; its
+// constant degree also caps contention, keeping latency comparable.
+func E14RadioBroadcast(cfg Config) (*Result, error) {
+	res := newResult("E14", "in-model broadcast: CCDS backbone vs full decay flooding",
+		"n", "strategy", "rounds", "transmissions", "covered")
+	n := 96
+	if cfg.Quick {
+		n = 64
+	}
+	var floodTx, backTx []float64
+	for seed := 0; seed < cfg.Seeds; seed++ {
+		s, err := buildScenario(scenarioSpec{n: n, b: 1024, seed: uint64(seed + 1)})
+		if err != nil {
+			return nil, err
+		}
+		out, err := s.RunCCDS()
+		if err != nil {
+			return nil, err
+		}
+		relay := make([]bool, n)
+		for v, o := range out.Outputs {
+			relay[v] = o == 1
+		}
+		engine := sim.Config{Adversary: adversary.NewCollisionSeeking(s.Net)}
+		maxRounds := 400 * log2Ceilf(n)
+		flood, err := bcast.Run(bcast.Config{
+			Net: s.Net, Source: 0, Seed: uint64(seed + 1),
+		}, engine, maxRounds)
+		if err != nil {
+			return nil, err
+		}
+		back, err := bcast.Run(bcast.Config{
+			Net: s.Net, Source: 0, Relay: relay, Seed: uint64(seed + 1),
+		}, engine, maxRounds)
+		if err != nil {
+			return nil, err
+		}
+		floodTx = append(floodTx, float64(flood.Transmissions))
+		backTx = append(backTx, float64(back.Transmissions))
+		if seed == 0 {
+			res.Table.AddRow(fmtInt(n), "decay flood", fmtInt(flood.Rounds),
+				fmtInt(flood.Transmissions), ratio(flood.Covered, n))
+			res.Table.AddRow(fmtInt(n), "CCDS backbone", fmtInt(back.Rounds),
+				fmtInt(back.Transmissions), ratio(back.Covered, n))
+		}
+	}
+	mf, mb := statsOf(floodTx).Mean, statsOf(backTx).Mean
+	saving := 0.0
+	if mf > 0 {
+		saving = 1 - mb/mf
+	}
+	res.Table.AddRow("mean", "", "", f(mf)+" vs "+f(mb), f(saving*100)+"% saved")
+	res.Metrics["tx_saving"] = saving
+	return res, nil
+}
+
+func log2Ceilf(n int) int {
+	l := 1
+	for v := 1; v < n; v *= 2 {
+		l++
+	}
+	return l
+}

@@ -1,0 +1,51 @@
+package expr_test
+
+import (
+	"testing"
+
+	"dualradio/internal/expr"
+)
+
+func TestE12ReannounceAblation(t *testing.T) {
+	res := quick(t, expr.E12ReannounceAblation)
+	if v := res.Metrics["valid_reannounce"]; v < 1 {
+		t.Errorf("re-announce variant failed %.0f%% of runs", (1-v)*100)
+	}
+	if v := res.Metrics["valid_oneshot"]; v >= res.Metrics["valid_reannounce"] {
+		t.Logf("note: one-shot variant did not fail at this scale (%.2f)", v)
+	}
+}
+
+func TestE13IncompleteDetectors(t *testing.T) {
+	res := quick(t, expr.E13IncompleteDetectors)
+	for _, p := range []string{"0.100", "0.300"} {
+		if v := res.Metrics["mis_valid_p"+p]; v < 1 {
+			t.Errorf("MIS with drop prob %s valid in only %.0f%%", p, v*100)
+		}
+		if v := res.Metrics["ccds_valid_p"+p]; v < 1 {
+			t.Errorf("CCDS with drop prob %s valid in only %.0f%%", p, v*100)
+		}
+	}
+}
+
+func TestE14RadioBroadcast(t *testing.T) {
+	res := quick(t, expr.E14RadioBroadcast)
+	if s := res.Metrics["tx_saving"]; s < 0.1 {
+		t.Errorf("backbone saved only %.0f%% transmissions in-model", s*100)
+	}
+}
+
+func TestE15TauSweep(t *testing.T) {
+	res := quick(t, expr.E15TauSweep)
+	for _, tau := range []int{0, 2, 4} {
+		if v := res.Metrics["valid_tau"+itoa(tau)]; v < 1 {
+			t.Errorf("tau=%d valid in only %.0f%%", tau, v*100)
+		}
+	}
+	if res.Metrics["rounds_tau4"] <= res.Metrics["rounds_tau0"] {
+		t.Error("rounds should grow with tau")
+	}
+	if res.Metrics["maxdeg_tau4"] < res.Metrics["maxdeg_tau0"] {
+		t.Log("note: structure did not thicken at this scale")
+	}
+}

@@ -1,0 +1,152 @@
+package expr
+
+import (
+	"math"
+	"math/rand/v2"
+
+	"dualradio/internal/core"
+	"dualradio/internal/detector"
+	"dualradio/internal/verify"
+)
+
+// E1MISScaling measures the Section 4 MIS round complexity against
+// Theorem 4.6's O(log³ n) bound: for each network size the mean
+// rounds-until-all-decided is reported alongside rounds/log³n, which should
+// be roughly flat, and a power-law fit of rounds against log n whose
+// exponent should not exceed 3 by a meaningful margin.
+func E1MISScaling(cfg Config) (*Result, error) {
+	res := newResult("E1", "MIS solves in O(log^3 n) rounds w.h.p. (Thm 4.6)",
+		"n", "runs", "mean rounds", "p90 rounds", "rounds/log^3 n", "valid")
+	sizes := []int{64, 128, 256, 512}
+	if cfg.Quick {
+		sizes = []int{64, 128, 256}
+	}
+	var logNs, rounds []float64
+	for _, n := range sizes {
+		var sample []float64
+		valid := 0
+		for seed := 0; seed < cfg.Seeds; seed++ {
+			s, err := buildScenario(scenarioSpec{n: n, seed: uint64(seed + 1)})
+			if err != nil {
+				return nil, err
+			}
+			out, err := s.RunMIS()
+			if err != nil {
+				return nil, err
+			}
+			if out.DecidedRound > 0 {
+				sample = append(sample, float64(out.DecidedRound))
+			}
+			h := detector.BuildH(s.Net, s.Asg, s.Det)
+			if verify.MIS(s.Net, h, out.Outputs).OK() {
+				valid++
+			}
+		}
+		sum := statsOf(sample)
+		l3 := math.Pow(log2f(n), 3)
+		res.Table.AddRow(fmtInt(n), fmtInt(cfg.Seeds), f(sum.Mean), f(sum.P90),
+			f(sum.Mean/l3), ratio(valid, cfg.Seeds))
+		logNs = append(logNs, log2f(n))
+		rounds = append(rounds, sum.Mean)
+		res.Metrics["valid_"+fmtInt(n)] = float64(valid) / float64(cfg.Seeds)
+	}
+	exp, r2 := powerLaw(logNs, rounds)
+	res.Metrics["exponent_vs_logn"] = exp
+	res.Metrics["fit_r2"] = r2
+	res.Table.AddRow("fit", "", "", "", "rounds ~ (log n)^"+f(exp), "R2="+f(r2))
+	return res, nil
+}
+
+// E2MISDensity checks Corollary 4.7: within any distance r there are at most
+// I_r MIS processes, where I_r is the hexagonal-overlay intersection bound.
+func E2MISDensity(cfg Config) (*Result, error) {
+	res := newResult("E2", "at most I_r MIS processes within distance r (Cor 4.7)",
+		"r", "max observed", "overlay bound I_r", "within bound")
+	n := 256
+	if cfg.Quick {
+		n = 128
+	}
+	radii := []float64{1, 2, 3}
+	maxSeen := map[float64]int{}
+	for seed := 0; seed < cfg.Seeds; seed++ {
+		s, err := buildScenario(scenarioSpec{n: n, seed: uint64(seed + 1)})
+		if err != nil {
+			return nil, err
+		}
+		out, err := s.RunMIS()
+		if err != nil {
+			return nil, err
+		}
+		for _, r := range radii {
+			if d := verify.MISDensity(s.Net, out.Outputs, r); d > maxSeen[r] {
+				maxSeen[r] = d
+			}
+		}
+	}
+	for _, r := range radii {
+		bound := verify.OverlayBound(r)
+		ok := "yes"
+		if maxSeen[r] > bound {
+			ok = "NO"
+		}
+		res.Table.AddRow(f(r), fmtInt(maxSeen[r]), fmtInt(bound), ok)
+		res.Metrics["max_density_r"+f(r)] = float64(maxSeen[r])
+		res.Metrics["bound_r"+f(r)] = float64(bound)
+	}
+	return res, nil
+}
+
+// E8AsyncMIS measures the Section 9 asynchronous-start variant in the
+// classic radio model (G = G', no topology knowledge): each process must
+// output within O(log³ n) local rounds of waking (Theorem 9.4).
+func E8AsyncMIS(cfg Config) (*Result, error) {
+	res := newResult("E8", "async-start MIS decides within O(log^3 n) of waking (Thm 9.4)",
+		"n", "runs", "mean latency", "p90 latency", "latency/log^3 n", "valid")
+	sizes := []int{64, 128, 256}
+	if cfg.Quick {
+		sizes = []int{64, 128}
+	}
+	var logNs, lats []float64
+	for _, n := range sizes {
+		var sample []float64
+		valid := 0
+		for seed := 0; seed < cfg.Seeds; seed++ {
+			s, err := buildScenario(scenarioSpec{n: n, seed: uint64(seed + 1), grayProb: -1})
+			if err != nil {
+				return nil, err
+			}
+			// Classic model: no unreliable edges, no detector filtering.
+			s.Det = nil
+			s.Adv = nil
+			s.MaxRounds = 1 << 19
+			wake := make([]int, n)
+			wrng := rand.New(rand.NewPCG(uint64(seed+1), 0x3A3E))
+			for v := range wake {
+				wake[v] = wrng.IntN(1000)
+			}
+			out, err := s.RunAsyncMIS(wake, core.FilterNone)
+			if err != nil {
+				return nil, err
+			}
+			if verify.MIS(s.Net, s.Net.G(), out.Outputs).OK() {
+				valid++
+			}
+			for _, l := range out.Latency {
+				if l >= 0 {
+					sample = append(sample, float64(l))
+				}
+			}
+		}
+		sum := statsOf(sample)
+		l3 := math.Pow(log2f(n), 3)
+		res.Table.AddRow(fmtInt(n), fmtInt(cfg.Seeds), f(sum.Mean), f(sum.P90),
+			f(sum.P90/l3), ratio(valid, cfg.Seeds))
+		logNs = append(logNs, log2f(n))
+		lats = append(lats, sum.P90)
+		res.Metrics["valid_"+fmtInt(n)] = float64(valid) / float64(cfg.Seeds)
+	}
+	exp, r2 := powerLaw(logNs, lats)
+	res.Metrics["exponent_vs_logn"] = exp
+	res.Table.AddRow("fit", "", "", "", "latency ~ (log n)^"+f(exp), "R2="+f(r2))
+	return res, nil
+}

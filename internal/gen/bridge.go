@@ -1,0 +1,108 @@
+package gen
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"dualradio/internal/detector"
+	"dualradio/internal/dualgraph"
+	"dualradio/internal/geom"
+	"dualradio/internal/graph"
+)
+
+// BridgeMeta describes the two-clique bridge network of the Section 7 lower
+// bound proof: G consists of two β-cliques joined by a single bridge edge,
+// and G' is the complete graph. Node indices 0..β-1 form clique A and
+// β..2β-1 form clique B.
+type BridgeMeta struct {
+	// Beta is the clique size β; the network has 2β nodes and Δ = β.
+	Beta int
+	// BridgeA and BridgeB are the node indices of the bridge endpoints in
+	// cliques A and B respectively. Their identity is the secret the
+	// lower bound argument hides from the algorithm.
+	BridgeA int
+	BridgeB int
+}
+
+// InClique reports which clique node v belongs to: 0 for A, 1 for B.
+func (m BridgeMeta) InClique(v int) int {
+	if v < m.Beta {
+		return 0
+	}
+	return 1
+}
+
+// BridgeCliques builds the lower bound network for clique size beta. The
+// bridge endpoints are chosen uniformly at random (the adversary's secret
+// targets t_A and t_B). Geometry: clique members sit inside disks of radius
+// 0.3 whose centers are 1.8 apart, so intra-clique pairs are within distance
+// 1 (forcing reliable edges), cross-clique pairs are at distance >= 1.2
+// (never forced), and the gray zone d = 2.5 covers every cross pair.
+func BridgeCliques(beta int, rng *rand.Rand) (*dualgraph.Network, BridgeMeta, error) {
+	if beta < 2 {
+		return nil, BridgeMeta{}, fmt.Errorf("gen: bridge cliques need beta >= 2, got %d", beta)
+	}
+	n := 2 * beta
+	pts := make([]geom.Point, n)
+	copy(pts[:beta], diskPoints(beta, geom.Point{X: 0, Y: 0}, 0.3))
+	copy(pts[beta:], diskPoints(beta, geom.Point{X: 1.8, Y: 0}, 0.3))
+
+	meta := BridgeMeta{
+		Beta:    beta,
+		BridgeA: rng.IntN(beta),
+		BridgeB: beta + rng.IntN(beta),
+	}
+
+	g := graph.New(n)
+	gp := graph.New(n)
+	for u := 0; u < beta; u++ {
+		for v := u + 1; v < beta; v++ {
+			mustAdd(g, u, v)
+			mustAdd(g, u+beta, v+beta)
+		}
+	}
+	mustAdd(g, meta.BridgeA, meta.BridgeB)
+	// G' is complete: every reliable edge plus every cross pair.
+	g.Edges(func(u, v int) { mustAdd(gp, u, v) })
+	for u := 0; u < beta; u++ {
+		for v := beta; v < n; v++ {
+			if !g.HasEdge(u, v) {
+				mustAdd(gp, u, v)
+			}
+		}
+	}
+	return dualgraph.New(g, gp, pts, 2.5), meta, nil
+}
+
+// BridgeDetectors builds the 1-complete detectors from the Lemma 7.2
+// simulation: every process in clique A receives the ids of all of A plus
+// the id of the bridge endpoint in B, and symmetrically for B. For the true
+// bridge endpoints the extra id is a genuine reliable neighbor (0 mistakes);
+// for everyone else it is the single permitted mistake. Crucially, all
+// members of a clique receive identical sets, so no process can tell whether
+// it is the bridge endpoint.
+func BridgeDetectors(net *dualgraph.Network, asg *dualgraph.Assignment,
+	meta BridgeMeta) *detector.Detector {
+	d := detector.NewEmpty(net.N())
+	idBridgeA := asg.ID(meta.BridgeA)
+	idBridgeB := asg.ID(meta.BridgeB)
+	for v := 0; v < net.N(); v++ {
+		set := d.Set(v)
+		if meta.InClique(v) == 0 {
+			for u := 0; u < meta.Beta; u++ {
+				if u != v {
+					set.Add(asg.ID(u))
+				}
+			}
+			set.Add(idBridgeB)
+		} else {
+			for u := meta.Beta; u < net.N(); u++ {
+				if u != v {
+					set.Add(asg.ID(u))
+				}
+			}
+			set.Add(idBridgeA)
+		}
+	}
+	return d
+}

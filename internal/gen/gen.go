@@ -1,0 +1,223 @@
+// Package gen constructs dual graph network instances: random geometric
+// networks with a gray zone of unreliable links, regular topologies for
+// targeted tests, and the two-clique bridge network from the paper's
+// Section 7 lower bound.
+package gen
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand/v2"
+
+	"dualradio/internal/dualgraph"
+	"dualradio/internal/geom"
+	"dualradio/internal/graph"
+)
+
+// ErrDisconnected is returned when a random instance cannot be made
+// connected within the retry budget.
+var ErrDisconnected = errors.New("gen: could not generate a connected reliable graph")
+
+// GeometricConfig parameterizes RandomGeometric.
+type GeometricConfig struct {
+	// N is the number of nodes (must be > 2).
+	N int
+	// TargetDegree steers the expected reliable-graph degree by scaling
+	// the deployment area. The paper assumes Δ = ω(log n); callers
+	// typically pass a multiple of log₂ n.
+	TargetDegree float64
+	// D is the gray zone constant d ≥ 1: unreliable edges may exist up to
+	// this distance. Defaults to 2.
+	D float64
+	// GrayProb is the probability that a node pair inside the gray zone
+	// (distance in (1, D]) receives an unreliable edge. Zero selects the
+	// default of 0.5; pass a negative value for a network with no
+	// unreliable edges (the classic radio model when combined with G=G').
+	GrayProb float64
+	// Retries bounds connectivity resampling attempts. Defaults to 50.
+	Retries int
+}
+
+func (c *GeometricConfig) setDefaults() error {
+	if c.N <= 2 {
+		return fmt.Errorf("gen: n must exceed 2, got %d", c.N)
+	}
+	if c.TargetDegree <= 0 {
+		c.TargetDegree = 3 * math.Log2(float64(c.N))
+	}
+	if c.D == 0 {
+		c.D = 2
+	}
+	if c.D < 1 {
+		return fmt.Errorf("gen: gray zone d must be >= 1, got %v", c.D)
+	}
+	switch {
+	case c.GrayProb == 0:
+		c.GrayProb = 0.5
+	case c.GrayProb < 0:
+		c.GrayProb = 0
+	case c.GrayProb > 1:
+		return fmt.Errorf("gen: gray probability must be at most 1, got %v", c.GrayProb)
+	}
+	if c.Retries <= 0 {
+		c.Retries = 50
+	}
+	return nil
+}
+
+// RandomGeometric places N nodes uniformly in a square sized for the target
+// degree, connects pairs within distance 1 reliably, and adds unreliable
+// edges inside the gray zone with probability GrayProb. It resamples until
+// the reliable graph is connected.
+func RandomGeometric(cfg GeometricConfig, rng *rand.Rand) (*dualgraph.Network, error) {
+	if err := cfg.setDefaults(); err != nil {
+		return nil, err
+	}
+	// Expected unit-disk degree is π·n/L² (ignoring boundary effects);
+	// solve for the square side L.
+	side := math.Sqrt(float64(cfg.N) * math.Pi / cfg.TargetDegree)
+	if side < 1 {
+		side = 1
+	}
+	for try := 0; try < cfg.Retries; try++ {
+		pts := make([]geom.Point, cfg.N)
+		for i := range pts {
+			pts[i] = geom.Point{X: rng.Float64() * side, Y: rng.Float64() * side}
+		}
+		net := assemble(pts, cfg.D, cfg.GrayProb, rng)
+		if net.G().Connected() {
+			return net, nil
+		}
+	}
+	return nil, fmt.Errorf("%w after %d attempts (n=%d, target degree %.1f)",
+		ErrDisconnected, cfg.Retries, cfg.N, cfg.TargetDegree)
+}
+
+// assemble builds G and G' from an embedding: reliable edges at distance
+// <= 1, gray-zone edges at distance in (1, d] with the given probability.
+func assemble(pts []geom.Point, d, grayProb float64, rng *rand.Rand) *dualgraph.Network {
+	n := len(pts)
+	g := graph.New(n)
+	gp := graph.New(n)
+	d2 := d * d
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			dist2 := pts[u].Dist2(pts[v])
+			switch {
+			case dist2 <= 1:
+				mustAdd(g, u, v)
+				mustAdd(gp, u, v)
+			case dist2 <= d2 && rng.Float64() < grayProb:
+				mustAdd(gp, u, v)
+			}
+		}
+	}
+	return dualgraph.New(g, gp, pts, d)
+}
+
+// mustAdd inserts an edge that is valid by construction.
+func mustAdd(g *graph.Graph, u, v int) {
+	if err := g.AddEdge(u, v); err != nil {
+		// Unreachable: endpoints are in range, u < v, and each pair is
+		// visited once.
+		panic(err)
+	}
+}
+
+// Line returns a path topology: n nodes at unit spacing, reliable edges
+// between consecutive nodes, and unreliable edges skipping one node (at
+// distance 2 = d).
+func Line(n int) (*dualgraph.Network, error) {
+	if n <= 2 {
+		return nil, fmt.Errorf("gen: n must exceed 2, got %d", n)
+	}
+	pts := make([]geom.Point, n)
+	g := graph.New(n)
+	gp := graph.New(n)
+	for i := range pts {
+		pts[i] = geom.Point{X: float64(i)}
+	}
+	for i := 0; i+1 < n; i++ {
+		mustAdd(g, i, i+1)
+		mustAdd(gp, i, i+1)
+	}
+	for i := 0; i+2 < n; i++ {
+		mustAdd(gp, i, i+2)
+	}
+	return dualgraph.New(g, gp, pts, 2), nil
+}
+
+// Grid returns a rows×cols lattice with unit spacing: reliable edges between
+// horizontal/vertical neighbors and unreliable edges on the diagonals
+// (distance √2 ≤ d = 1.5).
+func Grid(rows, cols int) (*dualgraph.Network, error) {
+	n := rows * cols
+	if n <= 2 || rows < 1 || cols < 1 {
+		return nil, fmt.Errorf("gen: grid %dx%d too small", rows, cols)
+	}
+	pts := make([]geom.Point, n)
+	g := graph.New(n)
+	gp := graph.New(n)
+	at := func(r, c int) int { return r*cols + c }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			pts[at(r, c)] = geom.Point{X: float64(c), Y: float64(r)}
+		}
+	}
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if c+1 < cols {
+				mustAdd(g, at(r, c), at(r, c+1))
+				mustAdd(gp, at(r, c), at(r, c+1))
+			}
+			if r+1 < rows {
+				mustAdd(g, at(r, c), at(r+1, c))
+				mustAdd(gp, at(r, c), at(r+1, c))
+			}
+			if r+1 < rows && c+1 < cols {
+				mustAdd(gp, at(r, c), at(r+1, c+1))
+			}
+			if r+1 < rows && c > 0 {
+				mustAdd(gp, at(r, c), at(r+1, c-1))
+			}
+		}
+	}
+	return dualgraph.New(g, gp, pts, 1.5), nil
+}
+
+// Clique returns a complete reliable graph: n nodes packed in a disk of
+// radius 0.45, so every pair is within distance 1. G' equals G.
+func Clique(n int) (*dualgraph.Network, error) {
+	if n <= 2 {
+		return nil, fmt.Errorf("gen: n must exceed 2, got %d", n)
+	}
+	pts := diskPoints(n, geom.Point{}, 0.45)
+	g := graph.New(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			mustAdd(g, u, v)
+		}
+	}
+	return dualgraph.New(g, g.Clone(), pts, 1), nil
+}
+
+// diskPoints spreads n points on concentric rings within radius r of c.
+func diskPoints(n int, c geom.Point, r float64) []geom.Point {
+	pts := make([]geom.Point, n)
+	rings := int(math.Ceil(math.Sqrt(float64(n) / 3)))
+	i := 0
+	for ring := 0; ring < rings && i < n; ring++ {
+		radius := r * float64(ring+1) / float64(rings)
+		perRing := (n - i + rings - ring - 1) / (rings - ring)
+		for k := 0; k < perRing && i < n; k++ {
+			theta := 2 * math.Pi * float64(k) / float64(perRing)
+			pts[i] = geom.Point{
+				X: c.X + radius*math.Cos(theta),
+				Y: c.Y + radius*math.Sin(theta),
+			}
+			i++
+		}
+	}
+	return pts
+}

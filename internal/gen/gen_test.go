@@ -1,0 +1,219 @@
+package gen_test
+
+import (
+	"errors"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"dualradio/internal/detector"
+	"dualradio/internal/dualgraph"
+	"dualradio/internal/gen"
+)
+
+func TestRandomGeometricValid(t *testing.T) {
+	for seed := uint64(1); seed <= 5; seed++ {
+		rng := rand.New(rand.NewPCG(seed, 1))
+		net, err := gen.RandomGeometric(gen.GeometricConfig{N: 80}, rng)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if err := net.Validate(); err != nil {
+			t.Errorf("seed %d: invariants: %v", seed, err)
+		}
+		if !net.G().Connected() {
+			t.Errorf("seed %d: disconnected", seed)
+		}
+	}
+}
+
+func TestRandomGeometricDegreeSteering(t *testing.T) {
+	rng := rand.New(rand.NewPCG(2, 2))
+	sparse, err := gen.RandomGeometric(gen.GeometricConfig{N: 150, TargetDegree: 10}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dense, err := gen.RandomGeometric(gen.GeometricConfig{N: 150, TargetDegree: 40}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dense.G().AvgDegree() <= sparse.G().AvgDegree() {
+		t.Errorf("degree steering broken: sparse %.1f dense %.1f",
+			sparse.G().AvgDegree(), dense.G().AvgDegree())
+	}
+}
+
+func TestRandomGeometricNoGray(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 3))
+	net, err := gen.RandomGeometric(gen.GeometricConfig{N: 60, GrayProb: -1}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(net.GrayEdges()) != 0 {
+		t.Errorf("expected no gray edges, got %d", len(net.GrayEdges()))
+	}
+}
+
+func TestRandomGeometricRejectsBadConfig(t *testing.T) {
+	rng := rand.New(rand.NewPCG(4, 4))
+	cases := []gen.GeometricConfig{
+		{N: 2},
+		{N: 10, D: 0.5},
+		{N: 10, GrayProb: 1.5},
+	}
+	for i, cfg := range cases {
+		if _, err := gen.RandomGeometric(cfg, rng); err == nil {
+			t.Errorf("case %d accepted: %+v", i, cfg)
+		}
+	}
+}
+
+func TestLineShape(t *testing.T) {
+	net, err := gen.Line(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := net.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if net.G().M() != 5 || len(net.GrayEdges()) != 4 {
+		t.Errorf("edges: G=%d gray=%d", net.G().M(), len(net.GrayEdges()))
+	}
+	if net.Delta() != 2 {
+		t.Errorf("Δ=%d", net.Delta())
+	}
+	if _, err := gen.Line(2); err == nil {
+		t.Error("tiny line accepted")
+	}
+}
+
+func TestGridShape(t *testing.T) {
+	net, err := gen.Grid(3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := net.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// 3x4 grid: horizontal 3·3 + vertical 2·4 = 17 reliable edges.
+	if net.G().M() != 17 {
+		t.Errorf("G edges = %d", net.G().M())
+	}
+	// Diagonals: 2·3 in each direction = 12 gray edges.
+	if len(net.GrayEdges()) != 12 {
+		t.Errorf("gray edges = %d", len(net.GrayEdges()))
+	}
+	if _, err := gen.Grid(1, 2); err == nil {
+		t.Error("tiny grid accepted")
+	}
+}
+
+func TestCliqueShape(t *testing.T) {
+	net, err := gen.Clique(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := net.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if net.G().M() != 28 || len(net.GrayEdges()) != 0 {
+		t.Errorf("clique edges: G=%d gray=%d", net.G().M(), len(net.GrayEdges()))
+	}
+}
+
+// TestBridgeCliquesShape checks the Lemma 7.2 construction invariants for
+// random β and seeds.
+func TestBridgeCliquesShape(t *testing.T) {
+	f := func(seed uint64, betaRaw uint8) bool {
+		beta := 2 + int(betaRaw%30)
+		rng := rand.New(rand.NewPCG(seed, 5))
+		net, meta, err := gen.BridgeCliques(beta, rng)
+		if err != nil {
+			return false
+		}
+		if net.Validate() != nil {
+			return false
+		}
+		// G: two β-cliques plus one bridge.
+		wantEdges := beta*(beta-1) + 1
+		if net.G().M() != wantEdges {
+			return false
+		}
+		// G' complete.
+		n := 2 * beta
+		if net.GPrime().M() != n*(n-1)/2 {
+			return false
+		}
+		// Bridge endpoints on opposite sides, adjacent in G.
+		if meta.InClique(meta.BridgeA) != 0 || meta.InClique(meta.BridgeB) != 1 {
+			return false
+		}
+		return net.G().HasEdge(meta.BridgeA, meta.BridgeB)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestBridgeDetectorsAreOneComplete verifies the Lemma 7.2 detector
+// construction is exactly 1-complete and uniform within each clique.
+func TestBridgeDetectorsAreOneComplete(t *testing.T) {
+	rng := rand.New(rand.NewPCG(9, 9))
+	net, meta, err := gen.BridgeCliques(6, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	asg := dualgraph.RandomAssignment(net.N(), rng)
+	det := gen.BridgeDetectors(net, asg, meta)
+	if err := det.Verify(net, asg, 1); err != nil {
+		t.Fatal(err)
+	}
+	// All of clique A shares one set shape: A's ids minus self, plus the
+	// id of B's bridge endpoint.
+	idB := asg.ID(meta.BridgeB)
+	for v := 0; v < meta.Beta; v++ {
+		set := det.Set(v)
+		if !set.Contains(idB) {
+			t.Errorf("node %d missing bridge candidate id", v)
+		}
+		if set.Len() != meta.Beta {
+			t.Errorf("node %d set size %d, want β=%d", v, set.Len(), meta.Beta)
+		}
+	}
+	// Mistake counts: exactly one mistake for non-endpoints, zero for the
+	// endpoint.
+	mistakes := det.MistakeCount(net, asg)
+	for v := 0; v < net.N(); v++ {
+		want := 1
+		if v == meta.BridgeA || v == meta.BridgeB {
+			want = 0
+		}
+		if mistakes[v] != want {
+			t.Errorf("node %d has %d mistakes, want %d", v, mistakes[v], want)
+		}
+	}
+	// H must equal G: the extra candidate ids are not mutual.
+	h := detector.BuildH(net, asg, det)
+	if h.M() != net.G().M() {
+		t.Errorf("H has %d edges, G has %d — the hidden-bridge property is broken",
+			h.M(), net.G().M())
+	}
+}
+
+func TestBridgeCliquesRejectsTinyBeta(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 1))
+	if _, _, err := gen.BridgeCliques(1, rng); err == nil {
+		t.Error("beta=1 accepted")
+	}
+}
+
+func TestDisconnectedError(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 1))
+	// Extremely sparse: 200 nodes at target degree ~0.01 cannot connect.
+	_, err := gen.RandomGeometric(gen.GeometricConfig{
+		N: 200, TargetDegree: 0.01, Retries: 2,
+	}, rng)
+	if !errors.Is(err, gen.ErrDisconnected) {
+		t.Errorf("want ErrDisconnected, got %v", err)
+	}
+}

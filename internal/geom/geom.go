@@ -1,0 +1,84 @@
+// Package geom provides the two-dimensional geometry substrate used by the
+// dual graph radio network model of Censor-Hillel et al. (PODC 2011).
+//
+// The paper embeds every node in the plane and assumes a constant d >= 1
+// such that all node pairs within distance 1 share a reliable edge and no
+// unreliable edge spans more than distance d. Its proofs cover the plane
+// with an overlay of radius-1/2 disks arranged on a hexagonal lattice and
+// reason about I_r, the maximum number of overlay disks intersecting a disk
+// of radius r (Fact 4.1: I_c = O(1) for constant c). This package supplies
+// the points, distances, and the overlay itself so that the verification
+// layer can check the paper's density corollaries (for example
+// Corollary 4.7) against actual executions.
+package geom
+
+import (
+	"fmt"
+	"math"
+)
+
+// Point is a location in the two-dimensional plane.
+type Point struct {
+	X float64
+	Y float64
+}
+
+// Dist returns the Euclidean distance between p and q.
+func (p Point) Dist(q Point) float64 {
+	dx := p.X - q.X
+	dy := p.Y - q.Y
+	return math.Sqrt(dx*dx + dy*dy)
+}
+
+// Dist2 returns the squared Euclidean distance between p and q. It avoids
+// the square root on hot paths such as edge generation.
+func (p Point) Dist2(q Point) float64 {
+	dx := p.X - q.X
+	dy := p.Y - q.Y
+	return dx*dx + dy*dy
+}
+
+// Add returns the vector sum p + q.
+func (p Point) Add(q Point) Point { return Point{p.X + q.X, p.Y + q.Y} }
+
+// Sub returns the vector difference p - q.
+func (p Point) Sub(q Point) Point { return Point{p.X - q.X, p.Y - q.Y} }
+
+// Scale returns p scaled by f.
+func (p Point) Scale(f float64) Point { return Point{p.X * f, p.Y * f} }
+
+// String implements fmt.Stringer.
+func (p Point) String() string { return fmt.Sprintf("(%.3f,%.3f)", p.X, p.Y) }
+
+// Rect is an axis-aligned bounding rectangle.
+type Rect struct {
+	Min Point
+	Max Point
+}
+
+// Contains reports whether p lies inside r (inclusive of the boundary).
+func (r Rect) Contains(p Point) bool {
+	return p.X >= r.Min.X && p.X <= r.Max.X && p.Y >= r.Min.Y && p.Y <= r.Max.Y
+}
+
+// Width returns the horizontal extent of r.
+func (r Rect) Width() float64 { return r.Max.X - r.Min.X }
+
+// Height returns the vertical extent of r.
+func (r Rect) Height() float64 { return r.Max.Y - r.Min.Y }
+
+// Bounds returns the tightest rectangle containing all points, or a zero
+// rectangle when pts is empty.
+func Bounds(pts []Point) Rect {
+	if len(pts) == 0 {
+		return Rect{}
+	}
+	r := Rect{Min: pts[0], Max: pts[0]}
+	for _, p := range pts[1:] {
+		r.Min.X = math.Min(r.Min.X, p.X)
+		r.Min.Y = math.Min(r.Min.Y, p.Y)
+		r.Max.X = math.Max(r.Max.X, p.X)
+		r.Max.Y = math.Max(r.Max.Y, p.Y)
+	}
+	return r
+}

@@ -1,0 +1,111 @@
+package geom
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDistBasics(t *testing.T) {
+	cases := []struct {
+		p, q Point
+		want float64
+	}{
+		{Point{0, 0}, Point{0, 0}, 0},
+		{Point{0, 0}, Point{3, 4}, 5},
+		{Point{1, 1}, Point{1, 2}, 1},
+		{Point{-1, -1}, Point{2, 3}, 5},
+	}
+	for _, c := range cases {
+		if got := c.p.Dist(c.q); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Dist(%v,%v) = %v, want %v", c.p, c.q, got, c.want)
+		}
+	}
+}
+
+func TestDistSymmetricAndNonNegative(t *testing.T) {
+	f := func(ax, ay, bx, by float64) bool {
+		p := Point{clamp(ax), clamp(ay)}
+		q := Point{clamp(bx), clamp(by)}
+		d1, d2 := p.Dist(q), q.Dist(p)
+		return d1 >= 0 && math.Abs(d1-d2) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDist2MatchesDistSquared(t *testing.T) {
+	f := func(ax, ay, bx, by float64) bool {
+		p := Point{clamp(ax), clamp(ay)}
+		q := Point{clamp(bx), clamp(by)}
+		d := p.Dist(q)
+		return math.Abs(p.Dist2(q)-d*d) < 1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTriangleInequality(t *testing.T) {
+	f := func(ax, ay, bx, by, cx, cy float64) bool {
+		a := Point{clamp(ax), clamp(ay)}
+		b := Point{clamp(bx), clamp(by)}
+		c := Point{clamp(cx), clamp(cy)}
+		return a.Dist(c) <= a.Dist(b)+b.Dist(c)+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestVectorOps(t *testing.T) {
+	p := Point{1, 2}
+	q := Point{3, -1}
+	if got := p.Add(q); got != (Point{4, 1}) {
+		t.Errorf("Add = %v", got)
+	}
+	if got := p.Sub(q); got != (Point{-2, 3}) {
+		t.Errorf("Sub = %v", got)
+	}
+	if got := p.Scale(2); got != (Point{2, 4}) {
+		t.Errorf("Scale = %v", got)
+	}
+}
+
+func TestBounds(t *testing.T) {
+	if r := Bounds(nil); r != (Rect{}) {
+		t.Errorf("empty bounds = %v", r)
+	}
+	pts := []Point{{1, 5}, {-2, 3}, {4, -1}}
+	r := Bounds(pts)
+	if r.Min != (Point{-2, -1}) || r.Max != (Point{4, 5}) {
+		t.Errorf("bounds = %v", r)
+	}
+	for _, p := range pts {
+		if !r.Contains(p) {
+			t.Errorf("bounds does not contain %v", p)
+		}
+	}
+	if r.Width() != 6 || r.Height() != 6 {
+		t.Errorf("width/height = %v/%v", r.Width(), r.Height())
+	}
+}
+
+func TestRectContains(t *testing.T) {
+	r := Rect{Min: Point{0, 0}, Max: Point{2, 2}}
+	if !r.Contains(Point{1, 1}) || !r.Contains(Point{0, 0}) || !r.Contains(Point{2, 2}) {
+		t.Error("boundary points should be contained")
+	}
+	if r.Contains(Point{3, 1}) || r.Contains(Point{1, -0.1}) {
+		t.Error("outside points contained")
+	}
+}
+
+// clamp keeps quick-generated floats in a sane range.
+func clamp(x float64) float64 {
+	if math.IsNaN(x) || math.IsInf(x, 0) {
+		return 0
+	}
+	return math.Mod(x, 1000)
+}

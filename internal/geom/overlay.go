@@ -1,0 +1,145 @@
+package geom
+
+import "math"
+
+// OverlayRadius is the radius of the disks used by the paper's analytical
+// overlay (Section 4): disks of radius 1/2 arranged on a hexagonal lattice
+// so that every point of the plane is covered.
+const OverlayRadius = 0.5
+
+// Overlay is the hexagonal lattice of radius-1/2 disks used throughout the
+// paper's probabilistic analysis. Disk centers sit on a triangular grid with
+// horizontal spacing equal to the disk radius times sqrt(3) and alternating
+// row offsets, which is the densest covering arrangement with minimal
+// overlap. The overlay assigns every point in the plane to the disk whose
+// center is nearest; ties are broken deterministically by grid order.
+type Overlay struct {
+	radius float64
+	// dx is the horizontal center spacing, dy the vertical row spacing.
+	dx float64
+	dy float64
+}
+
+// NewOverlay returns the canonical hexagonal overlay with radius-1/2 disks.
+func NewOverlay() *Overlay { return NewOverlayWithRadius(OverlayRadius) }
+
+// NewOverlayWithRadius returns a hexagonal covering overlay whose disks have
+// the provided radius. The radius must be positive; non-positive values fall
+// back to OverlayRadius.
+func NewOverlayWithRadius(r float64) *Overlay {
+	if r <= 0 {
+		r = OverlayRadius
+	}
+	// For a covering, center spacing of r*sqrt(3) horizontally and 1.5*r
+	// vertically guarantees every point is within r of some center.
+	return &Overlay{radius: r, dx: r * math.Sqrt(3), dy: r * 1.5}
+}
+
+// Radius returns the disk radius of the overlay.
+func (o *Overlay) Radius() float64 { return o.radius }
+
+// DiskID identifies a single disk in the overlay by its lattice coordinates.
+type DiskID struct {
+	Row int
+	Col int
+}
+
+// Center returns the plane coordinates of the given disk's center.
+func (o *Overlay) Center(id DiskID) Point {
+	x := float64(id.Col) * o.dx
+	if id.Row&1 != 0 {
+		x += o.dx / 2
+	}
+	return Point{X: x, Y: float64(id.Row) * o.dy}
+}
+
+// DiskFor returns the identifier of the overlay disk covering p. Every point
+// is covered by at least one disk; when several cover p, the one with the
+// nearest center (ties by row, then column) is returned, so the assignment
+// partitions the plane.
+func (o *Overlay) DiskFor(p Point) DiskID {
+	row := int(math.Round(p.Y / o.dy))
+	best := DiskID{Row: row, Col: 0}
+	bestDist := math.Inf(1)
+	// Scan the two candidate rows around p and the three candidate columns
+	// in each; the covering arrangement guarantees the true nearest center
+	// falls in this window.
+	for dr := -1; dr <= 1; dr++ {
+		r := row + dr
+		x := p.X
+		if r&1 != 0 {
+			x -= o.dx / 2
+		}
+		col := int(math.Round(x / o.dx))
+		for dc := -1; dc <= 1; dc++ {
+			id := DiskID{Row: r, Col: col + dc}
+			d := o.Center(id).Dist2(p)
+			if d < bestDist-1e-12 ||
+				(math.Abs(d-bestDist) <= 1e-12 && less(id, best)) {
+				bestDist = d
+				best = id
+			}
+		}
+	}
+	return best
+}
+
+func less(a, b DiskID) bool {
+	if a.Row != b.Row {
+		return a.Row < b.Row
+	}
+	return a.Col < b.Col
+}
+
+// IntersectCount returns I_r for this overlay: the maximum number of overlay
+// disks that can intersect a disk of radius r (Fact 4.1 of the paper). The
+// count is computed exactly by enumerating lattice disks whose centers lie
+// within r + disk radius of an arbitrary disk of radius r; by lattice
+// symmetry the supremum is attained with the query disk centered on a lattice
+// point or deep inside a cell, so we take the max over a small set of
+// representative centers.
+func (o *Overlay) IntersectCount(r float64) int {
+	if r < 0 {
+		return 0
+	}
+	reach := r + o.radius
+	// Representative query centers within one lattice cell.
+	candidates := []Point{
+		{0, 0},
+		{o.dx / 2, 0},
+		{o.dx / 4, o.dy / 2},
+		{o.dx / 2, o.dy / 2},
+		{0, o.dy / 2},
+		{o.dx / 3, o.dy / 3},
+	}
+	maxCount := 0
+	rowSpan := int(math.Ceil(reach/o.dy)) + 1
+	colSpan := int(math.Ceil(reach/o.dx)) + 1
+	for _, c := range candidates {
+		count := 0
+		for row := -rowSpan; row <= rowSpan; row++ {
+			for col := -colSpan; col <= colSpan; col++ {
+				center := o.Center(DiskID{Row: row, Col: col})
+				if center.Dist(c) <= reach+1e-9 {
+					count++
+				}
+			}
+		}
+		if count > maxCount {
+			maxCount = count
+		}
+	}
+	return maxCount
+}
+
+// Partition groups point indices by their covering disk. The returned map
+// has one entry per occupied disk; because the paper's networks are
+// connected, at most len(pts) disks are occupied.
+func (o *Overlay) Partition(pts []Point) map[DiskID][]int {
+	part := make(map[DiskID][]int)
+	for i, p := range pts {
+		id := o.DiskFor(p)
+		part[id] = append(part[id], i)
+	}
+	return part
+}

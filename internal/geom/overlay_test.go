@@ -1,0 +1,130 @@
+package geom
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+// TestOverlayCovers verifies the covering property: every point of the plane
+// lies within the radius of its assigned disk.
+func TestOverlayCovers(t *testing.T) {
+	o := NewOverlay()
+	f := func(x, y float64) bool {
+		p := Point{clamp(x), clamp(y)}
+		id := o.DiskFor(p)
+		return o.Center(id).Dist(p) <= o.Radius()+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestOverlayAssignsNearest verifies no other candidate disk is strictly
+// closer than the assigned one.
+func TestOverlayAssignsNearest(t *testing.T) {
+	o := NewOverlay()
+	rng := rand.New(rand.NewPCG(1, 2))
+	for i := 0; i < 500; i++ {
+		p := Point{rng.Float64()*20 - 10, rng.Float64()*20 - 10}
+		id := o.DiskFor(p)
+		best := o.Center(id).Dist(p)
+		for dr := -2; dr <= 2; dr++ {
+			for dc := -2; dc <= 2; dc++ {
+				other := DiskID{Row: id.Row + dr, Col: id.Col + dc}
+				if o.Center(other).Dist(p) < best-1e-9 {
+					t.Fatalf("point %v assigned disk %v at %.4f but %v is at %.4f",
+						p, id, best, other, o.Center(other).Dist(p))
+				}
+			}
+		}
+	}
+}
+
+// TestOverlayDeterministic verifies that DiskFor is a function (stable under
+// repeated queries) so it partitions the plane.
+func TestOverlayDeterministic(t *testing.T) {
+	o := NewOverlay()
+	rng := rand.New(rand.NewPCG(3, 4))
+	for i := 0; i < 200; i++ {
+		p := Point{rng.Float64() * 5, rng.Float64() * 5}
+		if o.DiskFor(p) != o.DiskFor(p) {
+			t.Fatal("DiskFor is not deterministic")
+		}
+	}
+}
+
+// TestIntersectCountMonotonic verifies I_r grows with r and matches hand
+// expectations at the extremes (Fact 4.1: constant for constant r).
+func TestIntersectCountMonotonic(t *testing.T) {
+	o := NewOverlay()
+	prev := 0
+	for _, r := range []float64{0, 0.5, 1, 1.5, 2, 3, 4} {
+		c := o.IntersectCount(r)
+		if c < prev {
+			t.Errorf("I_%v = %d < I_prev = %d", r, c, prev)
+		}
+		prev = c
+	}
+	if o.IntersectCount(-1) != 0 {
+		t.Error("negative radius should intersect nothing")
+	}
+	if c := o.IntersectCount(0); c < 1 {
+		t.Errorf("a point intersects at least one disk, got %d", c)
+	}
+	// A disk of radius 3 in a radius-1/2 overlay intersects at most
+	// roughly (3.5/0.5+1)² disks; sanity-band the value.
+	if c := o.IntersectCount(3); c < 20 || c > 120 {
+		t.Errorf("I_3 = %d outside sanity band", c)
+	}
+}
+
+// TestOverlayIndependenceDensity verifies the Corollary 4.7 machinery: a set
+// of points pairwise more than 1 apart has at most one point per disk of the
+// unit-scaled overlay... more precisely, each radius-1/2 disk holds at most
+// one such point.
+func TestOverlayIndependenceDensity(t *testing.T) {
+	o := NewOverlay()
+	rng := rand.New(rand.NewPCG(5, 6))
+	var pts []Point
+	for len(pts) < 40 {
+		cand := Point{rng.Float64() * 20, rng.Float64() * 20}
+		ok := true
+		for _, p := range pts {
+			if p.Dist(cand) <= 1 {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			pts = append(pts, cand)
+		}
+	}
+	for id, members := range o.Partition(pts) {
+		if len(members) > 1 {
+			t.Errorf("disk %v holds %d points pairwise >1 apart", id, len(members))
+		}
+	}
+}
+
+func TestPartitionCoversAllPoints(t *testing.T) {
+	o := NewOverlay()
+	pts := []Point{{0, 0}, {1, 1}, {2.5, 0.3}, {0, 0}}
+	part := o.Partition(pts)
+	total := 0
+	for _, m := range part {
+		total += len(m)
+	}
+	if total != len(pts) {
+		t.Errorf("partition covers %d of %d points", total, len(pts))
+	}
+}
+
+func TestOverlayWithRadiusFallback(t *testing.T) {
+	if o := NewOverlayWithRadius(-1); o.Radius() != OverlayRadius {
+		t.Errorf("fallback radius = %v", o.Radius())
+	}
+	if o := NewOverlayWithRadius(2); o.Radius() != 2 {
+		t.Errorf("explicit radius = %v", o.Radius())
+	}
+}

@@ -1,0 +1,184 @@
+// Package graph implements the undirected graph substrate shared by the
+// dual graph radio network model. Vertices are dense integer indices
+// 0..n-1 (node indices, not process ids), and adjacency is stored as sorted
+// neighbor slices for cache-friendly iteration during simulation rounds.
+package graph
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// ErrVertexRange is returned when an edge endpoint is outside [0, n).
+var ErrVertexRange = errors.New("graph: vertex index out of range")
+
+// Graph is an undirected simple graph over vertices 0..N-1.
+//
+// The zero value is an empty graph with no vertices; use New to create a
+// graph with a fixed vertex count.
+type Graph struct {
+	n   int
+	adj [][]int32
+	m   int
+}
+
+// New returns an empty graph with n vertices and no edges.
+func New(n int) *Graph {
+	if n < 0 {
+		n = 0
+	}
+	return &Graph{n: n, adj: make([][]int32, n)}
+}
+
+// Clone returns a deep copy of g.
+func (g *Graph) Clone() *Graph {
+	c := New(g.n)
+	c.m = g.m
+	for v, nb := range g.adj {
+		c.adj[v] = append([]int32(nil), nb...)
+	}
+	return c
+}
+
+// N returns the number of vertices.
+func (g *Graph) N() int { return g.n }
+
+// M returns the number of edges.
+func (g *Graph) M() int { return g.m }
+
+// AddEdge inserts the undirected edge (u, v). Self-loops and duplicate edges
+// are rejected with an error; duplicates are detected via binary search, so
+// insertion is O(deg).
+func (g *Graph) AddEdge(u, v int) error {
+	if u < 0 || u >= g.n || v < 0 || v >= g.n {
+		return fmt.Errorf("%w: (%d,%d) with n=%d", ErrVertexRange, u, v, g.n)
+	}
+	if u == v {
+		return fmt.Errorf("graph: self-loop at %d", u)
+	}
+	if g.HasEdge(u, v) {
+		return fmt.Errorf("graph: duplicate edge (%d,%d)", u, v)
+	}
+	g.insert(u, int32(v))
+	g.insert(v, int32(u))
+	g.m++
+	return nil
+}
+
+func (g *Graph) insert(u int, v int32) {
+	nb := g.adj[u]
+	i := sort.Search(len(nb), func(i int) bool { return nb[i] >= v })
+	nb = append(nb, 0)
+	copy(nb[i+1:], nb[i:])
+	nb[i] = v
+	g.adj[u] = nb
+}
+
+// RemoveEdge deletes the undirected edge (u, v) if present and reports
+// whether it was removed.
+func (g *Graph) RemoveEdge(u, v int) bool {
+	if !g.HasEdge(u, v) {
+		return false
+	}
+	g.remove(u, int32(v))
+	g.remove(v, int32(u))
+	g.m--
+	return true
+}
+
+func (g *Graph) remove(u int, v int32) {
+	nb := g.adj[u]
+	i := sort.Search(len(nb), func(i int) bool { return nb[i] >= v })
+	copy(nb[i:], nb[i+1:])
+	g.adj[u] = nb[:len(nb)-1]
+}
+
+// HasEdge reports whether the undirected edge (u, v) is present.
+func (g *Graph) HasEdge(u, v int) bool {
+	if u < 0 || u >= g.n || v < 0 || v >= g.n || u == v {
+		return false
+	}
+	nb := g.adj[u]
+	i := sort.Search(len(nb), func(i int) bool { return nb[i] >= int32(v) })
+	return i < len(nb) && nb[i] == int32(v)
+}
+
+// Neighbors returns the sorted neighbor slice of v. The slice is owned by
+// the graph and must not be modified by callers.
+func (g *Graph) Neighbors(v int) []int32 {
+	if v < 0 || v >= g.n {
+		return nil
+	}
+	return g.adj[v]
+}
+
+// Degree returns the degree of v.
+func (g *Graph) Degree(v int) int {
+	if v < 0 || v >= g.n {
+		return 0
+	}
+	return len(g.adj[v])
+}
+
+// MaxDegree returns the maximum degree over all vertices (0 for an empty
+// graph). This is the paper's Δ when applied to the reliable graph G, and Δ'
+// when applied to G'.
+func (g *Graph) MaxDegree() int {
+	maxDeg := 0
+	for _, nb := range g.adj {
+		if len(nb) > maxDeg {
+			maxDeg = len(nb)
+		}
+	}
+	return maxDeg
+}
+
+// MinDegree returns the minimum degree over all vertices (0 for an empty
+// graph).
+func (g *Graph) MinDegree() int {
+	if g.n == 0 {
+		return 0
+	}
+	minDeg := len(g.adj[0])
+	for _, nb := range g.adj[1:] {
+		if len(nb) < minDeg {
+			minDeg = len(nb)
+		}
+	}
+	return minDeg
+}
+
+// AvgDegree returns the average vertex degree.
+func (g *Graph) AvgDegree() float64 {
+	if g.n == 0 {
+		return 0
+	}
+	return 2 * float64(g.m) / float64(g.n)
+}
+
+// Edges calls fn for every undirected edge exactly once, with u < v.
+func (g *Graph) Edges(fn func(u, v int)) {
+	for u, nb := range g.adj {
+		for _, v := range nb {
+			if int(v) > u {
+				fn(u, int(v))
+			}
+		}
+	}
+}
+
+// IsSubgraphOf reports whether every edge of g is also an edge of h and the
+// vertex counts match. This checks the dual graph invariant E ⊆ E'.
+func (g *Graph) IsSubgraphOf(h *Graph) bool {
+	if g.n != h.n {
+		return false
+	}
+	ok := true
+	g.Edges(func(u, v int) {
+		if !h.HasEdge(u, v) {
+			ok = false
+		}
+	})
+	return ok
+}

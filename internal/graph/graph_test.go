@@ -1,0 +1,190 @@
+package graph
+
+import (
+	"errors"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewEmpty(t *testing.T) {
+	g := New(5)
+	if g.N() != 5 || g.M() != 0 {
+		t.Errorf("N=%d M=%d", g.N(), g.M())
+	}
+	if New(-1).N() != 0 {
+		t.Error("negative size should clamp to 0")
+	}
+}
+
+func TestAddEdgeAndHasEdge(t *testing.T) {
+	g := New(4)
+	if err := g.AddEdge(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddEdge(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if !g.HasEdge(0, 1) || !g.HasEdge(1, 0) {
+		t.Error("edge should be undirected")
+	}
+	if g.HasEdge(0, 2) {
+		t.Error("phantom edge")
+	}
+	if g.M() != 2 {
+		t.Errorf("M = %d", g.M())
+	}
+}
+
+func TestAddEdgeErrors(t *testing.T) {
+	g := New(3)
+	if err := g.AddEdge(0, 3); !errors.Is(err, ErrVertexRange) {
+		t.Errorf("out of range: %v", err)
+	}
+	if err := g.AddEdge(-1, 0); !errors.Is(err, ErrVertexRange) {
+		t.Errorf("negative: %v", err)
+	}
+	if err := g.AddEdge(1, 1); err == nil {
+		t.Error("self loop accepted")
+	}
+	if err := g.AddEdge(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddEdge(1, 0); err == nil {
+		t.Error("duplicate accepted")
+	}
+}
+
+func TestNeighborsSorted(t *testing.T) {
+	g := New(6)
+	for _, v := range []int{5, 2, 4, 1} {
+		if err := g.AddEdge(0, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	nb := g.Neighbors(0)
+	for i := 1; i < len(nb); i++ {
+		if nb[i-1] >= nb[i] {
+			t.Fatalf("neighbors not sorted: %v", nb)
+		}
+	}
+	if g.Neighbors(-1) != nil || g.Neighbors(6) != nil {
+		t.Error("out-of-range neighbors should be nil")
+	}
+}
+
+func TestDegreeStats(t *testing.T) {
+	g := New(4)
+	mustEdges(t, g, [][2]int{{0, 1}, {0, 2}, {0, 3}})
+	if g.MaxDegree() != 3 || g.MinDegree() != 1 {
+		t.Errorf("max=%d min=%d", g.MaxDegree(), g.MinDegree())
+	}
+	if got := g.AvgDegree(); got != 1.5 {
+		t.Errorf("avg=%v", got)
+	}
+	if g.Degree(0) != 3 || g.Degree(9) != 0 {
+		t.Error("degree wrong")
+	}
+	empty := New(0)
+	if empty.MaxDegree() != 0 || empty.MinDegree() != 0 || empty.AvgDegree() != 0 {
+		t.Error("empty graph stats should be zero")
+	}
+}
+
+func TestEdgesVisitsEachOnce(t *testing.T) {
+	g := New(5)
+	want := [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {0, 4}}
+	mustEdges(t, g, want)
+	seen := map[[2]int]int{}
+	g.Edges(func(u, v int) {
+		if u >= v {
+			t.Errorf("edge (%d,%d) not ordered", u, v)
+		}
+		seen[[2]int{u, v}]++
+	})
+	if len(seen) != len(want) {
+		t.Errorf("saw %d edges, want %d", len(seen), len(want))
+	}
+	for e, c := range seen {
+		if c != 1 {
+			t.Errorf("edge %v visited %d times", e, c)
+		}
+	}
+}
+
+func TestIsSubgraphOf(t *testing.T) {
+	g := New(4)
+	h := New(4)
+	mustEdges(t, g, [][2]int{{0, 1}})
+	mustEdges(t, h, [][2]int{{0, 1}, {1, 2}})
+	if !g.IsSubgraphOf(h) {
+		t.Error("g should be subgraph of h")
+	}
+	if h.IsSubgraphOf(g) {
+		t.Error("h is not a subgraph of g")
+	}
+	if g.IsSubgraphOf(New(5)) {
+		t.Error("different vertex counts")
+	}
+}
+
+func TestClone(t *testing.T) {
+	g := New(3)
+	mustEdges(t, g, [][2]int{{0, 1}})
+	c := g.Clone()
+	if err := c.AddEdge(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if g.HasEdge(1, 2) {
+		t.Error("clone aliases original")
+	}
+	if !c.HasEdge(0, 1) {
+		t.Error("clone lost edge")
+	}
+}
+
+// TestHasEdgeMatchesModel cross-checks HasEdge against an adjacency-map
+// model under random edge insertions.
+func TestHasEdgeMatchesModel(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 1))
+		n := 2 + rng.IntN(20)
+		g := New(n)
+		model := map[[2]int]bool{}
+		for i := 0; i < 3*n; i++ {
+			u, v := rng.IntN(n), rng.IntN(n)
+			if u == v {
+				continue
+			}
+			if u > v {
+				u, v = v, u
+			}
+			if !model[[2]int{u, v}] {
+				if err := g.AddEdge(u, v); err != nil {
+					return false
+				}
+				model[[2]int{u, v}] = true
+			}
+		}
+		for u := 0; u < n; u++ {
+			for v := u + 1; v < n; v++ {
+				if g.HasEdge(u, v) != model[[2]int{u, v}] {
+					return false
+				}
+			}
+		}
+		return g.M() == len(model)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func mustEdges(t *testing.T, g *Graph, edges [][2]int) {
+	t.Helper()
+	for _, e := range edges {
+		if err := g.AddEdge(e[0], e[1]); err != nil {
+			t.Fatalf("add edge %v: %v", e, err)
+		}
+	}
+}

@@ -1,0 +1,217 @@
+package graph
+
+// Connected reports whether the graph is connected. The empty graph and the
+// single-vertex graph are considered connected.
+func (g *Graph) Connected() bool {
+	if g.n <= 1 {
+		return true
+	}
+	return g.componentSize(0) == g.n
+}
+
+// ConnectedSubset reports whether the vertices marked true in member induce a
+// connected subgraph of g. An empty subset is considered connected.
+func (g *Graph) ConnectedSubset(member []bool) bool {
+	start := -1
+	total := 0
+	for v, in := range member {
+		if in {
+			total++
+			if start < 0 {
+				start = v
+			}
+		}
+	}
+	if total <= 1 {
+		return true
+	}
+	visited := make([]bool, g.n)
+	stack := []int{start}
+	visited[start] = true
+	seen := 1
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, w := range g.adj[v] {
+			wi := int(w)
+			if member[wi] && !visited[wi] {
+				visited[wi] = true
+				seen++
+				stack = append(stack, wi)
+			}
+		}
+	}
+	return seen == total
+}
+
+func (g *Graph) componentSize(start int) int {
+	visited := make([]bool, g.n)
+	stack := []int{start}
+	visited[start] = true
+	size := 1
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, w := range g.adj[v] {
+			if !visited[w] {
+				visited[w] = true
+				size++
+				stack = append(stack, int(w))
+			}
+		}
+	}
+	return size
+}
+
+// Components returns the connected components of g as slices of vertex
+// indices, each sorted ascending, ordered by their smallest vertex.
+func (g *Graph) Components() [][]int {
+	visited := make([]bool, g.n)
+	var comps [][]int
+	for s := 0; s < g.n; s++ {
+		if visited[s] {
+			continue
+		}
+		var comp []int
+		stack := []int{s}
+		visited[s] = true
+		for len(stack) > 0 {
+			v := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			comp = append(comp, v)
+			for _, w := range g.adj[v] {
+				if !visited[w] {
+					visited[w] = true
+					stack = append(stack, int(w))
+				}
+			}
+		}
+		sortInts(comp)
+		comps = append(comps, comp)
+	}
+	return comps
+}
+
+func sortInts(a []int) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}
+
+// BFS returns the hop distance from start to every vertex, with -1 for
+// unreachable vertices.
+func (g *Graph) BFS(start int) []int {
+	dist := make([]int, g.n)
+	for i := range dist {
+		dist[i] = -1
+	}
+	if start < 0 || start >= g.n {
+		return dist
+	}
+	dist[start] = 0
+	queue := []int{start}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, w := range g.adj[v] {
+			if dist[w] < 0 {
+				dist[w] = dist[v] + 1
+				queue = append(queue, int(w))
+			}
+		}
+	}
+	return dist
+}
+
+// HopDistance returns the number of hops between u and v, or -1 when v is
+// unreachable from u.
+func (g *Graph) HopDistance(u, v int) int {
+	if u == v {
+		return 0
+	}
+	dist := g.BFS(u)
+	if v < 0 || v >= g.n {
+		return -1
+	}
+	return dist[v]
+}
+
+// Diameter returns the largest finite hop distance in the graph, or -1 when
+// the graph is disconnected or empty.
+func (g *Graph) Diameter() int {
+	if g.n == 0 {
+		return -1
+	}
+	diam := 0
+	for v := 0; v < g.n; v++ {
+		dist := g.BFS(v)
+		for _, d := range dist {
+			if d < 0 {
+				return -1
+			}
+			if d > diam {
+				diam = d
+			}
+		}
+	}
+	return diam
+}
+
+// WithinHops returns the set of vertices within h hops of start (including
+// start itself), as a sorted slice.
+func (g *Graph) WithinHops(start, h int) []int {
+	dist := g.BFS(start)
+	var out []int
+	for v, d := range dist {
+		if d >= 0 && d <= h {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// ShortestPath returns one shortest path from u to v inclusive of both
+// endpoints, or nil when unreachable.
+func (g *Graph) ShortestPath(u, v int) []int {
+	if u < 0 || u >= g.n || v < 0 || v >= g.n {
+		return nil
+	}
+	if u == v {
+		return []int{u}
+	}
+	prev := make([]int, g.n)
+	for i := range prev {
+		prev[i] = -1
+	}
+	prev[u] = u
+	queue := []int{u}
+	for len(queue) > 0 {
+		x := queue[0]
+		queue = queue[1:]
+		for _, w := range g.adj[x] {
+			wi := int(w)
+			if prev[wi] < 0 {
+				prev[wi] = x
+				if wi == v {
+					queue = nil
+					break
+				}
+				queue = append(queue, wi)
+			}
+		}
+	}
+	if prev[v] < 0 {
+		return nil
+	}
+	var rev []int
+	for x := v; x != u; x = prev[x] {
+		rev = append(rev, x)
+	}
+	rev = append(rev, u)
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev
+}

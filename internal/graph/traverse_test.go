@@ -1,0 +1,196 @@
+package graph
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func path(t *testing.T, n int) *Graph {
+	t.Helper()
+	g := New(n)
+	for i := 0; i+1 < n; i++ {
+		if err := g.AddEdge(i, i+1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return g
+}
+
+func TestConnected(t *testing.T) {
+	if !New(0).Connected() || !New(1).Connected() {
+		t.Error("trivial graphs are connected")
+	}
+	g := path(t, 5)
+	if !g.Connected() {
+		t.Error("path should be connected")
+	}
+	d := New(4)
+	mustEdges(t, d, [][2]int{{0, 1}, {2, 3}})
+	if d.Connected() {
+		t.Error("two components reported connected")
+	}
+}
+
+func TestConnectedSubset(t *testing.T) {
+	g := path(t, 6)
+	if !g.ConnectedSubset([]bool{true, true, true, false, false, false}) {
+		t.Error("prefix of a path is connected")
+	}
+	if g.ConnectedSubset([]bool{true, false, true, false, false, false}) {
+		t.Error("gap should disconnect the subset")
+	}
+	if !g.ConnectedSubset(make([]bool, 6)) {
+		t.Error("empty subset is connected")
+	}
+	if !g.ConnectedSubset([]bool{false, false, true, false, false, false}) {
+		t.Error("singleton subset is connected")
+	}
+}
+
+func TestComponents(t *testing.T) {
+	g := New(6)
+	mustEdges(t, g, [][2]int{{0, 1}, {1, 2}, {4, 5}})
+	comps := g.Components()
+	if len(comps) != 3 {
+		t.Fatalf("components = %v", comps)
+	}
+	if len(comps[0]) != 3 || comps[0][0] != 0 {
+		t.Errorf("first component = %v", comps[0])
+	}
+	if len(comps[1]) != 1 || comps[1][0] != 3 {
+		t.Errorf("singleton component = %v", comps[1])
+	}
+}
+
+func TestBFSAndHopDistance(t *testing.T) {
+	g := path(t, 5)
+	dist := g.BFS(0)
+	for v, d := range dist {
+		if d != v {
+			t.Errorf("dist[%d] = %d", v, d)
+		}
+	}
+	if g.HopDistance(0, 4) != 4 || g.HopDistance(2, 2) != 0 {
+		t.Error("hop distances wrong")
+	}
+	d := New(3)
+	mustEdges(t, d, [][2]int{{0, 1}})
+	if d.HopDistance(0, 2) != -1 {
+		t.Error("unreachable should be -1")
+	}
+}
+
+func TestDiameter(t *testing.T) {
+	if got := path(t, 5).Diameter(); got != 4 {
+		t.Errorf("path diameter = %d", got)
+	}
+	d := New(4)
+	mustEdges(t, d, [][2]int{{0, 1}})
+	if d.Diameter() != -1 {
+		t.Error("disconnected diameter should be -1")
+	}
+	if New(0).Diameter() != -1 {
+		t.Error("empty diameter should be -1")
+	}
+}
+
+func TestWithinHops(t *testing.T) {
+	g := path(t, 7)
+	got := g.WithinHops(3, 2)
+	want := []int{1, 2, 3, 4, 5}
+	if len(got) != len(want) {
+		t.Fatalf("within 2 hops of 3: %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("within hops = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestShortestPath(t *testing.T) {
+	g := New(6)
+	mustEdges(t, g, [][2]int{{0, 1}, {1, 2}, {2, 5}, {0, 3}, {3, 4}, {4, 5}})
+	p := g.ShortestPath(0, 5)
+	if len(p) != 4 || p[0] != 0 || p[len(p)-1] != 5 {
+		t.Errorf("path = %v", p)
+	}
+	for i := 1; i < len(p); i++ {
+		if !g.HasEdge(p[i-1], p[i]) {
+			t.Errorf("path uses missing edge (%d,%d)", p[i-1], p[i])
+		}
+	}
+	if g.ShortestPath(0, 0)[0] != 0 {
+		t.Error("trivial path")
+	}
+	d := New(3)
+	if d.ShortestPath(0, 2) != nil {
+		t.Error("unreachable path should be nil")
+	}
+}
+
+// TestShortestPathMatchesBFS verifies path lengths equal BFS distances on
+// random graphs.
+func TestShortestPathMatchesBFS(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 2))
+		n := 3 + rng.IntN(15)
+		g := New(n)
+		for i := 0; i < 2*n; i++ {
+			u, v := rng.IntN(n), rng.IntN(n)
+			if u != v && !g.HasEdge(u, v) {
+				if err := g.AddEdge(u, v); err != nil {
+					return false
+				}
+			}
+		}
+		dist := g.BFS(0)
+		for v := 0; v < n; v++ {
+			p := g.ShortestPath(0, v)
+			switch {
+			case dist[v] < 0 && p != nil:
+				return false
+			case dist[v] >= 0 && len(p) != dist[v]+1:
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestComponentsPartition verifies components partition the vertex set.
+func TestComponentsPartition(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 3))
+		n := 1 + rng.IntN(20)
+		g := New(n)
+		for i := 0; i < n; i++ {
+			u, v := rng.IntN(n), rng.IntN(n)
+			if u != v && !g.HasEdge(u, v) {
+				_ = g.AddEdge(u, v)
+			}
+		}
+		seen := make([]bool, n)
+		for _, comp := range g.Components() {
+			for _, v := range comp {
+				if seen[v] {
+					return false
+				}
+				seen[v] = true
+			}
+		}
+		for _, s := range seen {
+			if !s {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

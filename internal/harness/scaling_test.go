@@ -1,0 +1,64 @@
+package harness_test
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"dualradio/internal/adversary"
+	"dualradio/internal/detector"
+	"dualradio/internal/dualgraph"
+	"dualradio/internal/gen"
+	"dualradio/internal/harness"
+	"dualradio/internal/verify"
+)
+
+// TestCCDSDegreeBoundedAcrossN is the defining "constant-bounded" check:
+// the maximum number of CCDS members adjacent to any node in G' must not
+// grow with n (condition 4 of the Section 3 CCDS definition). Geometry and
+// degree are held fixed while n doubles twice; the realized bound may
+// fluctuate but must stay within a fixed band rather than scale with n.
+func TestCCDSDegreeBoundedAcrossN(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scaling test")
+	}
+	maxDegAt := func(n int) float64 {
+		total := 0.0
+		runs := 3
+		for seed := uint64(1); seed <= uint64(runs); seed++ {
+			rng := rand.New(rand.NewPCG(seed, uint64(n)))
+			net, err := gen.RandomGeometric(gen.GeometricConfig{
+				N:            n,
+				TargetDegree: 18, // fixed local density across sizes
+			}, rng)
+			if err != nil {
+				t.Fatalf("n=%d: %v", n, err)
+			}
+			asg := dualgraph.RandomAssignment(n, rng)
+			det := detector.Complete(net, asg)
+			s := &harness.Scenario{
+				Net: net, Asg: asg, Det: det,
+				Adv:  adversary.NewCollisionSeeking(net),
+				Seed: seed,
+				B:    1024,
+			}
+			out, err := s.RunCCDS()
+			if err != nil {
+				t.Fatalf("n=%d: %v", n, err)
+			}
+			h := detector.BuildH(net, asg, det)
+			if rep := verify.CCDS(net, h, out.Outputs, 0); !rep.OK() {
+				t.Fatalf("n=%d seed=%d: %v", n, seed, rep.Err())
+			}
+			total += float64(verify.MaxCCDSDegree(net, out.Outputs))
+		}
+		return total / float64(runs)
+	}
+	small := maxDegAt(80)
+	large := maxDegAt(320)
+	t.Logf("mean max CCDS degree: n=80 -> %.1f, n=320 -> %.1f", small, large)
+	// A 4x larger network must not have a meaningfully larger backbone
+	// degree; allow 50% slack for noise.
+	if large > 1.5*small {
+		t.Errorf("backbone degree grows with n: %.1f -> %.1f", small, large)
+	}
+}

@@ -1,0 +1,90 @@
+package harness_test
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"dualradio/internal/adversary"
+	"dualradio/internal/detector"
+	"dualradio/internal/dualgraph"
+	"dualradio/internal/gen"
+	"dualradio/internal/harness"
+	"dualradio/internal/verify"
+)
+
+// TestMISStressManySeeds measures the empirical w.h.p. behavior of the MIS
+// under the collision-seeking adversary: every run must satisfy all three
+// MIS conditions. Default parameters are calibrated to make this pass.
+func TestMISStressManySeeds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test")
+	}
+	for _, n := range []int{64, 128, 256} {
+		failures := 0
+		runs := 20
+		for seed := uint64(0); seed < uint64(runs); seed++ {
+			rng := rand.New(rand.NewPCG(seed, 99))
+			net, err := gen.RandomGeometric(gen.GeometricConfig{N: n}, rng)
+			if err != nil {
+				t.Fatalf("n=%d seed=%d: %v", n, seed, err)
+			}
+			asg := dualgraph.RandomAssignment(n, rng)
+			det := detector.Complete(net, asg)
+			s := &harness.Scenario{
+				Net: net, Asg: asg, Det: det,
+				Adv:  adversary.NewCollisionSeeking(net),
+				Seed: seed,
+			}
+			out, err := s.RunMIS()
+			if err != nil {
+				t.Fatalf("n=%d seed=%d: %v", n, seed, err)
+			}
+			h := detector.BuildH(net, asg, det)
+			if rep := verify.MIS(net, h, out.Outputs); !rep.OK() {
+				failures++
+				t.Logf("n=%d seed=%d: %v", n, seed, rep.Err())
+			}
+		}
+		if failures > 0 {
+			t.Errorf("n=%d: %d/%d runs violated MIS conditions", n, failures, runs)
+		}
+	}
+}
+
+// TestCCDSStressManySeeds does the same for the full CCDS pipeline.
+func TestCCDSStressManySeeds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test")
+	}
+	for _, n := range []int{64, 128} {
+		failures := 0
+		runs := 10
+		for seed := uint64(0); seed < uint64(runs); seed++ {
+			rng := rand.New(rand.NewPCG(seed, 7))
+			net, err := gen.RandomGeometric(gen.GeometricConfig{N: n}, rng)
+			if err != nil {
+				t.Fatalf("n=%d seed=%d: %v", n, seed, err)
+			}
+			asg := dualgraph.RandomAssignment(n, rng)
+			det := detector.Complete(net, asg)
+			s := &harness.Scenario{
+				Net: net, Asg: asg, Det: det,
+				Adv:  adversary.NewCollisionSeeking(net),
+				Seed: seed,
+				B:    512,
+			}
+			out, err := s.RunCCDS()
+			if err != nil {
+				t.Fatalf("n=%d seed=%d: %v", n, seed, err)
+			}
+			h := detector.BuildH(net, asg, det)
+			if rep := verify.CCDS(net, h, out.Outputs, 0); !rep.OK() {
+				failures++
+				t.Logf("n=%d seed=%d: %v", n, seed, rep.Err())
+			}
+		}
+		if failures > 0 {
+			t.Errorf("n=%d: %d/%d runs violated CCDS conditions", n, failures, runs)
+		}
+	}
+}

@@ -1,0 +1,136 @@
+package hitting
+
+import (
+	"math/rand/v2"
+
+	"dualradio/internal/adversary"
+	"dualradio/internal/core"
+	"dualradio/internal/detector"
+	"dualradio/internal/dualgraph"
+	"dualradio/internal/gen"
+	"dualradio/internal/harness"
+	"dualradio/internal/sim"
+	"dualradio/internal/verify"
+)
+
+// BridgeResult reports one CCDS execution on the two-clique bridge network
+// (the Lemma 7.2 construction) against the clique-isolating adversary.
+type BridgeResult struct {
+	// Beta is the clique size β (so Δ = β and n = 2β).
+	Beta int
+	// Rounds is the execution length.
+	Rounds int
+	// FirstCrossing is the first round in which information crossed the
+	// bridge — a bridge endpoint broadcast alone network-wide and was
+	// received by the far endpoint — or -1 if it never happened. This is
+	// the "hitting" event of the reduction; Theorem 7.1 implies its
+	// expectation grows as Ω(β).
+	FirstCrossing int
+	// Solved reports whether the execution produced a valid CCDS
+	// (including both bridge endpoints, as connectivity + domination
+	// force).
+	Solved bool
+	// BridgeInCCDS reports whether both bridge endpoints output 1.
+	BridgeInCCDS bool
+}
+
+// crossObserver watches deliveries across the bridge.
+type crossObserver struct {
+	bridgeA, bridgeB int
+	idA, idB         int
+	first            int
+}
+
+var _ sim.Observer = (*crossObserver)(nil)
+
+func (o *crossObserver) OnRound(round int, _ []int, delivered []sim.Delivery) {
+	if o.first >= 0 {
+		return
+	}
+	for _, d := range delivered {
+		if (d.To == o.bridgeB && d.Msg.From() == o.idA) ||
+			(d.To == o.bridgeA && d.Msg.From() == o.idB) {
+			o.first = round
+			return
+		}
+	}
+}
+
+// RunBridgeCCDS executes the Section 6 τ-CCDS algorithm (τ = 1) on the
+// two-clique bridge network with the 1-complete detectors from the Lemma 7.2
+// simulation and the clique-isolating adversary, and reports when
+// information first crossed the bridge.
+func RunBridgeCCDS(beta int, seed uint64, params core.Params, b int) (*BridgeResult, error) {
+	rng := rand.New(rand.NewPCG(seed, 0xB21D6E))
+	net, meta, err := gen.BridgeCliques(beta, rng)
+	if err != nil {
+		return nil, err
+	}
+	asg := dualgraph.RandomAssignment(net.N(), rng)
+	det := gen.BridgeDetectors(net, asg, meta)
+	obs := &crossObserver{
+		bridgeA: meta.BridgeA,
+		bridgeB: meta.BridgeB,
+		idA:     asg.ID(meta.BridgeA),
+		idB:     asg.ID(meta.BridgeB),
+		first:   -1,
+	}
+	s := &harness.Scenario{
+		Net:      net,
+		Asg:      asg,
+		Det:      det,
+		Adv:      adversary.NewCliqueIsolating(net, meta.BridgeA, meta.BridgeB),
+		Params:   params,
+		Seed:     seed,
+		B:        b,
+		Observer: obs,
+	}
+	out, err := s.RunTauCCDS(1)
+	if err != nil {
+		return nil, err
+	}
+	h := detector.BuildH(net, asg, det)
+	rep := verify.CCDS(net, h, out.Outputs, 0)
+	return &BridgeResult{
+		Beta:          beta,
+		Rounds:        out.Rounds,
+		FirstCrossing: obs.first,
+		Solved:        rep.OK(),
+		BridgeInCCDS:  out.Outputs[meta.BridgeA] == 1 && out.Outputs[meta.BridgeB] == 1,
+	}, nil
+}
+
+// RunBridgeFastCCDS executes the Section 5 banned-list CCDS on the same
+// two-clique topology but with 0-complete detectors — the other side of the
+// separation: with perfect link classification the problem is polylog for
+// large b, independent of β.
+func RunBridgeFastCCDS(beta int, seed uint64, params core.Params, b int) (*BridgeResult, error) {
+	rng := rand.New(rand.NewPCG(seed, 0xFA57))
+	net, meta, err := gen.BridgeCliques(beta, rng)
+	if err != nil {
+		return nil, err
+	}
+	asg := dualgraph.RandomAssignment(net.N(), rng)
+	det := detector.Complete(net, asg)
+	s := &harness.Scenario{
+		Net:    net,
+		Asg:    asg,
+		Det:    det,
+		Adv:    adversary.NewCliqueIsolating(net, meta.BridgeA, meta.BridgeB),
+		Params: params,
+		Seed:   seed,
+		B:      b,
+	}
+	out, err := s.RunCCDS()
+	if err != nil {
+		return nil, err
+	}
+	h := detector.BuildH(net, asg, det)
+	rep := verify.CCDS(net, h, out.Outputs, 0)
+	return &BridgeResult{
+		Beta:         beta,
+		Rounds:       out.Rounds,
+		Solved:       rep.OK(),
+		BridgeInCCDS: out.Outputs[meta.BridgeA] == 1 && out.Outputs[meta.BridgeB] == 1,
+	}, nil
+}

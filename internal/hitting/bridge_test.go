@@ -1,0 +1,66 @@
+package hitting_test
+
+import (
+	"testing"
+
+	"dualradio/internal/core"
+	"dualradio/internal/hitting"
+)
+
+// TestBridgeCCDSSolvesAndCrosses: the τ=1 algorithm on the lower-bound
+// network must still produce a valid CCDS (Theorem 6.2 applies), and the
+// bridge endpoints must end up in it — which requires the crossing event.
+func TestBridgeCCDSSolvesAndCrosses(t *testing.T) {
+	for seed := uint64(1); seed <= 3; seed++ {
+		res, err := hitting.RunBridgeCCDS(8, seed, core.DefaultParams(), 1<<16)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if !res.Solved {
+			t.Errorf("seed %d: CCDS invalid on bridge network", seed)
+		}
+		if !res.BridgeInCCDS {
+			t.Errorf("seed %d: bridge endpoints missing from CCDS", seed)
+		}
+		if res.FirstCrossing < 0 {
+			t.Errorf("seed %d: information never crossed the bridge", seed)
+		}
+	}
+}
+
+// TestBridgeCrossingGrowsWithBeta: the hitting event arrives later on larger
+// cliques — the empirical content of Theorem 7.1.
+func TestBridgeCrossingGrowsWithBeta(t *testing.T) {
+	mean := func(beta int) float64 {
+		total := 0.0
+		runs := 3
+		for seed := uint64(1); seed <= uint64(runs); seed++ {
+			res, err := hitting.RunBridgeCCDS(beta, seed, core.DefaultParams(), 1<<16)
+			if err != nil {
+				t.Fatalf("beta %d: %v", beta, err)
+			}
+			cross := res.FirstCrossing
+			if cross < 0 {
+				cross = res.Rounds
+			}
+			total += float64(cross)
+		}
+		return total / float64(runs)
+	}
+	small, large := mean(8), mean(32)
+	if large <= small {
+		t.Errorf("crossing time should grow with β: β=8 %.0f vs β=32 %.0f", small, large)
+	}
+}
+
+// TestBridgeFastCCDSSolves: with 0-complete detectors the banned-list
+// algorithm solves the same topology.
+func TestBridgeFastCCDSSolves(t *testing.T) {
+	res, err := hitting.RunBridgeFastCCDS(16, 1, core.DefaultParams(), 1<<16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Solved || !res.BridgeInCCDS {
+		t.Errorf("fast CCDS failed: solved=%v bridge=%v", res.Solved, res.BridgeInCCDS)
+	}
+}

@@ -1,0 +1,253 @@
+// Package hitting implements the abstract games of the paper's Section 7
+// lower bound: the β-single hitting game, the β-double hitting game, the
+// Lemma 7.3 reduction from double to single, and the direct network
+// experiment corresponding to Lemma 7.2 (a CCDS algorithm running on the
+// two-clique bridge network against the clique-isolating adversary).
+//
+// The chain of transformations shows that any CCDS algorithm with a
+// 1-complete link detector yields a single-hitting-game player, and the
+// single hitting game — identify an arbitrary element of [β] by guessing
+// one value per round — requires Ω(β) rounds w.h.p. (Theorem 7.1).
+package hitting
+
+import (
+	"errors"
+	"math/rand/v2"
+)
+
+// SinglePlayer is a probabilistic automaton for the β-single hitting game:
+// each round it outputs one guess from [1, β]. It has no feedback — the
+// execution unfolds independently of the target.
+type SinglePlayer interface {
+	// Guess returns the player's guess for the given round (1-based
+	// values in [1, β]).
+	Guess(round int) int
+}
+
+// PlaySingle runs the single hitting game: the player guesses once per round
+// until it hits target or maxRounds elapse. It returns the number of rounds
+// used and whether the target was hit.
+func PlaySingle(p SinglePlayer, target, maxRounds int) (int, bool) {
+	for r := 1; r <= maxRounds; r++ {
+		if p.Guess(r) == target {
+			return r, true
+		}
+	}
+	return maxRounds, false
+}
+
+// RandomSingle guesses uniformly at random: the canonical Θ(β) player.
+type RandomSingle struct {
+	Beta int
+	Rng  *rand.Rand
+}
+
+var _ SinglePlayer = (*RandomSingle)(nil)
+
+// Guess implements SinglePlayer.
+func (p *RandomSingle) Guess(int) int { return 1 + p.Rng.IntN(p.Beta) }
+
+// SweepSingle guesses 1, 2, ..., β cyclically — the optimal deterministic
+// player, still Θ(β) in the worst case.
+type SweepSingle struct {
+	Beta int
+}
+
+var _ SinglePlayer = (*SweepSingle)(nil)
+
+// Guess implements SinglePlayer.
+func (p *SweepSingle) Guess(round int) int { return 1 + (round-1)%p.Beta }
+
+// DoublePlayer is one automaton of the β-double hitting game. The adversary
+// picks targets tA, tB ∈ [β]; player A receives tB as input and must output
+// tA (and symmetrically for B). The two players cannot communicate after
+// receiving their inputs.
+type DoublePlayer interface {
+	// Start resets the player for a new game with the given range bound
+	// and input (the other player's target).
+	Start(beta, input int, rng *rand.Rand)
+	// Guess returns the player's guess for the given round, or 0 to pass.
+	Guess(round int) int
+}
+
+// PlayDouble runs the double hitting game until either player hits its
+// target or maxRounds elapse. rngA and rngB seed the players' private
+// randomness.
+func PlayDouble(pa, pb DoublePlayer, beta, tA, tB, maxRounds int, rngA, rngB *rand.Rand) (int, bool) {
+	pa.Start(beta, tB, rngA)
+	pb.Start(beta, tA, rngB)
+	for r := 1; r <= maxRounds; r++ {
+		if pa.Guess(r) == tA || pb.Guess(r) == tB {
+			return r, true
+		}
+	}
+	return maxRounds, false
+}
+
+// RandomDouble guesses uniformly, ignoring its input.
+type RandomDouble struct {
+	beta int
+	rng  *rand.Rand
+}
+
+var _ DoublePlayer = (*RandomDouble)(nil)
+
+// Start implements DoublePlayer.
+func (p *RandomDouble) Start(beta, _ int, rng *rand.Rand) {
+	p.beta = beta
+	p.rng = rng
+}
+
+// Guess implements DoublePlayer.
+func (p *RandomDouble) Guess(int) int { return 1 + p.rng.IntN(p.beta) }
+
+// OffsetDouble sweeps the range starting from an offset derived from its
+// input — a simple cooperative strategy exploiting the exchanged inputs
+// (the kind of subtlety that makes the Lemma 7.3 reduction non-trivial).
+type OffsetDouble struct {
+	beta  int
+	input int
+}
+
+var _ DoublePlayer = (*OffsetDouble)(nil)
+
+// Start implements DoublePlayer.
+func (p *OffsetDouble) Start(beta, input int, _ *rand.Rand) {
+	p.beta = beta
+	p.input = input
+}
+
+// Guess implements DoublePlayer.
+func (p *OffsetDouble) Guess(round int) int {
+	return 1 + (p.input+round-1)%p.beta
+}
+
+// ErrNoMajority is returned when the Lemma 7.3 winner table has neither a
+// column with β A-wins nor a row with β B-wins, which cannot happen for
+// players that actually solve the double hitting game w.h.p.
+var ErrNoMajority = errors.New("hitting: winner table has no majority column or row")
+
+// ReducedSingle is the single-hitting player Lemma 7.3 constructs from a
+// pair of double-hitting players. It simulates the winning automaton with a
+// fixed input and maps its guesses through the bijection ψ.
+type ReducedSingle struct {
+	inner DoublePlayer
+	psi   map[int]int // S_y value -> [1, β]
+}
+
+var _ SinglePlayer = (*ReducedSingle)(nil)
+
+// Guess implements SinglePlayer.
+func (p *ReducedSingle) Guess(round int) int {
+	g := p.inner.Guess(round)
+	if mapped, ok := p.psi[g]; ok {
+		return mapped
+	}
+	return 0
+}
+
+// PsiInverse returns the value in S_y that ψ maps to target — used by tests
+// to drive the simulated game.
+func (p *ReducedSingle) PsiInverse(target int) int {
+	for x, t := range p.psi {
+		if t == target {
+			return x
+		}
+	}
+	return 0
+}
+
+// BuildReduction performs the Lemma 7.3 construction empirically: it plays
+// every target pair (x, y) ∈ [2β]² for `trials` trials of `horizon` rounds,
+// tabulating which player reliably wins, then finds a column y with at least
+// β A-winners (or a row x with β B-winners, by symmetry) and returns the
+// single-hitting player that simulates the winner with that fixed input.
+//
+// newA and newB construct fresh player instances; seed derives all game
+// randomness.
+func BuildReduction(newA, newB func() DoublePlayer, beta2, horizon, trials int, seed uint64) (*ReducedSingle, error) {
+	if beta2%2 != 0 {
+		return nil, errors.New("hitting: the reduction needs an even range 2β")
+	}
+	beta := beta2 / 2
+	// winner[x][y] = true when player A reliably outputs tA=x given input
+	// y within the horizon.
+	aWins := make([][]bool, beta2+1)
+	bWins := make([][]bool, beta2+1)
+	for x := 1; x <= beta2; x++ {
+		aWins[x] = make([]bool, beta2+1)
+		bWins[x] = make([]bool, beta2+1)
+		for y := 1; y <= beta2; y++ {
+			aOK, bOK := winnersFor(newA, newB, beta2, x, y, horizon, trials, seed)
+			aWins[x][y] = aOK
+			bWins[x][y] = bOK
+		}
+	}
+	// A column y with at least β A-wins.
+	for y := 1; y <= beta2; y++ {
+		var sy []int
+		for x := 1; x <= beta2; x++ {
+			if aWins[x][y] {
+				sy = append(sy, x)
+			}
+		}
+		if len(sy) >= beta {
+			inner := newA()
+			inner.Start(beta2, y, rand.New(rand.NewPCG(seed, 0xA11CE)))
+			psi := make(map[int]int, beta)
+			for i, x := range sy[:beta] {
+				psi[x] = i + 1
+			}
+			return &ReducedSingle{inner: inner, psi: psi}, nil
+		}
+	}
+	// Symmetric: a row x with at least β B-wins.
+	for x := 1; x <= beta2; x++ {
+		var sx []int
+		for y := 1; y <= beta2; y++ {
+			if bWins[x][y] {
+				sx = append(sx, y)
+			}
+		}
+		if len(sx) >= beta {
+			inner := newB()
+			inner.Start(beta2, x, rand.New(rand.NewPCG(seed, 0xB0B)))
+			psi := make(map[int]int, beta)
+			for i, y := range sx[:beta] {
+				psi[y] = i + 1
+			}
+			return &ReducedSingle{inner: inner, psi: psi}, nil
+		}
+	}
+	return nil, ErrNoMajority
+}
+
+// winnersFor estimates which player reliably hits its target for the pair
+// (tA=x with input y to A; tB=y with input x to B).
+func winnersFor(newA, newB func() DoublePlayer, beta2, x, y, horizon, trials int, seed uint64) (aOK, bOK bool) {
+	aHits, bHits := 0, 0
+	for trial := 0; trial < trials; trial++ {
+		base := seed + uint64(trial)*1000003
+		pa := newA()
+		pb := newB()
+		pa.Start(beta2, y, rand.New(rand.NewPCG(base, uint64(x)<<32|uint64(y))))
+		pb.Start(beta2, x, rand.New(rand.NewPCG(base, uint64(y)<<32|uint64(x))))
+		aHit, bHit := false, false
+		for r := 1; r <= horizon && !aHit && !bHit; r++ {
+			if pa.Guess(r) == x {
+				aHit = true
+			}
+			if pb.Guess(r) == y {
+				bHit = true
+			}
+		}
+		if aHit {
+			aHits++
+		}
+		if bHit {
+			bHits++
+		}
+	}
+	need := (trials + 1) / 2
+	return aHits >= need, bHits >= need
+}

@@ -1,0 +1,97 @@
+package hitting_test
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"dualradio/internal/hitting"
+)
+
+func TestSweepSingleHitsExactly(t *testing.T) {
+	beta := 32
+	p := &hitting.SweepSingle{Beta: beta}
+	for target := 1; target <= beta; target++ {
+		rounds, ok := hitting.PlaySingle(p, target, beta)
+		if !ok || rounds != target {
+			t.Errorf("target %d: rounds=%d ok=%v", target, rounds, ok)
+		}
+	}
+}
+
+func TestPlaySingleTimesOut(t *testing.T) {
+	p := &hitting.SweepSingle{Beta: 8}
+	if _, ok := hitting.PlaySingle(p, 100, 20); ok {
+		t.Error("impossible target reported hit")
+	}
+}
+
+// TestRandomSingleMeanIsBeta verifies the Θ(β) behavior: the geometric mean
+// hitting time of the uniform guesser concentrates near β.
+func TestRandomSingleMeanIsBeta(t *testing.T) {
+	beta := 64
+	rng := rand.New(rand.NewPCG(1, 1))
+	total := 0
+	trials := 400
+	for i := 0; i < trials; i++ {
+		p := &hitting.RandomSingle{Beta: beta, Rng: rng}
+		target := 1 + rng.IntN(beta)
+		r, ok := hitting.PlaySingle(p, target, beta*100)
+		if !ok {
+			t.Fatal("uniform guesser timed out at 100β rounds")
+		}
+		total += r
+	}
+	mean := float64(total) / float64(trials)
+	if mean < float64(beta)*0.7 || mean > float64(beta)*1.4 {
+		t.Errorf("mean hitting time %.1f, want ≈ β = %d", mean, beta)
+	}
+}
+
+func TestPlayDoubleOffsetPlayersSolve(t *testing.T) {
+	beta := 16
+	rngA := rand.New(rand.NewPCG(1, 2))
+	rngB := rand.New(rand.NewPCG(3, 4))
+	for tA := 1; tA <= beta; tA++ {
+		for tB := 1; tB <= beta; tB++ {
+			r, ok := hitting.PlayDouble(&hitting.OffsetDouble{}, &hitting.OffsetDouble{},
+				beta, tA, tB, beta, rngA, rngB)
+			if !ok {
+				t.Fatalf("offset players failed at (%d,%d)", tA, tB)
+			}
+			if r > beta {
+				t.Fatalf("offset players needed %d > β rounds", r)
+			}
+		}
+	}
+}
+
+// TestReductionSolvesSingleGame verifies Lemma 7.3 end to end: the player
+// constructed from a working double-hitting pair solves the single hitting
+// game for every target within a constant-factor horizon.
+func TestReductionSolvesSingleGame(t *testing.T) {
+	f := func(seed uint64, betaRaw uint8) bool {
+		beta := 4 + int(betaRaw%12)
+		newPlayer := func() hitting.DoublePlayer { return &hitting.OffsetDouble{} }
+		single, err := hitting.BuildReduction(newPlayer, newPlayer, 2*beta, 2*beta, 3, seed)
+		if err != nil {
+			return false
+		}
+		for target := 1; target <= beta; target++ {
+			if _, ok := hitting.PlaySingle(single, target, 8*beta); !ok {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBuildReductionRejectsOddRange(t *testing.T) {
+	newPlayer := func() hitting.DoublePlayer { return &hitting.OffsetDouble{} }
+	if _, err := hitting.BuildReduction(newPlayer, newPlayer, 7, 7, 1, 1); err == nil {
+		t.Error("odd range accepted")
+	}
+}

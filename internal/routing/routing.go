@@ -1,0 +1,106 @@
+// Package routing quantifies the paper's motivation for the CCDS (Section
+// 1): a connected dominating set with constant degree serves as a routing
+// backbone that moves information through the network with far fewer
+// transmissions than naive flooding. The package compares broadcast by
+// full flooding against broadcast relayed only by backbone members.
+package routing
+
+import (
+	"errors"
+
+	"dualradio/internal/graph"
+)
+
+// ErrNotDominating is returned when the supposed backbone fails to cover
+// the network, so backbone broadcast cannot reach every node.
+var ErrNotDominating = errors.New("routing: backbone does not dominate the graph")
+
+// Broadcast summarizes one network-wide dissemination.
+type Broadcast struct {
+	// Transmissions is the number of nodes that relayed the message.
+	Transmissions int
+	// Latency is the number of hops until the last node received it.
+	Latency int
+	// Reached is the number of nodes that received the message.
+	Reached int
+}
+
+// Flood disseminates from src with every node retransmitting once: the
+// baseline strategy. Latency is the eccentricity of src.
+func Flood(g *graph.Graph, src int) (Broadcast, error) {
+	if src < 0 || src >= g.N() {
+		return Broadcast{}, errors.New("routing: source out of range")
+	}
+	dist := g.BFS(src)
+	b := Broadcast{}
+	for _, d := range dist {
+		if d < 0 {
+			continue
+		}
+		b.Reached++
+		if d > b.Latency {
+			b.Latency = d
+		}
+	}
+	// Every reached node except the leaves at maximum distance relays; in
+	// classic flooding every node transmits once upon first reception.
+	b.Transmissions = b.Reached
+	return b, nil
+}
+
+// Backbone disseminates from src with only backbone members (and the source
+// itself) relaying. Every node must be the source, a member, or adjacent to
+// a member for the broadcast to cover the graph.
+func Backbone(g *graph.Graph, member []bool, src int) (Broadcast, error) {
+	if src < 0 || src >= g.N() {
+		return Broadcast{}, errors.New("routing: source out of range")
+	}
+	if len(member) != g.N() {
+		return Broadcast{}, errors.New("routing: membership slice size mismatch")
+	}
+	dist := make([]int, g.N())
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[src] = 0
+	queue := []int{src}
+	b := Broadcast{Reached: 1, Transmissions: 1}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, w := range g.Neighbors(v) {
+			wi := int(w)
+			if dist[wi] >= 0 {
+				continue
+			}
+			dist[wi] = dist[v] + 1
+			b.Reached++
+			if dist[wi] > b.Latency {
+				b.Latency = dist[wi]
+			}
+			// Only backbone members relay further.
+			if member[wi] {
+				b.Transmissions++
+				queue = append(queue, wi)
+			}
+		}
+	}
+	if b.Reached != g.N() {
+		return b, ErrNotDominating
+	}
+	return b, nil
+}
+
+// Compare runs both strategies from the same source and returns
+// (flood, backbone).
+func Compare(g *graph.Graph, member []bool, src int) (Broadcast, Broadcast, error) {
+	f, err := Flood(g, src)
+	if err != nil {
+		return Broadcast{}, Broadcast{}, err
+	}
+	bb, err := Backbone(g, member, src)
+	if err != nil {
+		return f, bb, err
+	}
+	return f, bb, nil
+}

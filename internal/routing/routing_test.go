@@ -1,0 +1,97 @@
+package routing_test
+
+import (
+	"errors"
+	"testing"
+
+	"dualradio/internal/graph"
+	"dualradio/internal/routing"
+)
+
+func pathGraph(t *testing.T, n int) *graph.Graph {
+	t.Helper()
+	g := graph.New(n)
+	for i := 0; i+1 < n; i++ {
+		if err := g.AddEdge(i, i+1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return g
+}
+
+func TestFlood(t *testing.T) {
+	g := pathGraph(t, 5)
+	b, err := routing.Flood(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Reached != 5 || b.Transmissions != 5 || b.Latency != 4 {
+		t.Errorf("flood = %+v", b)
+	}
+	if _, err := routing.Flood(g, 9); err == nil {
+		t.Error("bad source accepted")
+	}
+}
+
+func TestBackboneCoversWithFewerTransmissions(t *testing.T) {
+	g := pathGraph(t, 7)
+	// Backbone: the interior path nodes 1..5.
+	member := []bool{false, true, true, true, true, true, false}
+	flood, back, err := routing.Compare(g, member, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Reached != 7 {
+		t.Errorf("backbone reached %d", back.Reached)
+	}
+	if back.Transmissions >= flood.Transmissions {
+		t.Errorf("backbone %d tx vs flood %d tx", back.Transmissions, flood.Transmissions)
+	}
+}
+
+func TestBackboneDetectsNonDominating(t *testing.T) {
+	g := pathGraph(t, 6)
+	// Only node 1 relays: node 4,5 unreachable.
+	member := []bool{false, true, false, false, false, false}
+	_, err := routing.Backbone(g, member, 0)
+	if !errors.Is(err, routing.ErrNotDominating) {
+		t.Errorf("want ErrNotDominating, got %v", err)
+	}
+}
+
+func TestBackboneValidation(t *testing.T) {
+	g := pathGraph(t, 3)
+	if _, err := routing.Backbone(g, []bool{true}, 0); err == nil {
+		t.Error("size mismatch accepted")
+	}
+	if _, err := routing.Backbone(g, make([]bool, 3), -1); err == nil {
+		t.Error("bad source accepted")
+	}
+}
+
+// TestStarTopologySaving: on a star, the backbone is just the hub — n-1
+// fewer transmissions than flooding.
+func TestStarTopologySaving(t *testing.T) {
+	n := 10
+	g := graph.New(n)
+	for v := 1; v < n; v++ {
+		if err := g.AddEdge(0, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	member := make([]bool, n)
+	member[0] = true
+	flood, back, err := routing.Compare(g, member, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Transmissions != 2 { // leaf source + hub
+		t.Errorf("backbone tx = %d", back.Transmissions)
+	}
+	if flood.Transmissions != n {
+		t.Errorf("flood tx = %d", flood.Transmissions)
+	}
+	if back.Latency != 2 {
+		t.Errorf("backbone latency = %d", back.Latency)
+	}
+}

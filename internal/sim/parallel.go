@@ -1,0 +1,118 @@
+package sim
+
+import (
+	"fmt"
+	"sync"
+)
+
+// collectBroadcasts invokes Broadcast on every process, sequentially or on a
+// worker pool depending on Config.Workers, and validates message sizes.
+func (r *Runner) collectBroadcasts() {
+	n := len(r.cfg.Processes)
+	if r.cfg.Workers <= 1 || n < 64 {
+		for v, p := range r.cfg.Processes {
+			r.msgs[v] = p.Broadcast(r.round)
+			r.bcast[v] = r.msgs[v] != nil
+		}
+	} else {
+		r.parallelEach(func(v int) {
+			r.msgs[v] = r.cfg.Processes[v].Broadcast(r.round)
+			r.bcast[v] = r.msgs[v] != nil
+		})
+	}
+	if r.cfg.MessageBits > 0 {
+		for v, m := range r.msgs {
+			if m != nil && m.BitSize() > r.cfg.MessageBits {
+				r.fatalErr = &SizeError{Node: v, Bits: m.BitSize(), Bound: r.cfg.MessageBits}
+				return
+			}
+		}
+	}
+}
+
+// deliver dispatches the round outcome to every process according to the
+// model's reception rule, recording stats and trace deliveries.
+func (r *Runner) deliver() {
+	n := len(r.cfg.Processes)
+	// Stats and the delivery list are computed sequentially so the trace is
+	// deterministic; the Receive callbacks may then fan out.
+	for v := 0; v < n; v++ {
+		if !r.bcast[v] {
+			switch {
+			case r.cnt[v] == 1:
+				r.stats.Deliveries++
+				if r.cfg.Observer != nil {
+					r.dList = append(r.dList, Delivery{To: v, Msg: r.msgs[r.from[v]]})
+				}
+			case r.cnt[v] > 1:
+				r.stats.Collisions++
+			}
+		}
+	}
+	recv := func(v int) {
+		p := r.cfg.Processes[v]
+		if r.bcast[v] {
+			p.Receive(r.round, r.msgs[v])
+			return
+		}
+		if r.cnt[v] == 1 {
+			p.Receive(r.round, r.msgs[r.from[v]])
+			return
+		}
+		p.Receive(r.round, nil)
+	}
+	if r.cfg.Workers <= 1 || n < 64 {
+		for v := 0; v < n; v++ {
+			recv(v)
+		}
+	} else {
+		r.parallelEach(recv)
+	}
+}
+
+// parallelEach applies fn to every node index using Config.Workers
+// goroutines. Each worker owns a contiguous stripe, so per-process state is
+// touched by exactly one goroutine per phase and the result is identical to
+// the sequential loop.
+func (r *Runner) parallelEach(fn func(v int)) {
+	n := len(r.cfg.Processes)
+	workers := r.cfg.Workers
+	if workers > n {
+		workers = n
+	}
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for v := lo; v < hi; v++ {
+				fn(v)
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// SizeError reports a message exceeding the configured bit bound.
+type SizeError struct {
+	Node  int
+	Bits  int
+	Bound int
+}
+
+// Error implements error.
+func (e *SizeError) Error() string {
+	return fmt.Sprintf("sim: node %d sent %d bits, bound is %d", e.Node, e.Bits, e.Bound)
+}
+
+// Is reports whether target is ErrMessageTooLarge.
+func (e *SizeError) Is(target error) bool { return target == ErrMessageTooLarge }

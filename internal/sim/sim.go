@@ -1,0 +1,273 @@
+// Package sim executes algorithms in the dual graph radio network model
+// (Section 2 of Censor-Hillel et al., PODC 2011). Executions proceed in
+// synchronous rounds. Each round every process decides whether to broadcast;
+// the adversary then fixes a reach set consisting of all reliable edges plus
+// a chosen subset of unreliable edges; finally each node receives according
+// to the model's collision rule:
+//
+//   - a broadcaster receives only its own message;
+//   - a silent node with exactly one broadcasting reach-neighbor receives
+//     that neighbor's message;
+//   - otherwise the node receives ⊥ (there is no collision detection).
+//
+// The engine is deterministic for a fixed seed and offers both a sequential
+// round loop and a parallel loop that fans process callbacks out over
+// goroutines with barrier synchronization; both produce identical executions.
+package sim
+
+import (
+	"errors"
+	"fmt"
+
+	"dualradio/internal/adversary"
+	"dualradio/internal/dualgraph"
+)
+
+// Message is a broadcast payload. Concrete message types are defined by the
+// algorithms; the engine needs only the sender id (for tracing) and the
+// encoded size in bits (to enforce the model's b-bit message bound).
+type Message interface {
+	// From returns the sender's process id.
+	From() int
+	// BitSize returns the encoded message size in bits.
+	BitSize() int
+}
+
+// Process is a per-node protocol automaton driven by the engine. All methods
+// are invoked from a single goroutine at a time; a process never observes
+// concurrent calls.
+type Process interface {
+	// Broadcast is called at the start of each round and returns the
+	// message to transmit, or nil to stay silent.
+	Broadcast(round int) Message
+	// Receive reports the round's outcome to the process: the received
+	// message, or nil for ⊥ (silence or collision — indistinguishable).
+	// A broadcaster always receives its own message.
+	Receive(round int, msg Message)
+	// Output returns the process's current output: Undecided, 0, or 1.
+	Output() int
+	// Done reports whether the process has completed its protocol and
+	// will never broadcast again.
+	Done() bool
+}
+
+// Undecided is the Output value of a process that has not yet output 0 or 1.
+const Undecided = -1
+
+// ErrMessageTooLarge is returned when a process emits a message exceeding
+// the configured b-bit bound.
+var ErrMessageTooLarge = errors.New("sim: message exceeds size bound")
+
+// Stats aggregates execution counters.
+type Stats struct {
+	Rounds          int // rounds executed
+	Broadcasts      int // total broadcast attempts
+	Deliveries      int // successful unique receptions (excluding self)
+	Collisions      int // receiver-rounds with 2+ reachable broadcasters
+	DecidedRound    int // first round after which every output != Undecided, or -1
+	AllDone         bool
+	GrayActivations int // unreliable edges activated by the adversary
+}
+
+// Observer receives a callback after every executed round. Slices passed to
+// OnRound are reused between rounds and must not be retained.
+type Observer interface {
+	OnRound(round int, broadcasters []int, delivered []Delivery)
+}
+
+// Delivery records one successful reception.
+type Delivery struct {
+	To  int // receiving node index
+	Msg Message
+}
+
+// Config assembles an execution.
+type Config struct {
+	Net       *dualgraph.Network
+	Adversary adversary.Adversary // nil means adversary.None
+	Processes []Process           // indexed by node
+	// MessageBits is the model's b bound on message size in bits;
+	// 0 disables enforcement.
+	MessageBits int
+	// MaxRounds caps the execution length.
+	MaxRounds int
+	// Observer, if non-nil, is invoked after every round.
+	Observer Observer
+	// Workers > 1 fans the Broadcast and Receive callbacks out over this
+	// many goroutines per round. The execution is identical to the
+	// sequential one because processes own disjoint state and RNG streams.
+	Workers int
+}
+
+// Runner executes a configured execution round by round.
+type Runner struct {
+	cfg      Config
+	adv      adversary.Adversary
+	gray     [][2]int
+	round    int
+	stats    Stats
+	msgs     []Message
+	bcast    []bool
+	cnt      []int32
+	from     []int32
+	touched  []int32
+	bList    []int
+	dList    []Delivery
+	fatalErr error
+}
+
+// NewRunner validates the configuration and returns a ready Runner.
+func NewRunner(cfg Config) (*Runner, error) {
+	if cfg.Net == nil {
+		return nil, errors.New("sim: nil network")
+	}
+	n := cfg.Net.N()
+	if len(cfg.Processes) != n {
+		return nil, fmt.Errorf("sim: %d processes for %d nodes", len(cfg.Processes), n)
+	}
+	adv := cfg.Adversary
+	if adv == nil {
+		adv = adversary.None{}
+	}
+	if cfg.MaxRounds <= 0 {
+		cfg.MaxRounds = 1 << 22
+	}
+	r := &Runner{
+		cfg:   cfg,
+		adv:   adv,
+		gray:  cfg.Net.GrayEdges(),
+		msgs:  make([]Message, n),
+		bcast: make([]bool, n),
+		cnt:   make([]int32, n),
+		from:  make([]int32, n),
+	}
+	r.stats.DecidedRound = -1
+	return r, nil
+}
+
+// Round returns the number of rounds executed so far.
+func (r *Runner) Round() int { return r.round }
+
+// Stats returns a copy of the execution counters.
+func (r *Runner) Stats() Stats { return r.stats }
+
+// Err returns the first fatal error encountered (for example a message-size
+// violation), or nil.
+func (r *Runner) Err() error { return r.fatalErr }
+
+// Step executes one round. It reports false when the execution has finished
+// (all processes done, the round cap was reached, or a fatal error occurred).
+func (r *Runner) Step() bool {
+	if r.fatalErr != nil || r.round >= r.cfg.MaxRounds {
+		return false
+	}
+	n := r.cfg.Net.N()
+
+	// Phase 1: collect broadcast decisions.
+	r.bList = r.bList[:0]
+	r.collectBroadcasts()
+	if r.fatalErr != nil {
+		return false
+	}
+	for v := 0; v < n; v++ {
+		if r.bcast[v] {
+			r.bList = append(r.bList, v)
+			r.stats.Broadcasts++
+		}
+	}
+
+	// Phase 2: the adversary fixes the reach set.
+	active := r.adv.Reach(r.round, r.bcast)
+	r.stats.GrayActivations += len(active)
+
+	// Phase 3: compute receptions.
+	g := r.cfg.Net.G()
+	for _, u := range r.bList {
+		for _, v := range g.Neighbors(u) {
+			r.hit(int(v), u)
+		}
+	}
+	for _, idx := range active {
+		e := r.gray[idx]
+		if r.bcast[e[0]] {
+			r.hit(e[1], e[0])
+		}
+		if r.bcast[e[1]] {
+			r.hit(e[0], e[1])
+		}
+	}
+
+	// Phase 4: deliver.
+	r.dList = r.dList[:0]
+	r.deliver()
+
+	if r.cfg.Observer != nil {
+		r.cfg.Observer.OnRound(r.round, r.bList, r.dList)
+	}
+
+	// Bookkeeping: reset hit counters, track decisions.
+	for _, v := range r.touched {
+		r.cnt[v] = 0
+	}
+	r.touched = r.touched[:0]
+	r.round++
+	r.stats.Rounds = r.round
+
+	if r.stats.DecidedRound < 0 && r.allDecided() {
+		r.stats.DecidedRound = r.round
+	}
+	if r.allDone() {
+		r.stats.AllDone = true
+		return false
+	}
+	return true
+}
+
+func (r *Runner) hit(v, from int) {
+	if r.cnt[v] == 0 {
+		r.touched = append(r.touched, int32(v))
+	}
+	r.cnt[v]++
+	r.from[v] = int32(from)
+}
+
+// Run executes rounds until the execution finishes and returns the stats.
+func (r *Runner) Run() (Stats, error) {
+	for r.Step() {
+	}
+	return r.stats, r.fatalErr
+}
+
+// RunUntil executes rounds until cond returns true (checked after each
+// round) or the execution finishes.
+func (r *Runner) RunUntil(cond func() bool) (Stats, error) {
+	for {
+		if cond() {
+			return r.stats, r.fatalErr
+		}
+		if !r.Step() {
+			return r.stats, r.fatalErr
+		}
+	}
+}
+
+// Processes returns the configured processes (indexed by node).
+func (r *Runner) Processes() []Process { return r.cfg.Processes }
+
+func (r *Runner) allDecided() bool {
+	for _, p := range r.cfg.Processes {
+		if p.Output() == Undecided {
+			return false
+		}
+	}
+	return true
+}
+
+func (r *Runner) allDone() bool {
+	for _, p := range r.cfg.Processes {
+		if !p.Done() {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,267 @@
+package sim_test
+
+import (
+	"errors"
+	"testing"
+
+	"dualradio/internal/adversary"
+	"dualradio/internal/dualgraph"
+	"dualradio/internal/geom"
+	"dualradio/internal/graph"
+	"dualradio/internal/sim"
+)
+
+// testMsg is a minimal message.
+type testMsg struct {
+	from int
+	bits int
+}
+
+func (m testMsg) From() int    { return m.from }
+func (m testMsg) BitSize() int { return m.bits }
+
+// scriptProc broadcasts according to a per-round script and records
+// receptions.
+type scriptProc struct {
+	id     int
+	script map[int]sim.Message // round -> message
+	recv   map[int]sim.Message // round -> received (nil entries recorded too)
+	rounds int
+	limit  int
+}
+
+var _ sim.Process = (*scriptProc)(nil)
+
+func newScriptProc(id, limit int) *scriptProc {
+	return &scriptProc{
+		id:     id,
+		script: map[int]sim.Message{},
+		recv:   map[int]sim.Message{},
+		limit:  limit,
+	}
+}
+
+func (p *scriptProc) Broadcast(round int) sim.Message { return p.script[round] }
+func (p *scriptProc) Receive(round int, msg sim.Message) {
+	p.recv[round] = msg
+	p.rounds++
+}
+func (p *scriptProc) Output() int { return 0 }
+func (p *scriptProc) Done() bool  { return p.rounds >= p.limit }
+
+// lineNet builds a 4-node unit line: G = consecutive, G' adds skip-one gray
+// edges.
+func lineNet(t *testing.T) *dualgraph.Network {
+	t.Helper()
+	n := 4
+	g := graph.New(n)
+	gp := graph.New(n)
+	coords := make([]geom.Point, n)
+	for i := 0; i < n; i++ {
+		coords[i] = geom.Point{X: float64(i)}
+	}
+	add := func(gr *graph.Graph, u, v int) {
+		t.Helper()
+		if err := gr.AddEdge(u, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i+1 < n; i++ {
+		add(g, i, i+1)
+		add(gp, i, i+1)
+	}
+	for i := 0; i+2 < n; i++ {
+		add(gp, i, i+2)
+	}
+	return dualgraph.New(g, gp, coords, 2)
+}
+
+func runScripted(t *testing.T, net *dualgraph.Network, procs []*scriptProc,
+	adv adversary.Adversary, bits int) (*sim.Runner, sim.Stats) {
+	t.Helper()
+	ps := make([]sim.Process, len(procs))
+	for i, p := range procs {
+		ps[i] = p
+	}
+	r, err := sim.NewRunner(sim.Config{
+		Net:         net,
+		Adversary:   adv,
+		Processes:   ps,
+		MessageBits: bits,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := r.Run()
+	if err != nil && !errors.Is(err, sim.ErrMessageTooLarge) {
+		t.Fatal(err)
+	}
+	return r, st
+}
+
+// TestSoloDelivery: a single broadcaster reaches exactly its G neighbors.
+func TestSoloDelivery(t *testing.T) {
+	net := lineNet(t)
+	procs := make([]*scriptProc, 4)
+	for v := range procs {
+		procs[v] = newScriptProc(v+1, 1)
+	}
+	msg := testMsg{from: 2, bits: 8}
+	procs[1].script[0] = msg
+	_, st := runScripted(t, net, procs, nil, 0)
+	if procs[0].recv[0] != msg || procs[2].recv[0] != msg {
+		t.Error("G neighbors of node 1 should receive")
+	}
+	if procs[3].recv[0] != nil {
+		t.Error("node 3 is not a G neighbor and gray edges are inactive")
+	}
+	if procs[1].recv[0] != msg {
+		t.Error("broadcaster receives its own message")
+	}
+	if st.Deliveries != 2 || st.Broadcasts != 1 || st.Collisions != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+// TestCollision: two broadcasters reaching the same node produce ⊥.
+func TestCollision(t *testing.T) {
+	net := lineNet(t)
+	procs := make([]*scriptProc, 4)
+	for v := range procs {
+		procs[v] = newScriptProc(v+1, 1)
+	}
+	procs[0].script[0] = testMsg{from: 1, bits: 8}
+	procs[2].script[0] = testMsg{from: 3, bits: 8}
+	_, st := runScripted(t, net, procs, nil, 0)
+	if procs[1].recv[0] != nil {
+		t.Error("node 1 hears both broadcasters: collision expected")
+	}
+	// Node 3 hears only node 2 -> delivery.
+	if procs[3].recv[0] == nil || procs[3].recv[0].From() != 3 {
+		t.Error("node 3 should receive from node 2 (id 3)")
+	}
+	if st.Collisions != 1 {
+		t.Errorf("collisions = %d", st.Collisions)
+	}
+}
+
+// TestBroadcasterDeaf: a broadcaster hears itself even when a neighbor also
+// broadcasts.
+func TestBroadcasterDeaf(t *testing.T) {
+	net := lineNet(t)
+	procs := make([]*scriptProc, 4)
+	for v := range procs {
+		procs[v] = newScriptProc(v+1, 1)
+	}
+	m0 := testMsg{from: 1, bits: 8}
+	m1 := testMsg{from: 2, bits: 8}
+	procs[0].script[0] = m0
+	procs[1].script[0] = m1
+	runScripted(t, net, procs, nil, 0)
+	if procs[0].recv[0] != m0 || procs[1].recv[0] != m1 {
+		t.Error("broadcasters must receive their own messages")
+	}
+}
+
+// TestGrayActivation: with the Full adversary a gray edge delivers (or
+// collides).
+func TestGrayActivation(t *testing.T) {
+	net := lineNet(t)
+	procs := make([]*scriptProc, 4)
+	for v := range procs {
+		procs[v] = newScriptProc(v+1, 1)
+	}
+	msg := testMsg{from: 2, bits: 8}
+	procs[1].script[0] = msg
+	_, st := runScripted(t, net, procs, adversary.NewFull(net), 0)
+	// Gray edge (1,3) now delivers node 1's broadcast to node 3.
+	if procs[3].recv[0] != msg {
+		t.Error("gray edge should deliver under Full adversary")
+	}
+	if st.GrayActivations == 0 {
+		t.Error("gray activations not counted")
+	}
+}
+
+// TestGrayCausesCollision: the adversary can turn a G delivery into ⊥.
+func TestGrayCausesCollision(t *testing.T) {
+	net := lineNet(t)
+	procs := make([]*scriptProc, 4)
+	for v := range procs {
+		procs[v] = newScriptProc(v+1, 1)
+	}
+	procs[1].script[0] = testMsg{from: 2, bits: 8} // node 1 -> reaches node 0 reliably
+	procs[2].script[0] = testMsg{from: 3, bits: 8} // node 2: gray edge (0,2)
+	_, _ = runScripted(t, net, procs, adversary.NewFull(net), 0)
+	if procs[0].recv[0] != nil {
+		t.Error("gray edge (0,2) active: node 0 must hear a collision")
+	}
+}
+
+// TestMessageSizeEnforced: exceeding b aborts with ErrMessageTooLarge.
+func TestMessageSizeEnforced(t *testing.T) {
+	net := lineNet(t)
+	procs := make([]*scriptProc, 4)
+	for v := range procs {
+		procs[v] = newScriptProc(v+1, 2)
+	}
+	procs[0].script[0] = testMsg{from: 1, bits: 100}
+	r, _ := runScripted(t, net, procs, nil, 64)
+	if !errors.Is(r.Err(), sim.ErrMessageTooLarge) {
+		t.Errorf("want ErrMessageTooLarge, got %v", r.Err())
+	}
+	var se *sim.SizeError
+	if !errors.As(r.Err(), &se) || se.Bits != 100 || se.Bound != 64 {
+		t.Errorf("size error detail = %+v", se)
+	}
+}
+
+// TestMaxRoundsCap: executions stop at the round cap.
+func TestMaxRoundsCap(t *testing.T) {
+	net := lineNet(t)
+	procs := make([]sim.Process, 4)
+	for v := range procs {
+		procs[v] = newScriptProc(v+1, 1<<30) // never done
+	}
+	r, err := sim.NewRunner(sim.Config{Net: net, Processes: procs, MaxRounds: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := r.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Rounds != 7 || st.AllDone {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+// TestRunUntil stops when the condition fires.
+func TestRunUntil(t *testing.T) {
+	net := lineNet(t)
+	procs := make([]sim.Process, 4)
+	for v := range procs {
+		procs[v] = newScriptProc(v+1, 1<<30)
+	}
+	r, err := sim.NewRunner(sim.Config{Net: net, Processes: procs, MaxRounds: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.RunUntil(func() bool { return r.Round() >= 3 }); err != nil {
+		t.Fatal(err)
+	}
+	if r.Round() != 3 {
+		t.Errorf("stopped at round %d", r.Round())
+	}
+}
+
+// TestConfigValidation rejects broken configurations.
+func TestConfigValidation(t *testing.T) {
+	net := lineNet(t)
+	if _, err := sim.NewRunner(sim.Config{Net: nil}); err == nil {
+		t.Error("nil network accepted")
+	}
+	if _, err := sim.NewRunner(sim.Config{Net: net, Processes: make([]sim.Process, 2)}); err == nil {
+		t.Error("process count mismatch accepted")
+	}
+}

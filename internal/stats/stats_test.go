@@ -1,0 +1,148 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.N != 5 || s.Mean != 3 || s.Min != 1 || s.Max != 5 || s.Median != 3 {
+		t.Errorf("summary = %+v", s)
+	}
+	if math.Abs(s.Std-math.Sqrt(2.5)) > 1e-12 {
+		t.Errorf("std = %v", s.Std)
+	}
+	if z := Summarize(nil); z.N != 0 {
+		t.Error("empty summary not zero")
+	}
+	one := Summarize([]float64{7})
+	if one.Std != 0 || one.Mean != 7 {
+		t.Errorf("singleton summary = %+v", one)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{10, 20, 30, 40}
+	cases := []struct {
+		p    float64
+		want float64
+	}{
+		{0, 10}, {100, 40}, {50, 25}, {25, 17.5},
+	}
+	for _, c := range cases {
+		if got := Percentile(xs, c.p); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("P%.0f = %v, want %v", c.p, got, c.want)
+		}
+	}
+	if Percentile(nil, 50) != 0 {
+		t.Error("empty percentile")
+	}
+}
+
+// TestPercentileBounds: any percentile lies within [min, max] and is
+// monotone in p.
+func TestPercentileBounds(t *testing.T) {
+	f := func(raw []uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for i, x := range raw {
+			xs[i] = float64(x)
+			lo = math.Min(lo, xs[i])
+			hi = math.Max(hi, xs[i])
+		}
+		prev := lo
+		for p := 0.0; p <= 100; p += 10 {
+			v := Percentile(xs, p)
+			if v < lo-1e-9 || v > hi+1e-9 || v < prev-1e-9 {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLinearFitExact(t *testing.T) {
+	x := []float64{1, 2, 3, 4}
+	y := []float64{5, 7, 9, 11} // y = 2x + 3
+	fit := LinearFit(x, y)
+	if math.Abs(fit.Slope-2) > 1e-12 || math.Abs(fit.Intercept-3) > 1e-12 {
+		t.Errorf("fit = %+v", fit)
+	}
+	if math.Abs(fit.R2-1) > 1e-12 {
+		t.Errorf("R² = %v", fit.R2)
+	}
+	if f := LinearFit([]float64{1}, []float64{2}); f != (Fit{}) {
+		t.Error("underdetermined fit should be zero")
+	}
+	if f := LinearFit([]float64{2, 2, 2}, []float64{1, 2, 3}); f != (Fit{}) {
+		t.Error("vertical data should yield zero fit")
+	}
+}
+
+func TestPowerLawExponentExact(t *testing.T) {
+	// y = 3·x².
+	x := []float64{1, 2, 4, 8, 16}
+	y := make([]float64, len(x))
+	for i := range x {
+		y[i] = 3 * x[i] * x[i]
+	}
+	e, r2 := PowerLawExponent(x, y)
+	if math.Abs(e-2) > 1e-9 || math.Abs(r2-1) > 1e-9 {
+		t.Errorf("exponent = %v, R² = %v", e, r2)
+	}
+	// Non-positive samples are skipped, not propagated as NaN.
+	e2, _ := PowerLawExponent([]float64{0, 1, 2, 4}, []float64{5, 1, 4, 16})
+	if math.IsNaN(e2) {
+		t.Error("NaN exponent")
+	}
+}
+
+func TestMean(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Error("empty mean")
+	}
+	if Mean([]float64{2, 4}) != 3 {
+		t.Error("mean wrong")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := &Table{Title: "demo", Columns: []string{"a", "long-header"}}
+	tb.AddRow("1", "2")
+	tb.AddRow("333", "4")
+	out := tb.String()
+	if !strings.Contains(out, "demo") || !strings.Contains(out, "long-header") {
+		t.Errorf("table output:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 { // title, header, rule, 2 rows
+		t.Errorf("table has %d lines:\n%s", len(lines), out)
+	}
+	// All data lines share the header's column alignment width.
+	if len(lines[1]) < len("a")+2+len("long-header") {
+		t.Error("columns not padded")
+	}
+}
+
+func TestF(t *testing.T) {
+	cases := map[float64]string{
+		3:      "3",
+		3.5:    "3.500",
+		1234.5: "1234.5",
+	}
+	for in, want := range cases {
+		if got := F(in); got != want {
+			t.Errorf("F(%v) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -1,0 +1,172 @@
+// Package trace provides execution observability: a sim.Observer that
+// aggregates per-round and per-node activity, and an ASCII renderer that
+// draws the network embedding with algorithm outputs — handy for eyeballing
+// MIS spacing and CCDS backbones from the command line.
+package trace
+
+import (
+	"fmt"
+	"strings"
+
+	"dualradio/internal/dualgraph"
+	"dualradio/internal/sim"
+)
+
+// Recorder aggregates execution activity. It implements sim.Observer.
+type Recorder struct {
+	// PerNodeBroadcasts counts transmissions by node.
+	PerNodeBroadcasts []int
+	// PerNodeDeliveries counts successful receptions by node.
+	PerNodeDeliveries []int
+	// RoundBroadcasts holds the number of broadcasters per round (capped
+	// at MaxRounds entries to bound memory).
+	RoundBroadcasts []int
+	// MaxRounds caps the per-round series; 0 means 1<<20.
+	MaxRounds int
+
+	rounds int
+}
+
+var _ sim.Observer = (*Recorder)(nil)
+
+// NewRecorder returns a recorder for an n-node network.
+func NewRecorder(n int) *Recorder {
+	return &Recorder{
+		PerNodeBroadcasts: make([]int, n),
+		PerNodeDeliveries: make([]int, n),
+	}
+}
+
+// OnRound implements sim.Observer.
+func (r *Recorder) OnRound(round int, broadcasters []int, delivered []sim.Delivery) {
+	r.rounds++
+	cap := r.MaxRounds
+	if cap == 0 {
+		cap = 1 << 20
+	}
+	if len(r.RoundBroadcasts) < cap {
+		r.RoundBroadcasts = append(r.RoundBroadcasts, len(broadcasters))
+	}
+	for _, v := range broadcasters {
+		if v < len(r.PerNodeBroadcasts) {
+			r.PerNodeBroadcasts[v]++
+		}
+	}
+	for _, d := range delivered {
+		if d.To < len(r.PerNodeDeliveries) {
+			r.PerNodeDeliveries[d.To]++
+		}
+	}
+}
+
+// Rounds returns the number of observed rounds.
+func (r *Recorder) Rounds() int { return r.rounds }
+
+// BusiestNode returns the node with the most transmissions and its count.
+func (r *Recorder) BusiestNode() (int, int) {
+	best, bestCount := -1, -1
+	for v, c := range r.PerNodeBroadcasts {
+		if c > bestCount {
+			best, bestCount = v, c
+		}
+	}
+	return best, bestCount
+}
+
+// Summary renders aggregate statistics as a short report.
+func (r *Recorder) Summary() string {
+	totalB, totalD := 0, 0
+	for _, c := range r.PerNodeBroadcasts {
+		totalB += c
+	}
+	for _, c := range r.PerNodeDeliveries {
+		totalD += c
+	}
+	busiest, count := r.BusiestNode()
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "rounds observed:    %d\n", r.rounds)
+	fmt.Fprintf(&sb, "total broadcasts:   %d (%.2f per round)\n",
+		totalB, safeDiv(totalB, r.rounds))
+	fmt.Fprintf(&sb, "total deliveries:   %d (%.1f%% of broadcasts)\n",
+		totalD, 100*safeDiv(totalD, totalB))
+	fmt.Fprintf(&sb, "busiest node:       %d with %d transmissions\n", busiest, count)
+	return sb.String()
+}
+
+func safeDiv(a, b int) float64 {
+	if b == 0 {
+		return 0
+	}
+	return float64(a) / float64(b)
+}
+
+// Map renders the network embedding as ASCII art, marking each node by its
+// output: '#' for members (output 1), '.' for covered nodes, '?' for
+// undecided. width and height bound the canvas in characters.
+func Map(net *dualgraph.Network, outputs []int, width, height int) string {
+	if width < 8 {
+		width = 60
+	}
+	if height < 4 {
+		height = 24
+	}
+	coords := net.Coords()
+	minX, minY := coords[0].X, coords[0].Y
+	maxX, maxY := minX, minY
+	for _, p := range coords {
+		minX, maxX = minF(minX, p.X), maxF(maxX, p.X)
+		minY, maxY = minF(minY, p.Y), maxF(maxY, p.Y)
+	}
+	spanX, spanY := maxX-minX, maxY-minY
+	if spanX == 0 {
+		spanX = 1
+	}
+	if spanY == 0 {
+		spanY = 1
+	}
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	for v, p := range coords {
+		x := int(float64(width-1) * (p.X - minX) / spanX)
+		y := int(float64(height-1) * (p.Y - minY) / spanY)
+		mark := byte('?')
+		if v < len(outputs) {
+			switch outputs[v] {
+			case 1:
+				mark = '#'
+			case 0:
+				mark = '.'
+			}
+		}
+		// Members overwrite covered marks when cells collide.
+		if grid[y][x] == ' ' || mark == '#' {
+			grid[y][x] = mark
+		}
+	}
+	var sb strings.Builder
+	sb.WriteString("+" + strings.Repeat("-", width) + "+\n")
+	for _, row := range grid {
+		sb.WriteString("|")
+		sb.Write(row)
+		sb.WriteString("|\n")
+	}
+	sb.WriteString("+" + strings.Repeat("-", width) + "+\n")
+	sb.WriteString("legend: '#' member (output 1), '.' covered (output 0), '?' undecided\n")
+	return sb.String()
+}
+
+func minF(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxF(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,81 @@
+package trace_test
+
+import (
+	"strings"
+	"testing"
+
+	"dualradio/internal/dualgraph"
+	"dualradio/internal/geom"
+	"dualradio/internal/graph"
+	"dualradio/internal/sim"
+	"dualradio/internal/trace"
+)
+
+type fakeMsg struct{ from int }
+
+func (m fakeMsg) From() int    { return m.from }
+func (m fakeMsg) BitSize() int { return 8 }
+
+func TestRecorderAggregates(t *testing.T) {
+	r := trace.NewRecorder(4)
+	r.OnRound(0, []int{1, 2}, []sim.Delivery{{To: 0, Msg: fakeMsg{from: 2}}})
+	r.OnRound(1, []int{1}, nil)
+	if r.Rounds() != 2 {
+		t.Errorf("rounds = %d", r.Rounds())
+	}
+	if r.PerNodeBroadcasts[1] != 2 || r.PerNodeBroadcasts[2] != 1 {
+		t.Errorf("broadcast counts = %v", r.PerNodeBroadcasts)
+	}
+	if r.PerNodeDeliveries[0] != 1 {
+		t.Errorf("delivery counts = %v", r.PerNodeDeliveries)
+	}
+	if len(r.RoundBroadcasts) != 2 || r.RoundBroadcasts[0] != 2 {
+		t.Errorf("round series = %v", r.RoundBroadcasts)
+	}
+	busiest, count := r.BusiestNode()
+	if busiest != 1 || count != 2 {
+		t.Errorf("busiest = %d (%d)", busiest, count)
+	}
+	out := r.Summary()
+	for _, want := range []string{"rounds observed", "total broadcasts", "busiest node"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("summary missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRecorderCapsSeries(t *testing.T) {
+	r := trace.NewRecorder(2)
+	r.MaxRounds = 3
+	for i := 0; i < 10; i++ {
+		r.OnRound(i, nil, nil)
+	}
+	if len(r.RoundBroadcasts) != 3 {
+		t.Errorf("series length = %d, want capped at 3", len(r.RoundBroadcasts))
+	}
+	if r.Rounds() != 10 {
+		t.Errorf("rounds = %d", r.Rounds())
+	}
+}
+
+func TestMapMarksOutputs(t *testing.T) {
+	g := graph.New(3)
+	if err := g.AddEdge(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddEdge(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	net := dualgraph.New(g, g.Clone(), []geom.Point{{X: 0}, {X: 1}, {X: 2}}, 2)
+	out := trace.Map(net, []int{1, 0, -1}, 20, 5)
+	if !strings.Contains(out, "#") || !strings.Contains(out, ".") || !strings.Contains(out, "?") {
+		t.Errorf("map missing marks:\n%s", out)
+	}
+	if !strings.Contains(out, "legend") {
+		t.Error("map missing legend")
+	}
+	// Tiny canvas parameters fall back to usable defaults.
+	if small := trace.Map(net, []int{1, 0, 0}, 1, 1); len(small) == 0 {
+		t.Error("degenerate canvas produced nothing")
+	}
+}

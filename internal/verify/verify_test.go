@@ -1,0 +1,185 @@
+package verify_test
+
+import (
+	"testing"
+
+	"dualradio/internal/dualgraph"
+	"dualradio/internal/geom"
+	"dualradio/internal/graph"
+	"dualradio/internal/verify"
+)
+
+// pathNet builds a 5-node unit line (G = G' = path).
+func pathNet(t *testing.T) *dualgraph.Network {
+	t.Helper()
+	n := 5
+	g := graph.New(n)
+	coords := make([]geom.Point, n)
+	for i := 0; i < n; i++ {
+		coords[i] = geom.Point{X: float64(i)}
+	}
+	for i := 0; i+1 < n; i++ {
+		if err := g.AddEdge(i, i+1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dualgraph.New(g, g.Clone(), coords, 2)
+}
+
+func TestMISAcceptsValid(t *testing.T) {
+	net := pathNet(t)
+	// 1-0-1-0-1 is a valid MIS on a path of 5.
+	rep := verify.MIS(net, net.G(), []int{1, 0, 1, 0, 1})
+	if !rep.OK() {
+		t.Errorf("valid MIS rejected: %v", rep.Err())
+	}
+	if rep.Err() != nil {
+		t.Error("clean report should have nil Err")
+	}
+}
+
+func TestMISDetectsUndecided(t *testing.T) {
+	net := pathNet(t)
+	rep := verify.MIS(net, net.G(), []int{1, 0, -1, 0, 1})
+	if rep.OK() {
+		t.Fatal("undecided output accepted")
+	}
+	if rep.Violations[0].Condition != "termination" {
+		t.Errorf("condition = %s", rep.Violations[0].Condition)
+	}
+}
+
+func TestMISDetectsIndependenceViolation(t *testing.T) {
+	net := pathNet(t)
+	rep := verify.MIS(net, net.G(), []int{1, 1, 0, 0, 1})
+	found := false
+	for _, v := range rep.Violations {
+		if v.Condition == "independence" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("adjacent members not detected")
+	}
+}
+
+func TestMISDetectsMaximalityViolation(t *testing.T) {
+	net := pathNet(t)
+	// Node 2 outputs 0 with no member neighbor.
+	rep := verify.MIS(net, net.G(), []int{1, 0, 0, 0, 1})
+	found := false
+	for _, v := range rep.Violations {
+		if v.Condition == "maximality" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("uncovered zero not detected")
+	}
+}
+
+func TestCCDSAcceptsValid(t *testing.T) {
+	net := pathNet(t)
+	// Middle three nodes: connected, dominating, small degree.
+	rep := verify.CCDS(net, net.G(), []int{0, 1, 1, 1, 0}, 3)
+	if !rep.OK() {
+		t.Errorf("valid CCDS rejected: %v", rep.Err())
+	}
+}
+
+func TestCCDSDetectsDisconnected(t *testing.T) {
+	net := pathNet(t)
+	rep := verify.CCDS(net, net.G(), []int{1, 0, 1, 0, 1}, 0)
+	found := false
+	for _, v := range rep.Violations {
+		if v.Condition == "connectivity" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("disconnected CCDS not detected")
+	}
+}
+
+func TestCCDSDetectsEmpty(t *testing.T) {
+	net := pathNet(t)
+	rep := verify.CCDS(net, net.G(), []int{0, 0, 0, 0, 0}, 0)
+	if rep.OK() {
+		t.Error("empty CCDS accepted")
+	}
+}
+
+func TestCCDSDetectsDominationViolation(t *testing.T) {
+	net := pathNet(t)
+	// Nodes 0,1 in the set: node 3 and 4... node 4's only neighbor is 3
+	// (not in set) -> domination violated.
+	rep := verify.CCDS(net, net.G(), []int{1, 1, 0, 0, 0}, 0)
+	found := false
+	for _, v := range rep.Violations {
+		if v.Condition == "domination" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("undominated node not detected")
+	}
+}
+
+func TestCCDSDetectsDegreeViolation(t *testing.T) {
+	net := pathNet(t)
+	rep := verify.CCDS(net, net.G(), []int{1, 1, 1, 1, 1}, 1)
+	found := false
+	for _, v := range rep.Violations {
+		if v.Condition == "constant-bounded" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("degree bound violation not detected")
+	}
+	if got := verify.MaxCCDSDegree(net, []int{1, 1, 1, 1, 1}); got != 2 {
+		t.Errorf("max CCDS degree on full path = %d, want 2", got)
+	}
+}
+
+func TestCCDSSize(t *testing.T) {
+	if got := verify.CCDSSize([]int{1, 0, 1, -1, 1}); got != 3 {
+		t.Errorf("size = %d", got)
+	}
+}
+
+func TestMISDensityAndOverlayBound(t *testing.T) {
+	net := pathNet(t)
+	outputs := []int{1, 0, 1, 0, 1}
+	// Within distance 2 of node 2: members at 0, 2, 4.
+	if got := verify.MISDensity(net, outputs, 2); got != 3 {
+		t.Errorf("density = %d", got)
+	}
+	if got := verify.MISDensity(net, outputs, 0.5); got != 1 {
+		t.Errorf("density r=0.5 = %d", got)
+	}
+	if b1, b3 := verify.OverlayBound(1), verify.OverlayBound(3); b1 >= b3 {
+		t.Errorf("overlay bound should grow: I_1=%d I_3=%d", b1, b3)
+	}
+}
+
+func TestMISPairwiseMinDist(t *testing.T) {
+	net := pathNet(t)
+	if got := verify.MISPairwiseMinDist(net, []int{1, 0, 1, 0, 0}); got != 2 {
+		t.Errorf("min dist = %v", got)
+	}
+	if got := verify.MISPairwiseMinDist(net, []int{1, 0, 0, 0, 0}); got != -1 {
+		t.Errorf("single member min dist = %v", got)
+	}
+}
+
+func TestReportErrTruncates(t *testing.T) {
+	net := pathNet(t)
+	rep := verify.CCDS(net, net.G(), []int{-1, -1, -1, -1, -1}, 0)
+	if rep.Err() == nil {
+		t.Fatal("expected violations")
+	}
+	if len(rep.Violations) < 5 {
+		t.Errorf("expected one violation per node, got %d", len(rep.Violations))
+	}
+}
