@@ -1,0 +1,25 @@
+GO ?= go
+DATE := $(shell date +%F)
+
+.PHONY: build test bench bench-headline verify
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+verify: build test
+
+# bench runs the full benchmark suite at quick scale (one iteration count,
+# memory stats) and records the run as a BENCH_<date>.json snapshot so the
+# perf trajectory is tracked in-repo.
+bench:
+	$(GO) test -run '^$$' -bench=. -benchmem -count=1 . ./internal/sim \
+		| tee /dev/stderr \
+		| $(GO) run ./cmd/benchtool -out BENCH_$(DATE).json
+
+# bench-headline runs only the acceptance benchmarks (E1/E3/E8).
+bench-headline:
+	$(GO) test -run '^$$' -bench='BenchmarkE1MISScaling|BenchmarkE3CCDSRounds|BenchmarkE8AsyncMIS' \
+		-benchmem -count=1 .

@@ -1,0 +1,132 @@
+// Command benchtool converts `go test -bench` output into a JSON snapshot
+// so benchmark trajectories can be tracked in-repo across changes.
+//
+// Usage:
+//
+//	go test -run '^$' -bench=. -benchmem -count=1 ./... | go run ./cmd/benchtool -out BENCH_2026-07-29.json
+//
+// or via the Makefile:
+//
+//	make bench
+//
+// The parser understands standard benchmark lines:
+//
+//	BenchmarkE1MISScaling   5  252718396 ns/op  3.403 exponent_vs_logn  8031060 B/op  208516 allocs/op
+//
+// and records every reported unit (ns/op, B/op, allocs/op, and custom
+// metrics) per benchmark, plus the goos/goarch/pkg/cpu header lines.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Snapshot is the serialized benchmark run.
+type Snapshot struct {
+	Date       string            `json:"date"`
+	Env        map[string]string `json:"env"`
+	Benchmarks []Benchmark       `json:"benchmarks"`
+}
+
+// Benchmark is one benchmark result line.
+type Benchmark struct {
+	Name       string             `json:"name"`
+	Package    string             `json:"package,omitempty"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+func main() {
+	out := flag.String("out", "", "output JSON path (default: BENCH_<date>.json)")
+	flag.Parse()
+	if *out == "" {
+		*out = fmt.Sprintf("BENCH_%s.json", time.Now().Format("2006-01-02"))
+	}
+	snap, err := parse(bufio.NewScanner(os.Stdin))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchtool:", err)
+		os.Exit(1)
+	}
+	snap.Date = time.Now().Format(time.RFC3339)
+	data, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchtool:", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchtool:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("benchtool: wrote %d benchmarks to %s\n", len(snap.Benchmarks), *out)
+}
+
+func parse(sc *bufio.Scanner) (*Snapshot, error) {
+	snap := &Snapshot{Env: map[string]string{}}
+	pkg := ""
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"),
+			strings.HasPrefix(line, "goarch:"),
+			strings.HasPrefix(line, "cpu:"):
+			k, v, _ := strings.Cut(line, ":")
+			snap.Env[k] = strings.TrimSpace(v)
+		case strings.HasPrefix(line, "pkg:"):
+			_, v, _ := strings.Cut(line, ":")
+			pkg = strings.TrimSpace(v)
+		case strings.HasPrefix(line, "Benchmark"):
+			b, ok := parseBench(line)
+			if !ok {
+				continue
+			}
+			b.Package = pkg
+			snap.Benchmarks = append(snap.Benchmarks, b)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(snap.Benchmarks) == 0 {
+		return nil, fmt.Errorf("no benchmark lines found on stdin")
+	}
+	return snap, nil
+}
+
+// parseBench parses one "BenchmarkName  N  value unit  value unit ..." line.
+func parseBench(line string) (Benchmark, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		return Benchmark{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, false
+	}
+	b := Benchmark{
+		Name:       strings.TrimSuffix(fields[0], "-1"),
+		Iterations: iters,
+		Metrics:    map[string]float64{},
+	}
+	// Strip any -P GOMAXPROCS suffix.
+	if i := strings.LastIndexByte(b.Name, '-'); i > 0 {
+		if _, err := strconv.Atoi(b.Name[i+1:]); err == nil {
+			b.Name = b.Name[:i]
+		}
+	}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Benchmark{}, false
+		}
+		b.Metrics[fields[i+1]] = v
+	}
+	return b, len(b.Metrics) > 0
+}

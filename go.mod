@@ -1,0 +1,3 @@
+module dualradio
+
+go 1.24.0

@@ -31,28 +31,46 @@ type CollisionSeeking struct {
 	relCnt  []int32
 	touched []int32
 	reuse   []int
+	blist   []int
+	// cand[v] is the smallest-index gray edge from a current broadcaster
+	// to v (-1 when none), maintained by the broadcaster-driven pass.
+	cand        []int32
+	candTouched []int32
 }
 
-var _ Adversary = (*CollisionSeeking)(nil)
+var _ ListAdversary = (*CollisionSeeking)(nil)
+var _ CountedAdversary = (*CollisionSeeking)(nil)
 
 // NewCollisionSeeking returns a CollisionSeeking adversary bound to net.
 func NewCollisionSeeking(net *dualgraph.Network) *CollisionSeeking {
-	return &CollisionSeeking{
+	c := &CollisionSeeking{
 		net:     net,
 		grayAdj: grayAdjacency(net),
 		relCnt:  make([]int32, net.N()),
+		cand:    make([]int32, net.N()),
 	}
+	for i := range c.cand {
+		c.cand[i] = -1
+	}
+	return c
 }
 
 // Reach implements Adversary.
-func (c *CollisionSeeking) Reach(_ int, bcast []bool) []int {
-	c.reuse = c.reuse[:0]
-	g := c.net.G()
-	// Count reliable broadcasters reaching each node.
+func (c *CollisionSeeking) Reach(round int, bcast []bool) []int {
+	c.blist = c.blist[:0]
 	for u, b := range bcast {
-		if !b {
-			continue
+		if b {
+			c.blist = append(c.blist, u)
 		}
+	}
+	return c.ReachList(round, bcast, c.blist)
+}
+
+// ReachList implements ListAdversary.
+func (c *CollisionSeeking) ReachList(round int, bcast []bool, broadcasters []int) []int {
+	// Count reliable broadcasters reaching each node.
+	g := c.net.G()
+	for _, u := range broadcasters {
 		for _, v := range g.Neighbors(u) {
 			if c.relCnt[v] == 0 {
 				c.touched = append(c.touched, v)
@@ -60,9 +78,51 @@ func (c *CollisionSeeking) Reach(_ int, bcast []bool) []int {
 			c.relCnt[v]++
 		}
 	}
-	// Destroy every unique delivery that a gray edge can reach.
+	out := c.ReachCounted(round, bcast, broadcasters, c.relCnt, c.touched)
 	for _, v := range c.touched {
-		if c.relCnt[v] == 1 && !bcast[v] {
+		c.relCnt[v] = 0
+	}
+	c.touched = c.touched[:0]
+	return out
+}
+
+// ReachCounted implements CountedAdversary: with the engine's reliable hit
+// counts in hand the strategy needs no counting walks of its own. Both
+// branches below pick, for each uniquely-reached node, the lowest-index gray
+// edge from a broadcaster (gray adjacency lists are in edge-index order), so
+// they produce identical activations; the split only picks the cheaper walk
+// direction.
+func (c *CollisionSeeking) ReachCounted(_ int, bcast []bool, broadcasters []int, relCnt []int32, hitNodes []int32) []int {
+	c.reuse = c.reuse[:0]
+	if len(broadcasters) <= 16 {
+		// Sparse round: mark the gray reach of the few broadcasters,
+		// then destroy every unique delivery that was marked.
+		for _, u := range broadcasters {
+			for _, arc := range c.grayAdj[u] {
+				switch prev := c.cand[arc.peer]; {
+				case prev < 0:
+					c.candTouched = append(c.candTouched, arc.peer)
+					c.cand[arc.peer] = arc.idx
+				case arc.idx < prev:
+					c.cand[arc.peer] = arc.idx
+				}
+			}
+		}
+		for _, v := range hitNodes {
+			if relCnt[v] == 1 && !bcast[v] && c.cand[v] >= 0 {
+				c.reuse = append(c.reuse, int(c.cand[v]))
+			}
+		}
+		for _, v := range c.candTouched {
+			c.cand[v] = -1
+		}
+		c.candTouched = c.candTouched[:0]
+		return c.reuse
+	}
+	// Dense round: scanning each victim's gray arcs terminates quickly
+	// because most arcs lead to a broadcaster.
+	for _, v := range hitNodes {
+		if relCnt[v] == 1 && !bcast[v] {
 			for _, arc := range c.grayAdj[v] {
 				if bcast[arc.peer] {
 					c.reuse = append(c.reuse, int(arc.idx))
@@ -71,10 +131,6 @@ func (c *CollisionSeeking) Reach(_ int, bcast []bool) []int {
 			}
 		}
 	}
-	for _, v := range c.touched {
-		c.relCnt[v] = 0
-	}
-	c.touched = c.touched[:0]
 	return c.reuse
 }
 
@@ -93,7 +149,7 @@ type CliqueIsolating struct {
 	bcasters []int
 }
 
-var _ Adversary = (*CliqueIsolating)(nil)
+var _ ListAdversary = (*CliqueIsolating)(nil)
 
 // NewCliqueIsolating returns the lower-bound adversary. bridgeA and bridgeB
 // are the node indices of the bridge endpoints (see gen.BridgeCliques).
@@ -107,15 +163,20 @@ func NewCliqueIsolating(net *dualgraph.Network, bridgeA, bridgeB int) *CliqueIso
 }
 
 // Reach implements Adversary.
-func (c *CliqueIsolating) Reach(_ int, bcast []bool) []int {
-	c.reuse = c.reuse[:0]
+func (c *CliqueIsolating) Reach(round int, bcast []bool) []int {
 	c.bcasters = c.bcasters[:0]
 	for v, b := range bcast {
 		if b {
 			c.bcasters = append(c.bcasters, v)
 		}
 	}
-	if len(c.bcasters) < 2 {
+	return c.ReachList(round, bcast, c.bcasters)
+}
+
+// ReachList implements ListAdversary.
+func (c *CliqueIsolating) ReachList(_ int, bcast []bool, broadcasters []int) []int {
+	c.reuse = c.reuse[:0]
+	if len(broadcasters) < 2 {
 		// A solo broadcast cannot be collided; if it comes from a bridge
 		// endpoint it crosses, which is exactly the hitting event.
 		return c.reuse

@@ -22,6 +22,28 @@ type Adversary interface {
 	Reach(round int, bcast []bool) []int
 }
 
+// ListAdversary is an optional extension implemented by adversaries whose
+// strategy is driven by the broadcasters rather than the gray edge list.
+// The engine passes the precomputed ascending broadcaster list alongside the
+// bcast flags, sparing the adversary its own O(n) scan every round.
+// ReachList must return exactly what Reach would for the same round.
+type ListAdversary interface {
+	Adversary
+	ReachList(round int, bcast []bool, broadcasters []int) []int
+}
+
+// CountedAdversary is a further extension for adversaries whose strategy
+// depends on how many reliable broadcasters reach each node. The engine
+// computes those counts anyway when resolving receptions, so it shares them:
+// relCnt[v] is the number of reliable (G-edge) broadcasters reaching node v
+// this round, and hitNodes lists exactly the nodes with relCnt > 0, in hit
+// order. Both are read-only views of engine state, valid only for the
+// duration of the call. ReachCounted must return exactly what Reach would.
+type CountedAdversary interface {
+	Adversary
+	ReachCounted(round int, bcast []bool, broadcasters []int, relCnt []int32, hitNodes []int32) []int
+}
+
 // None never activates unreliable edges: communication happens on G alone.
 // With G = G' this is the classic radio network model.
 type None struct{}

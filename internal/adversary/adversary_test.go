@@ -16,13 +16,13 @@ import (
 func lineNet(t *testing.T) *dualgraph.Network {
 	t.Helper()
 	n := 4
-	g := graph.New(n)
-	gp := graph.New(n)
+	g := graph.NewBuilder(n)
+	gp := graph.NewBuilder(n)
 	coords := make([]geom.Point, n)
 	for i := 0; i < n; i++ {
 		coords[i] = geom.Point{X: float64(i)}
 	}
-	add := func(gr *graph.Graph, u, v int) {
+	add := func(gr *graph.Builder, u, v int) {
 		if err := gr.AddEdge(u, v); err != nil {
 			t.Fatal(err)
 		}
@@ -34,7 +34,7 @@ func lineNet(t *testing.T) *dualgraph.Network {
 	for i := 0; i+2 < n; i++ {
 		add(gp, i, i+2)
 	}
-	return dualgraph.New(g, gp, coords, 2)
+	return dualgraph.New(g.Build(), gp.Build(), coords, 2)
 }
 
 func TestNoneActivatesNothing(t *testing.T) {

@@ -1,8 +1,6 @@
 package core
 
 import (
-	"math"
-
 	"dualradio/internal/detector"
 	"dualradio/internal/sim"
 )
@@ -26,14 +24,18 @@ type AsyncMISProcess struct {
 	listenLen int
 	epochLen  int
 
-	awake    bool
-	epochPos int
-	out      int
-	joined   bool
-	misSet   *detector.Set
-	epochs   int // epochs started, for instrumentation
-	finished bool
-	decided  int // local round at which the output was fixed, -1 before
+	awake      bool
+	epochStart int // global round at which the current epoch began
+	out        int
+	joined     bool
+	misSet     *detector.Set
+	epochs     int // epochs started, for instrumentation
+	finished   bool
+	decided    int // local round at which the output was fixed, -1 before
+
+	// Cached immutable outgoing messages (identical every round).
+	contMsg *contenderMsg
+	annMsg  *announceMsg
 }
 
 var _ sim.Process = (*AsyncMISProcess)(nil)
@@ -85,39 +87,49 @@ func (p *AsyncMISProcess) DecisionLatency() int { return p.decided }
 
 // Broadcast implements sim.Process.
 func (p *AsyncMISProcess) Broadcast(round int) sim.Message {
+	m, _ := p.BroadcastSleep(round)
+	return m
+}
+
+// BroadcastSleep implements sim.SleepBroadcaster: an unwoken process sleeps
+// to its wake-up round and a listening process to the end of its listening
+// phase — in both states Broadcast returns nil without touching state or
+// randomness. A knock-back during the sleep only restarts the listening
+// phase, which keeps the process silent even longer, so an early declared
+// wake is always safe (the process simply declares a new sleep).
+func (p *AsyncMISProcess) BroadcastSleep(round int) (sim.Message, int) {
 	if round < p.wake {
-		return nil
+		return nil, p.wake
 	}
 	if !p.awake {
 		p.awake = true
-		p.epochPos = 0
+		p.epochStart = round
 		p.epochs = 1
 	}
 	if p.out == 0 {
-		return nil
+		return nil, round + 1
 	}
 	if p.joined {
 		// Permanent announcement duty.
 		if p.cfg.Rng.Float64() < 0.5 {
-			return newAnnounce(p.cfg.N, p.cfg.ID, p.detLabelAsync())
+			return p.announce(), round + 1
 		}
-		return nil
+		return nil, round + 1
 	}
-	pos := p.epochPos
+	pos := round - p.epochStart
 	if pos < p.listenLen {
-		return nil // listening phase: sending probability 0
+		// Listening: silent at least until the phase ends. The local
+		// clock is derived from the global round, so it keeps running
+		// while the engine skips the sleeping process.
+		return nil, round + p.listenLen - pos
 	}
 	pos -= p.listenLen
 	phase := pos / p.sched.phaseLen
 	if phase < p.sched.phases {
-		prob := math.Ldexp(1/float64(p.cfg.N), phase)
-		if prob > 0.5 {
-			prob = 0.5
+		if p.cfg.Rng.Float64() < p.sched.probs[phase] {
+			return p.contender(), round + 1
 		}
-		if p.cfg.Rng.Float64() < prob {
-			return newContender(p.cfg.N, p.cfg.ID, p.detLabelAsync())
-		}
-		return nil
+		return nil, round + 1
 	}
 	// Reaching the announcement phase means the process survived every
 	// competition phase of this epoch: it joins the MIS.
@@ -126,9 +138,9 @@ func (p *AsyncMISProcess) Broadcast(round int) sim.Message {
 	p.misSet.Add(p.cfg.ID)
 	p.decided = round - p.wake
 	if p.cfg.Rng.Float64() < 0.5 {
-		return newAnnounce(p.cfg.N, p.cfg.ID, p.detLabelAsync())
+		return p.announce(), round + 1
 	}
-	return nil
+	return nil, round + 1
 }
 
 func (p *AsyncMISProcess) detLabelAsync() *detector.Set {
@@ -138,12 +150,32 @@ func (p *AsyncMISProcess) detLabelAsync() *detector.Set {
 	return nil
 }
 
+// contender returns the process's (cached) competition message.
+func (p *AsyncMISProcess) contender() *contenderMsg {
+	if p.contMsg == nil {
+		p.contMsg = newContender(p.cfg.N, p.cfg.ID, p.detLabelAsync())
+	}
+	return p.contMsg
+}
+
+// announce returns the process's (cached) MIS announcement message.
+func (p *AsyncMISProcess) announce() *announceMsg {
+	if p.annMsg == nil {
+		p.annMsg = newAnnounce(p.cfg.N, p.cfg.ID, p.detLabelAsync())
+	}
+	return p.annMsg
+}
+
+// PassiveReceive marks that Receive ignores nil messages and the process's
+// own echo (see sim.PassiveReceiver): the local epoch clock is derived from
+// the global round, so silent rounds need no callback.
+func (p *AsyncMISProcess) PassiveReceive() {}
+
 // Receive implements sim.Process.
 func (p *AsyncMISProcess) Receive(round int, msg sim.Message) {
 	if !p.awake {
 		return
 	}
-	defer func() { p.epochPos++ }()
 	if msg == nil || msg.From() == p.cfg.ID || p.joined || p.out == 0 {
 		return
 	}
@@ -152,7 +184,7 @@ func (p *AsyncMISProcess) Receive(round int, msg sim.Message) {
 		if !p.keepAsync(m.from, m.det) {
 			return
 		}
-		p.restartEpoch()
+		p.restartEpoch(round)
 	case *announceMsg:
 		if !p.keepAsync(m.from, m.det) {
 			return
@@ -176,8 +208,8 @@ func (p *AsyncMISProcess) keepAsync(from int, label *detector.Set) bool {
 }
 
 // restartEpoch knocks the process back to the start of a fresh epoch,
-// beginning with a new listening phase.
-func (p *AsyncMISProcess) restartEpoch() {
-	p.epochPos = -1 // incremented to 0 by the deferred update
+// beginning with a new listening phase in the next round.
+func (p *AsyncMISProcess) restartEpoch(round int) {
+	p.epochStart = round + 1
 	p.epochs++
 }

@@ -2,7 +2,6 @@ package core
 
 import (
 	"fmt"
-	"math"
 	"math/rand/v2"
 	"sort"
 
@@ -158,6 +157,27 @@ type CCDSProcess struct {
 	selected map[int]int           // origin u -> target w (as nominator v)
 	queried  map[int]bool          // origins to answer (as explored node w)
 	relays   map[int]*relayRecord  // origin u -> buffered response (as v)
+
+	// Schedule cursors: the engine drives Broadcast with consecutive
+	// rounds, so the (epoch, phase, offset) triple and each phase's
+	// slot/offset pair advance incrementally instead of being re-derived
+	// with divisions every round. nextT == -1 forces an initial sync.
+	nextT    int
+	curEpoch int
+	curPhase searchPhase
+	curOff   int
+	p1Slot   int // phase 1 bounded-broadcast slot
+	p1In     int // offset within that slot
+	ddPhaseC int // phase 2 decay phase
+	ddIn     int // offset within decay phase + stop slot
+	ddNext   int // expected next phase-2 offset (resync after sleeps)
+	exSlot   int // phase 3 bounded-broadcast slot
+	exIn     int // offset within that slot
+
+	// Cached messages: a stop order is constant, and a banned-list chunk
+	// is constant within its epoch.
+	stopMsg     *stopMsg
+	pendingMsgs []*bannedChunkMsg
 }
 
 var _ sim.Process = (*CCDSProcess)(nil)
@@ -188,6 +208,7 @@ func NewCCDSProcess(cfg CCDSConfig) (*CCDSProcess, error) {
 		sched: sched,
 		mis:   inner,
 		out:   sim.Undecided,
+		nextT: -1,
 	}, nil
 }
 
@@ -243,29 +264,53 @@ func (p *CCDSProcess) initSearch() {
 
 // Broadcast implements sim.Process.
 func (p *CCDSProcess) Broadcast(round int) sim.Message {
+	m, _ := p.BroadcastSleep(round)
+	return m
+}
+
+// PassiveReceive marks that Receive ignores nil messages and the process's
+// own echo (see sim.PassiveReceiver).
+func (p *CCDSProcess) PassiveReceive() {}
+
+// BroadcastSleep implements sim.SleepBroadcaster. The search schedule has
+// long provably-silent stretches — covered processes during the banned-list
+// phase, MIS processes during decay rounds, processes with nothing to
+// nominate — in which Broadcast returns nil without consuming randomness;
+// the reported wake round lets the engine skip those calls outright.
+func (p *CCDSProcess) BroadcastSleep(round int) (sim.Message, int) {
 	if round < p.sched.mis.total {
-		return p.mis.Broadcast(round)
+		// The MIS subroutine's sleep-forever is its own schedule end,
+		// which is exactly where the search takes over.
+		return p.mis.BroadcastSleep(round)
 	}
 	if round >= p.sched.total {
 		p.finish()
-		return nil
+		return nil, round + 1
 	}
 	if !p.searchInit {
 		p.initSearch()
 	}
 	t := round - p.sched.mis.total
-	epoch, phase, off := p.sched.locate(t)
+	if t != p.nextT {
+		p.curEpoch, p.curPhase, p.curOff = p.sched.locate(t)
+	}
+	p.nextT = t + 1
+	epoch, phase, off := p.curEpoch, p.curPhase, p.curOff
+	p.advanceSearchCursor()
 	if off == 0 && phase == phaseBanned {
 		p.startEpoch(epoch)
 	}
+	var m sim.Message
+	var rel int
 	switch phase {
 	case phaseBanned:
-		return p.sendBanned(off)
+		m, rel = p.sendBanned(off)
 	case phaseDecay:
-		return p.sendDecay(off)
+		m, rel = p.sendDecay(off)
 	default:
-		return p.sendExplore(off)
+		m, rel = p.sendExplore(off)
 	}
+	return m, round + rel
 }
 
 // finish fixes the terminal output: any still-undecided process outputs 0.
@@ -283,6 +328,7 @@ func (p *CCDSProcess) startEpoch(epoch int) {
 	if p.inMIS {
 		diff := p.banned.Diff(p.delivered)
 		p.pending = chunkify(diff, p.sched.capIDs)
+		p.pendingMsgs = make([]*bannedChunkMsg, len(p.pending))
 		p.delivered = p.banned.Clone()
 		p.nomFrom, p.nomCand = 0, 0
 		p.ddHeard = false
@@ -338,41 +384,103 @@ func chunkify(ids []int, capIDs int) [][]int {
 	return out
 }
 
+// advanceSearchCursor moves the search-phase cursor to the next round.
+func (p *CCDSProcess) advanceSearchCursor() {
+	p.curOff++
+	switch p.curPhase {
+	case phaseBanned:
+		if p.curOff == p.sched.p1Len {
+			p.curPhase, p.curOff = phaseDecay, 0
+		}
+	case phaseDecay:
+		if p.curOff == p.sched.p2Len {
+			p.curPhase, p.curOff = phaseExplore, 0
+		}
+	default:
+		if p.curOff == p.sched.p3Len {
+			p.curPhase, p.curOff = phaseBanned, 0
+			p.curEpoch++
+		}
+	}
+}
+
+// stop returns the process's (cached) constant stop-order message.
+func (p *CCDSProcess) stop() *stopMsg {
+	if p.stopMsg == nil {
+		p.stopMsg = newStop(p.cfg.N, p.cfg.ID)
+	}
+	return p.stopMsg
+}
+
 // sendBanned implements phase 1: MIS processes bounded-broadcast their
 // banned-list delta, one chunk per slot, with probability 1/2 per round.
-func (p *CCDSProcess) sendBanned(off int) sim.Message {
+// sendBanned also reports the number of rounds (>= 1) for which the process
+// is guaranteed silent and randomness-free, starting at this one. Covered
+// processes sleep through the whole phase; an MIS process whose chunks are
+// exhausted sleeps to the first stop slot of phase 2.
+func (p *CCDSProcess) sendBanned(off int) (sim.Message, int) {
+	if off == 0 {
+		p.p1Slot, p.p1In = 0, 0
+	}
+	slot := p.p1Slot
+	if p.p1In++; p.p1In == p.sched.bb {
+		p.p1In, p.p1Slot = 0, slot+1
+	}
 	if !p.inMIS {
-		return nil
+		return nil, p.sched.p1Len - off
 	}
-	slot := off / p.sched.bb
-	if slot >= len(p.pending) || p.cfg.Rng.Float64() >= 0.5 {
-		return nil
+	if slot >= len(p.pending) {
+		return nil, p.sched.p1Len - off + p.sched.ddLen
 	}
-	return newBannedChunk(p.cfg.N, p.cfg.ID, slot, p.pending[slot], nil)
+	if p.cfg.Rng.Float64() >= 0.5 {
+		return nil, 1
+	}
+	if p.pendingMsgs[slot] == nil {
+		p.pendingMsgs[slot] = newBannedChunk(p.cfg.N, p.cfg.ID, slot, p.pending[slot], nil)
+	}
+	return p.pendingMsgs[slot], 1
 }
 
 // sendDecay implements phase 2: covered processes run directed-decay to
 // deliver one nomination to each neighboring MIS process, and MIS processes
 // issue stop orders between decay phases.
-func (p *CCDSProcess) sendDecay(off int) sim.Message {
-	if off == 0 && !p.inMIS {
-		p.startDecay()
-	}
+// sendDecay also reports the guaranteed-silent stretch (>= 1 rounds): MIS
+// processes sleep through decay rounds to the next stop slot (and through
+// stop slots they did not hear a nomination for), covered processes with
+// nothing to nominate sleep to phase 3, and covered processes skip the stop
+// slots between decay phases. Sleeps may land mid-phase, so the slot cursor
+// resyncs on a non-consecutive offset.
+func (p *CCDSProcess) sendDecay(off int) (sim.Message, int) {
 	phaseLen := p.sched.ddLen + p.sched.bb
-	ddPhase := off / phaseLen
-	inPhase := off % phaseLen
+	switch {
+	case off == 0:
+		if !p.inMIS {
+			p.startDecay()
+		}
+		p.ddPhaseC, p.ddIn = 0, 0
+	case off != p.ddNext:
+		p.ddPhaseC, p.ddIn = off/phaseLen, off%phaseLen
+	}
+	p.ddNext = off + 1
+	ddPhase, inPhase := p.ddPhaseC, p.ddIn
+	if p.ddIn++; p.ddIn == phaseLen {
+		p.ddIn, p.ddPhaseC = 0, ddPhase+1
+	}
 
 	if inPhase < p.sched.ddLen {
 		if p.inMIS {
-			return nil
+			// Decay rounds are listen-only for MIS processes.
+			return nil, p.sched.ddLen - inPhase
+		}
+		if !p.hasActiveNoms() {
+			// Nothing to nominate for the rest of the phase: stop
+			// orders only deactivate nominations, never revive them.
+			return nil, p.sched.p2Len - off
 		}
 		// Decay rounds: each active simulated covered process broadcasts
-		// with probability 2^i/n; concurrent firings are combined into a
-		// single batched message.
-		prob := math.Ldexp(1/float64(p.cfg.N), ddPhase)
-		if prob > 0.5 {
-			prob = 0.5
-		}
+		// with probability 2^i/n (precomputed, capped at 1/2); concurrent
+		// firings are combined into a single batched message.
+		prob := p.sched.mis.probs[ddPhase]
 		var entries []nomination
 		for i := range p.noms {
 			if p.noms[i].active && p.cfg.Rng.Float64() < prob {
@@ -383,49 +491,84 @@ func (p *CCDSProcess) sendDecay(off int) sim.Message {
 			}
 		}
 		if len(entries) == 0 {
-			return nil
+			return nil, 1
 		}
-		return newNominate(p.cfg.N, p.cfg.ID, entries)
+		return newNominate(p.cfg.N, p.cfg.ID, entries), 1
 	}
 	// Stop slot: an MIS process that heard a nomination during this decay
 	// phase bounded-broadcasts a stop order.
-	if p.inMIS && p.ddHeard {
-		if inPhase == p.sched.ddLen+p.sched.bb-1 {
-			// Reset at the end of the slot for the next decay phase.
-			defer func() { p.ddHeard = false }()
+	if p.inMIS {
+		if !p.ddHeard {
+			// Silent until the next stop slot (nominations cannot
+			// arrive during a stop slot), or until phase 3.
+			rel := phaseLen - inPhase + p.sched.ddLen
+			if rest := p.sched.p2Len - off; rest < rel {
+				rel = rest
+			}
+			return nil, rel
 		}
-		if p.cfg.Rng.Float64() < 0.5 {
-			return newStop(p.cfg.N, p.cfg.ID)
+		fire := p.cfg.Rng.Float64() < 0.5
+		if inPhase == phaseLen-1 {
+			// Reset at the end of the slot for the next decay phase.
+			p.ddHeard = false
+		}
+		if fire {
+			return p.stop(), 1
+		}
+		return nil, 1
+	}
+	// Covered processes are silent in stop slots; wake at the next decay
+	// round (or phase 3 after the last slot).
+	if p.hasActiveNoms() {
+		return nil, phaseLen - inPhase
+	}
+	return nil, p.sched.p2Len - off
+}
+
+// hasActiveNoms reports whether any simulated covered process of this epoch
+// is still nominating.
+func (p *CCDSProcess) hasActiveNoms() bool {
+	for i := range p.noms {
+		if p.noms[i].active {
+			return true
 		}
 	}
-	return nil
+	return false
 }
 
 // sendExplore implements phase 3: select, query, respond, relay — each a
 // bounded-broadcast slot (the respond and relay steps span one slot per
 // chunk).
-func (p *CCDSProcess) sendExplore(off int) sim.Message {
-	slot := off / p.sched.bb
+// sendExplore draws its slot coin every round for every process, so there
+// is never a sleep window inside phase 3.
+func (p *CCDSProcess) sendExplore(off int) (sim.Message, int) {
+	if off == 0 {
+		p.exSlot, p.exIn = 0, 0
+	}
+	slot := p.exSlot
+	if p.exIn++; p.exIn == p.sched.bb {
+		p.exIn, p.exSlot = 0, slot+1
+	}
 	coin := p.cfg.Rng.Float64() < 0.5
 	switch {
 	case slot == 0: // select
 		if p.inMIS && p.nomFrom != 0 && coin {
-			return newSelect(p.cfg.N, p.cfg.ID, p.nomFrom, p.nomCand)
+			return newSelect(p.cfg.N, p.cfg.ID, p.nomFrom, p.nomCand), 1
 		}
 	case slot == 1: // query
 		if !p.inMIS && len(p.selected) > 0 && coin {
-			return p.buildQuery()
+			return p.buildQuery(), 1
 		}
 	case slot < 2+p.sched.chunks: // respond
 		if !p.inMIS && len(p.queried) > 0 && coin {
-			return p.buildRespond(slot - 2)
+			return p.buildRespond(slot - 2), 1
 		}
 	default: // relay
 		if !p.inMIS && len(p.relays) > 0 && coin {
-			return p.buildRelay(slot - 2 - p.sched.chunks)
+			return p.buildRelay(slot - 2 - p.sched.chunks), 1
 		}
 	}
-	return nil
+	return nil, 1
 }
 
 // buildQuery batches the exploration requests this nominator received,
@@ -433,12 +576,14 @@ func (p *CCDSProcess) sendExplore(off int) sim.Message {
 func (p *CCDSProcess) buildQuery() sim.Message {
 	origins := sortedKeys(p.selected)
 	var entries []queryEntry
+	// A query with k entries encodes tag + sender + count + 2k ids; the
+	// bound is enforced arithmetically instead of building probe messages.
+	base := tagBits + idBits(p.cfg.N) + countBits
 	for _, u := range origins {
-		entries = append(entries, queryEntry{Origin: u, Target: p.selected[u]})
-		if m := newQuery(p.cfg.N, p.cfg.ID, entries); m.BitSize() > p.cfg.B {
-			entries = entries[:len(entries)-1]
+		if base+(len(entries)+1)*2*idBits(p.cfg.N) > p.cfg.B {
 			break
 		}
+		entries = append(entries, queryEntry{Origin: u, Target: p.selected[u]})
 	}
 	if len(entries) == 0 {
 		return nil
@@ -477,12 +622,16 @@ func (p *CCDSProcess) buildRespond(seq int) sim.Message {
 		return nil
 	}
 	var entries []respondEntry
+	// Entry sizes are summed arithmetically (see entryBits) instead of
+	// building probe messages per appended entry.
+	bits := tagBits + idBits(p.cfg.N) + countBits
+	perEntry := 3*idBits(p.cfg.N) + countBits + len(chunks[seq])*idBits(p.cfg.N)
 	for _, u := range sortedBoolKeys(p.queried) {
-		entries = append(entries, respondEntry{Origin: u, MISID: misID, Seq: seq, IDs: chunks[seq]})
-		if m := newRespond(p.cfg.N, p.cfg.ID, entries); m.BitSize() > p.cfg.B {
-			entries = entries[:len(entries)-1]
+		if bits+perEntry > p.cfg.B {
 			break
 		}
+		bits += perEntry
+		entries = append(entries, respondEntry{Origin: u, MISID: misID, Seq: seq, IDs: chunks[seq]})
 	}
 	if len(entries) == 0 {
 		return nil
@@ -493,17 +642,19 @@ func (p *CCDSProcess) buildRespond(seq int) sim.Message {
 // buildRelay forwards buffered response chunks to their origins.
 func (p *CCDSProcess) buildRelay(seq int) sim.Message {
 	var entries []respondEntry
+	bits := tagBits + idBits(p.cfg.N) + countBits
 	for _, u := range sortedRelayKeys(p.relays) {
 		rec := p.relays[u]
 		ids, ok := rec.chunks[seq]
 		if !ok {
 			continue
 		}
-		entries = append(entries, respondEntry{Origin: u, MISID: rec.misID, Seq: seq, IDs: ids})
-		if m := newRelay(p.cfg.N, p.cfg.ID, entries); m.BitSize() > p.cfg.B {
-			entries = entries[:len(entries)-1]
+		eb := 3*idBits(p.cfg.N) + countBits + len(ids)*idBits(p.cfg.N)
+		if bits+eb > p.cfg.B {
 			break
 		}
+		bits += eb
+		entries = append(entries, respondEntry{Origin: u, MISID: rec.misID, Seq: seq, IDs: ids})
 	}
 	if len(entries) == 0 {
 		return nil

@@ -2,7 +2,6 @@ package core
 
 import (
 	"fmt"
-	"math"
 	"math/rand/v2"
 
 	"dualradio/internal/detector"
@@ -84,6 +83,21 @@ type MISProcess struct {
 	active      bool
 	joinedEpoch int
 	finished    bool
+
+	// Schedule cursor: the engine drives Broadcast with consecutive round
+	// numbers, so (epoch, phase, offsets) advance incrementally instead of
+	// being re-derived with divisions every round. nextRound is the round
+	// the cursor state describes; any other round triggers a resync.
+	nextRound int
+	epoch     int
+	off       int // offset within the epoch
+	phase     int // off / phaseLen (phases == announcement phase)
+	offPhase  int // offset within the current phase
+
+	// Outgoing messages are immutable and identical across rounds for a
+	// fixed process, so they are built once and reused.
+	contMsg *contenderMsg
+	annMsg  *announceMsg
 }
 
 var _ sim.Process = (*MISProcess)(nil)
@@ -141,15 +155,83 @@ func (p *MISProcess) detLabel() *detector.Set {
 	return nil
 }
 
+// contender returns the process's (cached) competition message.
+func (p *MISProcess) contender() *contenderMsg {
+	if p.contMsg == nil {
+		p.contMsg = newContender(p.cfg.N, p.cfg.ID, p.detLabel())
+	}
+	return p.contMsg
+}
+
+// announce returns the process's (cached) MIS announcement message.
+func (p *MISProcess) announce() *announceMsg {
+	if p.annMsg == nil {
+		p.annMsg = newAnnounce(p.cfg.N, p.cfg.ID, p.detLabel())
+	}
+	return p.annMsg
+}
+
+// syncCursor re-derives the schedule cursor for an arbitrary round (used
+// when Broadcast is not driven with consecutive rounds, e.g. after a resync).
+func (p *MISProcess) syncCursor(round int) {
+	p.epoch = round / p.sched.epochLen
+	p.off = round % p.sched.epochLen
+	p.phase = p.off / p.sched.phaseLen
+	p.offPhase = p.off % p.sched.phaseLen
+}
+
+// advanceCursor moves the schedule cursor to the next round.
+func (p *MISProcess) advanceCursor() {
+	p.off++
+	p.offPhase++
+	if p.offPhase == p.sched.phaseLen {
+		p.offPhase = 0
+		p.phase++
+	}
+	if p.off == p.sched.epochLen {
+		p.off = 0
+		p.phase = 0
+		p.epoch++
+	}
+}
+
 // Broadcast implements sim.Process.
 func (p *MISProcess) Broadcast(round int) sim.Message {
+	m, _ := p.BroadcastSleep(round)
+	return m
+}
+
+// PassiveReceive marks that Receive ignores nil messages and the process's
+// own echo (see sim.PassiveReceiver).
+func (p *MISProcess) PassiveReceive() {}
+
+// nextEpochStart returns the round at which the next epoch begins, assuming
+// the cursor has been advanced past the current round.
+func (p *MISProcess) nextEpochStart(round int) int {
+	if p.off == 0 {
+		return round + 1
+	}
+	return round + 1 + p.sched.epochLen - p.off
+}
+
+// BroadcastSleep implements sim.SleepBroadcaster: alongside the round's
+// message it reports the earliest round at which the process might broadcast
+// again. Knocked-out competitors sleep to their next epoch, covered (output
+// 0) processes and one-shot members past their joining epoch sleep to the
+// end of the schedule; in all those states Broadcast returns nil without
+// consuming randomness, so skipping the calls leaves the execution
+// bit-identical.
+func (p *MISProcess) BroadcastSleep(round int) (sim.Message, int) {
 	if round >= p.sched.total {
 		p.finished = true
-		return nil
+		return nil, round + 1
 	}
-	epoch := round / p.sched.epochLen
-	off := round % p.sched.epochLen
-	phase := off / p.sched.phaseLen
+	if round != p.nextRound {
+		p.syncCursor(round)
+	}
+	p.nextRound = round + 1
+	epoch, off, phase := p.epoch, p.off, p.phase
+	p.advanceCursor()
 
 	if off == 0 {
 		// Epoch start: a process is active iff M_u contains neither its
@@ -172,22 +254,25 @@ func (p *MISProcess) Broadcast(round int) sim.Message {
 		// erroneously join, while preserving the Lemma 4.3 contention
 		// profile (members behave exactly like active competitors).
 		if !p.active && p.joinedEpoch < 0 {
-			return nil
+			if p.out == 0 {
+				// Covered and decided: silent for good.
+				return nil, p.sched.total
+			}
+			return nil, p.nextEpochStart(round)
 		}
 		if p.joinedEpoch >= 0 && p.cfg.DisableReannounce {
-			return nil
+			// One-shot member: joining happens in an announcement
+			// phase, so any later competition round is past the
+			// joining epoch and the process is silent for good.
+			return nil, p.sched.total
 		}
-		prob := math.Ldexp(1/float64(p.cfg.N), phase)
-		if prob > 0.5 {
-			prob = 0.5
-		}
-		if p.cfg.Rng.Float64() < prob {
+		if p.cfg.Rng.Float64() < p.sched.probs[phase] {
 			if p.joinedEpoch >= 0 {
-				return newAnnounce(p.cfg.N, p.cfg.ID, p.detLabel())
+				return p.announce(), round + 1
 			}
-			return newContender(p.cfg.N, p.cfg.ID, p.detLabel())
+			return p.contender(), round + 1
 		}
-		return nil
+		return nil, round + 1
 	}
 
 	// Announcement phase. An active survivor joins the MIS at the first
@@ -196,11 +281,21 @@ func (p *MISProcess) Broadcast(round int) sim.Message {
 	if p.active && p.joinedEpoch < 0 && p.out == sim.Undecided {
 		p.join(epoch)
 	}
-	if p.joinedEpoch >= 0 && (epoch == p.joinedEpoch || !p.cfg.DisableReannounce) &&
-		p.cfg.Rng.Float64() < 0.5 {
-		return newAnnounce(p.cfg.N, p.cfg.ID, p.detLabel())
+	if p.joinedEpoch < 0 {
+		// Not a member: silent through the rest of the announcement
+		// phase (and beyond, if already covered).
+		if p.out == 0 {
+			return nil, p.sched.total
+		}
+		return nil, p.nextEpochStart(round)
 	}
-	return nil
+	if p.cfg.DisableReannounce && epoch != p.joinedEpoch {
+		return nil, p.sched.total
+	}
+	if p.cfg.Rng.Float64() < 0.5 {
+		return p.announce(), round + 1
+	}
+	return nil, round + 1
 }
 
 func (p *MISProcess) join(epoch int) {

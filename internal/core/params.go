@@ -127,12 +127,13 @@ func scaled(f float64, x int) int {
 // algorithm: ℓ_E epochs, each consisting of ceil(log₂ n) competition phases
 // followed by one announcement phase, all of length ℓ_P.
 type misSchedule struct {
-	logN     int // ceil(log₂ n)
-	phaseLen int // ℓ_P
-	phases   int // competition phases per epoch (= logN)
-	epochLen int // (phases + 1) · phaseLen
-	epochs   int // ℓ_E
-	total    int // epochs · epochLen
+	logN     int       // ceil(log₂ n)
+	phaseLen int       // ℓ_P
+	phases   int       // competition phases per epoch (= logN)
+	epochLen int       // (phases + 1) · phaseLen
+	epochs   int       // ℓ_E
+	total    int       // epochs · epochLen
+	probs    []float64 // per-phase broadcast probability min(2^i/n, 1/2)
 }
 
 func newMISSchedule(n int, p Params) misSchedule {
@@ -142,6 +143,16 @@ func newMISSchedule(n int, p Params) misSchedule {
 	s.epochLen = (s.phases + 1) * s.phaseLen
 	s.epochs = scaled(p.Epochs, s.logN)
 	s.total = s.epochs * s.epochLen
+	// Precompute the doubling competition probabilities 2^i/n (capped at
+	// 1/2) so the per-round hot path avoids math.Ldexp.
+	s.probs = make([]float64, s.phases)
+	for i := range s.probs {
+		prob := math.Ldexp(1/float64(n), i)
+		if prob > 0.5 {
+			prob = 0.5
+		}
+		s.probs[i] = prob
+	}
 	return s
 }
 

@@ -158,7 +158,7 @@ func (d *Detector) Verify(net *dualgraph.Network, asg *dualgraph.Assignment, tau
 // BuildH constructs the graph H of Section 3: (u,v) ∈ E_H iff u ∈ L_v and
 // v ∈ L_u. For any τ-complete detector, G ⊆ H; for τ = 0, H = G.
 func BuildH(net *dualgraph.Network, asg *dualgraph.Assignment, d *Detector) *graph.Graph {
-	h := graph.New(net.N())
+	h := graph.NewBuilder(net.N())
 	for u := 0; u < net.N(); u++ {
 		for _, idv := range d.sets[u].IDs() {
 			v := asg.Node(idv)
@@ -169,5 +169,5 @@ func BuildH(net *dualgraph.Network, asg *dualgraph.Assignment, d *Detector) *gra
 			}
 		}
 	}
-	return h
+	return h.Build()
 }

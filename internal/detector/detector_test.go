@@ -14,8 +14,8 @@ import (
 func lineNetwork(t *testing.T) *dualgraph.Network {
 	t.Helper()
 	n := 5
-	g := graph.New(n)
-	gp := graph.New(n)
+	g := graph.NewBuilder(n)
+	gp := graph.NewBuilder(n)
 	coords := make([]geom.Point, n)
 	for i := 0; i < n; i++ {
 		coords[i] = geom.Point{X: float64(i)}
@@ -27,10 +27,10 @@ func lineNetwork(t *testing.T) *dualgraph.Network {
 	for i := 0; i+2 < n; i++ {
 		addEdge(t, gp, i, i+2)
 	}
-	return dualgraph.New(g, gp, coords, 2)
+	return dualgraph.New(g.Build(), gp.Build(), coords, 2)
 }
 
-func addEdge(t *testing.T, g *graph.Graph, u, v int) {
+func addEdge(t *testing.T, g *graph.Builder, u, v int) {
 	t.Helper()
 	if err := g.AddEdge(u, v); err != nil {
 		t.Fatal(err)

@@ -26,7 +26,7 @@ func Incomplete(net *dualgraph.Network, asg *dualgraph.Assignment,
 	}
 	// retained tracks the subgraph of reliable edges kept in both
 	// directions; an edge may be dropped only if retained stays connected.
-	retained := net.G().Clone()
+	retained := graph.BuilderFrom(net.G())
 	var edges [][2]int
 	net.G().Edges(func(u, v int) { edges = append(edges, [2]int{u, v}) })
 	rng.Shuffle(len(edges), func(i, j int) { edges[i], edges[j] = edges[j], edges[i] })
@@ -34,10 +34,14 @@ func Incomplete(net *dualgraph.Network, asg *dualgraph.Assignment,
 		if rng.Float64() >= dropProb {
 			continue
 		}
-		if !removableKeepingConnected(retained, e[0], e[1]) {
+		// Tentatively remove; keep the edge when removal would violate
+		// the connectivity proviso. This avoids the old clone-per-probe.
+		retained.RemoveEdge(e[0], e[1])
+		if !retained.Connected() {
+			// Re-insertion of a just-removed valid edge cannot fail.
+			_ = retained.AddEdge(e[0], e[1])
 			continue
 		}
-		retained.RemoveEdge(e[0], e[1])
 		// Drop one or both directions: either breaks mutuality, removing
 		// the edge from H.
 		switch rng.IntN(3) {
@@ -53,24 +57,16 @@ func Incomplete(net *dualgraph.Network, asg *dualgraph.Assignment,
 	return d
 }
 
-// removableKeepingConnected reports whether deleting (u, v) keeps the graph
-// connected.
-func removableKeepingConnected(g *graph.Graph, u, v int) bool {
-	c := g.Clone()
-	c.RemoveEdge(u, v)
-	return c.Connected()
-}
-
 // RetainedReliableGraph returns the subgraph of reliable edges kept in both
 // directions by d — the graph the footnote's proviso requires to be
 // connected.
 func RetainedReliableGraph(net *dualgraph.Network, asg *dualgraph.Assignment, d *Detector) *graph.Graph {
-	kept := graph.New(net.N())
+	kept := graph.NewBuilder(net.N())
 	net.G().Edges(func(u, v int) {
 		if d.sets[u].Contains(asg.ID(v)) && d.sets[v].Contains(asg.ID(u)) {
 			// Error ignored: subgraph of a valid simple graph.
 			_ = kept.AddEdge(u, v)
 		}
 	})
-	return kept
+	return kept.Build()
 }

@@ -71,7 +71,7 @@ func TestIncompleteDropsOnDenseGraph(t *testing.T) {
 // into the reliable graph.
 func cycleNetwork(t *testing.T, n int) *dualgraph.Network {
 	t.Helper()
-	g := graph.New(n)
+	b := graph.NewBuilder(n)
 	coords := make([]geom.Point, n)
 	radius := 0.5 / math.Sin(math.Pi/float64(n))
 	for i := 0; i < n; i++ {
@@ -79,7 +79,8 @@ func cycleNetwork(t *testing.T, n int) *dualgraph.Network {
 		coords[i] = geom.Point{X: radius * math.Cos(theta), Y: radius * math.Sin(theta)}
 	}
 	for i := 0; i < n; i++ {
-		addEdge(t, g, i, (i+1)%n)
+		addEdge(t, b, i, (i+1)%n)
 	}
-	return dualgraph.New(g, g.Clone(), coords, 2)
+	g := b.Build()
+	return dualgraph.New(g, g, coords, 2)
 }

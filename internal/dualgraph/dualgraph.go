@@ -13,6 +13,7 @@ package dualgraph
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"dualradio/internal/geom"
 	"dualradio/internal/graph"
@@ -36,6 +37,12 @@ type Network struct {
 	gPrime *graph.Graph
 	coords []geom.Point
 	d      float64
+
+	// Derived quantities are memoized: graphs are immutable, and the
+	// engine plus every adversary constructor ask for the gray edge list
+	// and Δ on the trial hot path.
+	grayOnce sync.Once
+	gray     [][2]int
 }
 
 // New assembles a network from its parts. It does not validate the model
@@ -73,14 +80,17 @@ func (n *Network) DeltaPrime() int { return n.gPrime.MaxDegree() }
 
 // GrayEdges returns the unreliable-only edges E' \ E as (u, v) pairs with
 // u < v. These are the edges whose per-round behavior the adversary chooses.
+// The slice is computed once, shared by all callers, and must not be
+// modified.
 func (n *Network) GrayEdges() [][2]int {
-	var out [][2]int
-	n.gPrime.Edges(func(u, v int) {
-		if !n.g.HasEdge(u, v) {
-			out = append(out, [2]int{u, v})
-		}
+	n.grayOnce.Do(func() {
+		n.gPrime.Edges(func(u, v int) {
+			if !n.g.HasEdge(u, v) {
+				n.gray = append(n.gray, [2]int{u, v})
+			}
+		})
 	})
-	return out
+	return n.gray
 }
 
 // Validate checks the Section 2 model invariants: n > 2, matching sizes,

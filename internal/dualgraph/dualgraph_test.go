@@ -12,8 +12,8 @@ import (
 // gray-zone edge across.
 func triangle(t *testing.T) *Network {
 	t.Helper()
-	g := graph.New(3)
-	gp := graph.New(3)
+	g := graph.NewBuilder(3)
+	gp := graph.NewBuilder(3)
 	for _, e := range [][2]int{{0, 1}, {1, 2}} {
 		if err := g.AddEdge(e[0], e[1]); err != nil {
 			t.Fatal(err)
@@ -26,7 +26,7 @@ func triangle(t *testing.T) *Network {
 		t.Fatal(err)
 	}
 	coords := []geom.Point{{X: 0}, {X: 1}, {X: 2}}
-	return New(g, gp, coords, 2)
+	return New(g.Build(), gp.Build(), coords, 2)
 }
 
 func TestValidateAccepts(t *testing.T) {
@@ -36,57 +36,57 @@ func TestValidateAccepts(t *testing.T) {
 }
 
 func TestValidateRejectsSubgraphViolation(t *testing.T) {
-	g := graph.New(3)
-	gp := graph.New(3)
+	g := graph.NewBuilder(3)
+	gp := graph.NewBuilder(3)
 	mustAdd(t, g, 0, 1)
 	mustAdd(t, g, 1, 2)
 	mustAdd(t, gp, 0, 1) // (1,2) missing from G'
 	coords := []geom.Point{{X: 0}, {X: 1}, {X: 2}}
-	net := New(g, gp, coords, 2)
+	net := New(g.Build(), gp.Build(), coords, 2)
 	if err := net.Validate(); !errors.Is(err, ErrNotSubgraph) {
 		t.Errorf("want ErrNotSubgraph, got %v", err)
 	}
 }
 
 func TestValidateRejectsDisconnected(t *testing.T) {
-	g := graph.New(4)
-	gp := graph.New(4)
+	g := graph.NewBuilder(4)
+	gp := graph.NewBuilder(4)
 	mustAdd(t, g, 0, 1)
 	mustAdd(t, gp, 0, 1)
 	mustAdd(t, g, 2, 3)
 	mustAdd(t, gp, 2, 3)
 	coords := []geom.Point{{X: 0}, {X: 1}, {X: 5}, {X: 6}}
-	net := New(g, gp, coords, 2)
+	net := New(g.Build(), gp.Build(), coords, 2)
 	if err := net.Validate(); !errors.Is(err, ErrDisconnected) {
 		t.Errorf("want ErrDisconnected, got %v", err)
 	}
 }
 
 func TestValidateRejectsMissingUnitEdge(t *testing.T) {
-	g := graph.New(3)
-	gp := graph.New(3)
+	g := graph.NewBuilder(3)
+	gp := graph.NewBuilder(3)
 	mustAdd(t, g, 0, 1)
 	mustAdd(t, gp, 0, 1)
 	mustAdd(t, g, 1, 2)
 	mustAdd(t, gp, 1, 2)
 	// Node 2 at distance 0.5 of node 0, but no (0,2) reliable edge.
 	coords := []geom.Point{{X: 0}, {X: 0.4}, {X: 0.5}}
-	net := New(g, gp, coords, 2)
+	net := New(g.Build(), gp.Build(), coords, 2)
 	if err := net.Validate(); !errors.Is(err, ErrMissingEdge) {
 		t.Errorf("want ErrMissingEdge, got %v", err)
 	}
 }
 
 func TestValidateRejectsLongGrayEdge(t *testing.T) {
-	g := graph.New(3)
-	gp := graph.New(3)
+	g := graph.NewBuilder(3)
+	gp := graph.NewBuilder(3)
 	mustAdd(t, g, 0, 1)
 	mustAdd(t, gp, 0, 1)
 	mustAdd(t, g, 1, 2)
 	mustAdd(t, gp, 1, 2)
 	mustAdd(t, gp, 0, 2) // distance 2.2 > d = 2
 	coords := []geom.Point{{X: 0}, {X: 1.1}, {X: 2.2}}
-	net := New(g, gp, coords, 2)
+	net := New(g.Build(), gp.Build(), coords, 2)
 	if err := net.Validate(); !errors.Is(err, ErrEdgeTooLong) {
 		t.Errorf("want ErrEdgeTooLong, got %v", err)
 	}
@@ -101,11 +101,11 @@ func TestValidateRejectsBadGrayZone(t *testing.T) {
 }
 
 func TestValidateRejectsTooFew(t *testing.T) {
-	g := graph.New(2)
-	gp := graph.New(2)
+	g := graph.NewBuilder(2)
+	gp := graph.NewBuilder(2)
 	mustAdd(t, g, 0, 1)
 	mustAdd(t, gp, 0, 1)
-	net := New(g, gp, []geom.Point{{}, {X: 1}}, 2)
+	net := New(g.Build(), gp.Build(), []geom.Point{{}, {X: 1}}, 2)
 	if err := net.Validate(); !errors.Is(err, ErrTooFewProcesses) {
 		t.Errorf("want ErrTooFewProcesses, got %v", err)
 	}
@@ -130,7 +130,7 @@ func TestGrayEdges(t *testing.T) {
 	}
 }
 
-func mustAdd(t *testing.T, g *graph.Graph, u, v int) {
+func mustAdd(t *testing.T, g *graph.Builder, u, v int) {
 	t.Helper()
 	if err := g.AddEdge(u, v); err != nil {
 		t.Fatal(err)

@@ -2,6 +2,7 @@ package expr
 
 import (
 	"dualradio/internal/detector"
+	"dualradio/internal/harness"
 	"dualradio/internal/routing"
 	"dualradio/internal/verify"
 )
@@ -19,19 +20,23 @@ func E11Backbone(cfg Config) (*Result, error) {
 		sizes = []int{96}
 	}
 	for _, n := range sizes {
-		var floodTx, backTx, floodLat, backLat, ccdsSize []float64
-		for seed := 0; seed < cfg.Seeds; seed++ {
+		type trial struct {
+			ok                          bool
+			floodTx, backTx             float64
+			floodLat, backLat, ccdsSize float64
+		}
+		outs, err := harness.Trials(cfg.Seeds, func(seed int) (trial, error) {
 			s, err := buildScenario(scenarioSpec{n: n, b: 1024, seed: uint64(seed + 1)})
 			if err != nil {
-				return nil, err
+				return trial{}, err
 			}
 			out, err := s.RunCCDS()
 			if err != nil {
-				return nil, err
+				return trial{}, err
 			}
 			h := detector.BuildH(s.Net, s.Asg, s.Det)
 			if !verify.CCDS(s.Net, h, out.Outputs, 0).OK() {
-				continue
+				return trial{}, nil
 			}
 			member := make([]bool, n)
 			for v, o := range out.Outputs {
@@ -40,13 +45,30 @@ func E11Backbone(cfg Config) (*Result, error) {
 			src := 0
 			flood, back, err := routing.Compare(h, member, src)
 			if err != nil {
-				return nil, err
+				return trial{}, err
 			}
-			floodTx = append(floodTx, float64(flood.Transmissions))
-			backTx = append(backTx, float64(back.Transmissions))
-			floodLat = append(floodLat, float64(flood.Latency))
-			backLat = append(backLat, float64(back.Latency))
-			ccdsSize = append(ccdsSize, float64(verify.CCDSSize(out.Outputs)))
+			return trial{
+				ok:       true,
+				floodTx:  float64(flood.Transmissions),
+				backTx:   float64(back.Transmissions),
+				floodLat: float64(flood.Latency),
+				backLat:  float64(back.Latency),
+				ccdsSize: float64(verify.CCDSSize(out.Outputs)),
+			}, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		var floodTx, backTx, floodLat, backLat, ccdsSize []float64
+		for _, t := range outs {
+			if !t.ok {
+				continue
+			}
+			floodTx = append(floodTx, t.floodTx)
+			backTx = append(backTx, t.backTx)
+			floodLat = append(floodLat, t.floodLat)
+			backLat = append(backLat, t.backLat)
+			ccdsSize = append(ccdsSize, t.ccdsSize)
 		}
 		ft, bt := statsOf(floodTx).Mean, statsOf(backTx).Mean
 		saving := 0.0

@@ -5,6 +5,7 @@ import (
 
 	"dualradio/internal/core"
 	"dualradio/internal/detector"
+	"dualradio/internal/harness"
 	"dualradio/internal/verify"
 )
 
@@ -30,25 +31,44 @@ func E3CCDSRounds(cfg Config) (*Result, error) {
 	}
 	l3 := math.Pow(log2f(n), 3)
 	type point struct{ deg, b, rounds float64 }
+	type trial struct {
+		rounds float64
+		valid  bool
+	}
+	// Flatten the (Δ, b, seed) sweep into independent trials; the grouped
+	// reduction below visits them in the sequential sweep's order.
+	outs, err := harness.Trials(len(degs)*len(bs)*cfg.Seeds, func(i int) (trial, error) {
+		deg := degs[i/(len(bs)*cfg.Seeds)]
+		b := bs[i/cfg.Seeds%len(bs)]
+		seed := i % cfg.Seeds
+		s, err := buildScenario(scenarioSpec{
+			n: n, targetDeg: deg, b: b, seed: uint64(seed + 1),
+		})
+		if err != nil {
+			return trial{}, err
+		}
+		out, err := s.RunCCDS()
+		if err != nil {
+			return trial{}, err
+		}
+		h := detector.BuildH(s.Net, s.Asg, s.Det)
+		return trial{
+			rounds: float64(out.Rounds),
+			valid:  verify.CCDS(s.Net, h, out.Outputs, 0).OK(),
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	var pts []point
-	for _, deg := range degs {
-		for _, b := range bs {
+	for di, deg := range degs {
+		for bi, b := range bs {
 			var sample []float64
 			valid := 0
-			for seed := 0; seed < cfg.Seeds; seed++ {
-				s, err := buildScenario(scenarioSpec{
-					n: n, targetDeg: deg, b: b, seed: uint64(seed + 1),
-				})
-				if err != nil {
-					return nil, err
-				}
-				out, err := s.RunCCDS()
-				if err != nil {
-					return nil, err
-				}
-				sample = append(sample, float64(out.Rounds))
-				h := detector.BuildH(s.Net, s.Asg, s.Det)
-				if verify.CCDS(s.Net, h, out.Outputs, 0).OK() {
+			base := (di*len(bs) + bi) * cfg.Seeds
+			for _, t := range outs[base : base+cfg.Seeds] {
+				sample = append(sample, t.rounds)
+				if t.valid {
 					valid++
 				}
 			}
@@ -103,27 +123,46 @@ func E4TauCCDS(cfg Config) (*Result, error) {
 		taus = []int{1}
 	}
 	l2 := math.Pow(log2f(n), 2)
+	type trial struct {
+		rounds float64
+		delta  float64
+		valid  bool
+	}
+	outs, err := harness.Trials(len(taus)*len(degs)*cfg.Seeds, func(i int) (trial, error) {
+		tau := taus[i/(len(degs)*cfg.Seeds)]
+		deg := degs[i/cfg.Seeds%len(degs)]
+		seed := i % cfg.Seeds
+		s, err := buildScenario(scenarioSpec{
+			n: n, targetDeg: deg, b: 1 << 16, tau: tau, seed: uint64(seed + 1),
+		})
+		if err != nil {
+			return trial{}, err
+		}
+		out, err := s.RunTauCCDS(tau)
+		if err != nil {
+			return trial{}, err
+		}
+		h := detector.BuildH(s.Net, s.Asg, s.Det)
+		return trial{
+			rounds: float64(out.Rounds),
+			delta:  float64(s.Net.Delta()),
+			valid:  verify.CCDS(s.Net, h, out.Outputs, 0).OK(),
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	var degPts, roundPts []float64
-	for _, tau := range taus {
-		for _, deg := range degs {
+	for ti, tau := range taus {
+		for di, deg := range degs {
 			var sample []float64
 			valid := 0
 			var realizedDelta float64
-			for seed := 0; seed < cfg.Seeds; seed++ {
-				s, err := buildScenario(scenarioSpec{
-					n: n, targetDeg: deg, b: 1 << 16, tau: tau, seed: uint64(seed + 1),
-				})
-				if err != nil {
-					return nil, err
-				}
-				out, err := s.RunTauCCDS(tau)
-				if err != nil {
-					return nil, err
-				}
-				sample = append(sample, float64(out.Rounds))
-				realizedDelta += float64(s.Net.Delta())
-				h := detector.BuildH(s.Net, s.Asg, s.Det)
-				if verify.CCDS(s.Net, h, out.Outputs, 0).OK() {
+			base := (ti*len(degs) + di) * cfg.Seeds
+			for _, t := range outs[base : base+cfg.Seeds] {
+				sample = append(sample, t.rounds)
+				realizedDelta += t.delta
+				if t.valid {
 					valid++
 				}
 			}
@@ -177,26 +216,32 @@ func E9BannedListAblation(cfg Config) (*Result, error) {
 	}
 	// Simulated validity check at moderate scale: both algorithms must
 	// produce correct structures, not just favorable schedules.
-	valid := 0
 	nSim := 96
-	for seed := 0; seed < cfg.Seeds; seed++ {
+	oks, err := harness.Trials(cfg.Seeds, func(seed int) (bool, error) {
 		s, err := buildScenario(scenarioSpec{
 			n: nSim, targetDeg: 16, b: b, seed: uint64(seed + 1),
 		})
 		if err != nil {
-			return nil, err
+			return false, err
 		}
 		outB, err := s.RunCCDS()
 		if err != nil {
-			return nil, err
+			return false, err
 		}
 		outN, err := s.RunBaselineCCDS()
 		if err != nil {
-			return nil, err
+			return false, err
 		}
 		h := detector.BuildH(s.Net, s.Asg, s.Det)
-		if verify.CCDS(s.Net, h, outB.Outputs, 0).OK() &&
-			verify.CCDS(s.Net, h, outN.Outputs, 0).OK() {
+		return verify.CCDS(s.Net, h, outB.Outputs, 0).OK() &&
+			verify.CCDS(s.Net, h, outN.Outputs, 0).OK(), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	valid := 0
+	for _, ok := range oks {
+		if ok {
 			valid++
 		}
 	}

@@ -4,6 +4,7 @@ import (
 	"math/rand/v2"
 
 	"dualradio/internal/detector"
+	"dualradio/internal/harness"
 	"dualradio/internal/verify"
 )
 
@@ -20,12 +21,14 @@ func E7DynamicCCDS(cfg Config) (*Result, error) {
 	if cfg.Quick {
 		n = 64
 	}
-	valid := 0
-	var period, stab, checkpoint int
-	for seed := 0; seed < cfg.Seeds; seed++ {
+	type trial struct {
+		period, stab, checkpoint int
+		valid                    bool
+	}
+	outs, err := harness.Trials(cfg.Seeds, func(seed int) (trial, error) {
 		s, err := buildScenario(scenarioSpec{n: n, b: 512, seed: uint64(seed + 1)})
 		if err != nil {
-			return nil, err
+			return trial{}, err
 		}
 		// Pre-stabilization detector: 2 mistakes per node (a link detector
 		// still being fooled by bursty gray-zone links).
@@ -36,27 +39,39 @@ func E7DynamicCCDS(cfg Config) (*Result, error) {
 		// run configuration (period depends only on n, Δ, b, params).
 		probe, err := s.RunCCDS()
 		if err != nil {
-			return nil, err
+			return trial{}, err
 		}
-		period = probe.Rounds
-		stab = period + period/2 // stabilizes mid-second-period
+		t := trial{period: probe.Rounds}
+		t.stab = t.period + t.period/2 // stabilizes mid-second-period
 		dyn := detector.NewSchedule(
 			detector.ScheduleStep{Round: 0, Detector: noisy},
-			detector.ScheduleStep{Round: stab, Detector: clean},
+			detector.ScheduleStep{Round: t.stab, Detector: clean},
 		)
-		checkpoint = stab + 2*period
-		out, err := s.RunContinuousCCDS(dyn, 5, []int{checkpoint})
+		t.checkpoint = t.stab + 2*t.period
+		out, err := s.RunContinuousCCDS(dyn, 5, []int{t.checkpoint})
 		if err != nil {
-			return nil, err
+			return trial{}, err
 		}
-		outputs, ok := out.Checkpoints[checkpoint]
+		outputs, ok := out.Checkpoints[t.checkpoint]
 		if !ok {
 			outputs = out.Final
 		}
 		h := detector.BuildH(s.Net, s.Asg, clean)
-		if verify.CCDS(s.Net, h, outputs, 0).OK() {
+		t.valid = verify.CCDS(s.Net, h, outputs, 0).OK()
+		return t, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	valid := 0
+	var period, stab, checkpoint int
+	for _, t := range outs {
+		if t.valid {
 			valid++
 		}
+		// The table reports the last seed's schedule, as the sequential
+		// loop did.
+		period, stab, checkpoint = t.period, t.stab, t.checkpoint
 	}
 	okStr := "NO"
 	if valid == cfg.Seeds {

@@ -36,12 +36,15 @@ func E12ReannounceAblation(cfg Config) (*Result, error) {
 		{"re-announce (ours)", false},
 		{"one-shot announce", true},
 	} {
-		valid, violations := 0, 0
-		for seed := 0; seed < runs; seed++ {
+		type trial struct {
+			valid      bool
+			violations int
+		}
+		outs, err := harness.Trials(runs, func(seed int) (trial, error) {
 			rng := rand.New(rand.NewPCG(uint64(seed+1), 0xAB1A))
 			net, err := gen.RandomGeometric(gen.GeometricConfig{N: n}, rng)
 			if err != nil {
-				return nil, err
+				return trial{}, err
 			}
 			asg := dualgraph.RandomAssignment(n, rng)
 			det := detector.Complete(net, asg)
@@ -57,7 +60,7 @@ func E12ReannounceAblation(cfg Config) (*Result, error) {
 					Rng:               rand.New(rand.NewPCG(uint64(seed+1), uint64(v)+7)),
 				})
 				if err != nil {
-					return nil, err
+					return trial{}, err
 				}
 				procs[v] = p
 			}
@@ -67,20 +70,27 @@ func E12ReannounceAblation(cfg Config) (*Result, error) {
 				Processes: procs,
 			})
 			if err != nil {
-				return nil, err
+				return trial{}, err
 			}
 			if _, err := runner.Run(); err != nil {
-				return nil, err
+				return trial{}, err
 			}
 			outputs := make([]int, n)
 			for v, p := range procs {
 				outputs[v] = p.Output()
 			}
 			rep := verify.MIS(net, net.G(), outputs)
-			if rep.OK() {
+			return trial{valid: rep.OK(), violations: len(rep.Violations)}, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		valid, violations := 0, 0
+		for _, t := range outs {
+			if t.valid {
 				valid++
 			} else {
-				violations += len(rep.Violations)
+				violations += t.violations
 			}
 		}
 		res.Table.AddRow(variant.name, fmtInt(n), fmtInt(runs),
@@ -110,18 +120,19 @@ func E13IncompleteDetectors(cfg Config) (*Result, error) {
 		n = 64
 	}
 	for _, drop := range []float64{0.1, 0.3} {
-		misValid, ccdsValid, connected := 0, 0, 0
-		for seed := 0; seed < cfg.Seeds; seed++ {
+		type trial struct {
+			misValid, ccdsValid, connected bool
+		}
+		outs, err := harness.Trials(cfg.Seeds, func(seed int) (trial, error) {
 			rng := rand.New(rand.NewPCG(uint64(seed+1), 0x1C0))
 			net, err := gen.RandomGeometric(gen.GeometricConfig{N: n}, rng)
 			if err != nil {
-				return nil, err
+				return trial{}, err
 			}
 			asg := dualgraph.RandomAssignment(n, rng)
 			det := detector.Incomplete(net, asg, drop, rng)
-			if detector.RetainedReliableGraph(net, asg, det).Connected() {
-				connected++
-			}
+			var t trial
+			t.connected = detector.RetainedReliableGraph(net, asg, det).Connected()
 			s := &harness.Scenario{
 				Net: net, Asg: asg, Det: det,
 				Adv:  adversary.NewCollisionSeeking(net),
@@ -134,17 +145,29 @@ func E13IncompleteDetectors(cfg Config) (*Result, error) {
 			// maximality well-defined over H when drops are asymmetric.
 			outMIS, err := s.RunMISFiltered(core.FilterMutual)
 			if err != nil {
-				return nil, err
+				return trial{}, err
 			}
-			if verify.MISOver(retained, h, outMIS.Outputs).OK() {
-				misValid++
-			}
+			t.misValid = verify.MISOver(retained, h, outMIS.Outputs).OK()
 			outCCDS, err := s.RunCCDS()
 			if err != nil {
-				return nil, err
+				return trial{}, err
 			}
-			if verify.CCDS(net, h, outCCDS.Outputs, 0).OK() {
+			t.ccdsValid = verify.CCDS(net, h, outCCDS.Outputs, 0).OK()
+			return t, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		misValid, ccdsValid, connected := 0, 0, 0
+		for _, t := range outs {
+			if t.misValid {
+				misValid++
+			}
+			if t.ccdsValid {
 				ccdsValid++
+			}
+			if t.connected {
+				connected++
 			}
 		}
 		res.Table.AddRow(f(drop), fmtInt(cfg.Seeds), ratio(misValid, cfg.Seeds),
@@ -167,15 +190,17 @@ func E14RadioBroadcast(cfg Config) (*Result, error) {
 	if cfg.Quick {
 		n = 64
 	}
-	var floodTx, backTx []float64
-	for seed := 0; seed < cfg.Seeds; seed++ {
+	type trial struct {
+		flood, back bcast.Result
+	}
+	outs, err := harness.Trials(cfg.Seeds, func(seed int) (trial, error) {
 		s, err := buildScenario(scenarioSpec{n: n, b: 1024, seed: uint64(seed + 1)})
 		if err != nil {
-			return nil, err
+			return trial{}, err
 		}
 		out, err := s.RunCCDS()
 		if err != nil {
-			return nil, err
+			return trial{}, err
 		}
 		relay := make([]bool, n)
 		for v, o := range out.Outputs {
@@ -187,21 +212,28 @@ func E14RadioBroadcast(cfg Config) (*Result, error) {
 			Net: s.Net, Source: 0, Seed: uint64(seed + 1),
 		}, engine, maxRounds)
 		if err != nil {
-			return nil, err
+			return trial{}, err
 		}
 		back, err := bcast.Run(bcast.Config{
 			Net: s.Net, Source: 0, Relay: relay, Seed: uint64(seed + 1),
 		}, engine, maxRounds)
 		if err != nil {
-			return nil, err
+			return trial{}, err
 		}
-		floodTx = append(floodTx, float64(flood.Transmissions))
-		backTx = append(backTx, float64(back.Transmissions))
+		return trial{flood: *flood, back: *back}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var floodTx, backTx []float64
+	for seed, t := range outs {
+		floodTx = append(floodTx, float64(t.flood.Transmissions))
+		backTx = append(backTx, float64(t.back.Transmissions))
 		if seed == 0 {
-			res.Table.AddRow(fmtInt(n), "decay flood", fmtInt(flood.Rounds),
-				fmtInt(flood.Transmissions), ratio(flood.Covered, n))
-			res.Table.AddRow(fmtInt(n), "CCDS backbone", fmtInt(back.Rounds),
-				fmtInt(back.Transmissions), ratio(back.Covered, n))
+			res.Table.AddRow(fmtInt(n), "decay flood", fmtInt(t.flood.Rounds),
+				fmtInt(t.flood.Transmissions), ratio(t.flood.Covered, n))
+			res.Table.AddRow(fmtInt(n), "CCDS backbone", fmtInt(t.back.Rounds),
+				fmtInt(t.back.Transmissions), ratio(t.back.Covered, n))
 		}
 	}
 	mf, mb := statsOf(floodTx).Mean, statsOf(backTx).Mean

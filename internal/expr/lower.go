@@ -4,6 +4,7 @@ import (
 	"math/rand/v2"
 
 	"dualradio/internal/core"
+	"dualradio/internal/harness"
 	"dualradio/internal/hitting"
 )
 
@@ -21,28 +22,40 @@ func E5LowerBound(cfg Config) (*Result, error) {
 		betas = []int{8, 16, 32}
 	}
 	params := core.DefaultParams()
+	type trial struct {
+		slow hitting.BridgeResult
+		fast hitting.BridgeResult
+	}
+	outs, err := harness.Trials(len(betas)*cfg.Seeds, func(i int) (trial, error) {
+		beta := betas[i/cfg.Seeds]
+		seed := i % cfg.Seeds
+		slow, err := hitting.RunBridgeCCDS(beta, uint64(seed+1), params, 1<<16)
+		if err != nil {
+			return trial{}, err
+		}
+		fast, err := hitting.RunBridgeFastCCDS(beta, uint64(seed+1), params, 1<<16)
+		if err != nil {
+			return trial{}, err
+		}
+		return trial{slow: *slow, fast: *fast}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	var betaPts, crossPts, fastPts []float64
-	for _, beta := range betas {
+	for bi, beta := range betas {
 		var crossings, slowRounds, fastRounds []float64
 		slowSolved, fastSolved := 0, 0
-		for seed := 0; seed < cfg.Seeds; seed++ {
-			slow, err := hitting.RunBridgeCCDS(beta, uint64(seed+1), params, 1<<16)
-			if err != nil {
-				return nil, err
+		for _, t := range outs[bi*cfg.Seeds : (bi+1)*cfg.Seeds] {
+			if t.slow.FirstCrossing >= 0 {
+				crossings = append(crossings, float64(t.slow.FirstCrossing))
 			}
-			if slow.FirstCrossing >= 0 {
-				crossings = append(crossings, float64(slow.FirstCrossing))
-			}
-			slowRounds = append(slowRounds, float64(slow.Rounds))
-			if slow.Solved {
+			slowRounds = append(slowRounds, float64(t.slow.Rounds))
+			if t.slow.Solved {
 				slowSolved++
 			}
-			fast, err := hitting.RunBridgeFastCCDS(beta, uint64(seed+1), params, 1<<16)
-			if err != nil {
-				return nil, err
-			}
-			fastRounds = append(fastRounds, float64(fast.Rounds))
-			if fast.Solved {
+			fastRounds = append(fastRounds, float64(t.fast.Rounds))
+			if t.fast.Solved {
 				fastSolved++
 			}
 		}
@@ -77,31 +90,47 @@ func E6HittingGame(cfg Config) (*Result, error) {
 		betas = []int{16, 64}
 	}
 	trialsPerTarget := 16
-	for _, beta := range betas {
+	type betaOut struct {
+		randRounds  []float64
+		sweepWorst  int
+		reducedMean float64
+		reducedOK   string
+	}
+	// The RNG is shared across a β's hitting-game trials (they are one
+	// sequential experiment), but each β owns an independent stream, so
+	// the sweep parallelizes over β.
+	outs, err := harness.Trials(len(betas), func(bi int) (betaOut, error) {
+		beta := betas[bi]
 		rng := rand.New(rand.NewPCG(uint64(beta), 0x6A3E))
-		var randRounds []float64
+		var bo betaOut
 		for t := 0; t < trialsPerTarget*cfg.Seeds; t++ {
 			target := 1 + rng.IntN(beta)
 			p := &hitting.RandomSingle{Beta: beta, Rng: rng}
 			r, ok := hitting.PlaySingle(p, target, beta*64)
 			if ok {
-				randRounds = append(randRounds, float64(r))
+				bo.randRounds = append(bo.randRounds, float64(r))
 			}
 		}
-		sweepWorst := 0
 		for target := 1; target <= beta; target++ {
 			r, _ := hitting.PlaySingle(&hitting.SweepSingle{Beta: beta}, target, beta)
-			if r > sweepWorst {
-				sweepWorst = r
+			if r > bo.sweepWorst {
+				bo.sweepWorst = r
 			}
 		}
 		// Lemma 7.3 reduction from the offset-sweep double players.
-		reducedMean, reducedOK := runReduction(beta, rng)
-		rs := statsOf(randRounds)
+		bo.reducedMean, bo.reducedOK = runReduction(beta, rng)
+		return bo, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for bi, beta := range betas {
+		bo := outs[bi]
+		rs := statsOf(bo.randRounds)
 		res.Table.AddRow(fmtInt(beta), f(rs.Mean), f(rs.Mean/float64(beta)),
-			fmtInt(sweepWorst), f(reducedMean), reducedOK)
+			fmtInt(bo.sweepWorst), f(bo.reducedMean), bo.reducedOK)
 		res.Metrics["random_over_beta_"+fmtInt(beta)] = rs.Mean / float64(beta)
-		res.Metrics["sweep_worst_"+fmtInt(beta)] = float64(sweepWorst)
+		res.Metrics["sweep_worst_"+fmtInt(beta)] = float64(bo.sweepWorst)
 	}
 	return res, nil
 }

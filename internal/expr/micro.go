@@ -5,6 +5,7 @@ import (
 	"math/rand/v2"
 
 	"dualradio/internal/gen"
+	"dualradio/internal/harness"
 	"dualradio/internal/sim"
 )
 
@@ -67,12 +68,14 @@ func E10Subroutines(cfg Config) (*Result, error) {
 	logN := math.Log2(float64(n))
 	window := int(math.Ceil(2 * 8 * logN)) // ℓ_BB(δ=3) with BB factor 2
 	for _, k := range senderCounts {
-		success, totalHeard, trials := 0, 0, 0
-		for seed := 0; seed < cfg.Seeds*4; seed++ {
+		type trial struct {
+			success, totalHeard, trials int
+		}
+		outs, err := harness.Trials(cfg.Seeds*4, func(seed int) (trial, error) {
 			rng := rand.New(rand.NewPCG(uint64(seed+1), uint64(k)))
 			net, err := gen.Clique(n)
 			if err != nil {
-				return nil, err
+				return trial{}, err
 			}
 			procs := make([]sim.Process, n)
 			for v := 0; v < n; v++ {
@@ -84,14 +87,15 @@ func E10Subroutines(cfg Config) (*Result, error) {
 			}
 			runner, err := sim.NewRunner(sim.Config{Net: net, Processes: procs})
 			if err != nil {
-				return nil, err
+				return trial{}, err
 			}
 			if _, err := runner.Run(); err != nil {
-				return nil, err
+				return trial{}, err
 			}
+			var t trial
 			// A sender succeeds when every other node heard it.
 			for s := 0; s < k; s++ {
-				trials++
+				t.trials++
 				ok := true
 				for v := 0; v < n; v++ {
 					if v == s {
@@ -103,12 +107,22 @@ func E10Subroutines(cfg Config) (*Result, error) {
 					}
 				}
 				if ok {
-					success++
+					t.success++
 				}
 			}
 			for v := k; v < n; v++ {
-				totalHeard += len(procs[v].(*bbProbe).heard)
+				t.totalHeard += len(procs[v].(*bbProbe).heard)
 			}
+			return t, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		success, totalHeard, trials := 0, 0, 0
+		for _, t := range outs {
+			success += t.success
+			totalHeard += t.totalHeard
+			trials += t.trials
 		}
 		rate := float64(success) / float64(trials)
 		meanHeard := float64(totalHeard) / float64((n-k)*cfg.Seeds*4)
@@ -180,12 +194,10 @@ func E10DirectedDecay(cfg Config) (*Result, error) {
 	logN := int(math.Ceil(math.Log2(float64(nBase))))
 	phaseLen := 4 * logN
 	for _, k := range ks {
-		success := 0
-		var firstRounds []float64
-		for seed := 0; seed < cfg.Seeds*4; seed++ {
+		frs, err := harness.Trials(cfg.Seeds*4, func(seed int) (int, error) {
 			net, err := gen.Clique(k + 1)
 			if err != nil {
-				return nil, err
+				return 0, err
 			}
 			procs := make([]sim.Process, k+1)
 			for v := 0; v <= k; v++ {
@@ -198,12 +210,20 @@ func E10DirectedDecay(cfg Config) (*Result, error) {
 			}
 			runner, err := sim.NewRunner(sim.Config{Net: net, Processes: procs})
 			if err != nil {
-				return nil, err
+				return 0, err
 			}
 			if _, err := runner.Run(); err != nil {
-				return nil, err
+				return 0, err
 			}
-			if fr := procs[0].(*decayProbe).firstRx; fr >= 0 {
+			return procs[0].(*decayProbe).firstRx, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		success := 0
+		var firstRounds []float64
+		for _, fr := range frs {
+			if fr >= 0 {
 				success++
 				firstRounds = append(firstRounds, float64(fr))
 			}

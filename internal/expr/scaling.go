@@ -6,6 +6,7 @@ import (
 
 	"dualradio/internal/core"
 	"dualradio/internal/detector"
+	"dualradio/internal/harness"
 	"dualradio/internal/verify"
 )
 
@@ -21,24 +22,45 @@ func E1MISScaling(cfg Config) (*Result, error) {
 	if cfg.Quick {
 		sizes = []int{64, 128, 256}
 	}
+	type trial struct {
+		decided int
+		valid   bool
+	}
+	// All (size, seed) pairs are independent trials; the scheduler fans
+	// them out and the reduction below walks them in the original loop
+	// order, so the table is identical to the sequential sweep.
+	outs, err := harness.Trials(len(sizes)*cfg.Seeds, func(i int) (trial, error) {
+		n := sizes[i/cfg.Seeds]
+		seed := i % cfg.Seeds
+		s, err := buildScenario(scenarioSpec{n: n, seed: uint64(seed + 1)})
+		if err != nil {
+			return trial{}, err
+		}
+		// E1 consumes only DecidedRound and the outputs, both frozen
+		// once every process decides.
+		s.StopWhenDecided = true
+		out, err := s.RunMIS()
+		if err != nil {
+			return trial{}, err
+		}
+		h := detector.BuildH(s.Net, s.Asg, s.Det)
+		return trial{
+			decided: out.DecidedRound,
+			valid:   verify.MIS(s.Net, h, out.Outputs).OK(),
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	var logNs, rounds []float64
-	for _, n := range sizes {
+	for si, n := range sizes {
 		var sample []float64
 		valid := 0
-		for seed := 0; seed < cfg.Seeds; seed++ {
-			s, err := buildScenario(scenarioSpec{n: n, seed: uint64(seed + 1)})
-			if err != nil {
-				return nil, err
+		for _, t := range outs[si*cfg.Seeds : (si+1)*cfg.Seeds] {
+			if t.decided > 0 {
+				sample = append(sample, float64(t.decided))
 			}
-			out, err := s.RunMIS()
-			if err != nil {
-				return nil, err
-			}
-			if out.DecidedRound > 0 {
-				sample = append(sample, float64(out.DecidedRound))
-			}
-			h := detector.BuildH(s.Net, s.Asg, s.Det)
-			if verify.MIS(s.Net, h, out.Outputs).OK() {
+			if t.valid {
 				valid++
 			}
 		}
@@ -67,18 +89,30 @@ func E2MISDensity(cfg Config) (*Result, error) {
 		n = 128
 	}
 	radii := []float64{1, 2, 3}
-	maxSeen := map[float64]int{}
-	for seed := 0; seed < cfg.Seeds; seed++ {
+	outs, err := harness.Trials(cfg.Seeds, func(seed int) (map[float64]int, error) {
 		s, err := buildScenario(scenarioSpec{n: n, seed: uint64(seed + 1)})
 		if err != nil {
 			return nil, err
 		}
+		// E2 consumes only the outputs, frozen once all decide.
+		s.StopWhenDecided = true
 		out, err := s.RunMIS()
 		if err != nil {
 			return nil, err
 		}
+		densities := make(map[float64]int, len(radii))
 		for _, r := range radii {
-			if d := verify.MISDensity(s.Net, out.Outputs, r); d > maxSeen[r] {
+			densities[r] = verify.MISDensity(s.Net, out.Outputs, r)
+		}
+		return densities, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	maxSeen := map[float64]int{}
+	for _, densities := range outs {
+		for _, r := range radii {
+			if d := densities[r]; d > maxSeen[r] {
 				maxSeen[r] = d
 			}
 		}
@@ -106,35 +140,49 @@ func E8AsyncMIS(cfg Config) (*Result, error) {
 	if cfg.Quick {
 		sizes = []int{64, 128}
 	}
+	type trial struct {
+		latencies []float64
+		valid     bool
+	}
+	outs, err := harness.Trials(len(sizes)*cfg.Seeds, func(i int) (trial, error) {
+		n := sizes[i/cfg.Seeds]
+		seed := i % cfg.Seeds
+		s, err := buildScenario(scenarioSpec{n: n, seed: uint64(seed + 1), grayProb: -1})
+		if err != nil {
+			return trial{}, err
+		}
+		// Classic model: no unreliable edges, no detector filtering.
+		s.Det = nil
+		s.Adv = nil
+		s.MaxRounds = 1 << 19
+		wake := make([]int, n)
+		wrng := rand.New(rand.NewPCG(uint64(seed+1), 0x3A3E))
+		for v := range wake {
+			wake[v] = wrng.IntN(1000)
+		}
+		out, err := s.RunAsyncMIS(wake, core.FilterNone)
+		if err != nil {
+			return trial{}, err
+		}
+		t := trial{valid: verify.MIS(s.Net, s.Net.G(), out.Outputs).OK()}
+		for _, l := range out.Latency {
+			if l >= 0 {
+				t.latencies = append(t.latencies, float64(l))
+			}
+		}
+		return t, nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	var logNs, lats []float64
-	for _, n := range sizes {
+	for si, n := range sizes {
 		var sample []float64
 		valid := 0
-		for seed := 0; seed < cfg.Seeds; seed++ {
-			s, err := buildScenario(scenarioSpec{n: n, seed: uint64(seed + 1), grayProb: -1})
-			if err != nil {
-				return nil, err
-			}
-			// Classic model: no unreliable edges, no detector filtering.
-			s.Det = nil
-			s.Adv = nil
-			s.MaxRounds = 1 << 19
-			wake := make([]int, n)
-			wrng := rand.New(rand.NewPCG(uint64(seed+1), 0x3A3E))
-			for v := range wake {
-				wake[v] = wrng.IntN(1000)
-			}
-			out, err := s.RunAsyncMIS(wake, core.FilterNone)
-			if err != nil {
-				return nil, err
-			}
-			if verify.MIS(s.Net, s.Net.G(), out.Outputs).OK() {
+		for _, t := range outs[si*cfg.Seeds : (si+1)*cfg.Seeds] {
+			sample = append(sample, t.latencies...)
+			if t.valid {
 				valid++
-			}
-			for _, l := range out.Latency {
-				if l >= 0 {
-					sample = append(sample, float64(l))
-				}
 			}
 		}
 		sum := statsOf(sample)

@@ -3,6 +3,7 @@ package expr
 import (
 	"dualradio/internal/core"
 	"dualradio/internal/detector"
+	"dualradio/internal/harness"
 	"dualradio/internal/verify"
 )
 
@@ -23,32 +24,49 @@ func E15TauSweep(cfg Config) (*Result, error) {
 		n = 64
 		taus = []int{0, 2, 4}
 	}
+	type trial struct {
+		rounds, doms, maxDeg float64
+		valid                bool
+	}
+	outs, err := harness.Trials(len(taus)*cfg.Seeds, func(i int) (trial, error) {
+		tau := taus[i/cfg.Seeds]
+		seed := i % cfg.Seeds
+		s, err := buildScenario(scenarioSpec{
+			n: n, b: 1 << 16, tau: tau, seed: uint64(seed + 1),
+		})
+		if err != nil {
+			return trial{}, err
+		}
+		out, err := s.RunTauCCDS(tau)
+		if err != nil {
+			return trial{}, err
+		}
+		d := 0
+		for _, m := range out.InMIS {
+			if m {
+				d++
+			}
+		}
+		h := detector.BuildH(s.Net, s.Asg, s.Det)
+		return trial{
+			rounds: float64(out.Rounds),
+			doms:   float64(d),
+			maxDeg: float64(verify.MaxCCDSDegree(s.Net, out.Outputs)),
+			valid:  verify.CCDS(s.Net, h, out.Outputs, 0).OK(),
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	var prevRounds float64
-	for _, tau := range taus {
+	for ti, tau := range taus {
 		var rounds, doms, maxDeg []float64
 		valid := 0
-		for seed := 0; seed < cfg.Seeds; seed++ {
-			s, err := buildScenario(scenarioSpec{
-				n: n, b: 1 << 16, tau: tau, seed: uint64(seed + 1),
-			})
-			if err != nil {
-				return nil, err
-			}
-			out, err := s.RunTauCCDS(tau)
-			if err != nil {
-				return nil, err
-			}
-			rounds = append(rounds, float64(out.Rounds))
-			d := 0
-			for _, m := range out.InMIS {
-				if m {
-					d++
-				}
-			}
-			doms = append(doms, float64(d))
-			maxDeg = append(maxDeg, float64(verify.MaxCCDSDegree(s.Net, out.Outputs)))
-			h := detector.BuildH(s.Net, s.Asg, s.Det)
-			if verify.CCDS(s.Net, h, out.Outputs, 0).OK() {
+		for _, t := range outs[ti*cfg.Seeds : (ti+1)*cfg.Seeds] {
+			rounds = append(rounds, t.rounds)
+			doms = append(doms, t.doms)
+			maxDeg = append(maxDeg, t.maxDeg)
+			if t.valid {
 				valid++
 			}
 		}

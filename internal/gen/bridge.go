@@ -53,15 +53,16 @@ func BridgeCliques(beta int, rng *rand.Rand) (*dualgraph.Network, BridgeMeta, er
 		BridgeB: beta + rng.IntN(beta),
 	}
 
-	g := graph.New(n)
-	gp := graph.New(n)
+	gb := graph.NewBuilder(n)
+	gp := graph.NewBuilder(n)
 	for u := 0; u < beta; u++ {
 		for v := u + 1; v < beta; v++ {
-			mustAdd(g, u, v)
-			mustAdd(g, u+beta, v+beta)
+			mustAdd(gb, u, v)
+			mustAdd(gb, u+beta, v+beta)
 		}
 	}
-	mustAdd(g, meta.BridgeA, meta.BridgeB)
+	mustAdd(gb, meta.BridgeA, meta.BridgeB)
+	g := gb.Build()
 	// G' is complete: every reliable edge plus every cross pair.
 	g.Edges(func(u, v int) { mustAdd(gp, u, v) })
 	for u := 0; u < beta; u++ {
@@ -71,7 +72,7 @@ func BridgeCliques(beta int, rng *rand.Rand) (*dualgraph.Network, BridgeMeta, er
 			}
 		}
 	}
-	return dualgraph.New(g, gp, pts, 2.5), meta, nil
+	return dualgraph.New(g, gp.Build(), pts, 2.5), meta, nil
 }
 
 // BridgeDetectors builds the 1-complete detectors from the Lemma 7.2

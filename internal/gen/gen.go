@@ -98,8 +98,8 @@ func RandomGeometric(cfg GeometricConfig, rng *rand.Rand) (*dualgraph.Network, e
 // <= 1, gray-zone edges at distance in (1, d] with the given probability.
 func assemble(pts []geom.Point, d, grayProb float64, rng *rand.Rand) *dualgraph.Network {
 	n := len(pts)
-	g := graph.New(n)
-	gp := graph.New(n)
+	g := graph.NewBuilder(n)
+	gp := graph.NewBuilder(n)
 	d2 := d * d
 	for u := 0; u < n; u++ {
 		for v := u + 1; v < n; v++ {
@@ -113,11 +113,11 @@ func assemble(pts []geom.Point, d, grayProb float64, rng *rand.Rand) *dualgraph.
 			}
 		}
 	}
-	return dualgraph.New(g, gp, pts, d)
+	return dualgraph.New(g.Build(), gp.Build(), pts, d)
 }
 
 // mustAdd inserts an edge that is valid by construction.
-func mustAdd(g *graph.Graph, u, v int) {
+func mustAdd(g *graph.Builder, u, v int) {
 	if err := g.AddEdge(u, v); err != nil {
 		// Unreachable: endpoints are in range, u < v, and each pair is
 		// visited once.
@@ -133,8 +133,8 @@ func Line(n int) (*dualgraph.Network, error) {
 		return nil, fmt.Errorf("gen: n must exceed 2, got %d", n)
 	}
 	pts := make([]geom.Point, n)
-	g := graph.New(n)
-	gp := graph.New(n)
+	g := graph.NewBuilder(n)
+	gp := graph.NewBuilder(n)
 	for i := range pts {
 		pts[i] = geom.Point{X: float64(i)}
 	}
@@ -145,7 +145,7 @@ func Line(n int) (*dualgraph.Network, error) {
 	for i := 0; i+2 < n; i++ {
 		mustAdd(gp, i, i+2)
 	}
-	return dualgraph.New(g, gp, pts, 2), nil
+	return dualgraph.New(g.Build(), gp.Build(), pts, 2), nil
 }
 
 // Grid returns a rows×cols lattice with unit spacing: reliable edges between
@@ -157,8 +157,8 @@ func Grid(rows, cols int) (*dualgraph.Network, error) {
 		return nil, fmt.Errorf("gen: grid %dx%d too small", rows, cols)
 	}
 	pts := make([]geom.Point, n)
-	g := graph.New(n)
-	gp := graph.New(n)
+	g := graph.NewBuilder(n)
+	gp := graph.NewBuilder(n)
 	at := func(r, c int) int { return r*cols + c }
 	for r := 0; r < rows; r++ {
 		for c := 0; c < cols; c++ {
@@ -183,7 +183,7 @@ func Grid(rows, cols int) (*dualgraph.Network, error) {
 			}
 		}
 	}
-	return dualgraph.New(g, gp, pts, 1.5), nil
+	return dualgraph.New(g.Build(), gp.Build(), pts, 1.5), nil
 }
 
 // Clique returns a complete reliable graph: n nodes packed in a disk of
@@ -193,13 +193,15 @@ func Clique(n int) (*dualgraph.Network, error) {
 		return nil, fmt.Errorf("gen: n must exceed 2, got %d", n)
 	}
 	pts := diskPoints(n, geom.Point{}, 0.45)
-	g := graph.New(n)
+	b := graph.NewBuilder(n)
 	for u := 0; u < n; u++ {
 		for v := u + 1; v < n; v++ {
-			mustAdd(g, u, v)
+			mustAdd(b, u, v)
 		}
 	}
-	return dualgraph.New(g, g.Clone(), pts, 1), nil
+	// G = G': immutable graphs are shared, not cloned.
+	g := b.Build()
+	return dualgraph.New(g, g, pts, 1), nil
 }
 
 // diskPoints spreads n points on concentric rings within radius r of c.

@@ -1,0 +1,136 @@
+package graph
+
+import (
+	"math/rand/v2"
+	"slices"
+	"testing"
+)
+
+// refGraph is a deliberately naive adjacency-map reference implementation
+// used as the golden model for the CSR layout.
+type refGraph struct {
+	n   int
+	adj map[int]map[int]bool
+}
+
+func newRef(n int) *refGraph {
+	return &refGraph{n: n, adj: map[int]map[int]bool{}}
+}
+
+func (r *refGraph) add(u, v int) {
+	if r.adj[u] == nil {
+		r.adj[u] = map[int]bool{}
+	}
+	if r.adj[v] == nil {
+		r.adj[v] = map[int]bool{}
+	}
+	r.adj[u][v] = true
+	r.adj[v][u] = true
+}
+
+func (r *refGraph) neighbors(v int) []int {
+	out := make([]int, 0, len(r.adj[v]))
+	for w := range r.adj[v] {
+		out = append(out, w)
+	}
+	slices.Sort(out)
+	return out
+}
+
+func (r *refGraph) bfs(start int) []int {
+	dist := make([]int, r.n)
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[start] = 0
+	queue := []int{start}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, w := range r.neighbors(v) {
+			if dist[w] < 0 {
+				dist[w] = dist[v] + 1
+				queue = append(queue, w)
+			}
+		}
+	}
+	return dist
+}
+
+// TestCSRMatchesReferenceOnRandomGraphs freezes random graphs into CSR form
+// and checks every read API — neighbors, degrees, edge queries, edge
+// enumeration, BFS distances, connectivity — against the adjacency-map
+// reference, i.e. the semantics of the pre-CSR graph type.
+func TestCSRMatchesReferenceOnRandomGraphs(t *testing.T) {
+	rng := rand.New(rand.NewPCG(2024, 7))
+	for trial := 0; trial < 40; trial++ {
+		n := 2 + rng.IntN(40)
+		b := NewBuilder(n)
+		ref := newRef(n)
+		for i := 0; i < 3*n; i++ {
+			u, v := rng.IntN(n), rng.IntN(n)
+			if u == v || b.HasEdge(u, v) {
+				continue
+			}
+			if err := b.AddEdge(u, v); err != nil {
+				t.Fatal(err)
+			}
+			ref.add(u, v)
+		}
+		g := b.Build()
+
+		m := 0
+		for v := 0; v < n; v++ {
+			want := ref.neighbors(v)
+			got := g.Neighbors(v)
+			if len(got) != len(want) {
+				t.Fatalf("n=%d v=%d: neighbors %v, want %v", n, v, got, want)
+			}
+			for i := range want {
+				if int(got[i]) != want[i] {
+					t.Fatalf("n=%d v=%d: neighbors %v, want %v", n, v, got, want)
+				}
+			}
+			if g.Degree(v) != len(want) {
+				t.Fatalf("degree(%d) = %d, want %d", v, g.Degree(v), len(want))
+			}
+			m += len(want)
+		}
+		if g.M() != m/2 {
+			t.Fatalf("M = %d, want %d", g.M(), m/2)
+		}
+		for u := 0; u < n; u++ {
+			for v := 0; v < n; v++ {
+				if g.HasEdge(u, v) != (u != v && ref.adj[u][v]) {
+					t.Fatalf("HasEdge(%d,%d) mismatch", u, v)
+				}
+			}
+		}
+		seen := 0
+		g.Edges(func(u, v int) {
+			if !ref.adj[u][v] || u >= v {
+				t.Fatalf("Edges yielded bad edge (%d,%d)", u, v)
+			}
+			seen++
+		})
+		if seen != g.M() {
+			t.Fatalf("Edges yielded %d, want %d", seen, g.M())
+		}
+		refDist := ref.bfs(0)
+		gotDist := g.BFS(0)
+		for v := range refDist {
+			if refDist[v] != gotDist[v] {
+				t.Fatalf("BFS dist[%d] = %d, want %d", v, gotDist[v], refDist[v])
+			}
+		}
+		refConnected := true
+		for _, d := range refDist {
+			if d < 0 {
+				refConnected = false
+			}
+		}
+		if g.Connected() != refConnected {
+			t.Fatalf("Connected() = %v, want %v", g.Connected(), refConnected)
+		}
+	}
+}

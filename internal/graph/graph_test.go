@@ -18,50 +18,73 @@ func TestNewEmpty(t *testing.T) {
 }
 
 func TestAddEdgeAndHasEdge(t *testing.T) {
-	g := New(4)
-	if err := g.AddEdge(0, 1); err != nil {
+	b := NewBuilder(4)
+	if err := b.AddEdge(0, 1); err != nil {
 		t.Fatal(err)
 	}
-	if err := g.AddEdge(1, 2); err != nil {
+	if err := b.AddEdge(1, 2); err != nil {
 		t.Fatal(err)
 	}
+	if !b.HasEdge(0, 1) || !b.HasEdge(1, 0) {
+		t.Error("builder edge should be undirected")
+	}
+	g := b.Build()
 	if !g.HasEdge(0, 1) || !g.HasEdge(1, 0) {
 		t.Error("edge should be undirected")
 	}
 	if g.HasEdge(0, 2) {
 		t.Error("phantom edge")
 	}
+	if g.M() != 2 || b.M() != 2 {
+		t.Errorf("M = %d / %d", g.M(), b.M())
+	}
+}
+
+func TestAddEdgeErrors(t *testing.T) {
+	b := NewBuilder(3)
+	if err := b.AddEdge(0, 3); !errors.Is(err, ErrVertexRange) {
+		t.Errorf("out of range: %v", err)
+	}
+	if err := b.AddEdge(-1, 0); !errors.Is(err, ErrVertexRange) {
+		t.Errorf("negative: %v", err)
+	}
+	if err := b.AddEdge(1, 1); err == nil {
+		t.Error("self loop accepted")
+	}
+	if err := b.AddEdge(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AddEdge(1, 0); err == nil {
+		t.Error("duplicate accepted")
+	}
+}
+
+func TestRemoveEdge(t *testing.T) {
+	b := NewBuilder(4)
+	mustEdges(t, b, [][2]int{{0, 1}, {1, 2}, {2, 3}})
+	if !b.RemoveEdge(1, 2) {
+		t.Error("remove existing edge failed")
+	}
+	if b.RemoveEdge(1, 2) {
+		t.Error("removing absent edge reported true")
+	}
+	g := b.Build()
+	if g.HasEdge(1, 2) || !g.HasEdge(0, 1) || !g.HasEdge(2, 3) {
+		t.Error("edges wrong after removal")
+	}
 	if g.M() != 2 {
 		t.Errorf("M = %d", g.M())
 	}
 }
 
-func TestAddEdgeErrors(t *testing.T) {
-	g := New(3)
-	if err := g.AddEdge(0, 3); !errors.Is(err, ErrVertexRange) {
-		t.Errorf("out of range: %v", err)
-	}
-	if err := g.AddEdge(-1, 0); !errors.Is(err, ErrVertexRange) {
-		t.Errorf("negative: %v", err)
-	}
-	if err := g.AddEdge(1, 1); err == nil {
-		t.Error("self loop accepted")
-	}
-	if err := g.AddEdge(0, 1); err != nil {
-		t.Fatal(err)
-	}
-	if err := g.AddEdge(1, 0); err == nil {
-		t.Error("duplicate accepted")
-	}
-}
-
 func TestNeighborsSorted(t *testing.T) {
-	g := New(6)
+	b := NewBuilder(6)
 	for _, v := range []int{5, 2, 4, 1} {
-		if err := g.AddEdge(0, v); err != nil {
+		if err := b.AddEdge(0, v); err != nil {
 			t.Fatal(err)
 		}
 	}
+	g := b.Build()
 	nb := g.Neighbors(0)
 	for i := 1; i < len(nb); i++ {
 		if nb[i-1] >= nb[i] {
@@ -74,8 +97,9 @@ func TestNeighborsSorted(t *testing.T) {
 }
 
 func TestDegreeStats(t *testing.T) {
-	g := New(4)
-	mustEdges(t, g, [][2]int{{0, 1}, {0, 2}, {0, 3}})
+	b := NewBuilder(4)
+	mustEdges(t, b, [][2]int{{0, 1}, {0, 2}, {0, 3}})
+	g := b.Build()
 	if g.MaxDegree() != 3 || g.MinDegree() != 1 {
 		t.Errorf("max=%d min=%d", g.MaxDegree(), g.MinDegree())
 	}
@@ -92,9 +116,10 @@ func TestDegreeStats(t *testing.T) {
 }
 
 func TestEdgesVisitsEachOnce(t *testing.T) {
-	g := New(5)
+	b := NewBuilder(5)
 	want := [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {0, 4}}
-	mustEdges(t, g, want)
+	mustEdges(t, b, want)
+	g := b.Build()
 	seen := map[[2]int]int{}
 	g.Edges(func(u, v int) {
 		if u >= v {
@@ -113,10 +138,11 @@ func TestEdgesVisitsEachOnce(t *testing.T) {
 }
 
 func TestIsSubgraphOf(t *testing.T) {
-	g := New(4)
-	h := New(4)
-	mustEdges(t, g, [][2]int{{0, 1}})
-	mustEdges(t, h, [][2]int{{0, 1}, {1, 2}})
+	gb := NewBuilder(4)
+	hb := NewBuilder(4)
+	mustEdges(t, gb, [][2]int{{0, 1}})
+	mustEdges(t, hb, [][2]int{{0, 1}, {1, 2}})
+	g, h := gb.Build(), hb.Build()
 	if !g.IsSubgraphOf(h) {
 		t.Error("g should be subgraph of h")
 	}
@@ -128,30 +154,62 @@ func TestIsSubgraphOf(t *testing.T) {
 	}
 }
 
-func TestClone(t *testing.T) {
-	g := New(3)
-	mustEdges(t, g, [][2]int{{0, 1}})
-	c := g.Clone()
+func TestBuilderFromDoesNotAliasOriginal(t *testing.T) {
+	b := NewBuilder(3)
+	mustEdges(t, b, [][2]int{{0, 1}})
+	g := b.Build()
+	c := BuilderFrom(g)
 	if err := c.AddEdge(1, 2); err != nil {
 		t.Fatal(err)
 	}
 	if g.HasEdge(1, 2) {
-		t.Error("clone aliases original")
+		t.Error("derived builder aliases frozen graph")
 	}
-	if !c.HasEdge(0, 1) {
-		t.Error("clone lost edge")
+	g2 := c.Build()
+	if !g2.HasEdge(0, 1) || !g2.HasEdge(1, 2) {
+		t.Error("derived builder lost edges")
+	}
+}
+
+func TestBuildSnapshotsBuilderState(t *testing.T) {
+	b := NewBuilder(3)
+	mustEdges(t, b, [][2]int{{0, 1}})
+	g1 := b.Build()
+	mustEdges(t, b, [][2]int{{1, 2}})
+	g2 := b.Build()
+	if g1.HasEdge(1, 2) {
+		t.Error("earlier snapshot sees later mutation")
+	}
+	if !g2.HasEdge(1, 2) || g2.M() != 2 {
+		t.Error("later snapshot missing edge")
+	}
+}
+
+func TestBuilderConnected(t *testing.T) {
+	b := NewBuilder(4)
+	mustEdges(t, b, [][2]int{{0, 1}, {1, 2}, {2, 3}})
+	if !b.Connected() {
+		t.Error("path should be connected")
+	}
+	b.RemoveEdge(1, 2)
+	if b.Connected() {
+		t.Error("split path should be disconnected")
+	}
+	if !NewBuilder(1).Connected() || !NewBuilder(0).Connected() {
+		t.Error("trivial graphs are connected")
 	}
 }
 
 // TestHasEdgeMatchesModel cross-checks HasEdge against an adjacency-map
-// model under random edge insertions.
+// model under random edge insertions and removals, on both the builder and
+// the frozen CSR graph.
 func TestHasEdgeMatchesModel(t *testing.T) {
 	f := func(seed uint64) bool {
 		rng := rand.New(rand.NewPCG(seed, 1))
 		n := 2 + rng.IntN(20)
-		g := New(n)
+		b := NewBuilder(n)
 		model := map[[2]int]bool{}
-		for i := 0; i < 3*n; i++ {
+		for i := 0; i < 4*n; i++ {
 			u, v := rng.IntN(n), rng.IntN(n)
 			if u == v {
 				continue
@@ -159,16 +217,26 @@ func TestHasEdgeMatchesModel(t *testing.T) {
 			if u > v {
 				u, v = v, u
 			}
-			if !model[[2]int{u, v}] {
-				if err := g.AddEdge(u, v); err != nil {
+			switch {
+			case !model[[2]int{u, v}]:
+				if err := b.AddEdge(u, v); err != nil {
 					return false
 				}
 				model[[2]int{u, v}] = true
+			case rng.Float64() < 0.5:
+				if !b.RemoveEdge(u, v) {
+					return false
+				}
+				delete(model, [2]int{u, v})
 			}
 		}
+		g := b.Build()
 		for u := 0; u < n; u++ {
 			for v := u + 1; v < n; v++ {
 				if g.HasEdge(u, v) != model[[2]int{u, v}] {
+					return false
+				}
+				if b.HasEdge(u, v) != model[[2]int{u, v}] {
 					return false
 				}
 			}
@@ -180,10 +248,10 @@ func TestHasEdgeMatchesModel(t *testing.T) {
 	}
 }
 
-func mustEdges(t *testing.T, g *Graph, edges [][2]int) {
+func mustEdges(t *testing.T, b *Builder, edges [][2]int) {
 	t.Helper()
 	for _, e := range edges {
-		if err := g.AddEdge(e[0], e[1]); err != nil {
+		if err := b.AddEdge(e[0], e[1]); err != nil {
 			t.Fatalf("add edge %v: %v", e, err)
 		}
 	}

@@ -32,7 +32,7 @@ func (g *Graph) ConnectedSubset(member []bool) bool {
 	for len(stack) > 0 {
 		v := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
-		for _, w := range g.adj[v] {
+		for _, w := range g.nbr[g.off[v]:g.off[v+1]] {
 			wi := int(w)
 			if member[wi] && !visited[wi] {
 				visited[wi] = true
@@ -52,7 +52,7 @@ func (g *Graph) componentSize(start int) int {
 	for len(stack) > 0 {
 		v := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
-		for _, w := range g.adj[v] {
+		for _, w := range g.nbr[g.off[v]:g.off[v+1]] {
 			if !visited[w] {
 				visited[w] = true
 				size++
@@ -79,7 +79,7 @@ func (g *Graph) Components() [][]int {
 			v := stack[len(stack)-1]
 			stack = stack[:len(stack)-1]
 			comp = append(comp, v)
-			for _, w := range g.adj[v] {
+			for _, w := range g.nbr[g.off[v]:g.off[v+1]] {
 				if !visited[w] {
 					visited[w] = true
 					stack = append(stack, int(w))
@@ -115,7 +115,7 @@ func (g *Graph) BFS(start int) []int {
 	for len(queue) > 0 {
 		v := queue[0]
 		queue = queue[1:]
-		for _, w := range g.adj[v] {
+		for _, w := range g.nbr[g.off[v]:g.off[v+1]] {
 			if dist[w] < 0 {
 				dist[w] = dist[v] + 1
 				queue = append(queue, int(w))
@@ -190,7 +190,7 @@ func (g *Graph) ShortestPath(u, v int) []int {
 	for len(queue) > 0 {
 		x := queue[0]
 		queue = queue[1:]
-		for _, w := range g.adj[x] {
+		for _, w := range g.nbr[g.off[x]:g.off[x+1]] {
 			wi := int(w)
 			if prev[wi] < 0 {
 				prev[wi] = x

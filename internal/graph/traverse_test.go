@@ -8,13 +8,21 @@ import (
 
 func path(t *testing.T, n int) *Graph {
 	t.Helper()
-	g := New(n)
+	b := NewBuilder(n)
 	for i := 0; i+1 < n; i++ {
-		if err := g.AddEdge(i, i+1); err != nil {
+		if err := b.AddEdge(i, i+1); err != nil {
 			t.Fatal(err)
 		}
 	}
-	return g
+	return b.Build()
+}
+
+// build freezes the listed edges into a graph.
+func build(t *testing.T, n int, edges [][2]int) *Graph {
+	t.Helper()
+	b := NewBuilder(n)
+	mustEdges(t, b, edges)
+	return b.Build()
 }
 
 func TestConnected(t *testing.T) {
@@ -25,8 +33,7 @@ func TestConnected(t *testing.T) {
 	if !g.Connected() {
 		t.Error("path should be connected")
 	}
-	d := New(4)
-	mustEdges(t, d, [][2]int{{0, 1}, {2, 3}})
+	d := build(t, 4, [][2]int{{0, 1}, {2, 3}})
 	if d.Connected() {
 		t.Error("two components reported connected")
 	}
@@ -49,8 +56,7 @@ func TestConnectedSubset(t *testing.T) {
 }
 
 func TestComponents(t *testing.T) {
-	g := New(6)
-	mustEdges(t, g, [][2]int{{0, 1}, {1, 2}, {4, 5}})
+	g := build(t, 6, [][2]int{{0, 1}, {1, 2}, {4, 5}})
 	comps := g.Components()
 	if len(comps) != 3 {
 		t.Fatalf("components = %v", comps)
@@ -74,8 +80,7 @@ func TestBFSAndHopDistance(t *testing.T) {
 	if g.HopDistance(0, 4) != 4 || g.HopDistance(2, 2) != 0 {
 		t.Error("hop distances wrong")
 	}
-	d := New(3)
-	mustEdges(t, d, [][2]int{{0, 1}})
+	d := build(t, 3, [][2]int{{0, 1}})
 	if d.HopDistance(0, 2) != -1 {
 		t.Error("unreachable should be -1")
 	}
@@ -85,8 +90,7 @@ func TestDiameter(t *testing.T) {
 	if got := path(t, 5).Diameter(); got != 4 {
 		t.Errorf("path diameter = %d", got)
 	}
-	d := New(4)
-	mustEdges(t, d, [][2]int{{0, 1}})
+	d := build(t, 4, [][2]int{{0, 1}})
 	if d.Diameter() != -1 {
 		t.Error("disconnected diameter should be -1")
 	}
@@ -110,8 +114,7 @@ func TestWithinHops(t *testing.T) {
 }
 
 func TestShortestPath(t *testing.T) {
-	g := New(6)
-	mustEdges(t, g, [][2]int{{0, 1}, {1, 2}, {2, 5}, {0, 3}, {3, 4}, {4, 5}})
+	g := build(t, 6, [][2]int{{0, 1}, {1, 2}, {2, 5}, {0, 3}, {3, 4}, {4, 5}})
 	p := g.ShortestPath(0, 5)
 	if len(p) != 4 || p[0] != 0 || p[len(p)-1] != 5 {
 		t.Errorf("path = %v", p)
@@ -136,15 +139,16 @@ func TestShortestPathMatchesBFS(t *testing.T) {
 	f := func(seed uint64) bool {
 		rng := rand.New(rand.NewPCG(seed, 2))
 		n := 3 + rng.IntN(15)
-		g := New(n)
+		b := NewBuilder(n)
 		for i := 0; i < 2*n; i++ {
 			u, v := rng.IntN(n), rng.IntN(n)
-			if u != v && !g.HasEdge(u, v) {
-				if err := g.AddEdge(u, v); err != nil {
+			if u != v && !b.HasEdge(u, v) {
+				if err := b.AddEdge(u, v); err != nil {
 					return false
 				}
 			}
 		}
+		g := b.Build()
 		dist := g.BFS(0)
 		for v := 0; v < n; v++ {
 			p := g.ShortestPath(0, v)
@@ -167,13 +171,14 @@ func TestComponentsPartition(t *testing.T) {
 	f := func(seed uint64) bool {
 		rng := rand.New(rand.NewPCG(seed, 3))
 		n := 1 + rng.IntN(20)
-		g := New(n)
+		b := NewBuilder(n)
 		for i := 0; i < n; i++ {
 			u, v := rng.IntN(n), rng.IntN(n)
-			if u != v && !g.HasEdge(u, v) {
-				_ = g.AddEdge(u, v)
+			if u != v && !b.HasEdge(u, v) {
+				_ = b.AddEdge(u, v)
 			}
 		}
+		g := b.Build()
 		seen := make([]bool, n)
 		for _, comp := range g.Components() {
 			for _, v := range comp {

@@ -33,6 +33,15 @@ type Scenario struct {
 	B int
 	// MaxRounds caps executions that have no fixed length.
 	MaxRounds int
+	// StopWhenDecided ends fixed-schedule executions as soon as every
+	// process has output 0 or 1 instead of driving the full schedule.
+	// Outputs are frozen from that point on (decisions never revert), so
+	// experiments that only consume Outputs and DecidedRound — decision
+	// latency, validity, density — see identical results at a fraction of
+	// the simulated rounds. Stats that keep accumulating over the full
+	// schedule (Rounds, Broadcasts, ...) do differ; leave this off when
+	// those matter.
+	StopWhenDecided bool
 	// Workers fans process callbacks out over goroutines when > 1.
 	Workers int
 	// Observer, if non-nil, receives per-round callbacks.
@@ -125,7 +134,11 @@ func (s *Scenario) run(procs []sim.Process, maxRounds int) (*sim.Runner, error) 
 	if err != nil {
 		return nil, err
 	}
-	_, err = runner.Run()
+	if s.StopWhenDecided {
+		_, err = runner.RunUntil(runner.AllDecided)
+	} else {
+		_, err = runner.Run()
+	}
 	return runner, err
 }
 
@@ -342,15 +355,9 @@ func (s *Scenario) RunAsyncMIS(wake []int, filter core.FilterMode) (*AsyncOutcom
 	if err != nil {
 		return nil, err
 	}
-	allDecided := func() bool {
-		for _, p := range procs {
-			if p.Output() == sim.Undecided {
-				return false
-			}
-		}
-		return true
-	}
-	if _, err := runner.RunUntil(allDecided); err != nil {
+	// The runner tracks decisions incrementally, so the stop condition is
+	// O(1) per round instead of an O(n) scan.
+	if _, err := runner.RunUntil(runner.AllDecided); err != nil {
 		return nil, err
 	}
 	base := collect(runner, func(p sim.Process) bool {

@@ -1,0 +1,135 @@
+package harness
+
+import (
+	"errors"
+	"fmt"
+	"math/rand/v2"
+	"testing"
+
+	"dualradio/internal/adversary"
+	"dualradio/internal/detector"
+	"dualradio/internal/dualgraph"
+	"dualradio/internal/gen"
+)
+
+// testScenario builds a self-contained seeded scenario, mirroring how the
+// experiment layer derives a full trial from one seed.
+func testScenario(n int, seed uint64) (*Scenario, error) {
+	rng := rand.New(rand.NewPCG(seed, 0x5EED))
+	net, err := gen.RandomGeometric(gen.GeometricConfig{N: n}, rng)
+	if err != nil {
+		return nil, err
+	}
+	asg := dualgraph.RandomAssignment(n, rng)
+	return &Scenario{
+		Net:  net,
+		Asg:  asg,
+		Det:  detector.Complete(net, asg),
+		Adv:  adversary.NewCollisionSeeking(net),
+		Seed: seed,
+	}, nil
+}
+
+// trialValue is the deterministic per-trial computation used by the tests:
+// it derives everything from the trial index, like real experiment trials
+// derive everything from their seed.
+func trialValue(i int) float64 {
+	rng := rand.New(rand.NewPCG(uint64(i+1), 0xBEEF))
+	sum := 0.0
+	for k := 0; k < 100; k++ {
+		sum += rng.Float64()
+	}
+	return sum
+}
+
+// TestTrialsMatchesSequentialAcrossWorkerCounts verifies the scheduler's
+// core guarantee: results are returned in trial order and are identical to
+// a plain sequential loop for every worker count, including degenerate ones.
+func TestTrialsMatchesSequentialAcrossWorkerCounts(t *testing.T) {
+	const count = 23
+	want := make([]float64, count)
+	for i := range want {
+		want[i] = trialValue(i)
+	}
+	for _, workers := range []int{1, 2, 3, count - 1, count, count + 7} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			got, err := TrialsWorkers(count, workers, func(i int) (float64, error) {
+				return trialValue(i), nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("trial %d: %v != %v", i, got[i], want[i])
+				}
+			}
+		})
+	}
+}
+
+// TestTrialsFirstErrorInTrialOrder verifies the error reported is the first
+// one in trial order, matching the sequential loop, independent of which
+// worker hit an error first.
+func TestTrialsFirstErrorInTrialOrder(t *testing.T) {
+	errA := errors.New("a")
+	errB := errors.New("b")
+	_, err := TrialsWorkers(10, 4, func(i int) (int, error) {
+		switch i {
+		case 3:
+			return 0, errB
+		case 7:
+			return 0, errA
+		}
+		return i, nil
+	})
+	if !errors.Is(err, errB) {
+		t.Fatalf("err = %v, want the trial-3 error", err)
+	}
+}
+
+// TestTrialsEdgeCases covers empty and single-trial scheduling.
+func TestTrialsEdgeCases(t *testing.T) {
+	if out, err := Trials(0, func(int) (int, error) { return 1, nil }); err != nil || out != nil {
+		t.Fatalf("zero trials: %v %v", out, err)
+	}
+	out, err := Trials(1, func(i int) (int, error) { return i + 41, nil })
+	if err != nil || len(out) != 1 || out[0] != 41 {
+		t.Fatalf("single trial: %v %v", out, err)
+	}
+}
+
+// TestTrialsRunScenarios runs real simulator scenarios through the
+// scheduler and checks bit-identical outcomes against the sequential loop —
+// the property the experiment tables rely on.
+func TestTrialsRunScenarios(t *testing.T) {
+	run := func(seed int) (int, error) {
+		s, err := testScenario(96, uint64(seed+1))
+		if err != nil {
+			return 0, err
+		}
+		out, err := s.RunMIS()
+		if err != nil {
+			return 0, err
+		}
+		return out.DecidedRound, nil
+	}
+	const count = 4
+	want := make([]int, count)
+	for i := range want {
+		v, err := run(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = v
+	}
+	got, err := TrialsWorkers(count, 4, run)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("trial %d: DecidedRound %d != %d", i, got[i], want[i])
+		}
+	}
+}

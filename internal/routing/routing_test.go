@@ -10,13 +10,13 @@ import (
 
 func pathGraph(t *testing.T, n int) *graph.Graph {
 	t.Helper()
-	g := graph.New(n)
+	g := graph.NewBuilder(n)
 	for i := 0; i+1 < n; i++ {
 		if err := g.AddEdge(i, i+1); err != nil {
 			t.Fatal(err)
 		}
 	}
-	return g
+	return g.Build()
 }
 
 func TestFlood(t *testing.T) {
@@ -73,12 +73,13 @@ func TestBackboneValidation(t *testing.T) {
 // fewer transmissions than flooding.
 func TestStarTopologySaving(t *testing.T) {
 	n := 10
-	g := graph.New(n)
+	b := graph.NewBuilder(n)
 	for v := 1; v < n; v++ {
-		if err := g.AddEdge(0, v); err != nil {
+		if err := b.AddEdge(0, v); err != nil {
 			t.Fatal(err)
 		}
 	}
+	g := b.Build()
 	member := make([]bool, n)
 	member[0] = true
 	flood, back, err := routing.Compare(g, member, 3)

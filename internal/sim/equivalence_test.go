@@ -1,0 +1,136 @@
+package sim_test
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"testing"
+
+	"dualradio/internal/adversary"
+	"dualradio/internal/core"
+	"dualradio/internal/detector"
+	"dualradio/internal/dualgraph"
+	"dualradio/internal/gen"
+	"dualradio/internal/sim"
+)
+
+// buildAsyncProcs constructs an identically-seeded async MIS fleet with
+// staggered wake rounds.
+func buildAsyncProcs(t *testing.T, n int, asg *dualgraph.Assignment, seed uint64) []sim.Process {
+	t.Helper()
+	wrng := rand.New(rand.NewPCG(seed, 0xA5))
+	procs := make([]sim.Process, n)
+	for v := 0; v < n; v++ {
+		p, err := core.NewAsyncMISProcess(core.MISConfig{
+			ID:     asg.ID(v),
+			N:      n,
+			Filter: core.FilterNone,
+			Params: core.DefaultParams(),
+			Rng:    rand.New(rand.NewPCG(seed, uint64(asg.ID(v)))),
+		}, wrng.IntN(400))
+		if err != nil {
+			t.Fatal(err)
+		}
+		procs[v] = p
+	}
+	return procs
+}
+
+// runMIS executes one seeded MIS fleet and returns outputs plus stats.
+func runMIS(t *testing.T, net *dualgraph.Network, det *detector.Detector,
+	asg *dualgraph.Assignment, n, workers int) ([]int, sim.Stats) {
+	t.Helper()
+	procs := buildMISProcs(t, n, det, asg, 4242)
+	r, err := sim.NewRunner(sim.Config{
+		Net:       net,
+		Adversary: adversary.NewCollisionSeeking(net),
+		Processes: procs,
+		Workers:   workers,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Run(); err != nil {
+		t.Fatal(err)
+	}
+	outs := make([]int, n)
+	for v, p := range procs {
+		outs[v] = p.Output()
+	}
+	return outs, r.Stats()
+}
+
+// TestParallelEquivalenceAtThreshold pins the engine's parallel fan-out at
+// the activation threshold boundary (the engine stays sequential below 64
+// active processes) and at degenerate worker counts: for n in {63, 64, 65}
+// and workers in {1, 2, n-1, n, n+1}, every execution must be identical to
+// the sequential one — outputs and all engine counters.
+func TestParallelEquivalenceAtThreshold(t *testing.T) {
+	for _, n := range []int{63, 64, 65} {
+		rng := rand.New(rand.NewPCG(uint64(n), 17))
+		net, err := gen.RandomGeometric(gen.GeometricConfig{N: n}, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		asg := dualgraph.IdentityAssignment(n)
+		det := detector.Complete(net, asg)
+		refOut, refStats := runMIS(t, net, det, asg, n, 1)
+		for _, workers := range []int{2, n - 1, n, n + 1} {
+			t.Run(fmt.Sprintf("n=%d/workers=%d", n, workers), func(t *testing.T) {
+				out, stats := runMIS(t, net, det, asg, n, workers)
+				for v := range refOut {
+					if out[v] != refOut[v] {
+						t.Fatalf("node %d: sequential output %d, %d workers -> %d",
+							v, refOut[v], workers, out[v])
+					}
+				}
+				if stats != refStats {
+					t.Errorf("stats diverge: seq %+v, workers=%d %+v", refStats, workers, stats)
+				}
+			})
+		}
+	}
+}
+
+// TestAsyncActiveSetEquivalence drives the heterogeneous-completion path
+// (async processes finish individually, exercising the generic active-set
+// sweep and the wake calendar) across worker counts.
+func TestAsyncActiveSetEquivalence(t *testing.T) {
+	n := 80
+	rng := rand.New(rand.NewPCG(99, 3))
+	net, err := gen.RandomGeometric(gen.GeometricConfig{N: n, GrayProb: -1}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	asg := dualgraph.IdentityAssignment(n)
+
+	run := func(workers int) []int {
+		procs := buildAsyncProcs(t, n, asg, 7)
+		r, err := sim.NewRunner(sim.Config{
+			Net:       net,
+			Processes: procs,
+			MaxRounds: 1 << 18,
+			Workers:   workers,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := r.RunUntil(r.AllDecided); err != nil {
+			t.Fatal(err)
+		}
+		outs := make([]int, n)
+		for v, p := range procs {
+			outs[v] = p.Output()
+		}
+		return outs
+	}
+
+	ref := run(1)
+	for _, workers := range []int{2, n} {
+		got := run(workers)
+		for v := range ref {
+			if got[v] != ref[v] {
+				t.Fatalf("workers=%d node %d: %d != %d", workers, v, got[v], ref[v])
+			}
+		}
+	}
+}

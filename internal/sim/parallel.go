@@ -5,24 +5,63 @@ import (
 	"sync"
 )
 
-// collectBroadcasts invokes Broadcast on every process, sequentially or on a
-// worker pool depending on Config.Workers, and validates message sizes.
+// parallelThreshold is the minimum active-set size at which Workers > 1
+// actually fans callbacks out; below it the goroutine overhead dominates and
+// the engine stays sequential. The execution is identical either way.
+const parallelThreshold = 64
+
+// collectBroadcasts invokes Broadcast on every active process, sequentially
+// or on a worker pool depending on Config.Workers, builds the broadcaster
+// list, and validates message sizes. Done processes are skipped entirely:
+// by contract they never broadcast again.
 func (r *Runner) collectBroadcasts() {
-	n := len(r.cfg.Processes)
-	if r.cfg.Workers <= 1 || n < 64 {
-		for v, p := range r.cfg.Processes {
-			r.msgs[v] = p.Broadcast(r.round)
-			r.bcast[v] = r.msgs[v] != nil
+	// msgs[v] is written only for broadcasters: the slot is read solely
+	// under bcast[v] (self-reception) or via from[v] (which always names a
+	// current broadcaster), so stale entries are unreachable and the
+	// common silent round costs no interface stores or write barriers.
+	r.bList = r.bList[:0]
+	if r.cfg.Workers <= 1 || len(r.active) < parallelThreshold {
+		// Sequential path: walk only the awake processes, parking the
+		// ones that declare a sleep in the wake calendar.
+		nr := r.runnable[:0]
+		for _, v := range r.runnable {
+			if !r.isActive[v] {
+				continue
+			}
+			if w := r.sleepUntil[v]; w > r.round {
+				r.heapPush(int64(w)<<20 | int64(v))
+				continue
+			}
+			nr = append(nr, v)
+			if m := r.broadcast(int(v)); m != nil {
+				r.msgs[v] = m
+				r.bcast[v] = true
+				r.bList = append(r.bList, int(v))
+			} else if r.bcast[v] {
+				r.bcast[v] = false
+			}
 		}
+		r.runnable = nr
 	} else {
 		r.parallelEach(func(v int) {
-			r.msgs[v] = r.cfg.Processes[v].Broadcast(r.round)
-			r.bcast[v] = r.msgs[v] != nil
+			if m := r.broadcast(v); m != nil {
+				r.msgs[v] = m
+				r.bcast[v] = true
+			} else if r.bcast[v] {
+				r.bcast[v] = false
+			}
 		})
+		for _, v := range r.active {
+			if r.bcast[v] {
+				r.bList = append(r.bList, int(v))
+			}
+		}
 	}
 	if r.cfg.MessageBits > 0 {
-		for v, m := range r.msgs {
-			if m != nil && m.BitSize() > r.cfg.MessageBits {
+		// Only broadcasters carry messages, so the bound is checked on
+		// the (usually short) broadcaster list instead of all n slots.
+		for _, v := range r.bList {
+			if m := r.msgs[v]; m.BitSize() > r.cfg.MessageBits {
 				r.fatalErr = &SizeError{Node: v, Bits: m.BitSize(), Bound: r.cfg.MessageBits}
 				return
 			}
@@ -30,74 +69,98 @@ func (r *Runner) collectBroadcasts() {
 	}
 }
 
-// deliver dispatches the round outcome to every process according to the
-// model's reception rule, recording stats and trace deliveries.
+// broadcast asks the process at node v for its round message, letting
+// SleepBroadcasters declare a wake round: while asleep the process is
+// guaranteed silent and randomness-free, so the call is skipped outright.
+func (r *Runner) broadcast(v int) Message {
+	if r.sleepUntil[v] > r.round {
+		return nil
+	}
+	if s := r.sleepers[v]; s != nil {
+		m, wake := s.BroadcastSleep(r.round)
+		if m == nil && wake > r.round+1 {
+			// Never sleep past a fixed-length process's final round:
+			// driving it there flips Done for outside observers.
+			if d := r.deadline[v]; d >= 0 && wake > d {
+				wake = d
+			}
+			r.sleepUntil[v] = wake
+		}
+		return m
+	}
+	return r.cfg.Processes[v].Broadcast(r.round)
+}
+
+// deliver dispatches the round outcome to every active process according to
+// the model's reception rule. Stats were already recorded sequentially (see
+// recordReceptions), so the callbacks may fan out.
+//
+// When every process is a PassiveReceiver, nil and self receptions are
+// no-ops by contract, so only genuine deliveries are dispatched: the loop
+// walks the hit nodes instead of the whole active set.
 func (r *Runner) deliver() {
-	n := len(r.cfg.Processes)
-	// Stats and the delivery list are computed sequentially so the trace is
-	// deterministic; the Receive callbacks may then fan out.
-	for v := 0; v < n; v++ {
-		if !r.bcast[v] {
-			switch {
-			case r.cnt[v] == 1:
-				r.stats.Deliveries++
-				if r.cfg.Observer != nil {
-					r.dList = append(r.dList, Delivery{To: v, Msg: r.msgs[r.from[v]]})
-				}
-			case r.cnt[v] > 1:
-				r.stats.Collisions++
+	if r.allPassive {
+		for _, v := range r.touched {
+			if !r.bcast[v] && r.cnt[v] == 1 && r.isActive[v] {
+				r.cfg.Processes[v].Receive(r.round, r.msgs[r.from[v]])
 			}
 		}
+		return
 	}
-	recv := func(v int) {
-		p := r.cfg.Processes[v]
-		if r.bcast[v] {
-			p.Receive(r.round, r.msgs[v])
-			return
-		}
-		if r.cnt[v] == 1 {
-			p.Receive(r.round, r.msgs[r.from[v]])
-			return
-		}
-		p.Receive(r.round, nil)
-	}
-	if r.cfg.Workers <= 1 || n < 64 {
-		for v := 0; v < n; v++ {
-			recv(v)
+	if r.cfg.Workers <= 1 || len(r.active) < parallelThreshold {
+		for _, v := range r.active {
+			r.receive(int(v))
 		}
 	} else {
-		r.parallelEach(recv)
+		r.parallelEach(r.receive)
 	}
 }
 
-// parallelEach applies fn to every node index using Config.Workers
-// goroutines. Each worker owns a contiguous stripe, so per-process state is
-// touched by exactly one goroutine per phase and the result is identical to
-// the sequential loop.
+// receive delivers the round outcome to the process at node v: its own
+// message if it broadcast, the unique reaching message if exactly one
+// broadcaster reached it, and ⊥ otherwise.
+func (r *Runner) receive(v int) {
+	p := r.cfg.Processes[v]
+	if r.bcast[v] {
+		if !r.passive[v] {
+			p.Receive(r.round, r.msgs[v])
+		}
+		return
+	}
+	if r.cnt[v] == 1 {
+		p.Receive(r.round, r.msgs[r.from[v]])
+		return
+	}
+	if !r.passive[v] {
+		p.Receive(r.round, nil)
+	}
+}
+
+// parallelEach applies fn to every active node index using Config.Workers
+// goroutines. Each worker owns a contiguous stripe of the active set, so
+// per-process state is touched by exactly one goroutine per phase and the
+// result is identical to the sequential loop.
 func (r *Runner) parallelEach(fn func(v int)) {
-	n := len(r.cfg.Processes)
+	active := r.active
 	workers := r.cfg.Workers
-	if workers > n {
-		workers = n
+	if workers > len(active) {
+		workers = len(active)
 	}
 	var wg sync.WaitGroup
-	chunk := (n + workers - 1) / workers
+	chunk := (len(active) + workers - 1) / workers
 	for w := 0; w < workers; w++ {
 		lo := w * chunk
-		hi := lo + chunk
-		if hi > n {
-			hi = n
-		}
+		hi := min(lo+chunk, len(active))
 		if lo >= hi {
 			break
 		}
 		wg.Add(1)
-		go func(lo, hi int) {
+		go func(stripe []int32) {
 			defer wg.Done()
-			for v := lo; v < hi; v++ {
-				fn(v)
+			for _, v := range stripe {
+				fn(int(v))
 			}
-		}(lo, hi)
+		}(active[lo:hi])
 	}
 	wg.Wait()
 }

@@ -13,11 +13,18 @@
 // The engine is deterministic for a fixed seed and offers both a sequential
 // round loop and a parallel loop that fans process callbacks out over
 // goroutines with barrier synchronization; both produce identical executions.
+//
+// Performance: the runner maintains an active set of processes that are not
+// yet Done and an incremental undecided counter, so each round costs
+// O(active + hits) engine work rather than O(n); per-round buffers (hit
+// counters, broadcaster and delivery lists, adversary reach slices) are
+// reused across rounds.
 package sim
 
 import (
 	"errors"
 	"fmt"
+	"slices"
 
 	"dualradio/internal/adversary"
 	"dualradio/internal/dualgraph"
@@ -36,6 +43,16 @@ type Message interface {
 // Process is a per-node protocol automaton driven by the engine. All methods
 // are invoked from a single goroutine at a time; a process never observes
 // concurrent calls.
+//
+// Once Done reports true the engine stops driving the process: neither
+// Broadcast nor Receive is called again (a done process never broadcasts by
+// contract, and its outputs are frozen).
+//
+// A process whose protocol has a fixed total length may additionally expose
+// a `Rounds() int` method. The engine then treats the process as done once
+// Broadcast has been driven past round Rounds()-1, without querying Done
+// every round. Such a process must become done exactly there: Done must not
+// report true earlier and must not flip inside Receive.
 type Process interface {
 	// Broadcast is called at the start of each round and returns the
 	// message to transmit, or nil to stay silent.
@@ -101,19 +118,89 @@ type Config struct {
 
 // Runner executes a configured execution round by round.
 type Runner struct {
-	cfg      Config
-	adv      adversary.Adversary
-	gray     [][2]int
-	round    int
-	stats    Stats
-	msgs     []Message
-	bcast    []bool
-	cnt      []int32
-	from     []int32
-	touched  []int32
-	bList    []int
-	dList    []Delivery
-	fatalErr error
+	cfg   Config
+	adv   adversary.Adversary
+	ladv  adversary.ListAdversary    // non-nil when adv accepts broadcaster lists
+	cadv  adversary.CountedAdversary // non-nil when adv reuses engine hit counts
+	gray  [][2]int
+	round int
+	stats Stats
+	msgs  []Message
+	bcast []bool
+	cnt   []int32
+	from  []int32
+	// Reusable per-round buffers.
+	touched []int32
+	bList   []int
+	dList   []Delivery
+	// Active-set bookkeeping: the not-yet-Done processes in ascending node
+	// order. deadline[v] >= 0 caches a fixed-length process's total round
+	// count, so completion is an integer compare instead of an interface
+	// call; -1 falls back to querying Done each round. firstUndecided is
+	// the monotone scan pointer behind AllDecided.
+	active         []int32
+	isActive       []bool
+	deadline       []int
+	firstUndecided int
+	// Sleep bookkeeping: sleepers[v] is non-nil for SleepBroadcaster
+	// processes; sleepUntil[v] is the round before which Broadcast calls
+	// are skipped. passive[v] marks PassiveReceiver processes; when every
+	// process is passive the delivery phase walks only the hit nodes.
+	sleepers   []SleepBroadcaster
+	sleepUntil []int
+	passive    []bool
+	allPassive bool
+	// Wake calendar: runnable is the awake subset of active (ascending);
+	// sleeping processes sit in a min-heap of (wakeRound, node) pairs and
+	// are merged back when their round arrives, so a round's broadcast
+	// loop costs O(runnable) rather than O(active). Maintained by the
+	// sequential path only; the parallel path falls back to per-process
+	// sleep checks over the full active set.
+	runnable []int32
+	wakeHeap []int64
+	scratch  []int32
+	// uniformDeadline >= 0 when every process shares one fixed schedule
+	// length: the whole fleet completes in the same round, so the
+	// per-round sweep is a single comparison. -1 = heterogeneous.
+	uniformDeadline int
+	fatalErr        error
+}
+
+// fixedLength is the optional Process extension for protocols with a fixed
+// total round count (see the Process contract).
+type fixedLength interface {
+	Rounds() int
+}
+
+// SleepBroadcaster is an optional Process extension for protocols that can
+// tell the engine, whenever they stay silent, the earliest future round in
+// which they might broadcast again (or consume randomness deciding to). The
+// engine then skips their Broadcast calls for the intervening rounds — a
+// knocked-out MIS competitor sleeps to its next epoch, a covered CCDS node
+// sleeps through the banned-list phase, an unwoken asynchronous process
+// sleeps to its wake-up round.
+//
+// BroadcastSleep must behave exactly like Broadcast, additionally returning
+// a wake round w: when the message is nil, the process guarantees that
+// Broadcast would return nil — without consuming randomness or changing
+// observable state beyond what Receive performs — for every round in
+// (round, w). Receive delivery is unaffected by sleeping; a reception may
+// postpone the process's next broadcast but must never move it earlier than
+// the declared wake round.
+type SleepBroadcaster interface {
+	Process
+	BroadcastSleep(round int) (Message, int)
+}
+
+// PassiveReceiver is an optional marker for processes whose Receive is a
+// no-op for nil messages (silence/collision) and for their own broadcast
+// echo: no state change, no randomness. The engine then dispatches Receive
+// only for genuine foreign deliveries, making the delivery phase cost
+// O(deliveries) instead of O(active).
+type PassiveReceiver interface {
+	Process
+	// PassiveReceive is never called; it only marks the contract.
+	PassiveReceive()
 }
 
 // NewRunner validates the configuration and returns a ready Runner.
@@ -133,16 +220,141 @@ func NewRunner(cfg Config) (*Runner, error) {
 		cfg.MaxRounds = 1 << 22
 	}
 	r := &Runner{
-		cfg:   cfg,
-		adv:   adv,
-		gray:  cfg.Net.GrayEdges(),
-		msgs:  make([]Message, n),
-		bcast: make([]bool, n),
-		cnt:   make([]int32, n),
-		from:  make([]int32, n),
+		cfg:        cfg,
+		adv:        adv,
+		gray:       cfg.Net.GrayEdges(),
+		msgs:       make([]Message, n),
+		bcast:      make([]bool, n),
+		cnt:        make([]int32, n),
+		from:       make([]int32, n),
+		active:     make([]int32, 0, n),
+		isActive:   make([]bool, n),
+		deadline:   make([]int, n),
+		sleepers:   make([]SleepBroadcaster, n),
+		sleepUntil: make([]int, n),
+		passive:    make([]bool, n),
+	}
+	if la, ok := adv.(adversary.ListAdversary); ok {
+		r.ladv = la
+	}
+	if ca, ok := adv.(adversary.CountedAdversary); ok {
+		r.cadv = ca
+	}
+	r.allPassive = true
+	r.uniformDeadline = -1
+	for v, p := range cfg.Processes {
+		r.deadline[v] = -1
+		if fl, ok := p.(fixedLength); ok {
+			r.deadline[v] = fl.Rounds()
+		}
+		switch {
+		case v == 0:
+			r.uniformDeadline = r.deadline[v]
+		case r.uniformDeadline != r.deadline[v]:
+			r.uniformDeadline = -1
+		}
+		if sb, ok := p.(SleepBroadcaster); ok {
+			r.sleepers[v] = sb
+		}
+		if _, ok := p.(PassiveReceiver); ok {
+			r.passive[v] = true
+		} else {
+			r.allPassive = false
+		}
+		if !p.Done() {
+			r.active = append(r.active, int32(v))
+			r.isActive[v] = true
+		}
+	}
+	r.runnable = append(r.runnable, r.active...)
+	if n > wakeNodeMask {
+		// Node ids beyond the heap key width cannot use the wake
+		// calendar; disable sleeping rather than corrupt keys.
+		for i := range r.sleepers {
+			r.sleepers[i] = nil
+		}
 	}
 	r.stats.DecidedRound = -1
 	return r, nil
+}
+
+// wakeRunnable merges every process whose wake round has arrived back into
+// the runnable list, preserving ascending node order.
+func (r *Runner) wakeRunnable() {
+	if len(r.wakeHeap) == 0 || int(r.wakeHeap[0]>>20) > r.round {
+		return
+	}
+	woken := r.scratch[:0]
+	for len(r.wakeHeap) > 0 && int(r.wakeHeap[0]>>20) <= r.round {
+		v := int32(r.wakeHeap[0] & wakeNodeMask)
+		r.heapPop()
+		if r.isActive[v] {
+			woken = append(woken, v)
+		}
+	}
+	if len(woken) == 0 {
+		r.scratch = woken[:0]
+		return
+	}
+	slices.Sort(woken)
+	// Merge the sorted woken nodes into the (ascending) runnable list.
+	merged := woken[len(woken):]
+	i, j := 0, 0
+	for i < len(r.runnable) && j < len(woken) {
+		if r.runnable[i] < woken[j] {
+			merged = append(merged, r.runnable[i])
+			i++
+		} else {
+			merged = append(merged, woken[j])
+			j++
+		}
+	}
+	merged = append(merged, r.runnable[i:]...)
+	merged = append(merged, woken[j:]...)
+	r.runnable = append(r.runnable[:0], merged...)
+	r.scratch = woken[:0]
+}
+
+// wakeNodeMask packs (wakeRound<<20 | node) into one heap key; 20 bits cover
+// the engine's million-node ceiling while leaving 43 bits for rounds.
+const wakeNodeMask = 1<<20 - 1
+
+func (r *Runner) heapPush(key int64) {
+	h := append(r.wakeHeap, key)
+	i := len(h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if h[parent] <= h[i] {
+			break
+		}
+		h[parent], h[i] = h[i], h[parent]
+		i = parent
+	}
+	r.wakeHeap = h
+}
+
+func (r *Runner) heapPop() {
+	h := r.wakeHeap
+	n := len(h) - 1
+	h[0] = h[n]
+	h = h[:n]
+	i := 0
+	for {
+		l, rr := 2*i+1, 2*i+2
+		small := i
+		if l < n && h[l] < h[small] {
+			small = l
+		}
+		if rr < n && h[rr] < h[small] {
+			small = rr
+		}
+		if small == i {
+			break
+		}
+		h[i], h[small] = h[small], h[i]
+		i = small
+	}
+	r.wakeHeap = h
 }
 
 // Round returns the number of rounds executed so far.
@@ -155,39 +367,59 @@ func (r *Runner) Stats() Stats { return r.stats }
 // violation), or nil.
 func (r *Runner) Err() error { return r.fatalErr }
 
+// AllDecided reports whether every process has output 0 or 1. Decisions are
+// permanent for every algorithm in this library (outputs never revert to
+// Undecided), so a monotone scan pointer makes the check O(1) amortized:
+// each process is queried only until it first reports a decision.
+func (r *Runner) AllDecided() bool {
+	procs := r.cfg.Processes
+	for r.firstUndecided < len(procs) && procs[r.firstUndecided].Output() != Undecided {
+		r.firstUndecided++
+	}
+	return r.firstUndecided == len(procs)
+}
+
+// ActiveCount returns the number of processes that are not yet Done.
+func (r *Runner) ActiveCount() int { return len(r.active) }
+
 // Step executes one round. It reports false when the execution has finished
 // (all processes done, the round cap was reached, or a fatal error occurred).
 func (r *Runner) Step() bool {
 	if r.fatalErr != nil || r.round >= r.cfg.MaxRounds {
 		return false
 	}
-	n := r.cfg.Net.N()
 
-	// Phase 1: collect broadcast decisions.
-	r.bList = r.bList[:0]
+	// Phase 1: collect broadcast decisions from the runnable processes
+	// and enforce the b-bit bound on the broadcasters (everyone else is
+	// nil). Processes whose declared wake round has arrived rejoin first.
+	r.wakeRunnable()
 	r.collectBroadcasts()
 	if r.fatalErr != nil {
 		return false
 	}
-	for v := 0; v < n; v++ {
-		if r.bcast[v] {
-			r.bList = append(r.bList, v)
-			r.stats.Broadcasts++
-		}
-	}
+	r.stats.Broadcasts += len(r.bList)
 
-	// Phase 2: the adversary fixes the reach set.
-	active := r.adv.Reach(r.round, r.bcast)
-	r.stats.GrayActivations += len(active)
-
-	// Phase 3: compute receptions.
+	// Phase 2+3: reliable receptions are counted first, so a counting
+	// adversary can reuse them instead of re-walking every broadcaster's
+	// neighborhood; then the adversary fixes the reach set, and finally
+	// the activated gray edges are folded into the same hit counters.
 	g := r.cfg.Net.G()
 	for _, u := range r.bList {
 		for _, v := range g.Neighbors(u) {
 			r.hit(int(v), u)
 		}
 	}
-	for _, idx := range active {
+	var reach []int
+	switch {
+	case r.cadv != nil:
+		reach = r.cadv.ReachCounted(r.round, r.bcast, r.bList, r.cnt, r.touched)
+	case r.ladv != nil:
+		reach = r.ladv.ReachList(r.round, r.bcast, r.bList)
+	default:
+		reach = r.adv.Reach(r.round, r.bcast)
+	}
+	r.stats.GrayActivations += len(reach)
+	for _, idx := range reach {
 		e := r.gray[idx]
 		if r.bcast[e[0]] {
 			r.hit(e[1], e[0])
@@ -197,15 +429,17 @@ func (r *Runner) Step() bool {
 		}
 	}
 
-	// Phase 4: deliver.
-	r.dList = r.dList[:0]
+	// Phase 4: record stats over the hit nodes, then deliver the outcome
+	// to every active process.
+	r.recordReceptions()
 	r.deliver()
 
 	if r.cfg.Observer != nil {
 		r.cfg.Observer.OnRound(r.round, r.bList, r.dList)
 	}
 
-	// Bookkeeping: reset hit counters, track decisions.
+	// Bookkeeping: reset hit counters, advance the clock, then sweep the
+	// active set for new decisions and completed processes.
 	for _, v := range r.touched {
 		r.cnt[v] = 0
 	}
@@ -213,10 +447,45 @@ func (r *Runner) Step() bool {
 	r.round++
 	r.stats.Rounds = r.round
 
-	if r.stats.DecidedRound < 0 && r.allDecided() {
+	if r.uniformDeadline >= 0 {
+		// Homogeneous fixed-length fleet: nobody completes before the
+		// shared final round, and everybody completes at it.
+		if r.round > r.uniformDeadline {
+			for _, v := range r.active {
+				r.bcast[v] = false
+				r.msgs[v] = nil
+				r.isActive[v] = false
+			}
+			r.active = r.active[:0]
+		}
+	} else {
+		na := r.active[:0]
+		for _, v := range r.active {
+			if d := r.deadline[v]; d >= 0 {
+				// Fixed-length protocol: done exactly once round
+				// d has been driven (r.round already points past
+				// it).
+				if r.round <= d {
+					na = append(na, v)
+					continue
+				}
+			} else if !r.cfg.Processes[v].Done() {
+				na = append(na, v)
+				continue
+			}
+			// Clear per-node state so stale flags cannot leak into
+			// later rounds' reach or delivery computations.
+			r.bcast[v] = false
+			r.msgs[v] = nil
+			r.isActive[v] = false
+		}
+		r.active = na
+	}
+
+	if r.stats.DecidedRound < 0 && r.AllDecided() {
 		r.stats.DecidedRound = r.round
 	}
-	if r.allDone() {
+	if len(r.active) == 0 {
 		r.stats.AllDone = true
 		return false
 	}
@@ -229,6 +498,34 @@ func (r *Runner) hit(v, from int) {
 	}
 	r.cnt[v]++
 	r.from[v] = int32(from)
+}
+
+// recordReceptions updates the delivery/collision counters and, when an
+// observer is attached, the delivery list. Only nodes hit this round are
+// visited; the list is sorted so observers see deliveries in node order,
+// exactly as the previous full-scan engine produced them.
+func (r *Runner) recordReceptions() {
+	r.dList = r.dList[:0]
+	if len(r.touched) == 0 {
+		return
+	}
+	if r.cfg.Observer != nil {
+		slices.Sort(r.touched)
+	}
+	for _, v := range r.touched {
+		if r.bcast[v] {
+			continue
+		}
+		switch {
+		case r.cnt[v] == 1:
+			r.stats.Deliveries++
+			if r.cfg.Observer != nil {
+				r.dList = append(r.dList, Delivery{To: int(v), Msg: r.msgs[r.from[v]]})
+			}
+		case r.cnt[v] > 1:
+			r.stats.Collisions++
+		}
+	}
 }
 
 // Run executes rounds until the execution finishes and returns the stats.
@@ -253,21 +550,3 @@ func (r *Runner) RunUntil(cond func() bool) (Stats, error) {
 
 // Processes returns the configured processes (indexed by node).
 func (r *Runner) Processes() []Process { return r.cfg.Processes }
-
-func (r *Runner) allDecided() bool {
-	for _, p := range r.cfg.Processes {
-		if p.Output() == Undecided {
-			return false
-		}
-	}
-	return true
-}
-
-func (r *Runner) allDone() bool {
-	for _, p := range r.cfg.Processes {
-		if !p.Done() {
-			return false
-		}
-	}
-	return true
-}

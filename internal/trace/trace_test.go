@@ -59,14 +59,15 @@ func TestRecorderCapsSeries(t *testing.T) {
 }
 
 func TestMapMarksOutputs(t *testing.T) {
-	g := graph.New(3)
-	if err := g.AddEdge(0, 1); err != nil {
+	b := graph.NewBuilder(3)
+	if err := b.AddEdge(0, 1); err != nil {
 		t.Fatal(err)
 	}
-	if err := g.AddEdge(1, 2); err != nil {
+	if err := b.AddEdge(1, 2); err != nil {
 		t.Fatal(err)
 	}
-	net := dualgraph.New(g, g.Clone(), []geom.Point{{X: 0}, {X: 1}, {X: 2}}, 2)
+	g := b.Build()
+	net := dualgraph.New(g, g, []geom.Point{{X: 0}, {X: 1}, {X: 2}}, 2)
 	out := trace.Map(net, []int{1, 0, -1}, 20, 5)
 	if !strings.Contains(out, "#") || !strings.Contains(out, ".") || !strings.Contains(out, "?") {
 		t.Errorf("map missing marks:\n%s", out)

@@ -13,17 +13,18 @@ import (
 func pathNet(t *testing.T) *dualgraph.Network {
 	t.Helper()
 	n := 5
-	g := graph.New(n)
+	b := graph.NewBuilder(n)
 	coords := make([]geom.Point, n)
 	for i := 0; i < n; i++ {
 		coords[i] = geom.Point{X: float64(i)}
 	}
 	for i := 0; i+1 < n; i++ {
-		if err := g.AddEdge(i, i+1); err != nil {
+		if err := b.AddEdge(i, i+1); err != nil {
 			t.Fatal(err)
 		}
 	}
-	return dualgraph.New(g, g.Clone(), coords, 2)
+	g := b.Build()
+	return dualgraph.New(g, g, coords, 2)
 }
 
 func TestMISAcceptsValid(t *testing.T) {
