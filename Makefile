@@ -1,7 +1,10 @@
 GO ?= go
 DATE := $(shell date +%F)
+# bench output path; override to avoid clobbering an existing snapshot taken
+# the same day (e.g. make bench OUT=BENCH_$(DATE)-pr2.json).
+OUT ?= BENCH_$(DATE).json
 
-.PHONY: build test bench bench-headline verify
+.PHONY: build test check bench bench-headline verify
 
 build:
 	$(GO) build ./...
@@ -11,15 +14,28 @@ test:
 
 verify: build test
 
+# check is the tier-1 gate (see ROADMAP.md): formatting, vet, build, tests.
+check:
+	@fmtout=$$(gofmt -l .); if [ -n "$$fmtout" ]; then \
+		echo "gofmt needed on:"; echo "$$fmtout"; exit 1; fi
+	$(GO) vet ./...
+	$(GO) build ./...
+	$(GO) test ./...
+
 # bench runs the full benchmark suite at quick scale (one iteration count,
 # memory stats) and records the run as a BENCH_<date>.json snapshot so the
-# perf trajectory is tracked in-repo.
+# perf trajectory is tracked in-repo. The snapshot splits the setup path
+# (BuildScenario benchmarks in internal/expr) from the run path.
+# internal/gen's BenchmarkAssemble (grid vs retained all-pairs reference) is
+# deliberately excluded: it exists for on-demand scaling comparisons and
+# would add an O(n²) reference sweep to every snapshot run.
 bench:
-	$(GO) test -run '^$$' -bench=. -benchmem -count=1 . ./internal/sim \
+	$(GO) test -run '^$$' -bench=. -benchmem -count=1 . ./internal/sim ./internal/expr \
 		| tee /dev/stderr \
-		| $(GO) run ./cmd/benchtool -out BENCH_$(DATE).json
+		| $(GO) run ./cmd/benchtool -out $(OUT)
 
-# bench-headline runs only the acceptance benchmarks (E1/E3/E8).
+# bench-headline runs only the acceptance benchmarks (E1/E3/E8 + setup).
 bench-headline:
 	$(GO) test -run '^$$' -bench='BenchmarkE1MISScaling|BenchmarkE3CCDSRounds|BenchmarkE8AsyncMIS' \
 		-benchmem -count=1 .
+	$(GO) test -run '^$$' -bench='BenchmarkBuildScenario' -benchmem -count=1 ./internal/expr

@@ -37,10 +37,24 @@ type Snapshot struct {
 
 // Benchmark is one benchmark result line.
 type Benchmark struct {
-	Name       string             `json:"name"`
-	Package    string             `json:"package,omitempty"`
+	Name    string `json:"name"`
+	Package string `json:"package,omitempty"`
+	// Group splits the suite into the setup path (scenario/instance
+	// construction benchmarks) and the run path (experiment round loops),
+	// so trajectory diffs can report the two separately.
+	Group      string             `json:"group"`
 	Iterations int64              `json:"iterations"`
 	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// groupOf classifies a benchmark into the setup or run path by name.
+func groupOf(name string) string {
+	for _, marker := range []string{"BuildScenario", "Assemble", "Setup"} {
+		if strings.Contains(name, marker) {
+			return "setup"
+		}
+	}
+	return "run"
 }
 
 func main() {
@@ -65,7 +79,21 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchtool:", err)
 		os.Exit(1)
 	}
+	setup, run := 0, 0
+	var setupNs, runNs float64
+	for _, b := range snap.Benchmarks {
+		ns := b.Metrics["ns/op"]
+		if b.Group == "setup" {
+			setup++
+			setupNs += ns
+		} else {
+			run++
+			runNs += ns
+		}
+	}
 	fmt.Printf("benchtool: wrote %d benchmarks to %s\n", len(snap.Benchmarks), *out)
+	fmt.Printf("benchtool: setup path: %d benchmarks summing to %.3fms/op; run path: %d benchmarks summing to %.1fms/op\n",
+		setup, setupNs/1e6, run, runNs/1e6)
 }
 
 func parse(sc *bufio.Scanner) (*Snapshot, error) {
@@ -88,6 +116,7 @@ func parse(sc *bufio.Scanner) (*Snapshot, error) {
 				continue
 			}
 			b.Package = pkg
+			b.Group = groupOf(b.Name)
 			snap.Benchmarks = append(snap.Benchmarks, b)
 		}
 	}

@@ -2,22 +2,6 @@ package adversary
 
 import "dualradio/internal/dualgraph"
 
-type grayArc struct {
-	peer int32
-	idx  int32
-}
-
-// grayAdjacency builds, for each node, the list of gray edges incident to it.
-func grayAdjacency(net *dualgraph.Network) [][]grayArc {
-	adj := make([][]grayArc, net.N())
-	for i, e := range net.GrayEdges() {
-		u, v := e[0], e[1]
-		adj[u] = append(adj[u], grayArc{peer: int32(v), idx: int32(i)})
-		adj[v] = append(adj[v], grayArc{peer: int32(u), idx: int32(i)})
-	}
-	return adj
-}
-
 // CollisionSeeking is a greedy adaptive adversary: whenever a silent node
 // would receive a unique message over reliable edges, it activates a gray
 // edge from some other broadcaster to that node, turning the delivery into a
@@ -27,7 +11,7 @@ func grayAdjacency(net *dualgraph.Network) [][]grayArc {
 // standard contention-reduction techniques.
 type CollisionSeeking struct {
 	net     *dualgraph.Network
-	grayAdj [][]grayArc
+	grayAdj [][]dualgraph.GrayArc
 	relCnt  []int32
 	touched []int32
 	reuse   []int
@@ -45,7 +29,7 @@ var _ CountedAdversary = (*CollisionSeeking)(nil)
 func NewCollisionSeeking(net *dualgraph.Network) *CollisionSeeking {
 	c := &CollisionSeeking{
 		net:     net,
-		grayAdj: grayAdjacency(net),
+		grayAdj: net.GrayAdjacency(),
 		relCnt:  make([]int32, net.N()),
 		cand:    make([]int32, net.N()),
 	}
@@ -99,12 +83,12 @@ func (c *CollisionSeeking) ReachCounted(_ int, bcast []bool, broadcasters []int,
 		// then destroy every unique delivery that was marked.
 		for _, u := range broadcasters {
 			for _, arc := range c.grayAdj[u] {
-				switch prev := c.cand[arc.peer]; {
+				switch prev := c.cand[arc.Peer]; {
 				case prev < 0:
-					c.candTouched = append(c.candTouched, arc.peer)
-					c.cand[arc.peer] = arc.idx
-				case arc.idx < prev:
-					c.cand[arc.peer] = arc.idx
+					c.candTouched = append(c.candTouched, arc.Peer)
+					c.cand[arc.Peer] = arc.Idx
+				case arc.Idx < prev:
+					c.cand[arc.Peer] = arc.Idx
 				}
 			}
 		}
@@ -124,8 +108,8 @@ func (c *CollisionSeeking) ReachCounted(_ int, bcast []bool, broadcasters []int,
 	for _, v := range hitNodes {
 		if relCnt[v] == 1 && !bcast[v] {
 			for _, arc := range c.grayAdj[v] {
-				if bcast[arc.peer] {
-					c.reuse = append(c.reuse, int(arc.idx))
+				if bcast[arc.Peer] {
+					c.reuse = append(c.reuse, int(arc.Idx))
 					break
 				}
 			}
@@ -141,7 +125,7 @@ func (c *CollisionSeeking) ReachCounted(_ int, bcast []bool, broadcasters []int,
 // information can then flow only when a bridge endpoint broadcasts alone
 // network-wide — the Ω(Δ) "hitting" event.
 type CliqueIsolating struct {
-	grayAdj  [][]grayArc
+	grayAdj  [][]dualgraph.GrayArc
 	g        *dualgraph.Network
 	bridgeA  int
 	bridgeB  int
@@ -155,7 +139,7 @@ var _ ListAdversary = (*CliqueIsolating)(nil)
 // are the node indices of the bridge endpoints (see gen.BridgeCliques).
 func NewCliqueIsolating(net *dualgraph.Network, bridgeA, bridgeB int) *CliqueIsolating {
 	return &CliqueIsolating{
-		grayAdj: grayAdjacency(net),
+		grayAdj: net.GrayAdjacency(),
 		g:       net,
 		bridgeA: bridgeA,
 		bridgeB: bridgeB,
@@ -203,8 +187,8 @@ func (c *CliqueIsolating) blockBridge(bcast []bool, src, dst int) {
 		return
 	}
 	for _, arc := range c.grayAdj[dst] {
-		if bcast[arc.peer] && int(arc.peer) != src {
-			c.reuse = append(c.reuse, int(arc.idx))
+		if bcast[arc.Peer] && int(arc.Peer) != src {
+			c.reuse = append(c.reuse, int(arc.Idx))
 			return
 		}
 	}

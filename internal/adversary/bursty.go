@@ -86,7 +86,7 @@ type Targeted struct {
 	inner  *CollisionSeeking
 	victim int
 	g      *dualgraph.Network
-	adj    [][]grayArc
+	adj    [][]dualgraph.GrayArc
 	reuse  []int
 }
 
@@ -97,7 +97,7 @@ func NewTargeted(net *dualgraph.Network, victim int) *Targeted {
 	return &Targeted{
 		victim: victim,
 		g:      net,
-		adj:    grayAdjacency(net),
+		adj:    net.GrayAdjacency(),
 	}
 }
 
@@ -117,8 +117,8 @@ func (t *Targeted) Reach(_ int, bcast []bool) []int {
 		return t.reuse
 	}
 	for _, arc := range t.adj[t.victim] {
-		if bcast[arc.peer] {
-			t.reuse = append(t.reuse, int(arc.idx))
+		if bcast[arc.Peer] {
+			t.reuse = append(t.reuse, int(arc.Idx))
 			break
 		}
 	}

@@ -20,7 +20,7 @@ import (
 type AsyncMISProcess struct {
 	cfg       MISConfig
 	wake      int
-	sched     misSchedule
+	sched     *misSchedule // shared immutable table (see tables.go)
 	listenLen int
 	epochLen  int
 
@@ -45,7 +45,7 @@ func NewAsyncMISProcess(cfg MISConfig, wakeRound int) (*AsyncMISProcess, error) 
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
-	s := newMISSchedule(cfg.N, cfg.Params)
+	s := misScheduleFor(cfg.N, cfg.Params)
 	listen := scaled(cfg.Params.Listen, s.logN*s.logN)
 	return &AsyncMISProcess{
 		cfg:       cfg,

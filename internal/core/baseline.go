@@ -54,11 +54,11 @@ func (p *BaselineCCDSProcess) join() { p.out = 1 }
 // BaselineCCDSRounds returns the naive algorithm's fixed total running time
 // — O(Δ·polylog n) rounds regardless of message size.
 func BaselineCCDSRounds(n, delta, b int, p Params) (int, error) {
-	es, err := newEnumSchedule(n, delta, b, p)
+	es, err := enumScheduleFor(n, delta, b, p)
 	if err != nil {
 		return 0, err
 	}
-	return newMISSchedule(n, p).total + es.total, nil
+	return misScheduleFor(n, p).total + es.total, nil
 }
 
 // TauCCDSRounds returns the Section 6 algorithm's fixed total running time
@@ -67,11 +67,11 @@ func TauCCDSRounds(n, delta, b int, p Params, tau int) (int, error) {
 	if tau < 0 {
 		return 0, fmt.Errorf("core: tau must be non-negative, got %d", tau)
 	}
-	es, err := newEnumSchedule(n, delta, b, p)
+	es, err := enumScheduleFor(n, delta, b, p)
 	if err != nil {
 		return 0, err
 	}
-	return (tau+1)*newMISSchedule(n, p).total + es.total, nil
+	return (tau+1)*misScheduleFor(n, p).total + es.total, nil
 }
 
 // Rounds returns the fixed total running time.
@@ -96,12 +96,39 @@ func (p *BaselineCCDSProcess) Broadcast(round int) sim.Message {
 	if round < misTotal {
 		return p.mis.Broadcast(round)
 	}
+	if !p.enterSearch(round) {
+		return nil
+	}
+	return p.enum.Broadcast(round - misTotal)
+}
+
+// BroadcastSleep implements sim.SleepBroadcaster: the MIS subroutine's
+// sleep windows pass through unchanged, and the enumeration schedule
+// reports its own (see enumConnect.BroadcastSleep for the coin
+// pre-consumption that keeps skipped executions bit-identical).
+func (p *BaselineCCDSProcess) BroadcastSleep(round int) (sim.Message, int) {
+	misTotal := p.mis.Rounds()
+	if round < misTotal {
+		// MIS wake rounds never exceed the MIS schedule end, which is
+		// exactly where the enumeration takes over.
+		return p.mis.BroadcastSleep(round)
+	}
+	if !p.enterSearch(round) {
+		return nil, round + 1
+	}
+	m, wake := p.enum.BroadcastSleep(round - misTotal)
+	return m, misTotal + wake
+}
+
+// enterSearch finalizes the MIS phase on the first search round; it reports
+// false once the schedule has ended (fixing the terminal output).
+func (p *BaselineCCDSProcess) enterSearch(round int) bool {
 	if round >= p.total {
 		p.done = true
 		if p.out == sim.Undecided {
 			p.out = 0
 		}
-		return nil
+		return false
 	}
 	if !p.begun {
 		p.begun = true
@@ -110,7 +137,7 @@ func (p *BaselineCCDSProcess) Broadcast(round int) sim.Message {
 			p.out = 1
 		}
 	}
-	return p.enum.Broadcast(round - misTotal)
+	return true
 }
 
 // Receive implements sim.Process.

@@ -34,7 +34,7 @@ type CCDSConfig struct {
 // MIS subroutine followed by ℓ_SE search epochs, each with three phases
 // (banned-list broadcast, directed-decay nomination, exploration).
 type ccdsSchedule struct {
-	mis      misSchedule
+	mis      *misSchedule
 	logN     int
 	bb       int // bounded-broadcast slot length ℓ_BB(δ)
 	capIDs   int // ids per banned-list chunk
@@ -57,7 +57,7 @@ func messageOverheadBits(n int) int {
 }
 
 func newCCDSSchedule(n, delta, b int, p Params) (ccdsSchedule, error) {
-	s := ccdsSchedule{mis: newMISSchedule(n, p), logN: log2Ceil(n)}
+	s := ccdsSchedule{mis: misScheduleFor(n, p), logN: log2Ceil(n)}
 	overhead := messageOverheadBits(n)
 	if b < overhead+idBits(n) {
 		return s, fmt.Errorf("core: message bound b=%d bits cannot carry an id (needs >= %d); the paper assumes b = Ω(log n)", b, overhead+idBits(n))
@@ -81,7 +81,7 @@ func newCCDSSchedule(n, delta, b int, p Params) (ccdsSchedule, error) {
 // CCDSRounds returns the fixed total running time of the Section 5 CCDS
 // algorithm for the given parameters — O(Δ·log²n/b + log³n) rounds.
 func CCDSRounds(n, delta, b int, p Params) (int, error) {
-	s, err := newCCDSSchedule(n, delta, b, p)
+	s, err := ccdsScheduleFor(n, delta, b, p)
 	if err != nil {
 		return 0, err
 	}
@@ -130,7 +130,7 @@ type relayRecord struct {
 // guided exploration.
 type CCDSProcess struct {
 	cfg   CCDSConfig
-	sched ccdsSchedule
+	sched *ccdsSchedule // shared immutable table (see tables.go)
 	mis   *MISProcess
 
 	out      int
@@ -187,7 +187,7 @@ func NewCCDSProcess(cfg CCDSConfig) (*CCDSProcess, error) {
 	if cfg.Delta < 1 {
 		return nil, fmt.Errorf("core: CCDS needs the max degree Δ, got %d", cfg.Delta)
 	}
-	sched, err := newCCDSSchedule(cfg.N, cfg.Delta, cfg.B, cfg.Params)
+	sched, err := ccdsScheduleFor(cfg.N, cfg.Delta, cfg.B, cfg.Params)
 	if err != nil {
 		return nil, err
 	}

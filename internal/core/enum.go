@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math/rand/v2"
+	"slices"
 	"sort"
 
 	"dualradio/internal/detector"
@@ -37,13 +38,20 @@ type enumConnect struct {
 	det    *detector.Set
 	params Params
 	rng    *rand.Rand
-	mutual bool // label messages and require mutual detector membership
-	sched  enumSchedule
+	mutual bool          // label messages and require mutual detector membership
+	sched  *enumSchedule // shared immutable table (see tables.go)
 
 	started   bool
 	dominator bool
 	masters   []int
 	joined    func() // callback when this process joins the CCDS
+
+	// ranks caches the announcement slots this covered process owns (its
+	// positions in its masters' detector lists), sorted ascending. Computed
+	// lazily once phase A begins — phase-0 chunks stop arriving there, so
+	// the slot set is final. nil = not yet computed (empty = no slots).
+	ranks      []int
+	ranksReady bool
 
 	// Covered-process state.
 	domList map[int][]int // dominator u -> sorted detector list of u
@@ -114,7 +122,7 @@ func newEnumSchedule(n, delta, b int, p Params) (enumSchedule, error) {
 // round so the caller can finish its dominating-structure phase first.
 func newEnumConnect(id, n, b, delta int, det *detector.Set, p Params,
 	rng *rand.Rand, mutual bool, joined func()) (*enumConnect, error) {
-	sched, err := newEnumSchedule(n, delta, b, p)
+	sched, err := enumScheduleFor(n, delta, b, p)
 	if err != nil {
 		return nil, err
 	}
@@ -244,18 +252,179 @@ func (e *enumConnect) Broadcast(t int) sim.Message {
 	}
 }
 
-// hasRank reports whether this process owns announcement slot k for any of
-// its masters (k is its 0-based position in the master's sorted detector
-// list, as learned in phase 0).
-func (e *enumConnect) hasRank(k int) bool {
-	for _, u := range e.masters {
-		list := e.domList[u]
-		i := sort.SearchInts(list, e.id)
-		if i < len(list) && list[i] == e.id && i == k {
-			return true
+// BroadcastSleep is Broadcast plus a wake round for the engine's sleep
+// calendar (see sim.SleepBroadcaster). The connect procedure has long
+// provably-silent stretches — covered processes through phase 0 and phase C,
+// dominators through phases A/B/D and outside their stagger windows, covered
+// processes between their rank slots.
+//
+// Broadcast draws one probability-1/2 coin every round, silent or not (the
+// schedule predates sleeping), so unlike the MIS and banned-list CCDS
+// processes the silent stretches are not randomness-free. To keep skipped
+// executions bit-identical, BroadcastSleep pre-consumes the skipped rounds'
+// coins before declaring the sleep — the pre-consume strategy the
+// sim.SleepBroadcaster contract sanctions. Burning a draw is several times
+// cheaper than an engine dispatch into Broadcast's schedule resolution, and
+// the wake calendar additionally keeps the slept process out of the round
+// loop entirely.
+func (e *enumConnect) BroadcastSleep(t int) (sim.Message, int) {
+	m := e.Broadcast(t)
+	if m != nil {
+		// The engine only honors a sleep window on silent rounds, so
+		// burning coins here would double-consume them.
+		return m, t + 1
+	}
+	w := e.nextPossible(t+1, t)
+	for k := t + 1; k < w; k++ {
+		e.rng.Float64()
+	}
+	return m, w
+}
+
+// nextPossible returns the earliest round >= from at which this process
+// might broadcast, capped at the schedule end. now is the round whose
+// Broadcast just ran: projections may only rely on state that no reception
+// at rounds >= now can change. Two kinds of state settle at phase edges —
+// rank slots become final at bA (phase-0 chunks stop), the phase-D forward
+// list at bD (phase-C selections stop) — so projections from before those
+// edges conservatively wake at the edge (or at the fixed stagger window
+// start) and re-evaluate there. Waking early is always safe: an awake round
+// draws its own coin exactly as the plain Broadcast discipline would.
+func (e *enumConnect) nextPossible(from, now int) int {
+	s := e.sched
+	total := s.total
+	bA, bB, bC, bD := e.boundaries()
+	t := from
+	for t < total {
+		switch {
+		case t < bA:
+			if !e.dominator {
+				t = bA
+				continue
+			}
+			gl := s.chunks0 * s.bb
+			lo := (e.id % enumStagger) * gl
+			switch {
+			case t < lo:
+				t = lo
+			case t < lo+gl:
+				return t
+			default:
+				t = bA
+			}
+		case t < bB:
+			if e.dominator {
+				t = bC // dominators are silent through phases A and B
+				continue
+			}
+			if now < bA {
+				return t // ranks not final yet: wake at the phase edge
+			}
+			slot := (t - bA) / s.bb
+			next, ok := e.nextRankSlot(slot)
+			if !ok {
+				t = bB
+				continue
+			}
+			if next == slot {
+				return t
+			}
+			t = bA + next*s.bb
+		case t < bC:
+			if e.dominator {
+				t = bC
+				continue
+			}
+			slotLen := s.chunkB * s.bb
+			slot := (t - bB) / slotLen
+			next, ok := e.nextRankSlot(slot)
+			if !ok {
+				t = bD // covered: silent through phase C
+				continue
+			}
+			if next == slot {
+				return t
+			}
+			t = bB + next*slotLen
+		case t < bD:
+			if !e.dominator {
+				t = bD
+				continue
+			}
+			gl := s.chunksC * s.bb
+			lo := bC + (e.id%enumStagger)*gl
+			switch {
+			case t < lo:
+				t = lo
+			case t < lo+gl:
+				return t
+			default:
+				return total // dominators are silent in phase D
+			}
+		default:
+			if e.dominator {
+				return total
+			}
+			gl := s.chunksD * s.bb
+			lo := bD + (e.id%enumStagger)*gl
+			if t >= lo+gl {
+				return total // own window passed: silent for good
+			}
+			if t < lo {
+				t = lo
+			}
+			if now < bD {
+				return t // forward list not final yet: wake at the window
+			}
+			if len(e.forward) == 0 {
+				return total
+			}
+			return t
 		}
 	}
-	return false
+	return total
+}
+
+// hasRank reports whether this process owns announcement slot k for any of
+// its masters (k is its 0-based position in the master's sorted detector
+// list, as learned in phase 0). It shares the cached slot set with the
+// sleep projection (nextRankSlot), so Broadcast and nextPossible can never
+// disagree about slot ownership. Only called from phase A on, where the
+// slot set is final.
+func (e *enumConnect) hasRank(k int) bool {
+	ranks := e.rankSlots()
+	i := sort.SearchInts(ranks, k)
+	return i < len(ranks) && ranks[i] == k
+}
+
+// rankSlots returns the sorted distinct announcement slots this process
+// owns, restricted to the schedule's delta slot windows. Must only be
+// called from phase A on, when domList and masters are final.
+func (e *enumConnect) rankSlots() []int {
+	if !e.ranksReady {
+		e.ranksReady = true
+		for _, u := range e.masters {
+			list := e.domList[u]
+			i := sort.SearchInts(list, e.id)
+			if i < len(list) && list[i] == e.id && i < e.delta {
+				e.ranks = append(e.ranks, i)
+			}
+		}
+		sort.Ints(e.ranks)
+		e.ranks = slices.Compact(e.ranks)
+	}
+	return e.ranks
+}
+
+// nextRankSlot returns the smallest owned slot >= k, or ok=false when none
+// remains.
+func (e *enumConnect) nextRankSlot(k int) (int, bool) {
+	ranks := e.rankSlots()
+	i := sort.SearchInts(ranks, k)
+	if i == len(ranks) {
+		return 0, false
+	}
+	return ranks[i], true
 }
 
 // cappedMasters returns up to MaxMasters master ids for announcement.

@@ -76,7 +76,7 @@ func (c *MISConfig) validate() error {
 // announce it.
 type MISProcess struct {
 	cfg   MISConfig
-	sched misSchedule
+	sched *misSchedule // shared immutable table (see tables.go)
 
 	out         int
 	misSet      *detector.Set // M_u: known MIS members (may include self)
@@ -109,7 +109,7 @@ func NewMISProcess(cfg MISConfig) (*MISProcess, error) {
 	}
 	return &MISProcess{
 		cfg:         cfg,
-		sched:       newMISSchedule(cfg.N, cfg.Params),
+		sched:       misScheduleFor(cfg.N, cfg.Params),
 		out:         sim.Undecided,
 		misSet:      detector.NewSet(cfg.N),
 		joinedEpoch: -1,

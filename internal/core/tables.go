@@ -1,0 +1,64 @@
+package core
+
+import "dualradio/internal/memo"
+
+// Shared protocol tables.
+//
+// Every process of a fleet derives the same fixed round layout and phase
+// probability table from (n, Params) — and, for the CCDS algorithms, from
+// (n, Δ, b, Params). The schedules are immutable once built, so instead of
+// recomputing them n times per fleet (n probability tables, n chunk-layout
+// derivations), the constructors below memoize one canonical copy per
+// parameter set and every process holds a pointer to it. The key spaces are
+// the experiments' parameter grids — tens of entries — so the caches are
+// never evicted.
+
+type misKey struct {
+	n int
+	p Params
+}
+
+var misSchedules memo.Cache[misKey, *misSchedule]
+
+// misScheduleFor returns the shared immutable MIS schedule for (n, p).
+func misScheduleFor(n int, p Params) *misSchedule {
+	s, _ := misSchedules.Get(misKey{n, p}, func() (*misSchedule, error) {
+		sched := newMISSchedule(n, p)
+		return &sched, nil
+	})
+	return s
+}
+
+type ccdsKey struct {
+	n, delta, b int
+	p           Params
+}
+
+var ccdsSchedules memo.Cache[ccdsKey, *ccdsSchedule]
+
+// ccdsScheduleFor returns the shared immutable Section 5 CCDS schedule for
+// (n, Δ, b, p). Construction errors (a b too small to carry an id) are
+// memoized alongside values: they are deterministic in the key.
+func ccdsScheduleFor(n, delta, b int, p Params) (*ccdsSchedule, error) {
+	return ccdsSchedules.Get(ccdsKey{n, delta, b, p}, func() (*ccdsSchedule, error) {
+		sched, err := newCCDSSchedule(n, delta, b, p)
+		if err != nil {
+			return nil, err
+		}
+		return &sched, nil
+	})
+}
+
+var enumSchedules memo.Cache[ccdsKey, *enumSchedule]
+
+// enumScheduleFor returns the shared immutable enumeration-connect schedule
+// for (n, Δ, b, p).
+func enumScheduleFor(n, delta, b int, p Params) (*enumSchedule, error) {
+	return enumSchedules.Get(ccdsKey{n, delta, b, p}, func() (*enumSchedule, error) {
+		sched, err := newEnumSchedule(n, delta, b, p)
+		if err != nil {
+			return nil, err
+		}
+		return &sched, nil
+	})
+}

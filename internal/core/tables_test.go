@@ -1,0 +1,73 @@
+package core
+
+import (
+	"math/rand/v2"
+	"testing"
+)
+
+// TestSharedSchedulesPointerIdentity checks that every process of a fleet
+// references the same schedule tables instead of rebuilding them.
+func TestSharedSchedulesPointerIdentity(t *testing.T) {
+	p := DefaultParams()
+	if misScheduleFor(128, p) != misScheduleFor(128, p) {
+		t.Fatal("misScheduleFor returned distinct tables for one key")
+	}
+	if misScheduleFor(128, p) == misScheduleFor(256, p) {
+		t.Fatal("misScheduleFor aliased distinct keys")
+	}
+	s1, err := ccdsScheduleFor(128, 16, 4096, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := ccdsScheduleFor(128, 16, 4096, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1 != s2 {
+		t.Fatal("ccdsScheduleFor returned distinct tables for one key")
+	}
+	if s1.mis != misScheduleFor(128, p) {
+		t.Fatal("ccds schedule does not share the MIS table")
+	}
+	e1, err := enumScheduleFor(128, 16, 4096, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, err := enumScheduleFor(128, 16, 4096, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e1 != e2 {
+		t.Fatal("enumScheduleFor returned distinct tables for one key")
+	}
+	if _, err := ccdsScheduleFor(128, 16, 8, p); err == nil {
+		t.Fatal("ccdsScheduleFor accepted a bound too small for an id")
+	}
+}
+
+// TestFleetSharesSchedules builds a small fleet and asserts the processes
+// alias one table.
+func TestFleetSharesSchedules(t *testing.T) {
+	p := DefaultParams()
+	var first *misSchedule
+	for id := 1; id <= 8; id++ {
+		proc, err := NewMISProcess(MISConfig{
+			ID:     id,
+			N:      8,
+			Filter: FilterNone,
+			Params: p,
+			Rng:    rand.New(rand.NewPCG(1, uint64(id))),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if first == nil {
+			first = proc.sched
+		} else if proc.sched != first {
+			t.Fatalf("process %d rebuilt the MIS schedule", id)
+		}
+	}
+	if first == nil || len(first.probs) == 0 {
+		t.Fatal("shared schedule missing probability table")
+	}
+}

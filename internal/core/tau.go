@@ -57,7 +57,7 @@ func NewTauCCDSProcess(cfg CCDSConfig, tau int) (*TauCCDSProcess, error) {
 	if err != nil {
 		return nil, err
 	}
-	p.misTotal = newMISSchedule(cfg.N, cfg.Params).total
+	p.misTotal = misScheduleFor(cfg.N, cfg.Params).total
 	p.total = p.iterations*p.misTotal + p.enum.Rounds()
 	// Validate the MIS configuration once up front.
 	if _, err := p.newIterationMIS(); err != nil {
@@ -115,34 +115,85 @@ func (p *TauCCDSProcess) Broadcast(round int) sim.Message {
 	misPhase := p.iterations * p.misTotal
 	if round < misPhase {
 		local := round % p.misTotal
-		if local == 0 {
-			p.harvestMasters()
-			p.inner = nil
-			if p.wonIter < 0 {
-				// Participants get a fresh MIS instance; winners of
-				// earlier iterations stay silent.
-				inner, err := p.newIterationMIS()
-				if err == nil {
-					p.inner = inner
-				}
-			}
-		}
-		if p.inner == nil {
+		inner := p.iterationInner(local)
+		if inner == nil {
 			return nil
 		}
-		msg := p.inner.Broadcast(local)
-		if p.wonIter < 0 && p.inner.InMIS() {
-			p.wonIter = round / p.misTotal
-			p.out = 1
-		}
+		msg := inner.Broadcast(local)
+		p.noteWin(round)
 		return msg
 	}
+	if !p.enterSearch(round) {
+		return nil
+	}
+	return p.enum.Broadcast(round - misPhase)
+}
+
+// BroadcastSleep implements sim.SleepBroadcaster. During the iterated MIS
+// phase, a participant's sleep windows come from the inner MIS instance
+// (clamped to the iteration by construction: MIS wake rounds never exceed
+// its schedule end) and an established dominator sleeps out each remaining
+// iteration whole; the enumeration schedule then reports its own windows
+// (see enumConnect.BroadcastSleep for the coin pre-consumption that keeps
+// skipped executions bit-identical).
+func (p *TauCCDSProcess) BroadcastSleep(round int) (sim.Message, int) {
+	misPhase := p.iterations * p.misTotal
+	if round < misPhase {
+		local := round % p.misTotal
+		inner := p.iterationInner(local)
+		if inner == nil {
+			// Silent (and randomness-free) until the next iteration
+			// boundary, where fresh bookkeeping runs.
+			return nil, round - local + p.misTotal
+		}
+		msg, wake := inner.BroadcastSleep(local)
+		p.noteWin(round)
+		return msg, round - local + wake
+	}
+	if !p.enterSearch(round) {
+		return nil, round + 1
+	}
+	msg, wake := p.enum.BroadcastSleep(round - misPhase)
+	return msg, misPhase + wake
+}
+
+// iterationInner runs the iteration-boundary bookkeeping (harvest the
+// finished iteration, hand participants a fresh MIS instance) and returns
+// the current iteration's inner process, nil for established dominators.
+func (p *TauCCDSProcess) iterationInner(local int) *MISProcess {
+	if local == 0 {
+		p.harvestMasters()
+		p.inner = nil
+		if p.wonIter < 0 {
+			// Participants get a fresh MIS instance; winners of
+			// earlier iterations stay silent. The config was validated
+			// up front, so construction cannot fail here.
+			inner, err := p.newIterationMIS()
+			if err == nil {
+				p.inner = inner
+			}
+		}
+	}
+	return p.inner
+}
+
+// noteWin records the first iteration whose inner MIS the process joined.
+func (p *TauCCDSProcess) noteWin(round int) {
+	if p.wonIter < 0 && p.inner.InMIS() {
+		p.wonIter = round / p.misTotal
+		p.out = 1
+	}
+}
+
+// enterSearch finalizes the MIS phase on the first enumeration round; it
+// reports false once the schedule has ended (fixing the terminal output).
+func (p *TauCCDSProcess) enterSearch(round int) bool {
 	if round >= p.total {
 		p.done = true
 		if p.out == sim.Undecided {
 			p.out = 0
 		}
-		return nil
+		return false
 	}
 	if !p.begun {
 		p.begun = true
@@ -150,7 +201,7 @@ func (p *TauCCDSProcess) Broadcast(round int) sim.Message {
 		p.inner = nil
 		p.enum.start(p.wonIter >= 0, p.mastersAcc.IDs())
 	}
-	return p.enum.Broadcast(round - misPhase)
+	return true
 }
 
 // Receive implements sim.Process.

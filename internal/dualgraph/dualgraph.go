@@ -43,6 +43,15 @@ type Network struct {
 	// and Δ on the trial hot path.
 	grayOnce sync.Once
 	gray     [][2]int
+	adjOnce  sync.Once
+	grayAdj  [][]GrayArc
+}
+
+// GrayArc is one endpoint's view of a gray edge: the opposite node and the
+// edge's index in GrayEdges.
+type GrayArc struct {
+	Peer int32
+	Idx  int32
 }
 
 // New assembles a network from its parts. It does not validate the model
@@ -91,6 +100,38 @@ func (n *Network) GrayEdges() [][2]int {
 		})
 	})
 	return n.gray
+}
+
+// GrayAdjacency returns, for each node, the gray edges incident to it —
+// the per-node index every adaptive adversary walks. Like GrayEdges it is
+// computed once and shared: adversaries are constructed per trial, and with
+// the instance cache many trials share one network, so the rebuild cost
+// would otherwise recur on every trial's setup path. Callers must not
+// modify the returned slices.
+func (n *Network) GrayAdjacency() [][]GrayArc {
+	n.adjOnce.Do(func() {
+		gray := n.GrayEdges()
+		deg := make([]int32, n.N())
+		for _, e := range gray {
+			deg[e[0]]++
+			deg[e[1]]++
+		}
+		// One arena allocation, carved into per-node slices.
+		arena := make([]GrayArc, 2*len(gray))
+		adj := make([][]GrayArc, n.N())
+		off := int32(0)
+		for v := range adj {
+			adj[v] = arena[off : off : off+deg[v]]
+			off += deg[v]
+		}
+		for i, e := range gray {
+			u, v := e[0], e[1]
+			adj[u] = append(adj[u], GrayArc{Peer: int32(v), Idx: int32(i)})
+			adj[v] = append(adj[v], GrayArc{Peer: int32(u), Idx: int32(i)})
+		}
+		n.grayAdj = adj
+	})
+	return n.grayAdj
 }
 
 // Validate checks the Section 2 model invariants: n > 2, matching sizes,

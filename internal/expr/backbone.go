@@ -1,7 +1,6 @@
 package expr
 
 import (
-	"dualradio/internal/detector"
 	"dualradio/internal/harness"
 	"dualradio/internal/routing"
 	"dualradio/internal/verify"
@@ -34,7 +33,7 @@ func E11Backbone(cfg Config) (*Result, error) {
 			if err != nil {
 				return trial{}, err
 			}
-			h := detector.BuildH(s.Net, s.Asg, s.Det)
+			h := s.H()
 			if !verify.CCDS(s.Net, h, out.Outputs, 0).OK() {
 				return trial{}, nil
 			}

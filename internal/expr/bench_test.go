@@ -1,0 +1,45 @@
+package expr
+
+import (
+	"fmt"
+	"testing"
+
+	"dualradio/internal/harness"
+)
+
+// BenchmarkBuildScenario measures the from-scratch setup path — geometric
+// network generation (grid-bucketed), assignment, detector — across network
+// sizes. With the spatial grid the per-size cost should grow roughly like
+// n·Δ, not n²; the tracked snapshots keep the setup path on the perf
+// trajectory alongside the round loop.
+func BenchmarkBuildScenario(b *testing.B) {
+	for _, n := range []int{64, 256, 512, 1024} {
+		b.Run(fmt.Sprintf("n%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := harness.BuildInstance(harness.InstanceSpec{
+					N: n, Seed: uint64(i%8) + 1,
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkBuildScenarioCached measures the steady-state setup path the
+// experiments actually see: a shared-instance hit plus the per-trial
+// mutable pieces (adversary, scenario).
+func BenchmarkBuildScenarioCached(b *testing.B) {
+	b.ReportAllocs()
+	// Prime the cache, then measure hits.
+	if _, err := buildScenario(scenarioSpec{n: 256, seed: 1}); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := buildScenario(scenarioSpec{n: 256, seed: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

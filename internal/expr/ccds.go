@@ -4,7 +4,6 @@ import (
 	"math"
 
 	"dualradio/internal/core"
-	"dualradio/internal/detector"
 	"dualradio/internal/harness"
 	"dualradio/internal/verify"
 )
@@ -51,7 +50,7 @@ func E3CCDSRounds(cfg Config) (*Result, error) {
 		if err != nil {
 			return trial{}, err
 		}
-		h := detector.BuildH(s.Net, s.Asg, s.Det)
+		h := s.H()
 		return trial{
 			rounds: float64(out.Rounds),
 			valid:  verify.CCDS(s.Net, h, out.Outputs, 0).OK(),
@@ -142,7 +141,7 @@ func E4TauCCDS(cfg Config) (*Result, error) {
 		if err != nil {
 			return trial{}, err
 		}
-		h := detector.BuildH(s.Net, s.Asg, s.Det)
+		h := s.H()
 		return trial{
 			rounds: float64(out.Rounds),
 			delta:  float64(s.Net.Delta()),
@@ -232,7 +231,7 @@ func E9BannedListAblation(cfg Config) (*Result, error) {
 		if err != nil {
 			return false, err
 		}
-		h := detector.BuildH(s.Net, s.Asg, s.Det)
+		h := s.H()
 		return verify.CCDS(s.Net, h, outB.Outputs, 0).OK() &&
 			verify.CCDS(s.Net, h, outN.Outputs, 0).OK(), nil
 	})

@@ -56,7 +56,7 @@ func E7DynamicCCDS(cfg Config) (*Result, error) {
 		if !ok {
 			outputs = out.Final
 		}
-		h := detector.BuildH(s.Net, s.Asg, clean)
+		h := s.H() // clean is s.Det: the stabilized detector
 		t.valid = verify.CCDS(s.Net, h, outputs, 0).OK()
 		return t, nil
 	})

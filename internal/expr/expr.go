@@ -8,13 +8,9 @@ package expr
 import (
 	"fmt"
 	"math"
-	"math/rand/v2"
 
 	"dualradio/internal/adversary"
 	"dualradio/internal/core"
-	"dualradio/internal/detector"
-	"dualradio/internal/dualgraph"
-	"dualradio/internal/gen"
 	"dualradio/internal/harness"
 	"dualradio/internal/stats"
 )
@@ -66,36 +62,41 @@ type scenarioSpec struct {
 	params    core.Params
 }
 
-// buildScenario generates a network, assignment, detector and adversary.
-func buildScenario(sp scenarioSpec) (*harness.Scenario, error) {
-	rng := rand.New(rand.NewPCG(sp.seed, 0x5EED))
-	net, err := gen.RandomGeometric(gen.GeometricConfig{
+// instanceSpec projects out the topology-determining subset of the spec —
+// the harness instance cache's key. b and params only affect execution, so
+// sweeps over them (E3's b sweep, parameter ablations) reuse one instance.
+func (sp scenarioSpec) instanceSpec() harness.InstanceSpec {
+	return harness.InstanceSpec{
 		N:            sp.n,
 		TargetDegree: sp.targetDeg,
 		GrayProb:     sp.grayProb,
-	}, rng)
+		Tau:          sp.tau,
+		Seed:         sp.seed,
+	}
+}
+
+// buildScenario assembles a trial scenario around the memoized immutable
+// instance (network, assignment, detector): only the mutable per-trial
+// pieces — the collision-seeking adversary and the scenario struct itself —
+// are constructed fresh.
+func buildScenario(sp scenarioSpec) (*harness.Scenario, error) {
+	inst, err := harness.SharedInstance(sp.instanceSpec())
 	if err != nil {
 		return nil, err
-	}
-	asg := dualgraph.RandomAssignment(sp.n, rng)
-	var det *detector.Detector
-	if sp.tau == 0 {
-		det = detector.Complete(net, asg)
-	} else {
-		det = detector.TauComplete(net, asg, sp.tau, detector.PlaceGrayFirst, rng)
 	}
 	params := sp.params
 	if params == (core.Params{}) {
 		params = core.DefaultParams()
 	}
 	return &harness.Scenario{
-		Net:    net,
-		Asg:    asg,
-		Det:    det,
-		Adv:    adversary.NewCollisionSeeking(net),
+		Net:    inst.Net,
+		Asg:    inst.Asg,
+		Det:    inst.Det,
+		Adv:    adversary.NewCollisionSeeking(inst.Net),
 		Params: params,
 		Seed:   sp.seed,
 		B:      sp.b,
+		Shared: inst,
 	}, nil
 }
 

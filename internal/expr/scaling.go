@@ -5,7 +5,6 @@ import (
 	"math/rand/v2"
 
 	"dualradio/internal/core"
-	"dualradio/internal/detector"
 	"dualradio/internal/harness"
 	"dualradio/internal/verify"
 )
@@ -43,7 +42,7 @@ func E1MISScaling(cfg Config) (*Result, error) {
 		if err != nil {
 			return trial{}, err
 		}
-		h := detector.BuildH(s.Net, s.Asg, s.Det)
+		h := s.H()
 		return trial{
 			decided: out.DecidedRound,
 			valid:   verify.MIS(s.Net, h, out.Outputs).OK(),

@@ -2,7 +2,6 @@ package expr
 
 import (
 	"dualradio/internal/core"
-	"dualradio/internal/detector"
 	"dualradio/internal/harness"
 	"dualradio/internal/verify"
 )
@@ -47,7 +46,7 @@ func E15TauSweep(cfg Config) (*Result, error) {
 				d++
 			}
 		}
-		h := detector.BuildH(s.Net, s.Asg, s.Det)
+		h := s.H()
 		return trial{
 			rounds: float64(out.Rounds),
 			doms:   float64(d),

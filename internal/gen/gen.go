@@ -74,12 +74,7 @@ func RandomGeometric(cfg GeometricConfig, rng *rand.Rand) (*dualgraph.Network, e
 	if err := cfg.setDefaults(); err != nil {
 		return nil, err
 	}
-	// Expected unit-disk degree is π·n/L² (ignoring boundary effects);
-	// solve for the square side L.
-	side := math.Sqrt(float64(cfg.N) * math.Pi / cfg.TargetDegree)
-	if side < 1 {
-		side = 1
-	}
+	side := sideFor(cfg)
 	for try := 0; try < cfg.Retries; try++ {
 		pts := make([]geom.Point, cfg.N)
 		for i := range pts {
@@ -94,9 +89,52 @@ func RandomGeometric(cfg GeometricConfig, rng *rand.Rand) (*dualgraph.Network, e
 		ErrDisconnected, cfg.Retries, cfg.N, cfg.TargetDegree)
 }
 
+// sideFor returns the deployment square's side length: the expected
+// unit-disk degree is π·n/L² (ignoring boundary effects); solve for L.
+func sideFor(cfg GeometricConfig) float64 {
+	side := math.Sqrt(float64(cfg.N) * math.Pi / cfg.TargetDegree)
+	if side < 1 {
+		side = 1
+	}
+	return side
+}
+
 // assemble builds G and G' from an embedding: reliable edges at distance
 // <= 1, gray-zone edges at distance in (1, d] with the given probability.
+//
+// Pairs are bucketed on a spatial grid of cell size d, so each node only
+// examines the candidates in its nine surrounding cells — O(n·Δ) work
+// instead of the all-pairs O(n²) sweep (assembleAllPairs, retained as the
+// test oracle). The candidates are visited in the exact (u, ascending v > u)
+// order of the all-pairs loop and pairs beyond distance d never touch the
+// RNG in either implementation, so the gray-probability draws are consumed
+// in an identical sequence and the two builds are byte-equivalent.
 func assemble(pts []geom.Point, d, grayProb float64, rng *rand.Rand) *dualgraph.Network {
+	n := len(pts)
+	g := graph.NewBuilder(n)
+	gp := graph.NewBuilder(n)
+	d2 := d * d
+	grid := geom.NewGrid(pts, d)
+	for u := 0; u < n; u++ {
+		for _, vv := range grid.After(u) {
+			v := int(vv)
+			dist2 := pts[u].Dist2(pts[v])
+			switch {
+			case dist2 <= 1:
+				mustAdd(g, u, v)
+				mustAdd(gp, u, v)
+			case dist2 <= d2 && rng.Float64() < grayProb:
+				mustAdd(gp, u, v)
+			}
+		}
+	}
+	return dualgraph.New(g.Build(), gp.Build(), pts, d)
+}
+
+// assembleAllPairs is the original quadratic edge sweep, kept as the golden
+// reference for the grid-bucketed assemble: both must produce identical
+// networks from identical RNG states (see TestAssembleMatchesAllPairs).
+func assembleAllPairs(pts []geom.Point, d, grayProb float64, rng *rand.Rand) *dualgraph.Network {
 	n := len(pts)
 	g := graph.NewBuilder(n)
 	gp := graph.NewBuilder(n)

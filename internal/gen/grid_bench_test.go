@@ -1,0 +1,37 @@
+package gen
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"testing"
+
+	"dualradio/internal/geom"
+)
+
+// BenchmarkAssemble pits the grid-bucketed sweep against the retained
+// all-pairs reference across sizes: the grid should scale ~n·Δ while the
+// reference scales n².
+func BenchmarkAssemble(b *testing.B) {
+	for _, n := range []int{256, 1024, 4096} {
+		cfg := GeometricConfig{N: n}
+		if err := (&cfg).setDefaults(); err != nil {
+			b.Fatal(err)
+		}
+		side := sideFor(cfg)
+		rng := rand.New(rand.NewPCG(uint64(n), 1))
+		pts := make([]geom.Point, n)
+		for i := range pts {
+			pts[i] = geom.Point{X: rng.Float64() * side, Y: rng.Float64() * side}
+		}
+		b.Run(fmt.Sprintf("grid/n%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				assemble(pts, cfg.D, cfg.GrayProb, rand.New(rand.NewPCG(uint64(n), 2)))
+			}
+		})
+		b.Run(fmt.Sprintf("allpairs/n%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				assembleAllPairs(pts, cfg.D, cfg.GrayProb, rand.New(rand.NewPCG(uint64(n), 2)))
+			}
+		})
+	}
+}

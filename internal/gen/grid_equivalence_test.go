@@ -1,0 +1,114 @@
+package gen
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"testing"
+
+	"dualradio/internal/dualgraph"
+	"dualradio/internal/geom"
+	"dualradio/internal/graph"
+)
+
+// edgeList flattens a graph into its sorted (u, v) pairs for comparison.
+func edgeList(g *graph.Graph) [][2]int {
+	var out [][2]int
+	g.Edges(func(u, v int) { out = append(out, [2]int{u, v}) })
+	return out
+}
+
+func sameEdges(t *testing.T, label string, a, b *graph.Graph) {
+	t.Helper()
+	ea, eb := edgeList(a), edgeList(b)
+	if len(ea) != len(eb) {
+		t.Fatalf("%s: %d edges vs %d edges", label, len(ea), len(eb))
+	}
+	for i := range ea {
+		if ea[i] != eb[i] {
+			t.Fatalf("%s: edge %d differs: %v vs %v", label, i, ea[i], eb[i])
+		}
+	}
+}
+
+// TestAssembleMatchesAllPairs is the golden equivalence test for the
+// grid-bucketed generator: from identical RNG states, the grid sweep and the
+// retained all-pairs reference must produce byte-identical networks — same
+// reliable edges, same gray edges (hence the same gray-probability draws in
+// the same order), same points — and must leave the RNG stream in the same
+// position.
+func TestAssembleMatchesAllPairs(t *testing.T) {
+	for _, n := range []int{64, 256, 512} {
+		for seed := uint64(1); seed <= 4; seed++ {
+			t.Run(fmt.Sprintf("n%d/seed%d", n, seed), func(t *testing.T) {
+				for _, tc := range []struct {
+					name     string
+					d        float64
+					grayProb float64
+				}{
+					{"default", 2, 0.5},
+					{"wide-gray", 3, 0.25},
+					{"no-gray", 2, 0},
+				} {
+					ptsRng := rand.New(rand.NewPCG(seed, 0xA11))
+					side := 10.0
+					pts := make([]geom.Point, n)
+					for i := range pts {
+						pts[i] = geom.Point{X: ptsRng.Float64() * side, Y: ptsRng.Float64() * side}
+					}
+					gridRng := rand.New(rand.NewPCG(seed, 0xB22))
+					refRng := rand.New(rand.NewPCG(seed, 0xB22))
+					got := assemble(pts, tc.d, tc.grayProb, gridRng)
+					want := assembleAllPairs(pts, tc.d, tc.grayProb, refRng)
+					sameEdges(t, tc.name+"/G", got.G(), want.G())
+					sameEdges(t, tc.name+"/G'", got.GPrime(), want.GPrime())
+					for i := range pts {
+						if got.Coord(i) != want.Coord(i) {
+							t.Fatalf("%s: point %d differs", tc.name, i)
+						}
+					}
+					// Both sweeps must have consumed the same number of
+					// draws: the streams stay aligned afterwards.
+					if g, w := gridRng.Float64(), refRng.Float64(); g != w {
+						t.Fatalf("%s: RNG streams diverged after assembly (%v vs %v)", tc.name, g, w)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestRandomGeometricUsesGrid locks the end-to-end generator to the
+// reference sweep: a full RandomGeometric call (including connectivity
+// retries) must match a hand-run reference loop from the same seed.
+func TestRandomGeometricUsesGrid(t *testing.T) {
+	cfg := GeometricConfig{N: 192}
+	if err := (&cfg).setDefaults(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := RandomGeometric(GeometricConfig{N: 192}, rand.New(rand.NewPCG(7, 9)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := referenceRandomGeometric(t, cfg, rand.New(rand.NewPCG(7, 9)))
+	sameEdges(t, "G", got.G(), want.G())
+	sameEdges(t, "G'", got.GPrime(), want.GPrime())
+}
+
+// referenceRandomGeometric mirrors RandomGeometric with the all-pairs
+// assembly.
+func referenceRandomGeometric(t *testing.T, cfg GeometricConfig, rng *rand.Rand) *dualgraph.Network {
+	t.Helper()
+	side := sideFor(cfg)
+	for try := 0; try < cfg.Retries; try++ {
+		pts := make([]geom.Point, cfg.N)
+		for i := range pts {
+			pts[i] = geom.Point{X: rng.Float64() * side, Y: rng.Float64() * side}
+		}
+		net := assembleAllPairs(pts, cfg.D, cfg.GrayProb, rng)
+		if net.G().Connected() {
+			return net
+		}
+	}
+	t.Fatalf("reference generator failed to connect")
+	return nil
+}

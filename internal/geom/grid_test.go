@@ -1,0 +1,72 @@
+package geom
+
+import (
+	"math/rand/v2"
+	"slices"
+	"testing"
+)
+
+// TestGridCoversReach checks the core guarantee: for every point i, the
+// nine-cell neighborhood contains every j > i within the reach distance.
+func TestGridCoversReach(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	for _, tc := range []struct {
+		name  string
+		n     int
+		side  float64
+		reach float64
+	}{
+		{"dense", 300, 10, 2},
+		{"sparse", 50, 100, 1.5},
+		{"tiny-area", 40, 0.5, 2},
+		{"single-row", 30, 9, 3},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			pts := make([]Point, tc.n)
+			for i := range pts {
+				pts[i] = Point{X: rng.Float64() * tc.side, Y: rng.Float64() * tc.side}
+			}
+			g := NewGrid(pts, tc.reach)
+			r2 := tc.reach * tc.reach
+			for i := range pts {
+				buf := g.After(i)
+				if !slices.IsSorted(buf) {
+					t.Fatalf("point %d: candidates not ascending: %v", i, buf)
+				}
+				got := make(map[int32]bool, len(buf))
+				for _, j := range buf {
+					if int(j) <= i {
+						t.Fatalf("point %d: candidate %d is not a later index", i, j)
+					}
+					if got[j] {
+						t.Fatalf("point %d: duplicate candidate %d", i, j)
+					}
+					got[j] = true
+				}
+				for j := i + 1; j < tc.n; j++ {
+					if pts[i].Dist2(pts[j]) <= r2 && !got[int32(j)] {
+						t.Fatalf("point %d: in-reach point %d missing from candidates", i, j)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestGridDegeneratePoints covers coincident and collinear embeddings,
+// where the bounding box collapses along an axis.
+func TestGridDegeneratePoints(t *testing.T) {
+	pts := []Point{{X: 1, Y: 1}, {X: 1, Y: 1}, {X: 1, Y: 1}}
+	g := NewGrid(pts, 1)
+	buf := g.After(0)
+	if len(buf) != 2 || buf[0] != 1 || buf[1] != 2 {
+		t.Fatalf("coincident points: got %v, want [1 2]", buf)
+	}
+	// Collinear points 5 apart with reach 2: no candidate survives the
+	// nine-cell filter (nothing is within a cell of anything else).
+	line := []Point{{X: 0}, {X: 5}, {X: 10}}
+	gl := NewGrid(line, 2)
+	if got := gl.After(0); len(got) != 0 {
+		t.Fatalf("collinear far points: unexpected candidates %v", got)
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"dualradio/internal/core"
 	"dualradio/internal/detector"
 	"dualradio/internal/dualgraph"
+	"dualradio/internal/graph"
 	"dualradio/internal/sim"
 )
 
@@ -46,6 +47,21 @@ type Scenario struct {
 	Workers int
 	// Observer, if non-nil, receives per-round callbacks.
 	Observer sim.Observer
+	// Shared, if non-nil, is the cached instance backing Net/Asg/Det.
+	// Scenario.H consults it so derived immutable state (the graph H) is
+	// computed once per instance instead of once per trial.
+	Shared *Instance
+}
+
+// H returns the Section 3 graph H for the scenario's network, assignment,
+// and detector — memoized on the shared instance when one backs this
+// scenario unchanged, rebuilt otherwise (e.g. after a test swaps Det).
+func (s *Scenario) H() *graph.Graph {
+	if s.Shared != nil && s.Shared.Det == s.Det &&
+		s.Shared.Net == s.Net && s.Shared.Asg == s.Asg {
+		return s.Shared.H()
+	}
+	return detector.BuildH(s.Net, s.Asg, s.Det)
 }
 
 func (s *Scenario) params() core.Params {

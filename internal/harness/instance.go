@@ -1,0 +1,98 @@
+package harness
+
+import (
+	"math/rand/v2"
+	"sync"
+
+	"dualradio/internal/detector"
+	"dualradio/internal/dualgraph"
+	"dualradio/internal/gen"
+	"dualradio/internal/graph"
+	"dualradio/internal/memo"
+)
+
+// InstanceSpec identifies the immutable, topology-determining inputs of a
+// generated scenario: everything that shapes the (network, assignment,
+// detector) triple and nothing else. Parameters that only affect a trial's
+// execution — message bound, protocol constants, adversary — deliberately
+// stay out of the key so sweeps over them share one instance.
+type InstanceSpec struct {
+	// N is the network size.
+	N int
+	// TargetDegree steers the reliable-graph degree (0 = generator default).
+	TargetDegree float64
+	// GrayProb is the gray-zone edge probability (0 = generator default,
+	// negative = no unreliable edges).
+	GrayProb float64
+	// Tau selects the detector: 0 builds the 0-complete detector, positive
+	// values a τ-complete detector with gray-first mistake placement.
+	Tau int
+	// Seed derives the construction RNG stream.
+	Seed uint64
+}
+
+// Instance is the immutable scenario skeleton shared across trials: the
+// network, the process-to-node assignment, and the link detector. None of
+// the three is modified after construction by any consumer (processes clone
+// detector sets before mutating), so a single instance may back any number
+// of concurrent executions.
+type Instance struct {
+	Net *dualgraph.Network
+	Asg *dualgraph.Assignment
+	Det *detector.Detector
+
+	hOnce sync.Once
+	h     *graph.Graph
+}
+
+// H returns the Section 3 graph H induced by the instance's detector
+// (mutual detector membership). Every verification pass consults it, so it
+// is memoized with the instance rather than rebuilt per trial. The graph is
+// immutable and shared.
+func (i *Instance) H() *graph.Graph {
+	i.hOnce.Do(func() { i.h = detector.BuildH(i.Net, i.Asg, i.Det) })
+	return i.h
+}
+
+// instanceStream is the PCG stream id of the construction RNG. It predates
+// the cache (the experiment layer always seeded construction with it), so
+// cached and from-scratch instances are byte-identical.
+const instanceStream = 0x5EED
+
+// BuildInstance constructs an instance from scratch: network generation,
+// assignment shuffle, and detector placement all consume one seeded RNG
+// stream, in that order.
+func BuildInstance(spec InstanceSpec) (*Instance, error) {
+	rng := rand.New(rand.NewPCG(spec.Seed, instanceStream))
+	net, err := gen.RandomGeometric(gen.GeometricConfig{
+		N:            spec.N,
+		TargetDegree: spec.TargetDegree,
+		GrayProb:     spec.GrayProb,
+	}, rng)
+	if err != nil {
+		return nil, err
+	}
+	asg := dualgraph.RandomAssignment(spec.N, rng)
+	var det *detector.Detector
+	if spec.Tau == 0 {
+		det = detector.Complete(net, asg)
+	} else {
+		det = detector.TauComplete(net, asg, spec.Tau, detector.PlaceGrayFirst, rng)
+	}
+	return &Instance{Net: net, Asg: asg, Det: det}, nil
+}
+
+// instances memoizes BuildInstance per spec for the lifetime of the
+// process. The key space is the experiments' parameter grid — a few dozen
+// entries — so the cache is never evicted.
+var instances memo.Cache[InstanceSpec, *Instance]
+
+// SharedInstance returns the memoized instance for spec, building it on
+// first use. Construction is deterministic in spec, so the cached triple is
+// identical to a fresh BuildInstance; concurrent callers (trials fanned out
+// by Trials) receive the same pointers via the cache's singleflight build.
+func SharedInstance(spec InstanceSpec) (*Instance, error) {
+	return instances.Get(spec, func() (*Instance, error) {
+		return BuildInstance(spec)
+	})
+}

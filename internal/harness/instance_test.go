@@ -1,0 +1,70 @@
+package harness
+
+import (
+	"testing"
+)
+
+// TestSharedInstanceMatchesBuild locks the cache to the from-scratch
+// construction: same edges, same assignment, same detector sets.
+func TestSharedInstanceMatchesBuild(t *testing.T) {
+	spec := InstanceSpec{N: 64, Tau: 1, Seed: 3}
+	shared, err := SharedInstance(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := BuildInstance(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if shared.Net.N() != fresh.Net.N() || shared.Net.G().M() != fresh.Net.G().M() ||
+		shared.Net.GPrime().M() != fresh.Net.GPrime().M() {
+		t.Fatalf("cached network differs from fresh build")
+	}
+	for v := 0; v < spec.N; v++ {
+		if shared.Asg.ID(v) != fresh.Asg.ID(v) {
+			t.Fatalf("assignment differs at node %d", v)
+		}
+		a, b := shared.Det.Set(v).IDs(), fresh.Det.Set(v).IDs()
+		if len(a) != len(b) {
+			t.Fatalf("detector set size differs at node %d", v)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("detector set differs at node %d", v)
+			}
+		}
+	}
+}
+
+// TestSharedInstancePointerIdentityUnderTrials exercises the singleflight
+// contract under the trial scheduler's real concurrency (run with -race):
+// every trial that asks for the same spec must receive pointer-identical
+// Net/Asg/Det, including the trials racing on the very first build.
+func TestSharedInstancePointerIdentityUnderTrials(t *testing.T) {
+	spec := InstanceSpec{N: 48, Seed: 99}
+	const trials = 64
+	got, err := TrialsWorkers(trials, 8, func(trial int) (*Instance, error) {
+		return SharedInstance(spec)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := got[0]
+	if first == nil {
+		t.Fatal("nil instance")
+	}
+	for i, inst := range got {
+		if inst.Net != first.Net || inst.Asg != first.Asg || inst.Det != first.Det {
+			t.Fatalf("trial %d received a different instance (Net %p/%p Asg %p/%p Det %p/%p)",
+				i, inst.Net, first.Net, inst.Asg, first.Asg, inst.Det, first.Det)
+		}
+	}
+	// Distinct specs must not alias.
+	other, err := SharedInstance(InstanceSpec{N: 48, Seed: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if other.Net == first.Net {
+		t.Fatal("distinct specs share a network")
+	}
+}

@@ -1,0 +1,50 @@
+// Package memo provides a small concurrency-safe, singleflight memoization
+// cache. It backs the setup path's shared immutable state: the experiment
+// layer's (network, assignment, detector) instances and the core layer's
+// per-(n, params) protocol schedule tables. Values are built exactly once
+// per key — concurrent getters of the same key block on the single build —
+// and are shared by pointer afterwards, so cached values must be immutable.
+package memo
+
+import "sync"
+
+// Cache memoizes values by comparable key with singleflight semantics: the
+// first Get for a key runs build; concurrent and later Gets for the same key
+// return the identical (pointer-equal, for pointer types) value. Errors are
+// cached too: a deterministic build that fails once fails the same way for
+// every caller, exactly as rebuilding would. The zero value is ready to use.
+type Cache[K comparable, V any] struct {
+	mu sync.Mutex
+	m  map[K]*entry[V]
+}
+
+type entry[V any] struct {
+	once sync.Once
+	val  V
+	err  error
+}
+
+// Get returns the memoized value for key, building it on first use. build
+// runs outside the cache lock, so slow builds of distinct keys proceed in
+// parallel; only callers of the same key wait on each other.
+func (c *Cache[K, V]) Get(key K, build func() (V, error)) (V, error) {
+	c.mu.Lock()
+	if c.m == nil {
+		c.m = make(map[K]*entry[V])
+	}
+	e := c.m[key]
+	if e == nil {
+		e = &entry[V]{}
+		c.m[key] = e
+	}
+	c.mu.Unlock()
+	e.once.Do(func() { e.val, e.err = build() })
+	return e.val, e.err
+}
+
+// Len returns the number of keys resident in the cache (built or building).
+func (c *Cache[K, V]) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.m)
+}

@@ -1,0 +1,88 @@
+package memo
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestGetBuildsOncePerKey(t *testing.T) {
+	var c Cache[int, *int]
+	var builds atomic.Int32
+	get := func(k int) *int {
+		v, err := c.Get(k, func() (*int, error) {
+			builds.Add(1)
+			x := k * 10
+			return &x, nil
+		})
+		if err != nil {
+			t.Fatalf("Get(%d): %v", k, err)
+		}
+		return v
+	}
+	a, b := get(1), get(1)
+	if a != b {
+		t.Fatalf("Get(1) returned distinct pointers %p, %p", a, b)
+	}
+	if get(2) == a {
+		t.Fatalf("distinct keys share a value")
+	}
+	if n := builds.Load(); n != 2 {
+		t.Fatalf("build ran %d times, want 2", n)
+	}
+	if c.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", c.Len())
+	}
+}
+
+func TestGetCachesErrors(t *testing.T) {
+	var c Cache[string, *int]
+	var builds atomic.Int32
+	boom := errors.New("boom")
+	for i := 0; i < 3; i++ {
+		v, err := c.Get("k", func() (*int, error) {
+			builds.Add(1)
+			return nil, boom
+		})
+		if v != nil || !errors.Is(err, boom) {
+			t.Fatalf("Get = (%v, %v), want (nil, boom)", v, err)
+		}
+	}
+	if n := builds.Load(); n != 1 {
+		t.Fatalf("failed build ran %d times, want 1", n)
+	}
+}
+
+func TestGetSingleflightUnderConcurrency(t *testing.T) {
+	var c Cache[int, *int]
+	var builds atomic.Int32
+	const goroutines = 32
+	ptrs := make([]*int, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			v, err := c.Get(7, func() (*int, error) {
+				builds.Add(1)
+				x := 42
+				return &x, nil
+			})
+			if err != nil {
+				t.Errorf("Get: %v", err)
+				return
+			}
+			ptrs[g] = v
+		}(g)
+	}
+	wg.Wait()
+	if n := builds.Load(); n != 1 {
+		t.Fatalf("build ran %d times under concurrency, want 1", n)
+	}
+	for g := 1; g < goroutines; g++ {
+		if ptrs[g] != ptrs[0] {
+			t.Fatalf("goroutine %d saw a different pointer", g)
+		}
+	}
+}

@@ -181,12 +181,16 @@ type fixedLength interface {
 // sleeps to its wake-up round.
 //
 // BroadcastSleep must behave exactly like Broadcast, additionally returning
-// a wake round w: when the message is nil, the process guarantees that
-// Broadcast would return nil — without consuming randomness or changing
-// observable state beyond what Receive performs — for every round in
-// (round, w). Receive delivery is unaffected by sleeping; a reception may
-// postpone the process's next broadcast but must never move it earlier than
-// the declared wake round.
+// a wake round w with the guarantee that skipping the Broadcast calls for
+// every round in (round, w) leaves the execution bit-identical: the process
+// would have returned nil and changed no observable state in each of them.
+// Protocols achieve this either by consuming no randomness while silent
+// (the MIS and banned-list CCDS schedules) or by pre-consuming the skipped
+// rounds' draws inside BroadcastSleep before declaring the sleep (the
+// enumeration-connect schedule, whose every round costs one coin). Receive
+// delivery is unaffected by sleeping; a reception may postpone the
+// process's next broadcast but must never move it earlier than the declared
+// wake round.
 type SleepBroadcaster interface {
 	Process
 	BroadcastSleep(round int) (Message, int)
