@@ -4,7 +4,7 @@ DATE := $(shell date +%F)
 # the same day (e.g. make bench OUT=BENCH_$(DATE)-pr2.json).
 OUT ?= BENCH_$(DATE).json
 
-.PHONY: build test check bench bench-headline verify
+.PHONY: build test check bench bench-headline verify serve
 
 build:
 	$(GO) build ./...
@@ -21,6 +21,12 @@ check:
 	$(GO) vet ./...
 	$(GO) build ./...
 	$(GO) test ./...
+
+# serve runs the simulation service daemon (see examples/radiod/README.md
+# for the API quickstart; ADDR overrides the listen address).
+ADDR ?= :8080
+serve:
+	$(GO) run ./cmd/radiod -addr $(ADDR)
 
 # bench runs the full benchmark suite at quick scale (one iteration count,
 # memory stats) and records the run as a BENCH_<date>.json snapshot so the

@@ -1,0 +1,85 @@
+// Command radiod is the long-running simulation service: it serves the
+// scenario-spec HTTP API (submit jobs, poll status, stream NDJSON progress,
+// list presets) over a bounded job queue and worker pool, with per-spec
+// result caching keyed by the canonical spec hash.
+//
+// Usage:
+//
+//	radiod                       # listen on :8080
+//	radiod -addr :9000 -workers 4 -queue 128 -cache 256 -trial-workers 2
+//
+// The process drains gracefully on SIGINT/SIGTERM: in-flight HTTP requests
+// get a shutdown window, running jobs are cancelled via their contexts, and
+// event streams observe the terminal events before the listener closes.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"dualradio/internal/server"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "radiod:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		addr         = flag.String("addr", ":8080", "listen address")
+		workers      = flag.Int("workers", 0, "concurrent jobs (0 = GOMAXPROCS)")
+		queue        = flag.Int("queue", 64, "job queue depth")
+		cache        = flag.Int("cache", 128, "result cache entries")
+		trialWorkers = flag.Int("trial-workers", 1, "goroutines per job's trial fan-out")
+		history      = flag.Int("history", 512, "terminal jobs retained before pruning")
+		drain        = flag.Duration("drain", 10*time.Second, "graceful shutdown window")
+	)
+	flag.Parse()
+
+	svc := server.New(server.Config{
+		Workers:      *workers,
+		QueueDepth:   *queue,
+		CacheSize:    *cache,
+		TrialWorkers: *trialWorkers,
+		History:      *history,
+	})
+	httpSrv := &http.Server{Addr: *addr, Handler: svc}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("radiod: listening on %s", *addr)
+		errc <- httpSrv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		svc.Close()
+		return err
+	case <-ctx.Done():
+	}
+	log.Printf("radiod: shutting down")
+	// Cancel running jobs first so blocked event streams terminate, then
+	// give in-flight requests the drain window.
+	svc.Close()
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil &&
+		!errors.Is(err, context.DeadlineExceeded) {
+		return err
+	}
+	return nil
+}

@@ -6,14 +6,26 @@
 //	radiosim -algo ccds -n 128 -b 512 -seed 1
 //	radiosim -algo mis -n 256 -adversary full
 //	radiosim -algo tau -n 96 -tau 2 -b 32768
+//
+// With -spec, radiosim instead runs a declarative scenario spec through the
+// same compiler the radiod service uses, so the CLI and the daemon share
+// one code path (identical seeds, identical results):
+//
+//	radiosim -spec scenario.json
+//	radiosim -spec - < scenario.json      # read the spec from stdin
+//	radiosim -spec scenario.json -json    # machine-readable result
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"runtime"
 
 	"dualradio"
+	"dualradio/internal/scenario"
 )
 
 func main() {
@@ -25,17 +37,24 @@ func main() {
 
 func run() error {
 	var (
-		algo    = flag.String("algo", "ccds", "algorithm: mis | ccds | baseline | tau")
-		n       = flag.Int("n", 128, "network size")
-		degree  = flag.Float64("degree", 0, "target reliable degree (0 = 3·log₂ n)")
-		tau     = flag.Int("tau", 0, "link detector mistake bound τ")
-		bits    = flag.Int("b", 512, "message size bound b in bits")
-		seed    = flag.Uint64("seed", 1, "random seed")
-		adv     = flag.String("adversary", "collision", "adversary: collision | none | full | uniform")
-		showMap = flag.Bool("map", false, "render the network and outputs as ASCII art")
-		doTrace = flag.Bool("trace", false, "print aggregate activity statistics")
+		algo     = flag.String("algo", "ccds", "algorithm: mis | ccds | baseline | tau")
+		n        = flag.Int("n", 128, "network size")
+		degree   = flag.Float64("degree", 0, "target reliable degree (0 = 3·log₂ n)")
+		tau      = flag.Int("tau", 0, "link detector mistake bound τ")
+		bits     = flag.Int("b", 512, "message size bound b in bits")
+		seed     = flag.Uint64("seed", 1, "random seed")
+		adv      = flag.String("adversary", "collision", "adversary: collision | none | full | uniform")
+		showMap  = flag.Bool("map", false, "render the network and outputs as ASCII art")
+		doTrace  = flag.Bool("trace", false, "print aggregate activity statistics")
+		specPath = flag.String("spec", "", "run a scenario spec file instead (\"-\" = stdin)")
+		asJSON   = flag.Bool("json", false, "with -spec: print the full result as JSON")
+		workers  = flag.Int("workers", 0, "with -spec: trial fan-out goroutines (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
+
+	if *specPath != "" {
+		return runSpec(*specPath, *asJSON, *workers)
+	}
 
 	net, err := dualradio.Generate(dualradio.NetworkOptions{
 		Nodes:        *n,
@@ -100,6 +119,59 @@ func run() error {
 	}
 	if *showMap {
 		fmt.Print(dualradio.RenderMap(net, res, 72, 24))
+	}
+	return nil
+}
+
+// runSpec runs a declarative scenario spec through the scenario compiler —
+// the identical code path the radiod service executes, so a spec run here
+// and a job submitted there produce the same per-trial results.
+func runSpec(path string, asJSON bool, workers int) error {
+	var data []byte
+	var err error
+	if path == "-" {
+		data, err = io.ReadAll(os.Stdin)
+	} else {
+		data, err = os.ReadFile(path)
+	}
+	if err != nil {
+		return err
+	}
+	spec, err := scenario.ParseSpec(data)
+	if err != nil {
+		return err
+	}
+	comp, err := scenario.Compile(spec)
+	if err != nil {
+		return err
+	}
+	c := comp.Spec()
+	fmt.Fprintf(os.Stderr, "scenario: algo=%s n=%d trials=%d hash=%s\n",
+		c.Algorithm, c.Network.N, comp.Trials(), comp.Hash()[:12])
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	res, err := comp.Run(nil, workers, func(tr scenario.TrialResult) {
+		fmt.Fprintf(os.Stderr, "trial %d/%d: rounds=%d decided=%d size=%d valid=%v\n",
+			tr.Trial+1, comp.Trials(), tr.Rounds, tr.DecidedRound, tr.Size, tr.Valid)
+	})
+	if err != nil {
+		return err
+	}
+	if asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(res)
+	}
+	a := res.Aggregate
+	fmt.Printf("result: trials=%d valid=%.0f%% mean-rounds=%.1f mean-size=%.1f\n",
+		a.Trials, 100*a.ValidFraction, a.MeanRounds, a.MeanSize)
+	if a.MeanDecidedRound > 0 {
+		fmt.Printf("decision latency: mean=%.1f p90=%.1f rounds\n",
+			a.MeanDecidedRound, a.P90DecidedRound)
+	}
+	if a.MeanLatency > 0 {
+		fmt.Printf("local decision latency: mean=%.1f rounds\n", a.MeanLatency)
 	}
 	return nil
 }

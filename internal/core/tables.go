@@ -9,16 +9,21 @@ import "dualradio/internal/memo"
 // (n, Δ, b, Params). The schedules are immutable once built, so instead of
 // recomputing them n times per fleet (n probability tables, n chunk-layout
 // derivations), the constructors below memoize one canonical copy per
-// parameter set and every process holds a pointer to it. The key spaces are
-// the experiments' parameter grids — tens of entries — so the caches are
-// never evicted.
+// parameter set and every process holds a pointer to it. The experiments'
+// parameter grids are tens of entries, but the simulation service sweeps
+// arbitrarily many distinct specs per process, so each cache is bounded:
+// cold schedules are evicted least-recently-used beyond tableCacheSize and
+// rebuilt on demand.
+
+// tableCacheSize bounds each schedule cache.
+const tableCacheSize = 256
 
 type misKey struct {
 	n int
 	p Params
 }
 
-var misSchedules memo.Cache[misKey, *misSchedule]
+var misSchedules = memo.NewLRU[misKey, *misSchedule](tableCacheSize)
 
 // misScheduleFor returns the shared immutable MIS schedule for (n, p).
 func misScheduleFor(n int, p Params) *misSchedule {
@@ -34,7 +39,7 @@ type ccdsKey struct {
 	p           Params
 }
 
-var ccdsSchedules memo.Cache[ccdsKey, *ccdsSchedule]
+var ccdsSchedules = memo.NewLRU[ccdsKey, *ccdsSchedule](tableCacheSize)
 
 // ccdsScheduleFor returns the shared immutable Section 5 CCDS schedule for
 // (n, Δ, b, p). Construction errors (a b too small to carry an id) are
@@ -49,7 +54,7 @@ func ccdsScheduleFor(n, delta, b int, p Params) (*ccdsSchedule, error) {
 	})
 }
 
-var enumSchedules memo.Cache[ccdsKey, *enumSchedule]
+var enumSchedules = memo.NewLRU[ccdsKey, *enumSchedule](tableCacheSize)
 
 // enumScheduleFor returns the shared immutable enumeration-connect schedule
 // for (n, Δ, b, p).

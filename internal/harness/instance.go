@@ -82,10 +82,14 @@ func BuildInstance(spec InstanceSpec) (*Instance, error) {
 	return &Instance{Net: net, Asg: asg, Det: det}, nil
 }
 
-// instances memoizes BuildInstance per spec for the lifetime of the
-// process. The key space is the experiments' parameter grid — a few dozen
-// entries — so the cache is never evicted.
-var instances memo.Cache[InstanceSpec, *Instance]
+// instanceCacheSize bounds the instance cache. The experiments' parameter
+// grid is a few dozen specs, but the simulation service sweeps arbitrarily
+// many distinct specs per process, so cold instances are evicted
+// least-recently-used beyond this many.
+const instanceCacheSize = 256
+
+// instances memoizes BuildInstance per spec, evicting cold entries.
+var instances = memo.NewLRU[InstanceSpec, *Instance](instanceCacheSize)
 
 // SharedInstance returns the memoized instance for spec, building it on
 // first use. Construction is deterministic in spec, so the cached triple is

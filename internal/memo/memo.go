@@ -1,50 +1,131 @@
-// Package memo provides a small concurrency-safe, singleflight memoization
-// cache. It backs the setup path's shared immutable state: the experiment
-// layer's (network, assignment, detector) instances and the core layer's
-// per-(n, params) protocol schedule tables. Values are built exactly once
-// per key — concurrent getters of the same key block on the single build —
-// and are shared by pointer afterwards, so cached values must be immutable.
+// Package memo provides a small concurrency-safe, singleflight, bounded
+// memoization cache. It backs the setup path's shared immutable state —
+// the experiment layer's (network, assignment, detector) instances and the
+// core layer's per-(n, params) protocol schedule tables — and the
+// simulation service's per-spec result cache. Values are built exactly
+// once per resident key: concurrent getters of the same key block on the
+// single build and share the value by pointer afterwards, so cached values
+// must be immutable. Capacity is bounded because the service sweeps
+// arbitrarily many distinct scenario specs per process; cold entries are
+// evicted least-recently-used and deterministically rebuilt on next use.
 package memo
 
-import "sync"
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+)
 
-// Cache memoizes values by comparable key with singleflight semantics: the
-// first Get for a key runs build; concurrent and later Gets for the same key
-// return the identical (pointer-equal, for pointer types) value. Errors are
-// cached too: a deterministic build that fails once fails the same way for
-// every caller, exactly as rebuilding would. The zero value is ready to use.
-type Cache[K comparable, V any] struct {
-	mu sync.Mutex
-	m  map[K]*entry[V]
+// LRU is a bounded memoization cache: singleflight Get semantics plus
+// least-recently-used eviction. Once more than cap distinct keys are
+// resident, the coldest built entries are dropped and a later Get for
+// their key rebuilds from scratch. Entries whose build is still in flight
+// are pinned (concurrent getters hold references to them), so the cache
+// may transiently exceed its capacity while builds overlap.
+type LRU[K comparable, V any] struct {
+	mu  sync.Mutex
+	cap int
+	ll  *list.List // front = most recently used
+	m   map[K]*list.Element
 }
 
-type entry[V any] struct {
-	once sync.Once
-	val  V
-	err  error
+type lruEntry[K comparable, V any] struct {
+	key   K
+	once  sync.Once
+	built atomic.Bool // set after once completes; publishes val/err to Peek
+	val   V
+	err   error
 }
 
-// Get returns the memoized value for key, building it on first use. build
-// runs outside the cache lock, so slow builds of distinct keys proceed in
-// parallel; only callers of the same key wait on each other.
-func (c *Cache[K, V]) Get(key K, build func() (V, error)) (V, error) {
+// NewLRU returns an LRU retaining at most capacity entries (minimum 1).
+func NewLRU[K comparable, V any](capacity int) *LRU[K, V] {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &LRU[K, V]{cap: capacity, ll: list.New(), m: make(map[K]*list.Element)}
+}
+
+// Get returns the memoized value for key, building it on first use (or
+// again after an eviction) and marking the key most recently used. Like
+// Cache.Get, build runs outside the cache lock, concurrent getters of one
+// key share a single build, and errors are memoized alongside values.
+func (c *LRU[K, V]) Get(key K, build func() (V, error)) (V, error) {
 	c.mu.Lock()
-	if c.m == nil {
-		c.m = make(map[K]*entry[V])
+	el := c.m[key]
+	if el != nil {
+		c.ll.MoveToFront(el)
+	} else {
+		el = c.ll.PushFront(&lruEntry[K, V]{key: key})
+		c.m[key] = el
+		c.evictLocked()
 	}
-	e := c.m[key]
-	if e == nil {
-		e = &entry[V]{}
-		c.m[key] = e
-	}
+	e := el.Value.(*lruEntry[K, V])
 	c.mu.Unlock()
-	e.once.Do(func() { e.val, e.err = build() })
+	e.once.Do(func() {
+		e.val, e.err = build()
+		e.built.Store(true)
+	})
 	return e.val, e.err
 }
 
+// Peek returns the memoized value for key without building: ok is false for
+// absent keys, entries still building, and memoized errors. A hit marks the
+// key most recently used.
+func (c *LRU[K, V]) Peek(key K) (V, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el := c.m[key]
+	if el == nil {
+		var zero V
+		return zero, false
+	}
+	e := el.Value.(*lruEntry[K, V])
+	if !e.built.Load() || e.err != nil {
+		var zero V
+		return zero, false
+	}
+	c.ll.MoveToFront(el)
+	return e.val, true
+}
+
+// Add stores val for key as if a build had produced it, marking the key
+// most recently used. If the key is already resident the existing entry
+// wins — deterministic builds make the two values interchangeable, and
+// keeping the first preserves pointer identity for existing holders.
+func (c *LRU[K, V]) Add(key K, val V) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el := c.m[key]; el != nil {
+		c.ll.MoveToFront(el)
+		return
+	}
+	e := &lruEntry[K, V]{key: key, val: val}
+	e.once.Do(func() {}) // consume the once so Get never rebuilds
+	e.built.Store(true)
+	c.m[key] = c.ll.PushFront(e)
+	c.evictLocked()
+}
+
+// evictLocked drops least-recently-used built entries until at most cap
+// remain, skipping entries still building.
+func (c *LRU[K, V]) evictLocked() {
+	for el := c.ll.Back(); el != nil && c.ll.Len() > c.cap; {
+		prev := el.Prev()
+		e := el.Value.(*lruEntry[K, V])
+		if e.built.Load() {
+			c.ll.Remove(el)
+			delete(c.m, e.key)
+		}
+		el = prev
+	}
+}
+
 // Len returns the number of keys resident in the cache (built or building).
-func (c *Cache[K, V]) Len() int {
+func (c *LRU[K, V]) Len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return len(c.m)
 }
+
+// Cap returns the cache's capacity.
+func (c *LRU[K, V]) Cap() int { return c.cap }

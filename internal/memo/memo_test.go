@@ -7,8 +7,8 @@ import (
 	"testing"
 )
 
-func TestGetBuildsOncePerKey(t *testing.T) {
-	var c Cache[int, *int]
+func TestLRUEvictsLeastRecentlyUsed(t *testing.T) {
+	c := NewLRU[int, *int](2)
 	var builds atomic.Int32
 	get := func(k int) *int {
 		v, err := c.Get(k, func() (*int, error) {
@@ -21,41 +21,86 @@ func TestGetBuildsOncePerKey(t *testing.T) {
 		}
 		return v
 	}
-	a, b := get(1), get(1)
-	if a != b {
-		t.Fatalf("Get(1) returned distinct pointers %p, %p", a, b)
+	a := get(1)
+	get(2)
+	if get(1) != a {
+		t.Fatalf("key 1 rebuilt while within capacity")
 	}
-	if get(2) == a {
-		t.Fatalf("distinct keys share a value")
-	}
-	if n := builds.Load(); n != 2 {
-		t.Fatalf("build ran %d times, want 2", n)
-	}
+	// 2 is now the coldest entry; inserting 3 must evict it, not 1.
+	get(3)
 	if c.Len() != 2 {
 		t.Fatalf("Len = %d, want 2", c.Len())
 	}
+	if get(1) != a {
+		t.Fatalf("hot key 1 was evicted")
+	}
+	if get(2) == nil {
+		t.Fatalf("Get(2) after eviction returned nil")
+	}
+	// Builds: 1, 2, 3, then 2 again after its eviction.
+	if n := builds.Load(); n != 4 {
+		t.Fatalf("build ran %d times, want 4", n)
+	}
 }
 
-func TestGetCachesErrors(t *testing.T) {
-	var c Cache[string, *int]
+func TestLRUCachesErrorsUntilEvicted(t *testing.T) {
+	c := NewLRU[string, *int](1)
 	var builds atomic.Int32
 	boom := errors.New("boom")
-	for i := 0; i < 3; i++ {
-		v, err := c.Get("k", func() (*int, error) {
+	for i := 0; i < 2; i++ {
+		if _, err := c.Get("k", func() (*int, error) {
 			builds.Add(1)
 			return nil, boom
-		})
-		if v != nil || !errors.Is(err, boom) {
-			t.Fatalf("Get = (%v, %v), want (nil, boom)", v, err)
+		}); !errors.Is(err, boom) {
+			t.Fatalf("Get err = %v, want boom", err)
 		}
 	}
 	if n := builds.Load(); n != 1 {
 		t.Fatalf("failed build ran %d times, want 1", n)
 	}
+	if _, ok := c.Peek("k"); ok {
+		t.Fatalf("Peek returned ok for a memoized error")
+	}
 }
 
-func TestGetSingleflightUnderConcurrency(t *testing.T) {
-	var c Cache[int, *int]
+func TestLRUPeekAndAdd(t *testing.T) {
+	c := NewLRU[string, *int](2)
+	if _, ok := c.Peek("absent"); ok {
+		t.Fatalf("Peek hit an absent key")
+	}
+	x := 7
+	c.Add("a", &x)
+	if v, ok := c.Peek("a"); !ok || v != &x {
+		t.Fatalf("Peek(a) = (%v, %v), want (&x, true)", v, ok)
+	}
+	// Get must not rebuild an Added entry.
+	v, err := c.Get("a", func() (*int, error) {
+		t.Fatalf("build ran for an Added key")
+		return nil, nil
+	})
+	if err != nil || v != &x {
+		t.Fatalf("Get(a) = (%v, %v), want (&x, nil)", v, err)
+	}
+	// Re-Adding keeps the resident value (first wins).
+	y := 8
+	c.Add("a", &y)
+	if v, _ := c.Peek("a"); v != &x {
+		t.Fatalf("re-Add replaced the resident value")
+	}
+	// Peek refreshes recency: after peeking "a", adding two more evicts "b".
+	c.Add("b", &y)
+	c.Peek("a")
+	c.Add("c", &y)
+	if _, ok := c.Peek("b"); ok {
+		t.Fatalf("cold key b survived eviction")
+	}
+	if _, ok := c.Peek("a"); !ok {
+		t.Fatalf("peeked key a was evicted")
+	}
+}
+
+func TestLRUSingleflightUnderConcurrency(t *testing.T) {
+	c := NewLRU[int, *int](8)
 	var builds atomic.Int32
 	const goroutines = 32
 	ptrs := make([]*int, goroutines)
@@ -84,5 +129,36 @@ func TestGetSingleflightUnderConcurrency(t *testing.T) {
 		if ptrs[g] != ptrs[0] {
 			t.Fatalf("goroutine %d saw a different pointer", g)
 		}
+	}
+}
+
+func TestLRUPinsBuildingEntries(t *testing.T) {
+	c := NewLRU[int, *int](1)
+	release := make(chan struct{})
+	started := make(chan struct{})
+	done := make(chan *int)
+	go func() {
+		v, _ := c.Get(1, func() (*int, error) {
+			close(started)
+			<-release
+			x := 1
+			return &x, nil
+		})
+		done <- v
+	}()
+	<-started
+	// Capacity 1 with key 1 still building: inserting key 2 may not evict it.
+	if _, err := c.Get(2, func() (*int, error) { x := 2; return &x, nil }); err != nil {
+		t.Fatalf("Get(2): %v", err)
+	}
+	close(release)
+	first := <-done
+	// Key 1 finished building while pinned; it must still be resident.
+	v, err := c.Get(1, func() (*int, error) {
+		t.Fatalf("pinned entry was evicted and rebuilt")
+		return nil, nil
+	})
+	if err != nil || v != first {
+		t.Fatalf("Get(1) = (%v, %v), want the pinned build %v", v, err, first)
 	}
 }

@@ -1,0 +1,185 @@
+package scenario
+
+// Preset is a named, documented spec shipped with the engine. Presets cover
+// the experiment suite's scenario shapes (so a service can reproduce the
+// E1–E15 workloads without hand-written Go) plus the extension scenarios
+// from examples/: lossy links, bursty links, adaptive adversaries, and
+// dynamic detectors.
+type Preset struct {
+	Name        string `json:"name"`
+	Description string `json:"description"`
+	Spec        Spec   `json:"spec"`
+}
+
+// presets is the registry, in display order. Every entry must Compile; the
+// test suite enforces it.
+var presets = []Preset{
+	{
+		Name:        "mis-quick",
+		Description: "Section 4 MIS at the E1 quick scale (n=64, 3 seeds); reproduces the E1 n=64 row bit-for-bit",
+		Spec: Spec{
+			Algorithm:       AlgoMIS,
+			Network:         NetworkSpec{N: 64},
+			Trials:          3,
+			StopWhenDecided: true,
+		},
+	},
+	{
+		Name:        "mis-midsize",
+		Description: "Section 4 MIS at the E1 full-scale midpoint (n=256, 5 seeds)",
+		Spec: Spec{
+			Algorithm:       AlgoMIS,
+			Network:         NetworkSpec{N: 256},
+			Trials:          5,
+			StopWhenDecided: true,
+		},
+	},
+	{
+		Name:        "mis-classic",
+		Description: "MIS with classic-model reception in a reliable-only network (G = G')",
+		Spec: Spec{
+			Algorithm:       AlgoMISClassic,
+			Network:         NetworkSpec{N: 128, GrayProb: -1},
+			Adversary:       AdversarySpec{Kind: AdvNone},
+			Trials:          3,
+			StopWhenDecided: true,
+		},
+	},
+	{
+		Name:        "mis-full-adversary",
+		Description: "MIS against the maximal adversary: every unreliable edge active every round",
+		Spec: Spec{
+			Algorithm:       AlgoMIS,
+			Network:         NetworkSpec{N: 128},
+			Adversary:       AdversarySpec{Kind: AdvFull},
+			Trials:          3,
+			StopWhenDecided: true,
+		},
+	},
+	{
+		Name:        "ccds-quick",
+		Description: "Section 5 banned-list CCDS at the E3 quick scale (n=64, b=512)",
+		Spec: Spec{
+			Algorithm: AlgoCCDS,
+			Network:   NetworkSpec{N: 64},
+			B:         512,
+			Trials:    3,
+		},
+	},
+	{
+		Name:        "ccds-wideband",
+		Description: "Section 5 CCDS with wide messages (n=96, b=4096): the large-b regime of Theorem 5.3",
+		Spec: Spec{
+			Algorithm: AlgoCCDS,
+			Network:   NetworkSpec{N: 96},
+			B:         4096,
+			Trials:    3,
+		},
+	},
+	{
+		Name:        "baseline-ccds",
+		Description: "naive enumeration CCDS comparison point (n=64, b=512)",
+		Spec: Spec{
+			Algorithm: AlgoBaselineCCDS,
+			Network:   NetworkSpec{N: 64},
+			B:         512,
+			Trials:    3,
+		},
+	},
+	{
+		Name:        "tau-ccds",
+		Description: "Section 6 CCDS under a 1-complete detector at the E4 quick shape (n=96, Δ target 12, b=64Ki)",
+		Spec: Spec{
+			Algorithm: AlgoTauCCDS,
+			Network:   NetworkSpec{N: 96, TargetDegree: 12, Tau: 1},
+			B:         1 << 16,
+			Trials:    3,
+		},
+	},
+	{
+		Name:        "async-mis",
+		Description: "Section 9 asynchronous-start MIS in the classic model at the E8 shape (n=128, wake < 1000)",
+		Spec: Spec{
+			Algorithm: AlgoAsyncMIS,
+			Network:   NetworkSpec{N: 128, GrayProb: -1},
+			Adversary: AdversarySpec{Kind: AdvNone},
+			Wake:      &WakeSpec{MaxDelay: 1000},
+			Trials:    3,
+		},
+	},
+	{
+		Name:        "lossy-uniform",
+		Description: "CCDS over lossy links: each unreliable edge fires independently with p=0.3 per round",
+		Spec: Spec{
+			Algorithm: AlgoCCDS,
+			Network:   NetworkSpec{N: 96},
+			B:         512,
+			Adversary: AdversarySpec{Kind: AdvUniform, P: 0.3},
+			Trials:    3,
+		},
+	},
+	{
+		Name:        "bursty-links",
+		Description: "MIS under bursty gray-zone links (geometric bursts, mean 8 rounds up / 8 down)",
+		Spec: Spec{
+			Algorithm:       AlgoMIS,
+			Network:         NetworkSpec{N: 128},
+			Adversary:       AdversarySpec{Kind: AdvBursty, MeanUp: 8, MeanDown: 8},
+			Trials:          3,
+			StopWhenDecided: true,
+		},
+	},
+	{
+		Name:        "dynamic-ccds",
+		Description: "Section 8 continuous CCDS with a detector that stabilizes mid-run (the E7 / examples/dynamic shape)",
+		Spec: Spec{
+			Algorithm: AlgoContinuousCCDS,
+			Network:   NetworkSpec{N: 64},
+			B:         512,
+			Dynamic:   &DynamicSpec{Mistakes: 2, Periods: 5},
+			Trials:    2,
+		},
+	},
+}
+
+// Presets returns the registry in display order. The slice and its specs
+// are fresh copies; callers may mutate them freely.
+func Presets() []Preset {
+	out := make([]Preset, len(presets))
+	copy(out, presets)
+	for i := range out {
+		out[i].Spec = out[i].Spec.withName(out[i].Name)
+	}
+	return out
+}
+
+// PresetByName returns the named preset's spec (with Name filled in) and
+// whether it exists.
+func PresetByName(name string) (Spec, bool) {
+	for _, p := range presets {
+		if p.Name == name {
+			return p.Spec.withName(name), true
+		}
+	}
+	return Spec{}, false
+}
+
+// withName returns a copy of the spec labeled name. Pointer-valued sections
+// are deep-copied so callers can't mutate the registry through them.
+func (s Spec) withName(name string) Spec {
+	c := s
+	c.Name = name
+	if c.Params != nil {
+		p := *c.Params
+		c.Params = &p
+	}
+	if c.Wake != nil {
+		w := *c.Wake
+		c.Wake = &w
+	}
+	if c.Dynamic != nil {
+		d := *c.Dynamic
+		c.Dynamic = &d
+	}
+	return c
+}

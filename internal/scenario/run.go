@@ -1,0 +1,158 @@
+package scenario
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+
+	"dualradio/internal/stats"
+)
+
+// Result is a complete scenario run: every trial's outcome plus the
+// aggregate the service reports. It is deterministic in the canonical spec,
+// so results cached under the spec hash are indistinguishable from fresh
+// runs.
+type Result struct {
+	// SpecHash is the canonical spec hash the run was keyed by.
+	SpecHash string `json:"spec_hash"`
+	// Algorithm and N echo the headline spec fields for readability.
+	Algorithm string `json:"algorithm"`
+	N         int    `json:"n"`
+	// Trials holds the per-trial outcomes in trial order.
+	Trials []TrialResult `json:"trials"`
+	// Aggregate reduces the trials.
+	Aggregate Aggregate `json:"aggregate"`
+}
+
+// Aggregate summarizes a run's trials.
+type Aggregate struct {
+	// Trials is the trial count.
+	Trials int `json:"trials"`
+	// ValidFraction is the fraction of trials whose outputs verified.
+	ValidFraction float64 `json:"valid_fraction"`
+	// MeanRounds is the mean executed rounds.
+	MeanRounds float64 `json:"mean_rounds"`
+	// MeanDecidedRound and P90DecidedRound summarize decision latency over
+	// the trials where every process decided (DecidedRound > 0), the same
+	// filtering the experiment tables apply.
+	MeanDecidedRound float64 `json:"mean_decided_round,omitempty"`
+	P90DecidedRound  float64 `json:"p90_decided_round,omitempty"`
+	// MeanSize is the mean output-structure size.
+	MeanSize float64 `json:"mean_size"`
+	// MeanLatency is the mean of the trials' mean local decision latencies
+	// (AlgoAsyncMIS only).
+	MeanLatency float64 `json:"mean_latency,omitempty"`
+}
+
+// Run executes every trial, fanning them across workers goroutines
+// (values < 2 run sequentially), and reduces the outcomes. The results —
+// per-trial and aggregate — are identical for every worker count.
+//
+// onTrial, if non-nil, is invoked once per completed trial in completion
+// order; calls are serialized, so the callback needs no locking of its own.
+//
+// Cancellation is observed between trials: once ctx is done no new trial
+// starts, in-flight trials finish, and Run returns ctx's error with a nil
+// Result. A trial error aborts the same way and is reported in trial order
+// (the error a sequential loop would have surfaced first).
+func (c *Compiled) Run(ctx context.Context, workers int, onTrial func(TrialResult)) (*Result, error) {
+	count := c.spec.Trials
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > count {
+		workers = count
+	}
+	results := make([]TrialResult, count)
+	errs := make([]error, count)
+	var done atomic.Int64
+	var failed atomic.Bool
+	var next atomic.Int64
+	var mu sync.Mutex // serializes onTrial
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				if failed.Load() || (ctx != nil && ctx.Err() != nil) {
+					return
+				}
+				i := int(next.Add(1)) - 1
+				if i >= count {
+					return
+				}
+				r, err := c.RunTrial(i)
+				results[i], errs[i] = r, err
+				if err != nil {
+					failed.Store(true)
+					continue
+				}
+				done.Add(1)
+				if onTrial != nil {
+					mu.Lock()
+					onTrial(r)
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	if int(done.Load()) < count {
+		// Only cancellation leaves trials unrun without an error.
+		if ctx != nil && ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+		return nil, errors.New("scenario: run incomplete")
+	}
+	res := &Result{
+		SpecHash:  c.hash,
+		Algorithm: c.spec.Algorithm,
+		N:         c.spec.Network.N,
+		Trials:    results,
+	}
+	res.Aggregate = aggregate(results)
+	return res, nil
+}
+
+func aggregate(trials []TrialResult) Aggregate {
+	agg := Aggregate{Trials: len(trials)}
+	if len(trials) == 0 {
+		return agg
+	}
+	var decided, latencies []float64
+	var rounds, size float64
+	valid := 0
+	for _, t := range trials {
+		rounds += float64(t.Rounds)
+		size += float64(t.Size)
+		if t.Valid {
+			valid++
+		}
+		if t.DecidedRound > 0 {
+			decided = append(decided, float64(t.DecidedRound))
+		}
+		if t.MeanLatency > 0 {
+			latencies = append(latencies, t.MeanLatency)
+		}
+	}
+	n := float64(len(trials))
+	agg.ValidFraction = float64(valid) / n
+	agg.MeanRounds = rounds / n
+	agg.MeanSize = size / n
+	if len(decided) > 0 {
+		sum := stats.Summarize(decided)
+		agg.MeanDecidedRound = sum.Mean
+		agg.P90DecidedRound = sum.P90
+	}
+	if len(latencies) > 0 {
+		agg.MeanLatency = stats.Mean(latencies)
+	}
+	return agg
+}

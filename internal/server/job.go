@@ -1,0 +1,245 @@
+package server
+
+import (
+	"sync"
+	"time"
+
+	"dualradio/internal/scenario"
+)
+
+// JobStatus is a job's lifecycle state.
+type JobStatus string
+
+// Job lifecycle: queued → running → {done, failed, cancelled}. A cache hit
+// goes queued → done directly. Cancellation can land in any non-terminal
+// state.
+const (
+	StatusQueued    JobStatus = "queued"
+	StatusRunning   JobStatus = "running"
+	StatusDone      JobStatus = "done"
+	StatusFailed    JobStatus = "failed"
+	StatusCancelled JobStatus = "cancelled"
+)
+
+func (s JobStatus) terminal() bool {
+	return s == StatusDone || s == StatusFailed || s == StatusCancelled
+}
+
+// Event is one NDJSON progress record on a job's event stream. Every job
+// emits "queued", then (unless cache-served or cancelled while queued)
+// "started", one "trial" per completed trial carrying its result, and
+// finally exactly one terminal event: "done", "failed", or "cancelled".
+type Event struct {
+	Type string `json:"type"`
+	Job  string `json:"job"`
+	// Completed and Total track trial progress.
+	Completed int `json:"completed"`
+	Total     int `json:"total"`
+	// Trial carries the finished trial's result on "trial" events.
+	Trial *scenario.TrialResult `json:"trial,omitempty"`
+	// Cached marks a "done" event served from the result cache.
+	Cached bool `json:"cached,omitempty"`
+	// Error carries the failure message on "failed" events.
+	Error string `json:"error,omitempty"`
+}
+
+// Job is one submitted scenario run. All mutable state is guarded by mu;
+// the compiled spec is immutable.
+type Job struct {
+	id   string
+	comp *scenario.Compiled
+
+	mu        sync.Mutex
+	status    JobStatus
+	completed int
+	cached    bool
+	result    *scenario.Result
+	errMsg    string
+	created   time.Time
+	started   time.Time
+	finished  time.Time
+	cancel    func() // non-nil while running; requests the run's context stop
+	events    []Event
+	wake      chan struct{} // closed and replaced whenever events grows
+}
+
+func newJob(id string, comp *scenario.Compiled) *Job {
+	j := &Job{
+		id:      id,
+		comp:    comp,
+		status:  StatusQueued,
+		created: time.Now(),
+		wake:    make(chan struct{}),
+	}
+	j.appendLocked(Event{Type: "queued"})
+	return j
+}
+
+// appendLocked records an event and wakes stream readers. Callers must hold
+// mu — except newJob, whose job is not yet shared.
+func (j *Job) appendLocked(e Event) {
+	e.Job = j.id
+	e.Completed = j.completed
+	e.Total = j.comp.Trials()
+	j.events = append(j.events, e)
+	close(j.wake)
+	j.wake = make(chan struct{})
+}
+
+// eventsSince returns the events after index from, whether the job has
+// reached a terminal state, and a channel that is closed when more events
+// arrive. When events is non-empty the caller should drain and call again;
+// when empty and terminal the stream is complete.
+func (j *Job) eventsSince(from int) (events []Event, terminal bool, wake <-chan struct{}) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if from < len(j.events) {
+		return append([]Event(nil), j.events[from:]...), j.status.terminal(), nil
+	}
+	return nil, j.status.terminal(), j.wake
+}
+
+// Status returns the job's current lifecycle state.
+func (j *Job) Status() JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.status
+}
+
+// tryStart transitions queued → running and installs the cancel hook.
+// It fails when the job was cancelled while queued.
+func (j *Job) tryStart(cancel func()) bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.status != StatusQueued {
+		return false
+	}
+	j.status = StatusRunning
+	j.started = time.Now()
+	j.cancel = cancel
+	j.appendLocked(Event{Type: "started"})
+	return true
+}
+
+// progress records one completed trial.
+func (j *Job) progress(tr scenario.TrialResult) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.completed++
+	j.appendLocked(Event{Type: "trial", Trial: &tr})
+}
+
+// complete finishes the job with a result; cached marks a cache hit.
+func (j *Job) complete(res *scenario.Result, cached bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.status.terminal() {
+		return
+	}
+	j.status = StatusDone
+	j.result = res
+	j.cached = cached
+	if cached {
+		j.completed = j.comp.Trials()
+	}
+	j.cancel = nil
+	j.finished = time.Now()
+	j.appendLocked(Event{Type: "done", Cached: cached})
+}
+
+// fail finishes the job with an error.
+func (j *Job) fail(err error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.status.terminal() {
+		return
+	}
+	j.status = StatusFailed
+	j.errMsg = err.Error()
+	j.cancel = nil
+	j.finished = time.Now()
+	j.appendLocked(Event{Type: "failed", Error: j.errMsg})
+}
+
+// markCancelled finishes the job as cancelled (no-op once terminal).
+func (j *Job) markCancelled() {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.status.terminal() {
+		return
+	}
+	j.status = StatusCancelled
+	j.cancel = nil
+	j.finished = time.Now()
+	j.appendLocked(Event{Type: "cancelled"})
+}
+
+// Cancel requests cancellation: a queued job is cancelled immediately, a
+// running job has its context cancelled (the worker then marks it), and a
+// terminal job is left untouched. It reports whether the request changed
+// anything.
+func (j *Job) Cancel() bool {
+	j.mu.Lock()
+	if j.status == StatusQueued {
+		j.status = StatusCancelled
+		j.finished = time.Now()
+		j.appendLocked(Event{Type: "cancelled"})
+		j.mu.Unlock()
+		return true
+	}
+	cancel := j.cancel
+	j.cancel = nil
+	j.mu.Unlock()
+	if cancel != nil {
+		cancel()
+		return true
+	}
+	return false
+}
+
+// JobView is the JSON representation served by the jobs endpoints.
+type JobView struct {
+	ID        string        `json:"id"`
+	Status    JobStatus     `json:"status"`
+	SpecHash  string        `json:"spec_hash"`
+	Spec      scenario.Spec `json:"spec"`
+	Completed int           `json:"completed"`
+	Total     int           `json:"total"`
+	Cached    bool          `json:"cached,omitempty"`
+	Created   time.Time     `json:"created"`
+	Started   *time.Time    `json:"started,omitempty"`
+	Finished  *time.Time    `json:"finished,omitempty"`
+	Error     string        `json:"error,omitempty"`
+	// Result is populated on done jobs (full view only).
+	Result *scenario.Result `json:"result,omitempty"`
+}
+
+// View snapshots the job. withResult includes the full result payload;
+// listings omit it.
+func (j *Job) View(withResult bool) JobView {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	v := JobView{
+		ID:        j.id,
+		Status:    j.status,
+		SpecHash:  j.comp.Hash(),
+		Spec:      j.comp.Spec(),
+		Completed: j.completed,
+		Total:     j.comp.Trials(),
+		Cached:    j.cached,
+		Created:   j.created,
+		Error:     j.errMsg,
+	}
+	if !j.started.IsZero() {
+		t := j.started
+		v.Started = &t
+	}
+	if !j.finished.IsZero() {
+		t := j.finished
+		v.Finished = &t
+	}
+	if withResult {
+		v.Result = j.result
+	}
+	return v
+}

@@ -1,0 +1,257 @@
+// Package server exposes the scenario engine as a long-running simulation
+// service: an HTTP JSON API over a bounded job queue and a worker pool that
+// fans trials through the harness scheduler, with per-spec result caching
+// keyed by the canonical spec hash and graceful shutdown via context.
+//
+// API (see DESIGN.md for curl examples):
+//
+//	POST   /v1/jobs             submit a spec ({"preset": "name"} or a spec object)
+//	GET    /v1/jobs             list jobs
+//	GET    /v1/jobs/{id}        job status + result when done
+//	DELETE /v1/jobs/{id}        cancel a queued or running job
+//	GET    /v1/jobs/{id}/events NDJSON progress stream (follows until terminal)
+//	GET    /v1/presets          named preset specs
+//	GET    /healthz             liveness + queue/cache gauges
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sync"
+
+	"dualradio/internal/memo"
+	"dualradio/internal/scenario"
+)
+
+// Config sizes the service.
+type Config struct {
+	// Workers is the number of jobs run concurrently (default GOMAXPROCS).
+	Workers int
+	// QueueDepth bounds the backlog of queued jobs; submissions beyond it
+	// are rejected with 503 (default 64).
+	QueueDepth int
+	// CacheSize bounds the result cache, keyed by canonical spec hash and
+	// evicted least-recently-used (default 128).
+	CacheSize int
+	// TrialWorkers fans each job's trials across this many goroutines
+	// (default 1: trial-level parallelism competes with job-level
+	// parallelism for the same cores, so it is opt-in).
+	TrialWorkers int
+	// History bounds the job registry: once more than this many terminal
+	// jobs are retained, the oldest are pruned (default 512). Pruned jobs
+	// return 404; their results live on in the spec-hash cache.
+	History int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.CacheSize <= 0 {
+		c.CacheSize = 128
+	}
+	if c.TrialWorkers <= 0 {
+		c.TrialWorkers = 1
+	}
+	if c.History <= 0 {
+		c.History = 512
+	}
+	return c
+}
+
+// ErrQueueFull rejects submissions when the backlog is at QueueDepth.
+var ErrQueueFull = errors.New("server: job queue full")
+
+// Server is the simulation service. It implements http.Handler; construct
+// with New and stop with Close.
+type Server struct {
+	cfg     Config
+	mux     *http.ServeMux
+	ctx     context.Context
+	stop    context.CancelFunc
+	wg      sync.WaitGroup
+	queue   chan *Job
+	results *memo.LRU[string, *scenario.Result]
+
+	mu     sync.Mutex
+	jobs   map[string]*Job
+	order  []string // submission order, for listing
+	nextID int
+	closed bool
+}
+
+// New starts a server: its worker pool runs until Close.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	ctx, stop := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:     cfg,
+		mux:     http.NewServeMux(),
+		ctx:     ctx,
+		stop:    stop,
+		queue:   make(chan *Job, cfg.QueueDepth),
+		results: memo.NewLRU[string, *scenario.Result](cfg.CacheSize),
+		jobs:    make(map[string]*Job),
+	}
+	s.routes()
+	for w := 0; w < cfg.Workers; w++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// Close stops the worker pool: running jobs are cancelled via their
+// contexts, queued jobs are marked cancelled, and Close blocks until every
+// worker has exited. Event streams observe the terminal events and end.
+func (s *Server) Close() {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	s.stop()
+	s.wg.Wait()
+	for {
+		select {
+		case job := <-s.queue:
+			job.markCancelled()
+		default:
+			return
+		}
+	}
+}
+
+// Submit compiles, registers, and enqueues a spec. A result-cache hit
+// completes the job immediately without touching the queue; a full queue
+// rejects with ErrQueueFull; an invalid spec fails compilation.
+//
+// The closed check, registration, and (non-blocking) enqueue form one
+// critical section: an enqueue therefore strictly precedes Close setting
+// closed, so Close's post-wait queue drain observes every accepted job —
+// nothing can slip into the queue of a closed server and sit there
+// unserved. Rejected submissions leave no trace.
+func (s *Server) Submit(spec scenario.Spec) (*Job, error) {
+	comp, err := scenario.Compile(spec)
+	if err != nil {
+		return nil, err
+	}
+	res, cached := s.results.Peek(comp.Hash())
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, errors.New("server: closed")
+	}
+	job := newJob(fmt.Sprintf("j%06d", s.nextID+1), comp)
+	if cached {
+		job.complete(res, true)
+	} else {
+		select {
+		case s.queue <- job:
+		default:
+			return nil, ErrQueueFull
+		}
+	}
+	s.nextID++
+	s.jobs[job.id] = job
+	s.order = append(s.order, job.id)
+	s.pruneLocked()
+	return job, nil
+}
+
+// pruneLocked drops the oldest terminal jobs once more than History are
+// retained, so a long-running daemon's registry — and the per-trial result
+// payloads each job pins — stays bounded. Live jobs are never pruned.
+// Callers must hold s.mu.
+func (s *Server) pruneLocked() {
+	terminal := 0
+	for _, id := range s.order {
+		if s.jobs[id].Status().terminal() {
+			terminal++
+		}
+	}
+	if terminal <= s.cfg.History {
+		return
+	}
+	kept := s.order[:0]
+	for _, id := range s.order {
+		if terminal > s.cfg.History && s.jobs[id].Status().terminal() {
+			delete(s.jobs, id)
+			terminal--
+			continue
+		}
+		kept = append(kept, id)
+	}
+	s.order = kept
+}
+
+// Job returns the job by id.
+func (s *Server) Job(id string) (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// Jobs returns every job in submission order.
+func (s *Server) Jobs() []*Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*Job, 0, len(s.order))
+	for _, id := range s.order {
+		out = append(out, s.jobs[id])
+	}
+	return out
+}
+
+// worker pulls jobs off the queue until the server context stops.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for {
+		select {
+		case <-s.ctx.Done():
+			return
+		case job := <-s.queue:
+			s.runJob(job)
+		}
+	}
+}
+
+// runJob executes one job end to end. The job's context descends from the
+// server's, so both DELETE and Close cancel it; cancellation is observed
+// between trials.
+func (s *Server) runJob(job *Job) {
+	// Re-check the cache before starting: an identical job submitted
+	// earlier may have finished while this one sat in the queue. The check
+	// precedes tryStart so a cache-served job keeps the documented
+	// queued → done event shape (complete no-ops if the job was cancelled
+	// while queued).
+	if res, ok := s.results.Peek(job.comp.Hash()); ok {
+		job.complete(res, true)
+		return
+	}
+	ctx, cancel := context.WithCancel(s.ctx)
+	defer cancel()
+	if !job.tryStart(cancel) {
+		return // cancelled while queued
+	}
+	res, err := job.comp.Run(ctx, s.cfg.TrialWorkers, job.progress)
+	switch {
+	case err == nil:
+		s.results.Add(job.comp.Hash(), res)
+		job.complete(res, false)
+	case ctx.Err() != nil:
+		job.markCancelled()
+	default:
+		job.fail(err)
+	}
+}

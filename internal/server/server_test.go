@@ -1,0 +1,528 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"dualradio/internal/scenario"
+)
+
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	svc := New(cfg)
+	ts := httptest.NewServer(svc)
+	t.Cleanup(func() {
+		svc.Close()
+		ts.Close()
+	})
+	return svc, ts
+}
+
+func postJSON(t *testing.T, url string, body any) (*http.Response, []byte) {
+	t.Helper()
+	data, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, payload
+}
+
+func getJSON[T any](t *testing.T, url string) (int, T) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var v T
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		t.Fatalf("decode %s: %v", url, err)
+	}
+	return resp.StatusCode, v
+}
+
+// quickSpec is a fast MIS workload (~ms per trial).
+func quickSpec(trials int, seed uint64) scenario.Spec {
+	return scenario.Spec{
+		Algorithm:       scenario.AlgoMIS,
+		Network:         scenario.NetworkSpec{N: 32},
+		Trials:          trials,
+		Seed:            seed,
+		StopWhenDecided: true,
+	}
+}
+
+func waitForStatus(t *testing.T, url string, want JobStatus) JobView {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		code, view := getJSON[JobView](t, url)
+		if code != http.StatusOK {
+			t.Fatalf("GET %s: status %d", url, code)
+		}
+		if view.Status == want {
+			return view
+		}
+		if view.Status.terminal() {
+			t.Fatalf("job reached terminal status %q, want %q", view.Status, want)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job stuck in %q waiting for %q", view.Status, want)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestJobLifecycleSubmitPollStreamResult(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	resp, body := postJSON(t, ts.URL+"/v1/jobs", quickSpec(2, 1))
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: status %d, body %s", resp.StatusCode, body)
+	}
+	var accepted JobView
+	if err := json.Unmarshal(body, &accepted); err != nil {
+		t.Fatal(err)
+	}
+	if accepted.ID == "" || accepted.Total != 2 || accepted.SpecHash == "" {
+		t.Fatalf("bad accepted view: %+v", accepted)
+	}
+
+	jobURL := ts.URL + "/v1/jobs/" + accepted.ID
+	done := waitForStatus(t, jobURL, StatusDone)
+	if done.Result == nil {
+		t.Fatal("done job has no result")
+	}
+	if done.Cached {
+		t.Fatal("first run reported as cached")
+	}
+	if len(done.Result.Trials) != 2 || done.Result.SpecHash != accepted.SpecHash {
+		t.Fatalf("bad result: %+v", done.Result)
+	}
+	if done.Completed != 2 {
+		t.Fatalf("completed = %d, want 2", done.Completed)
+	}
+
+	// The event stream replays history and ends after the terminal event.
+	events := streamEvents(t, jobURL+"/events")
+	types := eventTypes(events)
+	want := []string{"queued", "started", "trial", "trial", "done"}
+	if !reflect.DeepEqual(types, want) {
+		t.Fatalf("event sequence %v, want %v", types, want)
+	}
+	for _, e := range events {
+		if e.Type == "trial" && e.Trial == nil {
+			t.Fatal("trial event without a trial result")
+		}
+	}
+
+	// The job listing shows the job without the result payload.
+	code, list := getJSON[struct{ Jobs []JobView }](t, ts.URL+"/v1/jobs")
+	if code != http.StatusOK || len(list.Jobs) != 1 || list.Jobs[0].Result != nil {
+		t.Fatalf("bad listing: code %d, %+v", code, list)
+	}
+}
+
+func TestIdenticalResubmissionServedFromCache(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	_, body := postJSON(t, ts.URL+"/v1/jobs", quickSpec(2, 1))
+	var first JobView
+	if err := json.Unmarshal(body, &first); err != nil {
+		t.Fatal(err)
+	}
+	firstDone := waitForStatus(t, ts.URL+"/v1/jobs/"+first.ID, StatusDone)
+
+	// Same workload, cosmetically different spec: name differs, defaults
+	// spelled out. Must hash identically and be served from the cache.
+	respec := quickSpec(2, 1)
+	respec.Name = "same workload, different JSON"
+	respec.Adversary.Kind = scenario.AdvCollision
+	_, body = postJSON(t, ts.URL+"/v1/jobs", respec)
+	var second JobView
+	if err := json.Unmarshal(body, &second); err != nil {
+		t.Fatal(err)
+	}
+	secondDone := waitForStatus(t, ts.URL+"/v1/jobs/"+second.ID, StatusDone)
+	if !secondDone.Cached {
+		t.Fatal("identical resubmission was not served from the cache")
+	}
+	if !reflect.DeepEqual(firstDone.Result, secondDone.Result) {
+		t.Fatal("cached result differs from the original")
+	}
+	// A cache-served job's stream has no started/trial events.
+	types := eventTypes(streamEvents(t, ts.URL+"/v1/jobs/"+second.ID+"/events"))
+	if !reflect.DeepEqual(types, []string{"queued", "done"}) {
+		t.Fatalf("cached job events %v, want [queued done]", types)
+	}
+}
+
+func TestCancelMidJob(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	// Enough trials that the job is still running when the cancel lands.
+	_, body := postJSON(t, ts.URL+"/v1/jobs", quickSpec(4000, 1))
+	var view JobView
+	if err := json.Unmarshal(body, &view); err != nil {
+		t.Fatal(err)
+	}
+	jobURL := ts.URL + "/v1/jobs/" + view.ID
+
+	// Follow the stream until the first completed trial proves the job is
+	// mid-flight.
+	resp, err := http.Get(jobURL + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	sc := bufio.NewScanner(resp.Body)
+	sawTrial := false
+	for sc.Scan() {
+		var e Event
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			t.Fatal(err)
+		}
+		if e.Type == "trial" {
+			sawTrial = true
+			break
+		}
+	}
+	if !sawTrial {
+		t.Fatal("stream ended before any trial completed")
+	}
+
+	req, _ := http.NewRequest(http.MethodDelete, jobURL, nil)
+	dresp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dresp.Body.Close()
+	if dresp.StatusCode != http.StatusOK {
+		t.Fatalf("cancel: status %d", dresp.StatusCode)
+	}
+
+	cancelled := waitForStatus(t, jobURL, StatusCancelled)
+	if cancelled.Completed >= cancelled.Total {
+		t.Fatalf("cancelled job completed all %d trials", cancelled.Total)
+	}
+	if cancelled.Result != nil {
+		t.Fatal("cancelled job carries a result")
+	}
+	// The open stream observes the terminal event and ends.
+	sawCancelled := false
+	for sc.Scan() {
+		var e Event
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			t.Fatal(err)
+		}
+		if e.Type == "cancelled" {
+			sawCancelled = true
+		}
+	}
+	if !sawCancelled {
+		t.Fatal("event stream never delivered the cancelled event")
+	}
+}
+
+func TestCancelQueuedJob(t *testing.T) {
+	svc, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 4})
+	// Occupy the only worker...
+	blocker, err := svc.Submit(quickSpec(4000, 99))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ...then cancel a job that never leaves the queue.
+	queued, err := svc.Submit(quickSpec(2, 100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/"+queued.id, nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	waitForStatus(t, ts.URL+"/v1/jobs/"+queued.id, StatusCancelled)
+	types := eventTypes(streamEvents(t, ts.URL+"/v1/jobs/"+queued.id+"/events"))
+	if !reflect.DeepEqual(types, []string{"queued", "cancelled"}) {
+		t.Fatalf("queued-cancel events %v, want [queued cancelled]", types)
+	}
+	blocker.Cancel()
+}
+
+func TestConcurrentSubmissions(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 4, QueueDepth: 64})
+	const submitters = 8
+	ids := make([]string, submitters)
+	var wg sync.WaitGroup
+	for g := 0; g < submitters; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			// Distinct seeds: genuinely different workloads.
+			resp, body := postJSON(t, ts.URL+"/v1/jobs", quickSpec(2, uint64(1+g)))
+			if resp.StatusCode != http.StatusAccepted {
+				t.Errorf("submitter %d: status %d, body %s", g, resp.StatusCode, body)
+				return
+			}
+			var view JobView
+			if err := json.Unmarshal(body, &view); err != nil {
+				t.Errorf("submitter %d: %v", g, err)
+				return
+			}
+			ids[g] = view.ID
+		}(g)
+	}
+	wg.Wait()
+	if t.Failed() {
+		t.FailNow()
+	}
+	seen := map[string]bool{}
+	for g, id := range ids {
+		if id == "" || seen[id] {
+			t.Fatalf("submitter %d got duplicate/empty id %q", g, id)
+		}
+		seen[id] = true
+		done := waitForStatus(t, ts.URL+"/v1/jobs/"+id, StatusDone)
+		if done.Result == nil || len(done.Result.Trials) != 2 {
+			t.Fatalf("job %s: bad result %+v", id, done.Result)
+		}
+		if done.Result.Aggregate.ValidFraction == 0 {
+			t.Errorf("job %s: no valid trials", id)
+		}
+	}
+}
+
+func TestQueueFullRejectsWith503(t *testing.T) {
+	svc, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 1})
+	// One long job occupies the worker, a second fills the queue.
+	j1, err := svc.Submit(quickSpec(4000, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var j2 *Job
+	// The worker may briefly not have dequeued j1 yet; retry until the
+	// queue slot frees.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		j2, err = svc.Submit(quickSpec(4000, 2))
+		if err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("second submission never fit the queue: %v", err)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	resp, body := postJSON(t, ts.URL+"/v1/jobs", quickSpec(4000, 3))
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("overflow submission: status %d, body %s", resp.StatusCode, body)
+	}
+	if !strings.Contains(string(body), "queue full") {
+		t.Fatalf("overflow error body %s", body)
+	}
+	// The rejected job must not appear in the listing.
+	code, list := getJSON[struct{ Jobs []JobView }](t, ts.URL+"/v1/jobs")
+	if code != http.StatusOK || len(list.Jobs) != 2 {
+		t.Fatalf("listing after overflow: code %d, %d jobs (want 2)", code, len(list.Jobs))
+	}
+	j1.Cancel()
+	j2.Cancel()
+}
+
+func TestSubmitVariantsAndErrors(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	// Preset reference.
+	resp, body := postJSON(t, ts.URL+"/v1/jobs", map[string]string{"preset": "mis-quick"})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("preset submit: status %d, body %s", resp.StatusCode, body)
+	}
+	var view JobView
+	if err := json.Unmarshal(body, &view); err != nil {
+		t.Fatal(err)
+	}
+	if view.Spec.Name != "mis-quick" || view.Spec.Network.N != 64 {
+		t.Fatalf("preset submit spec: %+v", view.Spec)
+	}
+	waitForStatus(t, ts.URL+"/v1/jobs/"+view.ID, StatusDone)
+
+	// Wrapped spec.
+	resp, _ = postJSON(t, ts.URL+"/v1/jobs", map[string]any{"spec": quickSpec(1, 5)})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("wrapped submit: status %d", resp.StatusCode)
+	}
+
+	for name, tc := range map[string]struct {
+		body any
+		want int
+	}{
+		"unknown preset":  {map[string]string{"preset": "nope"}, http.StatusBadRequest},
+		"invalid spec":    {map[string]any{"algorithm": "mis", "network": map[string]int{"n": 0}}, http.StatusBadRequest},
+		"preset and spec": {map[string]any{"preset": "mis-quick", "spec": quickSpec(1, 1)}, http.StatusBadRequest},
+		"junk field":      {map[string]any{"algorithm": "mis", "network": map[string]int{"n": 32}, "trails": 3}, http.StatusBadRequest},
+		// The wrapped form must be exactly as strict as the bare form.
+		"junk field wrapped": {map[string]any{"spec": map[string]any{
+			"algorithm": "mis", "network": map[string]int{"n": 32}, "trails": 3}}, http.StatusBadRequest},
+	} {
+		resp, body := postJSON(t, ts.URL+"/v1/jobs", tc.body)
+		if resp.StatusCode != tc.want {
+			t.Errorf("%s: status %d (want %d), body %s", name, resp.StatusCode, tc.want, body)
+		}
+	}
+
+	// Unknown job id.
+	code, _ := getJSON[map[string]string](t, ts.URL+"/v1/jobs/j999999")
+	if code != http.StatusNotFound {
+		t.Fatalf("unknown job: status %d", code)
+	}
+}
+
+func TestHealthzAndPresets(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2, QueueDepth: 7})
+	code, health := getJSON[map[string]any](t, ts.URL+"/healthz")
+	if code != http.StatusOK || health["status"] != "ok" {
+		t.Fatalf("healthz: %d %v", code, health)
+	}
+	if health["queue_depth"].(float64) != 7 || health["workers"].(float64) != 2 {
+		t.Fatalf("healthz gauges: %v", health)
+	}
+	code, presets := getJSON[struct{ Presets []scenario.Preset }](t, ts.URL+"/v1/presets")
+	if code != http.StatusOK || len(presets.Presets) == 0 {
+		t.Fatalf("presets: %d, %d entries", code, len(presets.Presets))
+	}
+	for _, p := range presets.Presets {
+		if p.Name == "" || p.Description == "" {
+			t.Fatalf("preset missing name/description: %+v", p)
+		}
+	}
+}
+
+func TestTerminalJobsPrunedBeyondHistory(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1, History: 2})
+	var ids []string
+	for seed := uint64(1); seed <= 4; seed++ {
+		_, body := postJSON(t, ts.URL+"/v1/jobs", quickSpec(1, seed))
+		var view JobView
+		if err := json.Unmarshal(body, &view); err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, view.ID)
+		waitForStatus(t, ts.URL+"/v1/jobs/"+view.ID, StatusDone)
+	}
+	// Submitting the 4th job found 3 terminal jobs, one over History: the
+	// oldest was pruned.
+	code, _ := getJSON[map[string]string](t, ts.URL+"/v1/jobs/"+ids[0])
+	if code != http.StatusNotFound {
+		t.Fatalf("oldest terminal job still served: status %d", code)
+	}
+	code, list := getJSON[struct{ Jobs []JobView }](t, ts.URL+"/v1/jobs")
+	if code != http.StatusOK || len(list.Jobs) != 3 {
+		t.Fatalf("listing after prune: code %d, %d jobs (want 3)", code, len(list.Jobs))
+	}
+	for _, j := range list.Jobs {
+		if j.ID == ids[0] {
+			t.Fatalf("pruned job %s still listed", ids[0])
+		}
+	}
+}
+
+func TestQueueDelayedCacheHitKeepsCachedEventShape(t *testing.T) {
+	svc, ts := newTestServer(t, Config{Workers: 1})
+	// Two identical jobs: the second sits queued until the first finishes,
+	// then must be cache-served with the queued → done event shape (no
+	// "started", no trials).
+	first, err := svc.Submit(quickSpec(2, 42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := svc.Submit(quickSpec(2, 42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitForStatus(t, ts.URL+"/v1/jobs/"+first.id, StatusDone)
+	done := waitForStatus(t, ts.URL+"/v1/jobs/"+second.id, StatusDone)
+	if !done.Cached {
+		t.Fatal("queue-delayed identical job was not cache-served")
+	}
+	types := eventTypes(streamEvents(t, ts.URL+"/v1/jobs/"+second.id+"/events"))
+	if !reflect.DeepEqual(types, []string{"queued", "done"}) {
+		t.Fatalf("queue-delayed cached job events %v, want [queued done]", types)
+	}
+}
+
+func TestCloseCancelsRunningJobs(t *testing.T) {
+	svc := New(Config{Workers: 1})
+	job, err := svc.Submit(quickSpec(4000, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wait for the job to start.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if v := job.View(false); v.Status == StatusRunning {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("job never started")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	svc.Close()
+	if v := job.View(false); v.Status != StatusCancelled {
+		t.Fatalf("after Close job status = %q, want cancelled", v.Status)
+	}
+	if _, err := svc.Submit(quickSpec(1, 1)); err == nil {
+		t.Fatal("closed server accepted a submission")
+	}
+}
+
+func streamEvents(t *testing.T, url string) []Event {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d", url, resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("stream content type %q", ct)
+	}
+	var events []Event
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		var e Event
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", sc.Text(), err)
+		}
+		events = append(events, e)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return events
+}
+
+func eventTypes(events []Event) []string {
+	types := make([]string, len(events))
+	for i, e := range events {
+		types[i] = e.Type
+	}
+	return types
+}
