@@ -4,7 +4,7 @@ DATE := $(shell date +%F)
 # the same day (e.g. make bench OUT=BENCH_$(DATE)-pr2.json).
 OUT ?= BENCH_$(DATE).json
 
-.PHONY: build test check bench bench-headline verify serve
+.PHONY: build test check bench bench-headline bench-sweep verify serve sweep-e2e
 
 build:
 	$(GO) build ./...
@@ -39,6 +39,19 @@ bench:
 	$(GO) test -run '^$$' -bench=. -benchmem -count=1 . ./internal/sim ./internal/expr \
 		| tee /dev/stderr \
 		| $(GO) run ./cmd/benchtool -out $(OUT)
+
+# bench-sweep snapshots the sweep/durability layer: sweep expansion and
+# the persistent store round trip (see BENCH_<date>-sweep.json).
+bench-sweep:
+	$(GO) test -run '^$$' -bench='BenchmarkSweepExpand|BenchmarkStoreRoundTrip' -benchmem -count=1 \
+		./internal/scenario ./internal/store \
+		| tee /dev/stderr \
+		| $(GO) run ./cmd/benchtool -out BENCH_$(DATE)-sweep.json
+
+# sweep-e2e runs the daemon restart / durability check CI runs (boots a
+# real radiod against a temp -data dir; see scripts/sweep_e2e.sh).
+sweep-e2e:
+	sh scripts/sweep_e2e.sh
 
 # bench-headline runs only the acceptance benchmarks (E1/E3/E8 + setup).
 bench-headline:

@@ -1,12 +1,15 @@
 // Command radiod is the long-running simulation service: it serves the
-// scenario-spec HTTP API (submit jobs, poll status, stream NDJSON progress,
-// list presets) over a bounded job queue and worker pool, with per-spec
-// result caching keyed by the canonical spec hash.
+// scenario-spec HTTP API (submit jobs and parameter sweeps, poll status,
+// stream NDJSON progress, list presets) over a bounded job queue and
+// worker pool, with per-spec result caching keyed by the canonical spec
+// hash, optional durable result storage, and cost-aware admission.
 //
 // Usage:
 //
-//	radiod                       # listen on :8080
+//	radiod                       # listen on :8080, in-memory cache only
+//	radiod -data ./radiod-data   # persist results across restarts
 //	radiod -addr :9000 -workers 4 -queue 128 -cache 256 -trial-workers 2
+//	radiod -max-cost 8589934592  # double the admission budget
 //
 // The process drains gracefully on SIGINT/SIGTERM: in-flight HTTP requests
 // get a shutdown window, running jobs are cancelled via their contexts, and
@@ -43,17 +46,24 @@ func run() error {
 		cache        = flag.Int("cache", 128, "result cache entries")
 		trialWorkers = flag.Int("trial-workers", 1, "goroutines per job's trial fan-out")
 		history      = flag.Int("history", 512, "terminal jobs retained before pruning")
+		dataDir      = flag.String("data", "", "persist results under this directory (empty = in-memory only)")
+		maxCost      = flag.Int64("max-cost", 0, "admission budget in round-process units (0 = default)")
 		drain        = flag.Duration("drain", 10*time.Second, "graceful shutdown window")
 	)
 	flag.Parse()
 
-	svc := server.New(server.Config{
-		Workers:      *workers,
-		QueueDepth:   *queue,
-		CacheSize:    *cache,
-		TrialWorkers: *trialWorkers,
-		History:      *history,
+	svc, err := server.New(server.Config{
+		Workers:        *workers,
+		QueueDepth:     *queue,
+		CacheSize:      *cache,
+		TrialWorkers:   *trialWorkers,
+		History:        *history,
+		DataDir:        *dataDir,
+		MaxPendingCost: *maxCost,
 	})
+	if err != nil {
+		return err
+	}
 	httpSrv := &http.Server{Addr: *addr, Handler: svc}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

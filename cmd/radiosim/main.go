@@ -14,6 +14,13 @@
 //	radiosim -spec scenario.json
 //	radiosim -spec - < scenario.json      # read the spec from stdin
 //	radiosim -spec scenario.json -json    # machine-readable result
+//
+// With -sweep, the file is a sweep spec (a base spec plus axes) expanded
+// with the same deterministic expansion the daemon's POST /v1/sweeps uses;
+// every child runs in grid order:
+//
+//	radiosim -sweep sweep.json
+//	radiosim -sweep sweep.json -json      # {"sweep_hash": ..., "results": [...]}
 package main
 
 import (
@@ -37,21 +44,28 @@ func main() {
 
 func run() error {
 	var (
-		algo     = flag.String("algo", "ccds", "algorithm: mis | ccds | baseline | tau")
-		n        = flag.Int("n", 128, "network size")
-		degree   = flag.Float64("degree", 0, "target reliable degree (0 = 3·log₂ n)")
-		tau      = flag.Int("tau", 0, "link detector mistake bound τ")
-		bits     = flag.Int("b", 512, "message size bound b in bits")
-		seed     = flag.Uint64("seed", 1, "random seed")
-		adv      = flag.String("adversary", "collision", "adversary: collision | none | full | uniform")
-		showMap  = flag.Bool("map", false, "render the network and outputs as ASCII art")
-		doTrace  = flag.Bool("trace", false, "print aggregate activity statistics")
-		specPath = flag.String("spec", "", "run a scenario spec file instead (\"-\" = stdin)")
-		asJSON   = flag.Bool("json", false, "with -spec: print the full result as JSON")
-		workers  = flag.Int("workers", 0, "with -spec: trial fan-out goroutines (0 = GOMAXPROCS)")
+		algo      = flag.String("algo", "ccds", "algorithm: mis | ccds | baseline | tau")
+		n         = flag.Int("n", 128, "network size")
+		degree    = flag.Float64("degree", 0, "target reliable degree (0 = 3·log₂ n)")
+		tau       = flag.Int("tau", 0, "link detector mistake bound τ")
+		bits      = flag.Int("b", 512, "message size bound b in bits")
+		seed      = flag.Uint64("seed", 1, "random seed")
+		adv       = flag.String("adversary", "collision", "adversary: collision | none | full | uniform")
+		showMap   = flag.Bool("map", false, "render the network and outputs as ASCII art")
+		doTrace   = flag.Bool("trace", false, "print aggregate activity statistics")
+		specPath  = flag.String("spec", "", "run a scenario spec file instead (\"-\" = stdin)")
+		sweepPath = flag.String("sweep", "", "run a sweep spec file instead (\"-\" = stdin)")
+		asJSON    = flag.Bool("json", false, "with -spec/-sweep: print the full result as JSON")
+		workers   = flag.Int("workers", 0, "with -spec/-sweep: trial fan-out goroutines (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 
+	if *specPath != "" && *sweepPath != "" {
+		return fmt.Errorf("give either -spec or -sweep, not both")
+	}
+	if *sweepPath != "" {
+		return runSweep(*sweepPath, *asJSON, *workers)
+	}
 	if *specPath != "" {
 		return runSpec(*specPath, *asJSON, *workers)
 	}
@@ -123,17 +137,63 @@ func run() error {
 	return nil
 }
 
+func readInput(path string) ([]byte, error) {
+	if path == "-" {
+		return io.ReadAll(os.Stdin)
+	}
+	return os.ReadFile(path)
+}
+
+// runSweep expands a sweep spec — the identical deterministic expansion
+// the radiod daemon's POST /v1/sweeps performs — and runs every child in
+// grid order.
+func runSweep(path string, asJSON bool, workers int) error {
+	data, err := readInput(path)
+	if err != nil {
+		return err
+	}
+	sw, err := scenario.ParseSweep(data)
+	if err != nil {
+		return err
+	}
+	exp, err := scenario.ExpandSweep(sw)
+	if err != nil {
+		return err
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	fmt.Fprintf(os.Stderr, "sweep: %d children hash=%s cost≈%d\n",
+		len(exp.Children), exp.Hash()[:12], exp.CostEstimate())
+	results := make([]*scenario.Result, 0, len(exp.Children))
+	for i, comp := range exp.Children {
+		c := comp.Spec()
+		res, err := comp.Run(nil, workers, nil)
+		if err != nil {
+			return fmt.Errorf("child %d (%s): %w", i, c.Name, err)
+		}
+		results = append(results, res)
+		if !asJSON {
+			a := res.Aggregate
+			fmt.Printf("%-3d %-40s valid=%.0f%% mean-rounds=%.1f mean-size=%.1f\n",
+				i, c.Name, 100*a.ValidFraction, a.MeanRounds, a.MeanSize)
+		} else {
+			fmt.Fprintf(os.Stderr, "child %d/%d (%s) done\n", i+1, len(exp.Children), c.Name)
+		}
+	}
+	if asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(map[string]any{"sweep_hash": exp.Hash(), "results": results})
+	}
+	return nil
+}
+
 // runSpec runs a declarative scenario spec through the scenario compiler —
 // the identical code path the radiod service executes, so a spec run here
 // and a job submitted there produce the same per-trial results.
 func runSpec(path string, asJSON bool, workers int) error {
-	var data []byte
-	var err error
-	if path == "-" {
-		data, err = io.ReadAll(os.Stdin)
-	} else {
-		data, err = os.ReadFile(path)
-	}
+	data, err := readInput(path)
 	if err != nil {
 		return err
 	}

@@ -156,6 +156,14 @@ func newMISSchedule(n int, p Params) misSchedule {
 	return s
 }
 
+// MISRounds returns the fixed total running time of the Section 4 MIS
+// algorithm for network size n — ℓ_E · (ceil(log₂ n)+1) · ℓ_P, the
+// O(log³ n) bound. Unlike the CCDS schedule lengths it cannot fail: the
+// MIS schedule does not depend on the message bound.
+func MISRounds(n int, p Params) int {
+	return newMISSchedule(n, p).total
+}
+
 // bbLen returns the bounded-broadcast slot length ℓ_BB(δ) for network size n.
 func bbLen(n int, p Params, delta int) int {
 	return scaled(p.BB*math.Pow(2, float64(delta)), log2Ceil(n))

@@ -1,0 +1,68 @@
+package scenario
+
+import (
+	"math"
+
+	"dualradio/internal/core"
+)
+
+// CostEstimate approximates the simulation work a spec admits to the
+// service, in round-process units: n · trials · analytic schedule rounds.
+// The schedule lengths come from the same closed forms the algorithms run
+// on (core.MISRounds, core.CCDSRounds, ...), with the maximum degree Δ
+// approximated by the generator's target degree (3·log₂ n when defaulted) —
+// the estimate sizes admission budgets, not billing, so a constant-factor
+// error is fine. It never fails: specs whose schedule would reject (e.g. a
+// message bound too small to carry an id) fall back to the MIS term, and
+// the run itself surfaces the real error.
+func (c *Compiled) CostEstimate() int64 {
+	sp := c.spec
+	n := sp.Network.N
+	params := core.DefaultParams()
+	if sp.Params != nil {
+		params = *sp.Params
+	}
+	// Δ estimate: the generator steers the reliable degree toward
+	// TargetDegree (default 3·log₂ n); round up for the tail.
+	td := sp.Network.TargetDegree
+	if td == 0 {
+		td = 3 * math.Log2(float64(max(n, 2)))
+	}
+	delta := int(math.Ceil(td)) + 1
+
+	misRounds := core.MISRounds(n, params)
+	rounds := misRounds
+	switch sp.Algorithm {
+	case AlgoMIS, AlgoMISClassic:
+	case AlgoAsyncMIS:
+		rounds = misRounds
+		if sp.Wake != nil {
+			rounds += sp.Wake.MaxDelay
+		}
+		if sp.MaxRounds > 0 && rounds > sp.MaxRounds {
+			rounds = sp.MaxRounds
+		}
+	case AlgoCCDS:
+		if r, err := core.CCDSRounds(n, delta, sp.B, params); err == nil {
+			rounds = r
+		}
+	case AlgoBaselineCCDS:
+		if r, err := core.BaselineCCDSRounds(n, delta, sp.B, params); err == nil {
+			rounds = r
+		}
+	case AlgoTauCCDS:
+		if r, err := core.TauCCDSRounds(n, delta, sp.B, params, sp.Network.Tau); err == nil {
+			rounds = r
+		}
+	case AlgoContinuousCCDS:
+		if period, err := core.CCDSRounds(n, delta, sp.B, params); err == nil {
+			periods := 1
+			if sp.Dynamic != nil {
+				periods = sp.Dynamic.Periods
+			}
+			// Stabilization prelude (1.5 periods) plus the rerun periods.
+			rounds = period + period/2 + periods*period
+		}
+	}
+	return int64(n) * int64(sp.Trials) * int64(rounds)
+}

@@ -124,6 +124,44 @@ func TestHashGolden(t *testing.T) {
 	}
 }
 
+// TestPresetHashesGolden pins the canonical hash of every registry preset.
+// These hashes key the persistent result store: an accidental
+// canonicalization or encoding change would silently split the store
+// (every stored result orphaned under its old hash, every spec
+// re-simulated), so any diff here must be deliberate — bump SpecVersion,
+// update the hashes, and accept the store invalidation knowingly.
+func TestPresetHashesGolden(t *testing.T) {
+	want := map[string]string{
+		"mis-quick":          "84b779594d35741027f5b25700351bcbc0b12fc123dfccfa41f7189306b492d4",
+		"mis-midsize":        "3b6e01f350f45c21a7b7089a3bf6171f93faef8139468b51be43776e7e421415",
+		"mis-classic":        "e3e989ea1a878714b5e1fe941262b5f2417ff02891aca394db610b7dde90108b",
+		"mis-full-adversary": "648f197cfbcb5d0a3d2384624cee1e2ab8ab5715376adfcca1f00174882817d8",
+		"ccds-quick":         "86d128b274738656b6899fadc222c6927765d2da40e58540998c4b956f0398c6",
+		"ccds-wideband":      "0ae1907e0b6a88b76dd9ddb0e50d9b99f1cd4751beb9304612858bf7325261b9",
+		"baseline-ccds":      "c3ffeba0b0c69d1625527c24f067abe6ebf49356c8ec0f96e8e453088fe179a8",
+		"tau-ccds":           "baddd9ebe8dc5064c114678f8d0c1b1c05d504b071b098fdc24aaae37214a939",
+		"async-mis":          "8925bfc7b9baf3e3c3b21ba94d93a152f76d1491d4ae2fae2ef21198c3189fc3",
+		"lossy-uniform":      "b71d8f436d13da91aabdb7b7b78ffd419d7c821ded1dd3125be8079bbdee5963",
+		"bursty-links":       "a57e367dbf97740d943fd8adff85fa96fc08d8efe6d8b5026531f133b54fb197",
+		"dynamic-ccds":       "5c0a54d754f7a30a8bb7a3b85ce97ee3e5e836ee3f09e50393b7dcc6910b03e9",
+	}
+	presets := Presets()
+	if len(presets) != len(want) {
+		t.Errorf("registry has %d presets, golden map has %d — add the new preset's hash", len(presets), len(want))
+	}
+	for _, p := range presets {
+		w, ok := want[p.Name]
+		if !ok {
+			t.Errorf("preset %q has no golden hash; add %q", p.Name, p.Spec.Hash())
+			continue
+		}
+		if got := p.Spec.Hash(); got != w {
+			t.Errorf("preset %q canonical hash changed:\n got %s\nwant %s\ncanonical form: %s",
+				p.Name, got, w, mustJSON(t, p.Spec.Canonical()))
+		}
+	}
+}
+
 func TestValidateRejections(t *testing.T) {
 	valid := func() Spec {
 		return Spec{Algorithm: AlgoCCDS, Network: NetworkSpec{N: 64}, B: 512}

@@ -10,7 +10,8 @@ import (
 	"dualradio/internal/scenario"
 )
 
-// maxBodyBytes bounds submission bodies; a spec is a few hundred bytes.
+// maxBodyBytes bounds submission bodies; a spec is a few hundred bytes and
+// a sweep a few thousand.
 const maxBodyBytes = 1 << 20
 
 func (s *Server) routes() {
@@ -21,6 +22,11 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleGetJob)
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancelJob)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleJobEvents)
+	s.mux.HandleFunc("POST /v1/sweeps", s.handleSubmitSweep)
+	s.mux.HandleFunc("GET /v1/sweeps", s.handleListSweeps)
+	s.mux.HandleFunc("GET /v1/sweeps/{id}", s.handleGetSweep)
+	s.mux.HandleFunc("DELETE /v1/sweeps/{id}", s.handleCancelSweep)
+	s.mux.HandleFunc("GET /v1/sweeps/{id}/events", s.handleSweepEvents)
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -35,20 +41,43 @@ func writeError(w http.ResponseWriter, status int, format string, args ...any) {
 	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
 }
 
+// submitStatus maps a Submit/SubmitSweep error to its HTTP status: full
+// queue 503, admission budget 429, everything else (parse/validate) 400.
+func submitStatus(err error) int {
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, ErrOverBudget):
+		return http.StatusTooManyRequests
+	default:
+		return http.StatusBadRequest
+	}
+}
+
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	jobs := len(s.jobs)
+	sweeps := len(s.sweeps)
 	s.mu.Unlock()
-	writeJSON(w, http.StatusOK, map[string]any{
-		"status":       "ok",
-		"jobs":         jobs,
-		"queued":       len(s.queue),
-		"queue_depth":  s.cfg.QueueDepth,
-		"workers":      s.cfg.Workers,
-		"cache_len":    s.results.Len(),
-		"cache_cap":    s.results.Cap(),
-		"spec_version": scenario.SpecVersion,
-	})
+	h := map[string]any{
+		"status":           "ok",
+		"jobs":             jobs,
+		"sweeps":           sweeps,
+		"queued":           len(s.queue),
+		"queue_depth":      s.cfg.QueueDepth,
+		"workers":          s.cfg.Workers,
+		"cache_len":        s.results.Len(),
+		"cache_cap":        s.results.Cap(),
+		"pending_cost":     s.pending.Load(),
+		"max_pending_cost": s.cfg.MaxPendingCost,
+		"spec_version":     scenario.SpecVersion,
+	}
+	if s.store != nil {
+		h["store_len"] = s.store.Len()
+		h["store_dir"] = s.store.Dir()
+		h["store_errors"] = s.storeErrs.Load()
+	}
+	writeJSON(w, http.StatusOK, h)
 }
 
 func (s *Server) handlePresets(w http.ResponseWriter, r *http.Request) {
@@ -65,10 +94,18 @@ type submitRequest struct {
 	Spec   json.RawMessage `json:"spec,omitempty"`
 }
 
-func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+func readBody(w http.ResponseWriter, r *http.Request) ([]byte, bool) {
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "read body: %v", err)
+		return nil, false
+	}
+	return body, true
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	body, ok := readBody(w, r)
+	if !ok {
 		return
 	}
 	var req submitRequest
@@ -79,6 +116,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var spec scenario.Spec
+	var err error
 	switch {
 	case req.Preset != "" && req.Spec != nil:
 		writeError(w, http.StatusBadRequest, "give either preset or spec, not both")
@@ -101,15 +139,29 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	job, err := s.Submit(spec)
-	switch {
-	case errors.Is(err, ErrQueueFull):
-		writeError(w, http.StatusServiceUnavailable, "%v", err)
-		return
-	case err != nil:
-		writeError(w, http.StatusBadRequest, "%v", err)
+	if err != nil {
+		writeError(w, submitStatus(err), "%v", err)
 		return
 	}
 	writeJSON(w, http.StatusAccepted, job.View(false))
+}
+
+func (s *Server) handleSubmitSweep(w http.ResponseWriter, r *http.Request) {
+	body, ok := readBody(w, r)
+	if !ok {
+		return
+	}
+	sw, err := scenario.ParseSweep(body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	swp, err := s.SubmitSweep(sw)
+	if err != nil {
+		writeError(w, submitStatus(err), "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, swp.View(true))
 }
 
 func (s *Server) handleListJobs(w http.ResponseWriter, r *http.Request) {
@@ -119,6 +171,15 @@ func (s *Server) handleListJobs(w http.ResponseWriter, r *http.Request) {
 		views = append(views, j.View(false))
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"jobs": views})
+}
+
+func (s *Server) handleListSweeps(w http.ResponseWriter, r *http.Request) {
+	sweeps := s.Sweeps()
+	views := make([]SweepView, 0, len(sweeps))
+	for _, sw := range sweeps {
+		views = append(views, sw.View(false))
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"sweeps": views})
 }
 
 func (s *Server) jobOr404(w http.ResponseWriter, r *http.Request) (*Job, bool) {
@@ -131,12 +192,30 @@ func (s *Server) jobOr404(w http.ResponseWriter, r *http.Request) (*Job, bool) {
 	return job, true
 }
 
+func (s *Server) sweepOr404(w http.ResponseWriter, r *http.Request) (*Sweep, bool) {
+	id := r.PathValue("id")
+	sw, ok := s.Sweep(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "no sweep %q", id)
+		return nil, false
+	}
+	return sw, true
+}
+
 func (s *Server) handleGetJob(w http.ResponseWriter, r *http.Request) {
 	job, ok := s.jobOr404(w, r)
 	if !ok {
 		return
 	}
 	writeJSON(w, http.StatusOK, job.View(true))
+}
+
+func (s *Server) handleGetSweep(w http.ResponseWriter, r *http.Request) {
+	sw, ok := s.sweepOr404(w, r)
+	if !ok {
+		return
+	}
+	writeJSON(w, http.StatusOK, sw.View(true))
 }
 
 func (s *Server) handleCancelJob(w http.ResponseWriter, r *http.Request) {
@@ -148,14 +227,24 @@ func (s *Server) handleCancelJob(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, job.View(false))
 }
 
-// handleJobEvents streams the job's progress as NDJSON: the full event
-// history first, then live events as trials complete, ending after the
-// terminal event (or when the client disconnects).
-func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
-	job, ok := s.jobOr404(w, r)
+func (s *Server) handleCancelSweep(w http.ResponseWriter, r *http.Request) {
+	sw, ok := s.sweepOr404(w, r)
 	if !ok {
 		return
 	}
+	sw.CancelChildren()
+	writeJSON(w, http.StatusOK, sw.View(true))
+}
+
+// streamNDJSON drives an NDJSON event stream: replay history, follow live
+// events, end after the terminal event. source mirrors Job.eventsSince —
+// it returns pending events (already JSON-marshalable), whether the
+// subject is terminal, and a wake channel to wait on when idle. The
+// request context is observed both while waiting and between batches, so a
+// disconnected client stops the handler instead of leaving it writing into
+// a dead connection — event producers are never blocked either way, since
+// events live in the subject's log, not in a channel to this handler.
+func streamNDJSON(w http.ResponseWriter, r *http.Request, source func(from int) ([]any, bool, <-chan struct{})) {
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.Header().Set("Cache-Control", "no-store")
 	w.WriteHeader(http.StatusOK)
@@ -163,16 +252,19 @@ func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
 	enc := json.NewEncoder(w)
 	next := 0
 	for {
-		events, terminal, wake := job.eventsSince(next)
+		events, terminal, wake := source(next)
 		for _, e := range events {
 			if err := enc.Encode(e); err != nil {
-				return
+				return // client gone
 			}
 		}
 		next += len(events)
 		if len(events) > 0 {
 			if flusher != nil {
 				flusher.Flush()
+			}
+			if r.Context().Err() != nil {
+				return
 			}
 			continue // drain before deciding the stream is over
 		}
@@ -185,4 +277,40 @@ func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
 		case <-wake:
 		}
 	}
+}
+
+// handleJobEvents streams the job's progress as NDJSON: the full event
+// history first, then live events as trials complete, ending after the
+// terminal event (or when the client disconnects).
+func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.jobOr404(w, r)
+	if !ok {
+		return
+	}
+	streamNDJSON(w, r, func(from int) ([]any, bool, <-chan struct{}) {
+		events, terminal, wake := job.eventsSince(from)
+		out := make([]any, len(events))
+		for i, e := range events {
+			out[i] = e
+		}
+		return out, terminal, wake
+	})
+}
+
+// handleSweepEvents streams the sweep's child completions as NDJSON:
+// "queued", one "child" per terminal child in completion order, then
+// "done" once the whole grid is terminal.
+func (s *Server) handleSweepEvents(w http.ResponseWriter, r *http.Request) {
+	sw, ok := s.sweepOr404(w, r)
+	if !ok {
+		return
+	}
+	streamNDJSON(w, r, func(from int) ([]any, bool, <-chan struct{}) {
+		events, terminal, wake := sw.eventsSince(from)
+		out := make([]any, len(events))
+		for i, e := range events {
+			out[i] = e
+		}
+		return out, terminal, wake
+	})
 }

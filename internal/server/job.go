@@ -61,6 +61,7 @@ type Job struct {
 	cancel    func() // non-nil while running; requests the run's context stop
 	events    []Event
 	wake      chan struct{} // closed and replaced whenever events grows
+	hooks     []func()      // run once, after the terminal transition, outside mu
 }
 
 func newJob(id string, comp *scenario.Compiled) *Job {
@@ -84,6 +85,43 @@ func (j *Job) appendLocked(e Event) {
 	j.events = append(j.events, e)
 	close(j.wake)
 	j.wake = make(chan struct{})
+}
+
+// onTerminal registers a hook to run exactly once when the job reaches a
+// terminal state — the server releases the job's admission-cost charge this
+// way and sweeps observe child completions. Hooks run after the terminal
+// transition with no job lock held (so they may call back into the job),
+// in registration order; a hook added to an already-terminal job runs
+// immediately.
+func (j *Job) onTerminal(h func()) {
+	j.mu.Lock()
+	if j.status.terminal() {
+		j.mu.Unlock()
+		h()
+		return
+	}
+	j.hooks = append(j.hooks, h)
+	j.mu.Unlock()
+}
+
+// terminalLocked finalizes the bookkeeping every terminal transition
+// shares and hands back the hooks for the caller to run once the lock is
+// released. Callers must hold mu and have checked the job is not already
+// terminal.
+func (j *Job) terminalLocked(status JobStatus, e Event) []func() {
+	j.status = status
+	j.cancel = nil
+	j.finished = time.Now()
+	j.appendLocked(e)
+	hooks := j.hooks
+	j.hooks = nil
+	return hooks
+}
+
+func runHooks(hooks []func()) {
+	for _, h := range hooks {
+		h()
+	}
 }
 
 // eventsSince returns the events after index from, whether the job has
@@ -129,49 +167,50 @@ func (j *Job) progress(tr scenario.TrialResult) {
 	j.appendLocked(Event{Type: "trial", Trial: &tr})
 }
 
-// complete finishes the job with a result; cached marks a cache hit.
+// complete finishes the job with a result; cached marks a cache hit. Only
+// fully completed runs reach here: the caller either ran every trial to
+// the end or is serving a result that did (the cache and the persistent
+// store are populated exclusively with complete results), so a terminal
+// job can never expose a partial result under its spec hash.
 func (j *Job) complete(res *scenario.Result, cached bool) {
 	j.mu.Lock()
-	defer j.mu.Unlock()
 	if j.status.terminal() {
+		j.mu.Unlock()
 		return
 	}
-	j.status = StatusDone
 	j.result = res
 	j.cached = cached
 	if cached {
 		j.completed = j.comp.Trials()
 	}
-	j.cancel = nil
-	j.finished = time.Now()
-	j.appendLocked(Event{Type: "done", Cached: cached})
+	hooks := j.terminalLocked(StatusDone, Event{Type: "done", Cached: cached})
+	j.mu.Unlock()
+	runHooks(hooks)
 }
 
 // fail finishes the job with an error.
 func (j *Job) fail(err error) {
 	j.mu.Lock()
-	defer j.mu.Unlock()
 	if j.status.terminal() {
+		j.mu.Unlock()
 		return
 	}
-	j.status = StatusFailed
 	j.errMsg = err.Error()
-	j.cancel = nil
-	j.finished = time.Now()
-	j.appendLocked(Event{Type: "failed", Error: j.errMsg})
+	hooks := j.terminalLocked(StatusFailed, Event{Type: "failed", Error: j.errMsg})
+	j.mu.Unlock()
+	runHooks(hooks)
 }
 
 // markCancelled finishes the job as cancelled (no-op once terminal).
 func (j *Job) markCancelled() {
 	j.mu.Lock()
-	defer j.mu.Unlock()
 	if j.status.terminal() {
+		j.mu.Unlock()
 		return
 	}
-	j.status = StatusCancelled
-	j.cancel = nil
-	j.finished = time.Now()
-	j.appendLocked(Event{Type: "cancelled"})
+	hooks := j.terminalLocked(StatusCancelled, Event{Type: "cancelled"})
+	j.mu.Unlock()
+	runHooks(hooks)
 }
 
 // Cancel requests cancellation: a queued job is cancelled immediately, a
@@ -181,10 +220,9 @@ func (j *Job) markCancelled() {
 func (j *Job) Cancel() bool {
 	j.mu.Lock()
 	if j.status == StatusQueued {
-		j.status = StatusCancelled
-		j.finished = time.Now()
-		j.appendLocked(Event{Type: "cancelled"})
+		hooks := j.terminalLocked(StatusCancelled, Event{Type: "cancelled"})
 		j.mu.Unlock()
+		runHooks(hooks)
 		return true
 	}
 	cancel := j.cancel

@@ -1,29 +1,40 @@
 // Package server exposes the scenario engine as a long-running simulation
 // service: an HTTP JSON API over a bounded job queue and a worker pool that
 // fans trials through the harness scheduler, with per-spec result caching
-// keyed by the canonical spec hash and graceful shutdown via context.
+// keyed by the canonical spec hash, an optional persistent result store
+// that survives restarts, parameter-sweep batch submission, and cost-aware
+// admission so oversized workloads are rejected instead of wedging the
+// queue.
 //
 // API (see DESIGN.md for curl examples):
 //
-//	POST   /v1/jobs             submit a spec ({"preset": "name"} or a spec object)
-//	GET    /v1/jobs             list jobs
-//	GET    /v1/jobs/{id}        job status + result when done
-//	DELETE /v1/jobs/{id}        cancel a queued or running job
-//	GET    /v1/jobs/{id}/events NDJSON progress stream (follows until terminal)
-//	GET    /v1/presets          named preset specs
-//	GET    /healthz             liveness + queue/cache gauges
+//	POST   /v1/jobs               submit a spec ({"preset": "name"} or a spec object)
+//	GET    /v1/jobs               list jobs
+//	GET    /v1/jobs/{id}          job status + result when done
+//	DELETE /v1/jobs/{id}          cancel a queued or running job
+//	GET    /v1/jobs/{id}/events   NDJSON progress stream (follows until terminal)
+//	POST   /v1/sweeps             submit a parameter sweep (base spec + axes)
+//	GET    /v1/sweeps             list sweeps
+//	GET    /v1/sweeps/{id}        sweep rollup: per-child status counts + children
+//	DELETE /v1/sweeps/{id}        cancel every non-terminal child
+//	GET    /v1/sweeps/{id}/events NDJSON child-completion stream
+//	GET    /v1/presets            named preset specs
+//	GET    /healthz               liveness + queue/cache/store gauges
 package server
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"dualradio/internal/memo"
 	"dualradio/internal/scenario"
+	"dualradio/internal/store"
 )
 
 // Config sizes the service.
@@ -42,8 +53,20 @@ type Config struct {
 	TrialWorkers int
 	// History bounds the job registry: once more than this many terminal
 	// jobs are retained, the oldest are pruned (default 512). Pruned jobs
-	// return 404; their results live on in the spec-hash cache.
+	// return 404; their results live on in the spec-hash cache and the
+	// persistent store. Sweeps are bounded the same way.
 	History int
+	// DataDir, when non-empty, persists every completed result as a
+	// per-spec-hash file under this directory and consults it on cache
+	// misses, so identical specs survive daemon restarts without
+	// re-simulation.
+	DataDir string
+	// MaxPendingCost bounds the admitted-but-unfinished work, measured by
+	// the analytic cost estimate n·trials·schedule-rounds summed over
+	// queued and running jobs (default 1<<32 round-process units).
+	// Submissions that would exceed it — huge single jobs or huge sweeps —
+	// are rejected with 429 instead of wedging the queue for hours.
+	MaxPendingCost int64
 }
 
 func (c Config) withDefaults() Config {
@@ -62,11 +85,18 @@ func (c Config) withDefaults() Config {
 	if c.History <= 0 {
 		c.History = 512
 	}
+	if c.MaxPendingCost <= 0 {
+		c.MaxPendingCost = 1 << 32
+	}
 	return c
 }
 
 // ErrQueueFull rejects submissions when the backlog is at QueueDepth.
 var ErrQueueFull = errors.New("server: job queue full")
+
+// ErrOverBudget rejects submissions whose cost estimate would push the
+// pending workload past MaxPendingCost.
+var ErrOverBudget = errors.New("server: admission cost budget exceeded")
 
 // Server is the simulation service. It implements http.Handler; construct
 // with New and stop with Close.
@@ -78,17 +108,32 @@ type Server struct {
 	wg      sync.WaitGroup
 	queue   chan *Job
 	results *memo.LRU[string, *scenario.Result]
+	store   *store.Store // nil without DataDir
 
-	mu     sync.Mutex
-	jobs   map[string]*Job
-	order  []string // submission order, for listing
-	nextID int
-	closed bool
+	pending   atomic.Int64 // cost estimate of queued + running jobs
+	storeErrs atomic.Int64 // persistence failures (best-effort writes)
+
+	mu         sync.Mutex
+	jobs       map[string]*Job
+	order      []string // submission order, for listing and oldest-first pruning
+	sweeps     map[string]*Sweep
+	sweepOrder []string
+	nextID     int
+	nextSweep  int
+	closed     bool
 }
 
-// New starts a server: its worker pool runs until Close.
-func New(cfg Config) *Server {
+// New starts a server: its worker pool runs until Close. With a DataDir it
+// opens (creating if absent) the persistent result store first.
+func New(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
+	var st *store.Store
+	if cfg.DataDir != "" {
+		var err error
+		if st, err = store.Open(cfg.DataDir); err != nil {
+			return nil, err
+		}
+	}
 	ctx, stop := context.WithCancel(context.Background())
 	s := &Server{
 		cfg:     cfg,
@@ -97,14 +142,16 @@ func New(cfg Config) *Server {
 		stop:    stop,
 		queue:   make(chan *Job, cfg.QueueDepth),
 		results: memo.NewLRU[string, *scenario.Result](cfg.CacheSize),
+		store:   st,
 		jobs:    make(map[string]*Job),
+		sweeps:  make(map[string]*Sweep),
 	}
 	s.routes()
 	for w := 0; w < cfg.Workers; w++ {
 		s.wg.Add(1)
 		go s.worker()
 	}
-	return s
+	return s, nil
 }
 
 // ServeHTTP implements http.Handler.
@@ -131,9 +178,51 @@ func (s *Server) Close() {
 	}
 }
 
-// Submit compiles, registers, and enqueues a spec. A result-cache hit
-// completes the job immediately without touching the queue; a full queue
-// rejects with ErrQueueFull; an invalid spec fails compilation.
+// lookupResult consults the in-memory LRU first, then the persistent
+// store. A store hit is decoded and promoted into the LRU; unreadable or
+// undecodable entries degrade to cache misses (the job then re-simulates,
+// which is always correct).
+func (s *Server) lookupResult(hash string) (*scenario.Result, bool) {
+	if res, ok := s.results.Peek(hash); ok {
+		return res, true
+	}
+	if s.store == nil {
+		return nil, false
+	}
+	data, ok, err := s.store.Get(hash)
+	if err != nil || !ok {
+		return nil, false
+	}
+	var res scenario.Result
+	if err := json.Unmarshal(data, &res); err != nil {
+		return nil, false
+	}
+	s.results.Add(hash, &res)
+	return &res, true
+}
+
+// persist writes a completed result to the LRU and, when configured, the
+// durable store. Only fully completed results ever reach here — cancelled
+// and failed runs return nil results and must never be served for their
+// spec hash.
+func (s *Server) persist(hash string, res *scenario.Result) {
+	s.results.Add(hash, res)
+	if s.store == nil {
+		return
+	}
+	data, err := json.Marshal(res)
+	if err == nil {
+		err = s.store.Put(hash, data)
+	}
+	if err != nil {
+		s.storeErrs.Add(1)
+	}
+}
+
+// Submit compiles, registers, and enqueues a spec. A result-cache or
+// store hit completes the job immediately without touching the queue; a
+// full queue rejects with ErrQueueFull; a cost estimate beyond the pending
+// budget rejects with ErrOverBudget; an invalid spec fails compilation.
 //
 // The closed check, registration, and (non-blocking) enqueue form one
 // critical section: an enqueue therefore strictly precedes Close setting
@@ -145,53 +234,152 @@ func (s *Server) Submit(spec scenario.Spec) (*Job, error) {
 	if err != nil {
 		return nil, err
 	}
-	res, cached := s.results.Peek(comp.Hash())
+	res, cached := s.lookupResult(comp.Hash())
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
 		return nil, errors.New("server: closed")
 	}
+	job, err := s.startJobLocked(comp, res, cached, nil)
+	if err != nil {
+		return nil, err
+	}
+	s.pruneLocked()
+	return job, nil
+}
+
+// startJobLocked creates, registers, and dispatches one job: cached jobs
+// complete immediately, everything else is charged against the admission
+// budget and enqueued. The terminal hooks — sweep rollup and cost release —
+// are registered before the job can possibly finish, and none of them
+// takes s.mu, so they are safe to fire from any path (including the inline
+// cache-hit completion below, which runs with s.mu held). Callers hold
+// s.mu.
+func (s *Server) startJobLocked(comp *scenario.Compiled, res *scenario.Result, cached bool, sw *Sweep) (*Job, error) {
 	job := newJob(fmt.Sprintf("j%06d", s.nextID+1), comp)
+	if sw != nil {
+		job.onTerminal(func() { sw.childTerminal(job) })
+	}
 	if cached {
 		job.complete(res, true)
 	} else {
+		cost := comp.CostEstimate()
+		if s.pending.Load()+cost > s.cfg.MaxPendingCost {
+			return nil, fmt.Errorf("%w: estimate %d over budget %d", ErrOverBudget, cost, s.cfg.MaxPendingCost)
+		}
+		s.pending.Add(cost)
+		job.onTerminal(func() { s.pending.Add(-cost) })
 		select {
 		case s.queue <- job:
 		default:
+			s.pending.Add(-cost)
 			return nil, ErrQueueFull
 		}
 	}
 	s.nextID++
 	s.jobs[job.id] = job
 	s.order = append(s.order, job.id)
-	s.pruneLocked()
 	return job, nil
+}
+
+// SubmitSweep expands a sweep and submits every child atomically: either
+// the whole grid is admitted (cache-served children completing instantly,
+// the rest enqueued) or nothing is, so a sweep can never be half-accepted.
+// Capacity and cost are checked up front against the whole batch; because
+// every submission path holds s.mu and workers only drain the queue, the
+// checks cannot be invalidated mid-loop.
+func (s *Server) SubmitSweep(sw scenario.SweepSpec) (*Sweep, error) {
+	exp, err := scenario.ExpandSweep(sw)
+	if err != nil {
+		return nil, err
+	}
+	type lookup struct {
+		res    *scenario.Result
+		cached bool
+	}
+	looks := make([]lookup, len(exp.Children))
+	need := 0
+	var cost int64
+	for i, comp := range exp.Children {
+		looks[i].res, looks[i].cached = s.lookupResult(comp.Hash())
+		if !looks[i].cached {
+			need++
+			cost += comp.CostEstimate()
+		}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, errors.New("server: closed")
+	}
+	if len(s.queue)+need > cap(s.queue) {
+		return nil, fmt.Errorf("%w: sweep needs %d queue slots", ErrQueueFull, need)
+	}
+	if s.pending.Load()+cost > s.cfg.MaxPendingCost {
+		return nil, fmt.Errorf("%w: sweep estimate %d over budget %d", ErrOverBudget, cost, s.cfg.MaxPendingCost)
+	}
+	swp := newSweep(fmt.Sprintf("s%06d", s.nextSweep+1), exp)
+	s.nextSweep++
+	for i, comp := range exp.Children {
+		job, err := s.startJobLocked(comp, looks[i].res, looks[i].cached, swp)
+		if err != nil {
+			// Unreachable given the up-front checks; fail closed anyway so a
+			// future change cannot leave a half-registered sweep behind.
+			for _, c := range swp.children {
+				if c != nil {
+					c.Cancel()
+				}
+			}
+			return nil, err
+		}
+		swp.children[i] = job
+	}
+	s.sweeps[swp.id] = swp
+	s.sweepOrder = append(s.sweepOrder, swp.id)
+	s.pruneLocked()
+	return swp, nil
 }
 
 // pruneLocked drops the oldest terminal jobs once more than History are
 // retained, so a long-running daemon's registry — and the per-trial result
-// payloads each job pins — stays bounded. Live jobs are never pruned.
-// Callers must hold s.mu.
+// payloads each job pins — stays bounded. Eviction is strictly
+// oldest-submission-first among terminal jobs: the scan walks s.order
+// (append-only submission order), never map iteration order, so which job
+// survives is deterministic. Live jobs are never pruned, regardless of
+// age. Terminal sweeps are bounded the same way. Callers must hold s.mu.
 func (s *Server) pruneLocked() {
-	terminal := 0
-	for _, id := range s.order {
-		if s.jobs[id].Status().terminal() {
-			terminal++
+	s.order = pruneOldest(s.order, s.cfg.History,
+		func(id string) bool { return s.jobs[id].Status().terminal() },
+		func(id string) { delete(s.jobs, id) })
+	s.sweepOrder = pruneOldest(s.sweepOrder, s.cfg.History,
+		func(id string) bool { return s.sweeps[id].terminal() },
+		func(id string) { delete(s.sweeps, id) })
+}
+
+// pruneOldest drops the oldest terminal entries of order — in slice order,
+// strictly front-first — until at most keep remain, calling drop for each
+// eviction, and returns the retained order (reusing the backing array).
+// Non-terminal entries are always retained.
+func pruneOldest(order []string, keep int, terminal func(string) bool, drop func(string)) []string {
+	count := 0
+	for _, id := range order {
+		if terminal(id) {
+			count++
 		}
 	}
-	if terminal <= s.cfg.History {
-		return
+	if count <= keep {
+		return order
 	}
-	kept := s.order[:0]
-	for _, id := range s.order {
-		if terminal > s.cfg.History && s.jobs[id].Status().terminal() {
-			delete(s.jobs, id)
-			terminal--
+	kept := order[:0]
+	for _, id := range order {
+		if count > keep && terminal(id) {
+			drop(id)
+			count--
 			continue
 		}
 		kept = append(kept, id)
 	}
-	s.order = kept
+	return kept
 }
 
 // Job returns the job by id.
@@ -213,6 +401,25 @@ func (s *Server) Jobs() []*Job {
 	return out
 }
 
+// Sweep returns the sweep by id.
+func (s *Server) Sweep(id string) (*Sweep, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sw, ok := s.sweeps[id]
+	return sw, ok
+}
+
+// Sweeps returns every sweep in submission order.
+func (s *Server) Sweeps() []*Sweep {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*Sweep, 0, len(s.sweepOrder))
+	for _, id := range s.sweepOrder {
+		out = append(out, s.sweeps[id])
+	}
+	return out
+}
+
 // worker pulls jobs off the queue until the server context stops.
 func (s *Server) worker() {
 	defer s.wg.Done()
@@ -230,12 +437,14 @@ func (s *Server) worker() {
 // server's, so both DELETE and Close cancel it; cancellation is observed
 // between trials.
 func (s *Server) runJob(job *Job) {
-	// Re-check the cache before starting: an identical job submitted
-	// earlier may have finished while this one sat in the queue. The check
-	// precedes tryStart so a cache-served job keeps the documented
+	// Re-check the cache (and, through lookupResult, the persistent
+	// store) before starting: an identical job submitted earlier may have
+	// finished while this one sat in the queue, and its result may have
+	// already been evicted from the LRU into store-only residence. The
+	// check precedes tryStart so a cache-served job keeps the documented
 	// queued → done event shape (complete no-ops if the job was cancelled
 	// while queued).
-	if res, ok := s.results.Peek(job.comp.Hash()); ok {
+	if res, ok := s.lookupResult(job.comp.Hash()); ok {
 		job.complete(res, true)
 		return
 	}
@@ -247,7 +456,11 @@ func (s *Server) runJob(job *Job) {
 	res, err := job.comp.Run(ctx, s.cfg.TrialWorkers, job.progress)
 	switch {
 	case err == nil:
-		s.results.Add(job.comp.Hash(), res)
+		// Run returned without error, which guarantees every trial
+		// completed — only complete results are ever cached or persisted
+		// under the spec hash (a cancelled or failed run returns a nil
+		// result with its error instead).
+		s.persist(job.comp.Hash(), res)
 		job.complete(res, false)
 	case ctx.Err() != nil:
 		job.markCancelled()

@@ -3,6 +3,7 @@ package server
 import (
 	"bufio"
 	"bytes"
+	"context"
 	"encoding/json"
 	"io"
 	"net/http"
@@ -18,7 +19,10 @@ import (
 
 func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
 	t.Helper()
-	svc := New(cfg)
+	svc, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	ts := httptest.NewServer(svc)
 	t.Cleanup(func() {
 		svc.Close()
@@ -466,7 +470,10 @@ func TestQueueDelayedCacheHitKeepsCachedEventShape(t *testing.T) {
 }
 
 func TestCloseCancelsRunningJobs(t *testing.T) {
-	svc := New(Config{Workers: 1})
+	svc, err := New(Config{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
 	job, err := svc.Submit(quickSpec(4000, 1))
 	if err != nil {
 		t.Fatal(err)
@@ -489,6 +496,172 @@ func TestCloseCancelsRunningJobs(t *testing.T) {
 	if _, err := svc.Submit(quickSpec(1, 1)); err == nil {
 		t.Fatal("closed server accepted a submission")
 	}
+}
+
+// TestPruneEvictsOldestTerminalFirst pins pruneLocked's eviction policy:
+// strictly oldest-submission-first among terminal jobs, driven by the
+// append-only order slice — never map iteration order — with live jobs
+// immune regardless of age. The surviving set is therefore deterministic.
+func TestPruneEvictsOldestTerminalFirst(t *testing.T) {
+	svc, ts := newTestServer(t, Config{Workers: 2, History: 2, MaxPendingCost: 1 << 40})
+	// The oldest job overall stays live for the whole test (n=256 × 4096
+	// trials takes far longer than the quick jobs below; one worker runs
+	// it, the other serves the rest): pruning must skip over it, not
+	// protect younger terminal jobs behind it.
+	live, err := svc.Submit(scenario.Spec{
+		Algorithm:       scenario.AlgoMIS,
+		Network:         scenario.NetworkSpec{N: 256},
+		Trials:          4096,
+		Seed:            50,
+		StopWhenDecided: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer live.Cancel()
+	var ids []string
+	for seed := uint64(51); seed <= 55; seed++ {
+		job, err := svc.Submit(quickSpec(1, seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, job.id)
+		waitForStatus(t, ts.URL+"/v1/jobs/"+job.id, StatusDone)
+	}
+	// Pruning runs at submission: the 4th and 5th quick submissions each
+	// found three terminal jobs (one over History) and evicted exactly the
+	// oldest terminal one — ids[0], then ids[1]. Everything younger
+	// survives; nothing else may be touched.
+	for i, id := range ids {
+		code, _ := getJSON[map[string]any](t, ts.URL+"/v1/jobs/"+id)
+		want := http.StatusOK
+		if i < 2 {
+			want = http.StatusNotFound
+		}
+		if code != want {
+			t.Errorf("job %d (%s): status %d, want %d", i, id, code, want)
+		}
+	}
+	// The live job survived every prune despite being the oldest.
+	if v := live.View(false); v.Status.terminal() {
+		t.Fatalf("live job reached %q unexpectedly", v.Status)
+	}
+	if _, ok := svc.Job(live.id); !ok {
+		t.Fatal("live job was pruned")
+	}
+}
+
+// TestCancelledJobNeverPopulatesCacheOrStore locks the cache-insert
+// contract: only fully completed runs are stored under the spec hash, so
+// cancelling a job mid-run must leave both the LRU and the persistent
+// store empty, and resubmitting the same spec must re-simulate from
+// scratch to full completion rather than serve the victim's partial state.
+func TestCancelledJobNeverPopulatesCacheOrStore(t *testing.T) {
+	spec := quickSpec(800, 31)
+	svc, ts := newTestServer(t, Config{Workers: 1, DataDir: t.TempDir()})
+	_, body := postJSON(t, ts.URL+"/v1/jobs", spec)
+	var first JobView
+	if err := json.Unmarshal(body, &first); err != nil {
+		t.Fatal(err)
+	}
+	jobURL := ts.URL + "/v1/jobs/" + first.ID
+
+	// Follow the stream until a completed trial proves the job mid-flight.
+	resp, err := http.Get(jobURL + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sawTrial := false
+	for sc.Scan() {
+		var e Event
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			t.Fatal(err)
+		}
+		if e.Type == "trial" {
+			sawTrial = true
+			break
+		}
+	}
+	resp.Body.Close()
+	if !sawTrial {
+		t.Fatal("stream ended before any trial completed")
+	}
+	req, _ := http.NewRequest(http.MethodDelete, jobURL, nil)
+	dresp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dresp.Body.Close()
+	cancelled := waitForStatus(t, jobURL, StatusCancelled)
+	if cancelled.Completed >= cancelled.Total {
+		t.Skip("job finished before the cancel landed; nothing partial to guard")
+	}
+
+	// Neither cache nor store may hold anything under the spec hash.
+	if _, ok := svc.results.Peek(first.SpecHash); ok {
+		t.Fatal("cancelled job's partial result entered the LRU")
+	}
+	if svc.store.Len() != 0 {
+		t.Fatalf("cancelled job persisted %d store entries", svc.store.Len())
+	}
+
+	// Resubmission runs fresh and to completion.
+	_, body = postJSON(t, ts.URL+"/v1/jobs", spec)
+	var second JobView
+	if err := json.Unmarshal(body, &second); err != nil {
+		t.Fatal(err)
+	}
+	done := waitForStatus(t, ts.URL+"/v1/jobs/"+second.ID, StatusDone)
+	if done.Cached {
+		t.Fatal("resubmission after cancel was served from the cache")
+	}
+	if done.Result == nil || len(done.Result.Trials) != done.Total {
+		t.Fatalf("resubmission result incomplete: %+v", done.Result)
+	}
+	if svc.store.Len() != 1 {
+		t.Fatalf("completed resubmission persisted %d entries, want 1", svc.store.Len())
+	}
+}
+
+// TestJobEventsStreamStopsOnClientDisconnect locks the NDJSON handler's
+// disconnect behavior: when the client goes away mid-stream — even while
+// events keep arriving, so the handler never parks on the wake channel —
+// the handler observes r.Context() and returns instead of writing into a
+// dead connection until the job ends. Event producers are unaffected
+// either way (events append to the job's log; nothing blocks on this
+// handler).
+func TestJobEventsStreamStopsOnClientDisconnect(t *testing.T) {
+	svc, ts := newTestServer(t, Config{Workers: 1})
+	_, body := postJSON(t, ts.URL+"/v1/jobs", quickSpec(4000, 77))
+	var view JobView
+	if err := json.Unmarshal(body, &view); err != nil {
+		t.Fatal(err)
+	}
+	waitForStatus(t, ts.URL+"/v1/jobs/"+view.ID, StatusRunning)
+
+	rec := httptest.NewRecorder()
+	ctx, cancel := context.WithCancel(context.Background())
+	req := httptest.NewRequest(http.MethodGet, "/v1/jobs/"+view.ID+"/events", nil).WithContext(ctx)
+	handlerDone := make(chan struct{})
+	go func() {
+		svc.ServeHTTP(rec, req)
+		close(handlerDone)
+	}()
+	// Let the stream run mid-job, then disconnect.
+	time.Sleep(50 * time.Millisecond)
+	cancel()
+	select {
+	case <-handlerDone:
+	case <-time.After(5 * time.Second):
+		t.Fatal("events handler kept streaming after client disconnect")
+	}
+	// The job is unaffected by the departed stream.
+	job, ok := svc.Job(view.ID)
+	if !ok || job.Status().terminal() {
+		t.Fatal("job vanished or terminated when its stream client left")
+	}
+	job.Cancel()
 }
 
 func streamEvents(t *testing.T, url string) []Event {

@@ -1,0 +1,190 @@
+package server
+
+import (
+	"sync"
+	"time"
+
+	"dualradio/internal/scenario"
+)
+
+// Sweep is one submitted parameter sweep: a batch of child jobs expanded
+// from a SweepSpec, tracked together so callers get a per-child rollup and
+// a completion event stream without polling every child. Children are
+// ordinary jobs — they appear under /v1/jobs, share the queue, the result
+// cache, and the persistent store — and the sweep only observes them.
+type Sweep struct {
+	id    string
+	hash  string
+	name  string
+	total int
+
+	mu       sync.Mutex
+	children []*Job // grid order; fully populated before the sweep is published
+	done     int    // children that reached a terminal state
+	created  time.Time
+	finished time.Time
+	events   []SweepEvent
+	wake     chan struct{} // closed and replaced whenever events grows
+}
+
+// SweepEvent is one NDJSON record on a sweep's event stream: "queued" at
+// submission, one "child" per child reaching a terminal state (in
+// completion order, so concurrently running children interleave), and
+// finally "done" when every child is terminal.
+type SweepEvent struct {
+	Type  string `json:"type"`
+	Sweep string `json:"sweep"`
+	// Job, SpecHash, Status, and Cached describe the finished child on
+	// "child" events.
+	Job      string    `json:"job,omitempty"`
+	SpecHash string    `json:"spec_hash,omitempty"`
+	Status   JobStatus `json:"status,omitempty"`
+	Cached   bool      `json:"cached,omitempty"`
+	// Completed and Total count terminal children.
+	Completed int `json:"completed"`
+	Total     int `json:"total"`
+}
+
+func newSweep(id string, exp *scenario.Expansion) *Sweep {
+	sw := &Sweep{
+		id:       id,
+		hash:     exp.Hash(),
+		name:     exp.Spec.Name,
+		total:    len(exp.Children),
+		children: make([]*Job, len(exp.Children)),
+		created:  time.Now(),
+		wake:     make(chan struct{}),
+	}
+	sw.appendLocked(SweepEvent{Type: "queued"})
+	return sw
+}
+
+// appendLocked records an event and wakes stream readers. Callers must
+// hold mu — except newSweep, whose sweep is not yet shared.
+func (sw *Sweep) appendLocked(e SweepEvent) {
+	e.Sweep = sw.id
+	e.Completed = sw.done
+	e.Total = sw.total
+	sw.events = append(sw.events, e)
+	close(sw.wake)
+	sw.wake = make(chan struct{})
+}
+
+// childTerminal is the child jobs' terminal hook. It runs with no job or
+// server lock held (see Job.onTerminal), exactly once per child.
+func (sw *Sweep) childTerminal(j *Job) {
+	v := j.View(false)
+	sw.mu.Lock()
+	sw.done++
+	sw.appendLocked(SweepEvent{
+		Type:     "child",
+		Job:      v.ID,
+		SpecHash: v.SpecHash,
+		Status:   v.Status,
+		Cached:   v.Cached,
+	})
+	if sw.done == sw.total {
+		sw.finished = time.Now()
+		sw.appendLocked(SweepEvent{Type: "done"})
+	}
+	sw.mu.Unlock()
+}
+
+// terminal reports whether every child has reached a terminal state.
+func (sw *Sweep) terminal() bool {
+	sw.mu.Lock()
+	defer sw.mu.Unlock()
+	return sw.done == sw.total
+}
+
+// eventsSince mirrors Job.eventsSince for the sweep stream.
+func (sw *Sweep) eventsSince(from int) (events []SweepEvent, terminal bool, wake <-chan struct{}) {
+	sw.mu.Lock()
+	defer sw.mu.Unlock()
+	if from < len(sw.events) {
+		return append([]SweepEvent(nil), sw.events[from:]...), sw.done == sw.total, nil
+	}
+	return nil, sw.done == sw.total, sw.wake
+}
+
+// CancelChildren cancels every non-terminal child and reports how many
+// cancellations took effect.
+func (sw *Sweep) CancelChildren() int {
+	n := 0
+	for _, j := range sw.children {
+		if j.Cancel() {
+			n++
+		}
+	}
+	return n
+}
+
+// SweepChildView is one child's summary in the sweep rollup.
+type SweepChildView struct {
+	ID       string    `json:"id"`
+	Name     string    `json:"name,omitempty"`
+	SpecHash string    `json:"spec_hash"`
+	Status   JobStatus `json:"status"`
+	Cached   bool      `json:"cached,omitempty"`
+	// Completed and Total track the child's trial progress.
+	Completed int `json:"completed"`
+	Total     int `json:"total"`
+}
+
+// SweepView is the JSON representation served by the sweeps endpoints.
+type SweepView struct {
+	ID        string `json:"id"`
+	SweepHash string `json:"sweep_hash"`
+	Name      string `json:"name,omitempty"`
+	// Status is "running" until every child is terminal, then "done".
+	Status   string     `json:"status"`
+	Created  time.Time  `json:"created"`
+	Finished *time.Time `json:"finished,omitempty"`
+	// Total counts children; Counts rolls their statuses up.
+	Total  int               `json:"total"`
+	Counts map[JobStatus]int `json:"counts"`
+	// Children lists per-child summaries in grid order (full view only).
+	Children []SweepChildView `json:"children,omitempty"`
+}
+
+// View snapshots the sweep. withChildren includes the per-child summaries;
+// listings omit them.
+func (sw *Sweep) View(withChildren bool) SweepView {
+	sw.mu.Lock()
+	finished, created := sw.finished, sw.created
+	done := sw.done
+	children := sw.children
+	sw.mu.Unlock()
+	v := SweepView{
+		ID:        sw.id,
+		SweepHash: sw.hash,
+		Name:      sw.name,
+		Status:    "running",
+		Created:   created,
+		Total:     sw.total,
+		Counts:    make(map[JobStatus]int, 4),
+	}
+	if done == sw.total {
+		v.Status = "done"
+	}
+	if !finished.IsZero() {
+		t := finished
+		v.Finished = &t
+	}
+	for _, j := range children {
+		jv := j.View(false)
+		v.Counts[jv.Status]++
+		if withChildren {
+			v.Children = append(v.Children, SweepChildView{
+				ID:        jv.ID,
+				Name:      jv.Spec.Name,
+				SpecHash:  jv.SpecHash,
+				Status:    jv.Status,
+				Cached:    jv.Cached,
+				Completed: jv.Completed,
+				Total:     jv.Total,
+			})
+		}
+	}
+	return v
+}

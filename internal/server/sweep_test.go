@@ -1,0 +1,297 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"reflect"
+	"testing"
+	"time"
+
+	"dualradio/internal/scenario"
+)
+
+// quickSweep is a 3-axis 2×2×2 grid of fast MIS workloads
+// (n × gray_prob × adversary).
+func quickSweep(seed uint64) scenario.SweepSpec {
+	return scenario.SweepSpec{
+		Name: "quick grid",
+		Base: scenario.Spec{
+			Algorithm:       scenario.AlgoMIS,
+			Network:         scenario.NetworkSpec{N: 16},
+			Trials:          1,
+			Seed:            seed,
+			StopWhenDecided: true,
+		},
+		Axes: scenario.SweepAxes{
+			N:        &scenario.Axis{Values: []float64{16, 24}},
+			GrayProb: &scenario.Axis{Values: []float64{0.1, 0.3}},
+			Adversary: []scenario.AdversarySpec{
+				{Kind: scenario.AdvCollision},
+				{Kind: scenario.AdvNone},
+			},
+		},
+	}
+}
+
+func waitForSweepDone(t *testing.T, sw *Sweep) SweepView {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		v := sw.View(true)
+		if v.Status == "done" {
+			return v
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("sweep stuck: %+v", v)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestSweepLifecycleHTTP(t *testing.T) {
+	svc, ts := newTestServer(t, Config{Workers: 2})
+	resp, body := postJSON(t, ts.URL+"/v1/sweeps", quickSweep(1))
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("sweep submit: status %d, body %s", resp.StatusCode, body)
+	}
+	var accepted SweepView
+	if err := json.Unmarshal(body, &accepted); err != nil {
+		t.Fatal(err)
+	}
+	if accepted.ID == "" || accepted.Total != 8 || accepted.SweepHash == "" || len(accepted.Children) != 8 {
+		t.Fatalf("bad accepted sweep view: %+v", accepted)
+	}
+
+	sw, ok := svc.Sweep(accepted.ID)
+	if !ok {
+		t.Fatalf("sweep %s not registered", accepted.ID)
+	}
+	done := waitForSweepDone(t, sw)
+	if done.Counts[StatusDone] != 8 {
+		t.Fatalf("sweep rollup counts %v, want 8 done", done.Counts)
+	}
+
+	// Every child is an ordinary job with its own result.
+	for _, c := range done.Children {
+		code, view := getJSON[JobView](t, ts.URL+"/v1/jobs/"+c.ID)
+		if code != http.StatusOK || view.Result == nil {
+			t.Fatalf("child %s: code %d result %v", c.ID, code, view.Result)
+		}
+		if view.Spec.Name == "" {
+			t.Errorf("child %s has no coordinate name", c.ID)
+		}
+	}
+
+	// The event stream: queued, 8 child completions, done; the completed
+	// counter reaches the total.
+	events := streamSweepEvents(t, ts.URL+"/v1/sweeps/"+accepted.ID+"/events")
+	if events[0].Type != "queued" || events[len(events)-1].Type != "done" {
+		t.Fatalf("event envelope wrong: %+v", events)
+	}
+	children := 0
+	for _, e := range events {
+		if e.Type == "child" {
+			children++
+			if e.Job == "" || e.SpecHash == "" || e.Status != StatusDone {
+				t.Fatalf("bad child event %+v", e)
+			}
+		}
+	}
+	if children != 8 {
+		t.Fatalf("%d child events, want 8", children)
+	}
+	if last := events[len(events)-1]; last.Completed != 8 || last.Total != 8 {
+		t.Fatalf("final event counters %d/%d, want 8/8", last.Completed, last.Total)
+	}
+
+	// Listing shows the sweep without children.
+	code, list := getJSON[struct{ Sweeps []SweepView }](t, ts.URL+"/v1/sweeps")
+	if code != http.StatusOK || len(list.Sweeps) != 1 || len(list.Sweeps[0].Children) != 0 {
+		t.Fatalf("bad sweep listing: %d, %+v", code, list)
+	}
+
+	// Resubmitting the identical sweep is served wholly from the cache:
+	// same sweep hash, every child cached, terminal immediately.
+	resp, body = postJSON(t, ts.URL+"/v1/sweeps", quickSweep(1))
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("resubmit: status %d", resp.StatusCode)
+	}
+	var second SweepView
+	if err := json.Unmarshal(body, &second); err != nil {
+		t.Fatal(err)
+	}
+	if second.SweepHash != accepted.SweepHash {
+		t.Fatal("identical sweep hashed differently")
+	}
+	if second.Status != "done" {
+		t.Fatalf("cached sweep status %q at submission", second.Status)
+	}
+	for _, c := range second.Children {
+		if !c.Cached {
+			t.Fatalf("child %s of cached sweep not cached", c.ID)
+		}
+	}
+
+	// Malformed sweeps are rejected loudly.
+	resp, _ = postJSON(t, ts.URL+"/v1/sweeps", map[string]any{"base": map[string]any{"algorithm": "mis"}})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("invalid sweep: status %d", resp.StatusCode)
+	}
+}
+
+func TestSweepResultsSurviveRestart(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config{Workers: 2, DataDir: dir}
+	svc, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	swp, err := svc.SubmitSweep(quickSweep(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := waitForSweepDone(t, swp)
+	results := map[string][]byte{} // child spec hash → marshaled result
+	for i, c := range first.Children {
+		job := swp.children[i]
+		data, err := json.Marshal(job.View(true).Result)
+		if err != nil {
+			t.Fatal(err)
+		}
+		results[c.SpecHash] = data
+	}
+	svc.Close()
+
+	// A fresh daemon over the same data dir must serve the identical sweep
+	// entirely from the persistent store: every child cached, results
+	// byte-identical, zero re-simulation (nothing ever enters the queue).
+	svc2, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc2.Close()
+	swp2, err := svc2.SubmitSweep(quickSweep(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if swp2.hash != swp.hash {
+		t.Fatal("sweep hash changed across restart")
+	}
+	second := swp2.View(true)
+	if second.Status != "done" {
+		t.Fatalf("restarted sweep status %q at submission, want done", second.Status)
+	}
+	if len(second.Children) != len(first.Children) {
+		t.Fatalf("child count changed: %d vs %d", len(second.Children), len(first.Children))
+	}
+	for i, c := range second.Children {
+		if !c.Cached {
+			t.Fatalf("child %s re-simulated after restart", c.ID)
+		}
+		if c.SpecHash != first.Children[i].SpecHash {
+			t.Fatalf("child order changed across restart at %d", i)
+		}
+		data, err := json.Marshal(swp2.children[i].View(true).Result)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(data, results[c.SpecHash]) {
+			t.Fatalf("child %s result not byte-identical across restart:\n%s\n%s",
+				c.ID, results[c.SpecHash], data)
+		}
+	}
+	if got := len(svc2.queue); got != 0 {
+		t.Fatalf("%d jobs queued for a fully stored sweep", got)
+	}
+}
+
+func TestSweepRejectedWhenQueueCannotFitAllChildren(t *testing.T) {
+	// 8 fresh children cannot fit a depth-2 queue: the sweep must be
+	// rejected atomically — no children admitted, no sweep registered.
+	svc, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 2})
+	blocker, err := svc.Submit(quickSpec(4000, 99))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer blocker.Cancel()
+	resp, body := postJSON(t, ts.URL+"/v1/sweeps", quickSweep(1))
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("oversized sweep: status %d, body %s", resp.StatusCode, body)
+	}
+	code, list := getJSON[struct{ Sweeps []SweepView }](t, ts.URL+"/v1/sweeps")
+	if code != http.StatusOK || len(list.Sweeps) != 0 {
+		t.Fatalf("rejected sweep registered: %+v", list)
+	}
+	code, jobs := getJSON[struct{ Jobs []JobView }](t, ts.URL+"/v1/jobs")
+	if code != http.StatusOK || len(jobs.Jobs) != 1 {
+		t.Fatalf("rejected sweep leaked children into the registry: %d jobs", len(jobs.Jobs))
+	}
+}
+
+func TestOverBudgetRejectedWith429(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1, MaxPendingCost: 1})
+	resp, body := postJSON(t, ts.URL+"/v1/jobs", quickSpec(2, 1))
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("over-budget job: status %d, body %s", resp.StatusCode, body)
+	}
+	resp, body = postJSON(t, ts.URL+"/v1/sweeps", quickSweep(1))
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("over-budget sweep: status %d, body %s", resp.StatusCode, body)
+	}
+	// Nothing was admitted.
+	code, jobs := getJSON[struct{ Jobs []JobView }](t, ts.URL+"/v1/jobs")
+	if code != http.StatusOK || len(jobs.Jobs) != 0 {
+		t.Fatalf("over-budget submissions leaked: %d jobs", len(jobs.Jobs))
+	}
+}
+
+func TestAdmissionBudgetReleasedOnTerminal(t *testing.T) {
+	// Budget fits exactly one copy of the workload: the second distinct
+	// submission is rejected while the first is pending and admitted once
+	// the first terminates (cancellation releases the charge too).
+	spec := quickSpec(4000, 1)
+	comp, err := scenario.Compile(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc, ts := newTestServer(t, Config{Workers: 1, MaxPendingCost: comp.CostEstimate()})
+	first, err := svc.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc.Submit(quickSpec(4000, 2)); err == nil {
+		t.Fatal("second workload admitted beyond the budget")
+	}
+	first.Cancel()
+	waitForStatus(t, ts.URL+"/v1/jobs/"+first.id, StatusCancelled)
+	second, err := svc.Submit(quickSpec(4000, 2))
+	if err != nil {
+		t.Fatalf("budget not released on cancellation: %v", err)
+	}
+	second.Cancel()
+}
+
+func streamSweepEvents(t *testing.T, url string) []SweepEvent {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d", url, resp.StatusCode)
+	}
+	var events []SweepEvent
+	dec := json.NewDecoder(resp.Body)
+	for dec.More() {
+		var e SweepEvent
+		if err := dec.Decode(&e); err != nil {
+			t.Fatal(err)
+		}
+		events = append(events, e)
+	}
+	if len(events) == 0 {
+		t.Fatal("empty sweep event stream")
+	}
+	return events
+}

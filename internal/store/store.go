@@ -1,0 +1,133 @@
+// Package store persists simulation results across daemon restarts: one
+// JSON file per canonical spec hash under a data directory. It is the
+// durable tier behind the service's in-memory result LRU — the LRU serves
+// the hot set, the store everything ever completed, so resubmitting a spec
+// after a restart is a cache hit instead of a re-simulation.
+//
+// Results are deterministic in the canonical spec, so the store is
+// write-once: the first Put for a hash wins and later Puts are no-ops
+// (an equal value by determinism). Writes go through a temp file + rename,
+// so a crash mid-write never leaves a truncated entry where a hash would
+// be served from.
+package store
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+)
+
+// Store is a per-hash file store rooted at one directory. It is safe for
+// concurrent use within a process; cross-process writers are not
+// coordinated beyond the atomic rename.
+type Store struct {
+	dir string
+
+	mu    sync.Mutex
+	count int // resident entries; maintained so Len avoids readdir
+}
+
+// Open creates (if needed) and opens a store rooted at dir.
+func Open(dir string) (*Store, error) {
+	if dir == "" {
+		return nil, errors.New("store: empty directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: open: %w", err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("store: open: %w", err)
+	}
+	count := 0
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".json") {
+			count++
+		}
+	}
+	return &Store{dir: dir, count: count}, nil
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+// Len returns the number of resident entries.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.count
+}
+
+// validHash gates keys to hex strings so a key can never traverse outside
+// the store directory.
+func validHash(hash string) error {
+	if len(hash) < 8 || len(hash) > 128 {
+		return fmt.Errorf("store: bad hash length %d", len(hash))
+	}
+	for _, r := range hash {
+		switch {
+		case r >= '0' && r <= '9', r >= 'a' && r <= 'f':
+		default:
+			return fmt.Errorf("store: hash %q is not lowercase hex", hash)
+		}
+	}
+	return nil
+}
+
+func (s *Store) path(hash string) string {
+	return filepath.Join(s.dir, hash+".json")
+}
+
+// Get returns the stored bytes for hash. Absent entries report ok=false
+// with a nil error; malformed keys and read failures report the error.
+func (s *Store) Get(hash string) ([]byte, bool, error) {
+	if err := validHash(hash); err != nil {
+		return nil, false, err
+	}
+	data, err := os.ReadFile(s.path(hash))
+	switch {
+	case err == nil:
+		return data, true, nil
+	case errors.Is(err, os.ErrNotExist):
+		return nil, false, nil
+	default:
+		return nil, false, fmt.Errorf("store: get %s: %w", hash, err)
+	}
+}
+
+// Put stores data under hash, atomically (temp file + rename in the store
+// directory). If the hash is already resident the existing entry is kept:
+// results are deterministic in their spec, so the first write is as good
+// as any later one, and keeping it preserves byte identity for readers.
+func (s *Store) Put(hash string, data []byte) error {
+	if err := validHash(hash); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	path := s.path(hash)
+	if _, err := os.Stat(path); err == nil {
+		return nil
+	}
+	tmp, err := os.CreateTemp(s.dir, hash+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("store: put %s: %w", hash, err)
+	}
+	_, werr := tmp.Write(data)
+	cerr := tmp.Close()
+	if werr == nil {
+		werr = cerr
+	}
+	if werr == nil {
+		werr = os.Rename(tmp.Name(), path)
+	}
+	if werr != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("store: put %s: %w", hash, werr)
+	}
+	s.count++
+	return nil
+}

@@ -1,0 +1,169 @@
+package store
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func hashOf(s string) string {
+	sum := sha256.Sum256([]byte(s))
+	return hex.EncodeToString(sum[:])
+}
+
+func TestStoreRoundTrip(t *testing.T) {
+	st, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := hashOf("spec-1")
+	if _, ok, err := st.Get(h); err != nil || ok {
+		t.Fatalf("empty store Get = (%v, %v)", ok, err)
+	}
+	payload := []byte(`{"spec_hash":"x","trials":[{"trial":0}]}`)
+	if err := st.Put(h, payload); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := st.Get(h)
+	if err != nil || !ok {
+		t.Fatalf("Get after Put = (%v, %v)", ok, err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("round trip changed bytes: %q != %q", got, payload)
+	}
+	if st.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", st.Len())
+	}
+}
+
+func TestStoreKeepsFirstWrite(t *testing.T) {
+	st, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := hashOf("spec-2")
+	first := []byte(`{"v":1}`)
+	if err := st.Put(h, first); err != nil {
+		t.Fatal(err)
+	}
+	// Deterministic results make a second Put redundant; the store keeps
+	// the first write so readers keep byte identity.
+	if err := st.Put(h, []byte(`{"v":2}`)); err != nil {
+		t.Fatal(err)
+	}
+	got, _, _ := st.Get(h)
+	if !bytes.Equal(got, first) {
+		t.Fatalf("second Put replaced the entry: %q", got)
+	}
+	if st.Len() != 1 {
+		t.Fatalf("Len = %d after duplicate Put, want 1", st.Len())
+	}
+}
+
+func TestStoreSurvivesReopen(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := st.Put(hashOf(fmt.Sprintf("spec-%d", i)), []byte(`{}`)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.Len() != 3 {
+		t.Fatalf("reopened Len = %d, want 3", st2.Len())
+	}
+	got, ok, err := st2.Get(hashOf("spec-1"))
+	if err != nil || !ok || !bytes.Equal(got, []byte(`{}`)) {
+		t.Fatalf("reopened Get = (%q, %v, %v)", got, ok, err)
+	}
+}
+
+func TestStoreRejectsNonHexKeys(t *testing.T) {
+	st, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{
+		"", "short", "../../../../etc/passwd", strings.Repeat("A", 64),
+		hashOf("x")[:63] + "/", strings.Repeat("a", 200),
+	} {
+		if err := st.Put(key, []byte("x")); err == nil {
+			t.Errorf("Put accepted key %q", key)
+		}
+		if _, _, err := st.Get(key); err == nil {
+			t.Errorf("Get accepted key %q", key)
+		}
+	}
+}
+
+func TestStoreLeavesNoTempFiles(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			// Contending writers on a shared key plus private keys.
+			_ = st.Put(hashOf("shared"), []byte(`{"shared":true}`))
+			_ = st.Put(hashOf(fmt.Sprintf("own-%d", g)), []byte(`{}`))
+		}(g)
+	}
+	wg.Wait()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	files := 0
+	for _, e := range entries {
+		if !strings.HasSuffix(e.Name(), ".json") {
+			t.Errorf("stray file %q left behind", e.Name())
+			continue
+		}
+		files++
+	}
+	if files != 9 {
+		t.Errorf("store holds %d files, want 9", files)
+	}
+	if st.Len() != 9 {
+		t.Errorf("Len = %d, want 9", st.Len())
+	}
+	// And the files are where Get expects them.
+	if _, err := os.Stat(filepath.Join(dir, hashOf("shared")+".json")); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkStoreRoundTrip(b *testing.B) {
+	st, err := Open(b.TempDir())
+	if err != nil {
+		b.Fatal(err)
+	}
+	// A payload shaped like a real multi-trial result (~1 KiB).
+	payload := bytes.Repeat([]byte(`{"trial":1,"seed":2,"rounds":3024,"decided_round":288,"size":12,"valid":true}`), 16)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h := hashOf(fmt.Sprintf("bench-%d", i))
+		if err := st.Put(h, payload); err != nil {
+			b.Fatal(err)
+		}
+		if _, ok, err := st.Get(h); err != nil || !ok {
+			b.Fatal("get miss")
+		}
+	}
+}

@@ -1,0 +1,97 @@
+#!/bin/sh
+# sweep_e2e.sh — end-to-end check of the sweep + durability layer against a
+# real radiod process: boot with a temp -data dir, run a 2×2 sweep over
+# HTTP, restart the daemon, resubmit the identical sweep, and assert every
+# child is served from the persistent store ("cached":true) without
+# re-simulation. Run from the repo root; used by CI and runnable locally.
+set -eu
+
+ADDR="${ADDR:-127.0.0.1:18080}"
+BASE="http://$ADDR"
+WORK="$(mktemp -d)"
+DATA="$WORK/data"
+PID=""
+
+cleanup() {
+	[ -n "$PID" ] && kill "$PID" 2>/dev/null || true
+	rm -rf "$WORK"
+}
+trap cleanup EXIT INT TERM
+
+go build -o "$WORK/radiod" ./cmd/radiod
+
+start_daemon() {
+	"$WORK/radiod" -addr "$ADDR" -data "$DATA" >"$WORK/radiod.log" 2>&1 &
+	PID=$!
+	for _ in $(seq 1 100); do
+		if curl -sf "$BASE/healthz" >/dev/null 2>&1; then
+			return 0
+		fi
+		sleep 0.1
+	done
+	echo "FAIL: radiod did not become healthy" >&2
+	cat "$WORK/radiod.log" >&2
+	exit 1
+}
+
+stop_daemon() {
+	kill "$PID"
+	wait "$PID" 2>/dev/null || true
+	PID=""
+}
+
+SWEEP='{
+  "name": "e2e",
+  "base": {"algorithm": "mis", "network": {"n": 24}, "trials": 2, "stop_when_decided": true},
+  "axes": {"n": {"values": [16, 24]}, "gray_prob": {"values": [0.1, 0.3]}}
+}'
+
+submit_sweep() {
+	curl -sf -X POST "$BASE/v1/sweeps" -d "$SWEEP"
+}
+
+sweep_id() {
+	printf '%s' "$1" | sed -n 's/.*"id": "\(s[0-9]*\)".*/\1/p' | head -n 1
+}
+
+wait_done() {
+	id="$1"
+	for _ in $(seq 1 200); do
+		# Poll the listing view: it omits children, so the only
+		# '"status": ...' field in the body is the sweep's own (the detail
+		# view would also match a finished child's status).
+		body="$(curl -sf "$BASE/v1/sweeps")"
+		if printf '%s' "$body" | grep -q '"status": "done"'; then
+			curl -sf "$BASE/v1/sweeps/$id"
+			return 0
+		fi
+		sleep 0.1
+	done
+	echo "FAIL: sweep $id never finished" >&2
+	exit 1
+}
+
+# Round 1: fresh daemon, fresh store — the sweep simulates for real.
+start_daemon
+ACCEPT1="$(submit_sweep)"
+ID1="$(sweep_id "$ACCEPT1")"
+[ -n "$ID1" ] || { echo "FAIL: no sweep id in: $ACCEPT1" >&2; exit 1; }
+DONE1="$(wait_done "$ID1")"
+HASH1="$(printf '%s' "$DONE1" | sed -n 's/.*"sweep_hash": "\([0-9a-f]*\)".*/\1/p' | head -n 1)"
+STORED="$(ls "$DATA"/*.json 2>/dev/null | wc -l)"
+[ "$STORED" -eq 4 ] || { echo "FAIL: store holds $STORED results, want 4" >&2; exit 1; }
+stop_daemon
+
+# Round 2: restarted daemon, same store — every child must be a cache hit.
+start_daemon
+ACCEPT2="$(submit_sweep)"
+ID2="$(sweep_id "$ACCEPT2")"
+HASH2="$(printf '%s' "$ACCEPT2" | sed -n 's/.*"sweep_hash": "\([0-9a-f]*\)".*/\1/p' | head -n 1)"
+[ "$HASH1" = "$HASH2" ] || { echo "FAIL: sweep hash changed across restart: $HASH1 vs $HASH2" >&2; exit 1; }
+printf '%s' "$ACCEPT2" | grep -q '"status": "done"' \
+	|| { echo "FAIL: restarted sweep not done at submission: $ACCEPT2" >&2; exit 1; }
+CACHED="$(printf '%s' "$ACCEPT2" | grep -c '"cached": true')"
+[ "$CACHED" -eq 4 ] || { echo "FAIL: $CACHED/4 children cached after restart" >&2; exit 1; }
+stop_daemon
+
+echo "OK: 2x2 sweep $ID1/$ID2 hash=$HASH1 survived restart with 4/4 store hits"
