@@ -4,7 +4,7 @@ DATE := $(shell date +%F)
 # the same day (e.g. make bench OUT=BENCH_$(DATE)-pr2.json).
 OUT ?= BENCH_$(DATE).json
 
-.PHONY: build test check bench bench-headline bench-sweep verify serve sweep-e2e
+.PHONY: build test check bench bench-headline bench-sweep bench-report verify serve sweep-e2e
 
 build:
 	$(GO) build ./...
@@ -47,6 +47,15 @@ bench-sweep:
 		./internal/scenario ./internal/store \
 		| tee /dev/stderr \
 		| $(GO) run ./cmd/benchtool -out BENCH_$(DATE)-sweep.json
+
+# bench-report snapshots the streaming-reduction and report layer: the
+# trial reducer, the quantile-sketch accumulator, and the sweep pivot
+# (see BENCH_<date>-report.json).
+bench-report:
+	$(GO) test -run '^$$' -bench='BenchmarkReducer|BenchmarkAccumulator|BenchmarkBuildReport' -benchmem -count=1 \
+		./internal/scenario ./internal/stats ./internal/report \
+		| tee /dev/stderr \
+		| $(GO) run ./cmd/benchtool -out BENCH_$(DATE)-report.json
 
 # sweep-e2e runs the daemon restart / durability check CI runs (boots a
 # real radiod against a temp -data dir; see scripts/sweep_e2e.sh).

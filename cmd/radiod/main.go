@@ -47,6 +47,7 @@ func run() error {
 		trialWorkers = flag.Int("trial-workers", 1, "goroutines per job's trial fan-out")
 		history      = flag.Int("history", 512, "terminal jobs retained before pruning")
 		dataDir      = flag.String("data", "", "persist results under this directory (empty = in-memory only)")
+		storeMax     = flag.Int64("store-max-bytes", 0, "evict oldest stored results past this total size (0 = unbounded)")
 		maxCost      = flag.Int64("max-cost", 0, "admission budget in round-process units (0 = default)")
 		drain        = flag.Duration("drain", 10*time.Second, "graceful shutdown window")
 	)
@@ -59,6 +60,7 @@ func run() error {
 		TrialWorkers:   *trialWorkers,
 		History:        *history,
 		DataDir:        *dataDir,
+		StoreMaxBytes:  *storeMax,
 		MaxPendingCost: *maxCost,
 	})
 	if err != nil {

@@ -21,6 +21,13 @@
 //
 //	radiosim -sweep sweep.json
 //	radiosim -sweep sweep.json -json      # {"sweep_hash": ..., "results": [...]}
+//
+// With -report, the sweep's children are pivoted onto its axes into the
+// same report the daemon serves at GET /v1/sweeps/{id}/report — rows ×
+// columns of the chosen metric, collapsed across any remaining axes:
+//
+//	radiosim -sweep sweep.json -report mean_rounds
+//	radiosim -sweep sweep.json -report valid_fraction -format csv
 package main
 
 import (
@@ -30,8 +37,11 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"slices"
+	"strings"
 
 	"dualradio"
+	"dualradio/internal/report"
 	"dualradio/internal/scenario"
 )
 
@@ -57,14 +67,35 @@ func run() error {
 		sweepPath = flag.String("sweep", "", "run a sweep spec file instead (\"-\" = stdin)")
 		asJSON    = flag.Bool("json", false, "with -spec/-sweep: print the full result as JSON")
 		workers   = flag.Int("workers", 0, "with -spec/-sweep: trial fan-out goroutines (0 = GOMAXPROCS)")
+		metric    = flag.String("report", "", "with -sweep: pivot the children into a report of this metric (e.g. mean_rounds)")
+		format    = flag.String("format", "table", "with -report: csv | json | table")
 	)
 	flag.Parse()
 
 	if *specPath != "" && *sweepPath != "" {
 		return fmt.Errorf("give either -spec or -sweep, not both")
 	}
+	if *metric != "" {
+		// Fail fast: a typo'd metric or format must not cost a full sweep
+		// simulation before it is rejected.
+		if *sweepPath == "" {
+			return fmt.Errorf("-report needs -sweep")
+		}
+		if *asJSON {
+			return fmt.Errorf("give either -json or -report (use -report ... -format json for a JSON report)")
+		}
+		if !slices.Contains(report.Metrics(), *metric) {
+			return fmt.Errorf("unknown -report metric %q (want one of %s)",
+				*metric, strings.Join(report.Metrics(), "|"))
+		}
+		switch *format {
+		case "", "csv", "json", "table":
+		default:
+			return fmt.Errorf("unknown -format %q (want csv|json|table)", *format)
+		}
+	}
 	if *sweepPath != "" {
-		return runSweep(*sweepPath, *asJSON, *workers)
+		return runSweep(*sweepPath, *asJSON, *workers, *metric, *format)
 	}
 	if *specPath != "" {
 		return runSpec(*specPath, *asJSON, *workers)
@@ -146,8 +177,9 @@ func readInput(path string) ([]byte, error) {
 
 // runSweep expands a sweep spec — the identical deterministic expansion
 // the radiod daemon's POST /v1/sweeps performs — and runs every child in
-// grid order.
-func runSweep(path string, asJSON bool, workers int) error {
+// grid order. With a metric, the children are pivoted into the same report
+// GET /v1/sweeps/{id}/report serves.
+func runSweep(path string, asJSON bool, workers int, metric, format string) error {
 	data, err := readInput(path)
 	if err != nil {
 		return err
@@ -173,12 +205,38 @@ func runSweep(path string, asJSON bool, workers int) error {
 			return fmt.Errorf("child %d (%s): %w", i, c.Name, err)
 		}
 		results = append(results, res)
-		if !asJSON {
+		switch {
+		case metric != "":
+			fmt.Fprintf(os.Stderr, "child %d/%d (%s) done\n", i+1, len(exp.Children), c.Name)
+		case !asJSON:
 			a := res.Aggregate
 			fmt.Printf("%-3d %-40s valid=%.0f%% mean-rounds=%.1f mean-size=%.1f\n",
 				i, c.Name, 100*a.ValidFraction, a.MeanRounds, a.MeanSize)
-		} else {
+		default:
 			fmt.Fprintf(os.Stderr, "child %d/%d (%s) done\n", i+1, len(exp.Children), c.Name)
+		}
+	}
+	if metric != "" {
+		aggs := make([]scenario.Aggregate, len(results))
+		for i, res := range results {
+			aggs[i] = res.Aggregate
+		}
+		rep, err := report.Build(exp, aggs, report.Options{Metric: metric})
+		if err != nil {
+			return err
+		}
+		switch format {
+		case "csv":
+			return rep.WriteCSV(os.Stdout)
+		case "json":
+			enc := json.NewEncoder(os.Stdout)
+			enc.SetIndent("", "  ")
+			return enc.Encode(rep)
+		case "", "table":
+			fmt.Print(rep.Table())
+			return nil
+		default:
+			return fmt.Errorf("unknown -format %q (want csv|json|table)", format)
 		}
 	}
 	if asJSON {
@@ -211,9 +269,11 @@ func runSpec(path string, asJSON bool, workers int) error {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	res, err := comp.Run(nil, workers, func(tr scenario.TrialResult) {
-		fmt.Fprintf(os.Stderr, "trial %d/%d: rounds=%d decided=%d size=%d valid=%v\n",
-			tr.Trial+1, comp.Trials(), tr.Rounds, tr.DecidedRound, tr.Size, tr.Valid)
+	res, err := comp.Run(nil, workers, func(p scenario.Progress) {
+		tr := p.Trial
+		fmt.Fprintf(os.Stderr, "trial %d/%d: rounds=%d decided=%d size=%d valid=%v (folded %d: mean-rounds=%.1f)\n",
+			tr.Trial+1, comp.Trials(), tr.Rounds, tr.DecidedRound, tr.Size, tr.Valid,
+			p.Folded, p.Aggregate.MeanRounds)
 	})
 	if err != nil {
 		return err

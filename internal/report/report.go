@@ -1,0 +1,314 @@
+// Package report turns a completed parameter sweep into the paper's
+// figure-shaped tables: child aggregates pivoted onto the sweep's axes,
+// one axis as rows, one as columns, every remaining axis collapsed into
+// the cells (mean ± std across the collapsed grid points). The same
+// Report renders as CSV (machine-readable, deterministic — suitable for
+// byte-diffing across daemon restarts), JSON, or a plain-text table via
+// the stats table renderer.
+package report
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"dualradio/internal/scenario"
+	"dualradio/internal/stats"
+)
+
+// Metric names accepted by Options.Metric, in display order.
+var metricNames = []string{
+	"valid_fraction",
+	"mean_rounds",
+	"mean_decided_round",
+	"p90_decided_round",
+	"mean_size",
+	"mean_latency",
+}
+
+// Metrics returns the selectable metric names.
+func Metrics() []string {
+	return append([]string(nil), metricNames...)
+}
+
+// metricValue extracts a metric from an aggregate. ok=false marks a metric
+// the aggregate does not carry (e.g. decision latency for a run where no
+// trial decided), so the cell can render empty instead of a fake zero.
+func metricValue(a scenario.Aggregate, name string) (float64, bool) {
+	switch name {
+	case "valid_fraction":
+		return a.ValidFraction, true
+	case "mean_rounds":
+		return a.MeanRounds, true
+	case "mean_decided_round":
+		return a.MeanDecidedRound, a.MeanDecidedRound != 0
+	case "p90_decided_round":
+		return a.P90DecidedRound, a.P90DecidedRound != 0
+	case "mean_size":
+		return a.MeanSize, true
+	case "mean_latency":
+		return a.MeanLatency, a.MeanLatency != 0
+	}
+	return 0, false
+}
+
+// Options selects what Build pivots.
+type Options struct {
+	// Metric is one of Metrics() (default "mean_rounds").
+	Metric string
+	// Rows and Cols name the axes to pivot onto. Defaults: the sweep's
+	// first axis as rows and its second as columns; axes beyond those are
+	// collapsed into the cells. The explicit value "-" pivots nothing onto
+	// that dimension (collapsing the axis that would have been picked).
+	Rows, Cols string
+}
+
+// Cell is one pivot cell: the metric over every grid point that maps to
+// (row, col), collapsed across the non-pivot axes.
+type Cell struct {
+	// N counts the grid points carrying the metric (0 renders empty).
+	N int `json:"n"`
+	// Mean and Std summarize the metric across those points (Std is 0 for
+	// a single point).
+	Mean float64 `json:"mean"`
+	Std  float64 `json:"std"`
+}
+
+// Report is a pivoted sweep: rows × cols of metric cells.
+type Report struct {
+	SweepHash string `json:"sweep_hash"`
+	Name      string `json:"name,omitempty"`
+	Metric    string `json:"metric"`
+	// RowAxis/ColAxis name the pivoted axes ("" when the sweep has fewer
+	// than one/two axes).
+	RowAxis string `json:"row_axis,omitempty"`
+	ColAxis string `json:"col_axis,omitempty"`
+	// RowLabels and ColLabels are the axis values in sweep order.
+	RowLabels []string `json:"rows"`
+	ColLabels []string `json:"cols"`
+	// Cells is indexed [row][col].
+	Cells [][]Cell `json:"cells"`
+}
+
+// Build pivots a sweep's child aggregates onto its axes. aggs must be
+// indexed like exp.Children (the grid-order child list); a sweep is
+// reportable exactly when every child completed.
+func Build(exp *scenario.Expansion, aggs []scenario.Aggregate, opts Options) (*Report, error) {
+	if len(aggs) != len(exp.Children) {
+		return nil, fmt.Errorf("report: %d aggregates for %d children", len(aggs), len(exp.Children))
+	}
+	metric := opts.Metric
+	if metric == "" {
+		metric = "mean_rounds"
+	}
+	valid := false
+	for _, m := range metricNames {
+		if m == metric {
+			valid = true
+			break
+		}
+	}
+	if !valid {
+		return nil, fmt.Errorf("report: unknown metric %q (want one of %s)", metric, strings.Join(metricNames, "|"))
+	}
+	rowDim, colDim, err := pickAxes(exp.Dims, opts.Rows, opts.Cols)
+	if err != nil {
+		return nil, err
+	}
+	r := &Report{
+		SweepHash: exp.Hash(),
+		Name:      exp.Spec.Name,
+		Metric:    metric,
+		RowLabels: []string{"all"},
+		ColLabels: []string{metric},
+	}
+	if rowDim >= 0 {
+		r.RowAxis = exp.Dims[rowDim].Name
+		r.RowLabels = append([]string(nil), exp.Dims[rowDim].Labels...)
+	}
+	if colDim >= 0 {
+		r.ColAxis = exp.Dims[colDim].Name
+		r.ColLabels = append([]string(nil), exp.Dims[colDim].Labels...)
+	}
+	accs := make([][]*stats.Accumulator, len(r.RowLabels))
+	for i := range accs {
+		accs[i] = make([]*stats.Accumulator, len(r.ColLabels))
+		for j := range accs[i] {
+			accs[i][j] = stats.NewAccumulator()
+		}
+	}
+	// Walk the full grid in odometer order (last axis fastest), mapping
+	// every grid point to its pivot cell. Deduplicated grid points fold
+	// their shared child's aggregate once per point, which keeps the pivot
+	// faithful to the declared grid.
+	coord := make([]int, len(exp.Dims))
+	for _, ci := range exp.Grid {
+		row, col := 0, 0
+		if rowDim >= 0 {
+			row = coord[rowDim]
+		}
+		if colDim >= 0 {
+			col = coord[colDim]
+		}
+		if v, ok := metricValue(aggs[ci], metric); ok {
+			accs[row][col].Add(v)
+		}
+		for di := len(coord) - 1; di >= 0; di-- {
+			coord[di]++
+			if coord[di] < len(exp.Dims[di].Labels) {
+				break
+			}
+			coord[di] = 0
+		}
+	}
+	r.Cells = make([][]Cell, len(r.RowLabels))
+	for i := range r.Cells {
+		r.Cells[i] = make([]Cell, len(r.ColLabels))
+		for j, acc := range accs[i] {
+			r.Cells[i][j] = Cell{N: acc.Count(), Mean: acc.Mean(), Std: acc.Std()}
+		}
+	}
+	return r, nil
+}
+
+// pickAxes resolves the row/column axis indices (-1 = no such axis).
+func pickAxes(dims []scenario.Dim, rows, cols string) (int, int, error) {
+	find := func(name string) (int, error) {
+		for i, d := range dims {
+			if d.Name == name {
+				return i, nil
+			}
+		}
+		var names []string
+		for _, d := range dims {
+			names = append(names, d.Name)
+		}
+		return -1, fmt.Errorf("report: sweep has no axis %q (axes: %s)", name, strings.Join(names, ", "))
+	}
+	rowDim, colDim := -1, -1
+	var err error
+	switch rows {
+	case "-":
+	case "":
+		if len(dims) > 0 {
+			rowDim = 0
+		}
+	default:
+		if rowDim, err = find(rows); err != nil {
+			return 0, 0, err
+		}
+	}
+	switch cols {
+	case "-":
+	case "":
+		for i := range dims {
+			if i != rowDim {
+				colDim = i
+				break
+			}
+		}
+	default:
+		if colDim, err = find(cols); err != nil {
+			return 0, 0, err
+		}
+	}
+	if rowDim >= 0 && rowDim == colDim {
+		return 0, 0, fmt.Errorf("report: rows and cols both pivot axis %q", dims[rowDim].Name)
+	}
+	return rowDim, colDim, nil
+}
+
+// cell formats a cell value deterministically: empty for no data, the bare
+// mean for a single point, and mean±std once an axis was collapsed into it.
+func (c Cell) String() string {
+	if c.N == 0 {
+		return ""
+	}
+	mean := strconv.FormatFloat(c.Mean, 'g', 6, 64)
+	if c.N < 2 {
+		return mean
+	}
+	return mean + "±" + strconv.FormatFloat(c.Std, 'g', 6, 64)
+}
+
+// header returns the corner label for the row-label column.
+func (r *Report) header() string {
+	if r.RowAxis == "" {
+		return "sweep"
+	}
+	if r.ColAxis == "" {
+		return r.RowAxis
+	}
+	return r.RowAxis + `\` + r.ColAxis
+}
+
+// WriteCSV renders the pivot as CSV: a header row of column labels, then
+// one row per row label. The encoding is deterministic in the sweep and
+// its results, so two reports over the same completed sweep — before and
+// after a daemon restart — are byte-identical.
+func (r *Report) WriteCSV(w io.Writer) error {
+	esc := func(s string) string {
+		if strings.ContainsAny(s, ",\"\n") {
+			return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+		}
+		return s
+	}
+	row := make([]string, 0, len(r.ColLabels)+1)
+	row = append(row, esc(r.header()))
+	for _, c := range r.ColLabels {
+		row = append(row, esc(c))
+	}
+	if _, err := fmt.Fprintln(w, strings.Join(row, ",")); err != nil {
+		return err
+	}
+	for i, label := range r.RowLabels {
+		row = row[:0]
+		row = append(row, esc(label))
+		for _, c := range r.Cells[i] {
+			row = append(row, esc(c.String()))
+		}
+		if _, err := fmt.Fprintln(w, strings.Join(row, ",")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// CSV renders WriteCSV to a string.
+func (r *Report) CSV() string {
+	var sb strings.Builder
+	_ = r.WriteCSV(&sb)
+	return sb.String()
+}
+
+// Table renders the pivot through the stats plain-text table renderer.
+func (r *Report) Table() string {
+	t := &stats.Table{
+		Title:   fmt.Sprintf("sweep %s · %s", shortHash(r.SweepHash), r.Metric),
+		Columns: append([]string{r.header()}, r.ColLabels...),
+	}
+	if r.Name != "" {
+		t.Title = fmt.Sprintf("%s · %s (sweep %s)", r.Name, r.Metric, shortHash(r.SweepHash))
+	}
+	for i, label := range r.RowLabels {
+		cells := make([]string, 0, len(r.Cells[i])+1)
+		cells = append(cells, label)
+		for _, c := range r.Cells[i] {
+			if s := c.String(); s != "" {
+				cells = append(cells, s)
+			} else {
+				cells = append(cells, "-")
+			}
+		}
+		t.AddRow(cells...)
+	}
+	return t.String()
+}
+
+func shortHash(h string) string {
+	if len(h) > 12 {
+		return h[:12]
+	}
+	return h
+}

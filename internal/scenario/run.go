@@ -5,23 +5,26 @@ import (
 	"errors"
 	"sync"
 	"sync/atomic"
-
-	"dualradio/internal/stats"
 )
 
-// Result is a complete scenario run: every trial's outcome plus the
-// aggregate the service reports. It is deterministic in the canonical spec,
-// so results cached under the spec hash are indistinguishable from fresh
-// runs.
+// Result is a complete scenario run: the aggregate the service reports plus
+// the per-trial outcomes the spec's trial_retention policy kept. It is
+// deterministic in the canonical spec, so results cached under the spec
+// hash are indistinguishable from fresh runs.
 type Result struct {
 	// SpecHash is the canonical spec hash the run was keyed by.
 	SpecHash string `json:"spec_hash"`
 	// Algorithm and N echo the headline spec fields for readability.
 	Algorithm string `json:"algorithm"`
 	N         int    `json:"n"`
-	// Trials holds the per-trial outcomes in trial order.
-	Trials []TrialResult `json:"trials"`
-	// Aggregate reduces the trials.
+	// TrialRetention echoes the spec's policy when it is not the default
+	// "all" — i.e. when Trials is intentionally partial.
+	TrialRetention string `json:"trial_retention,omitempty"`
+	// Trials holds the retained per-trial outcomes in trial order: every
+	// trial under "all" (the default), only verification failures under
+	// "errors", none under "none".
+	Trials []TrialResult `json:"trials,omitempty"`
+	// Aggregate reduces every executed trial, regardless of retention.
 	Aggregate Aggregate `json:"aggregate"`
 }
 
@@ -45,18 +48,35 @@ type Aggregate struct {
 	MeanLatency float64 `json:"mean_latency,omitempty"`
 }
 
+// Progress reports one completed trial to Run's callback, together with the
+// streaming reduction state. Trials complete in scheduling order (which is
+// nondeterministic with several workers), but the reducer folds them
+// strictly in trial-index order: Folded is the length of the contiguous
+// trial prefix reduced so far and Aggregate summarizes exactly that prefix,
+// so the streamed aggregates form a deterministic sequence ending in the
+// run's final Aggregate.
+type Progress struct {
+	// Trial is the trial that just completed.
+	Trial TrialResult
+	// Folded counts the contiguous prefix of trials reduced so far.
+	Folded int
+	// Aggregate summarizes the folded prefix.
+	Aggregate Aggregate
+}
+
 // Run executes every trial, fanning them across workers goroutines
-// (values < 2 run sequentially), and reduces the outcomes. The results —
-// per-trial and aggregate — are identical for every worker count.
+// (values < 2 run sequentially), and streams the outcomes through the
+// reducer. The results — retained trials and aggregate — are identical for
+// every worker count.
 //
-// onTrial, if non-nil, is invoked once per completed trial in completion
+// onProgress, if non-nil, is invoked once per completed trial in completion
 // order; calls are serialized, so the callback needs no locking of its own.
 //
 // Cancellation is observed between trials: once ctx is done no new trial
 // starts, in-flight trials finish, and Run returns ctx's error with a nil
 // Result. A trial error aborts the same way and is reported in trial order
 // (the error a sequential loop would have surfaced first).
-func (c *Compiled) Run(ctx context.Context, workers int, onTrial func(TrialResult)) (*Result, error) {
+func (c *Compiled) Run(ctx context.Context, workers int, onProgress func(Progress)) (*Result, error) {
 	count := c.spec.Trials
 	if workers < 1 {
 		workers = 1
@@ -64,12 +84,17 @@ func (c *Compiled) Run(ctx context.Context, workers int, onTrial func(TrialResul
 	if workers > count {
 		workers = count
 	}
-	results := make([]TrialResult, count)
+	retention := c.spec.TrialRetention
+	buf := make([]TrialResult, count) // reorder buffer for in-order folding
+	arrived := make([]bool, count)
 	errs := make([]error, count)
 	var done atomic.Int64
 	var failed atomic.Bool
 	var next atomic.Int64
-	var mu sync.Mutex // serializes onTrial
+	red := NewReducer()
+	var retained []TrialResult
+	cursor := 0       // next trial index to fold
+	var mu sync.Mutex // serializes folding and onProgress
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -84,17 +109,27 @@ func (c *Compiled) Run(ctx context.Context, workers int, onTrial func(TrialResul
 					return
 				}
 				r, err := c.RunTrial(i)
-				results[i], errs[i] = r, err
 				if err != nil {
+					errs[i] = err
 					failed.Store(true)
 					continue
 				}
 				done.Add(1)
-				if onTrial != nil {
-					mu.Lock()
-					onTrial(r)
-					mu.Unlock()
+				mu.Lock()
+				buf[i], arrived[i] = r, true
+				for cursor < count && arrived[cursor] {
+					t := buf[cursor]
+					red.Add(t)
+					if retainTrial(retention, t) {
+						retained = append(retained, t)
+					}
+					buf[cursor] = TrialResult{} // folded; drop the buffered copy
+					cursor++
 				}
+				if onProgress != nil {
+					onProgress(Progress{Trial: r, Folded: cursor, Aggregate: red.Aggregate()})
+				}
+				mu.Unlock()
 			}
 		}()
 	}
@@ -115,44 +150,11 @@ func (c *Compiled) Run(ctx context.Context, workers int, onTrial func(TrialResul
 		SpecHash:  c.hash,
 		Algorithm: c.spec.Algorithm,
 		N:         c.spec.Network.N,
-		Trials:    results,
+		Trials:    retained,
+		Aggregate: red.Aggregate(),
 	}
-	res.Aggregate = aggregate(results)
+	if retention != "" && retention != RetainAll {
+		res.TrialRetention = retention
+	}
 	return res, nil
-}
-
-func aggregate(trials []TrialResult) Aggregate {
-	agg := Aggregate{Trials: len(trials)}
-	if len(trials) == 0 {
-		return agg
-	}
-	var decided, latencies []float64
-	var rounds, size float64
-	valid := 0
-	for _, t := range trials {
-		rounds += float64(t.Rounds)
-		size += float64(t.Size)
-		if t.Valid {
-			valid++
-		}
-		if t.DecidedRound > 0 {
-			decided = append(decided, float64(t.DecidedRound))
-		}
-		if t.MeanLatency > 0 {
-			latencies = append(latencies, t.MeanLatency)
-		}
-	}
-	n := float64(len(trials))
-	agg.ValidFraction = float64(valid) / n
-	agg.MeanRounds = rounds / n
-	agg.MeanSize = size / n
-	if len(decided) > 0 {
-		sum := stats.Summarize(decided)
-		agg.MeanDecidedRound = sum.Mean
-		agg.P90DecidedRound = sum.P90
-	}
-	if len(latencies) > 0 {
-		agg.MeanLatency = stats.Mean(latencies)
-	}
-	return agg
 }

@@ -151,6 +151,12 @@ type Spec struct {
 	// StopWhenDecided ends fixed-schedule executions once every process has
 	// decided (see harness.Scenario.StopWhenDecided for the caveats).
 	StopWhenDecided bool `json:"stop_when_decided,omitempty"`
+	// TrialRetention bounds the per-trial payload the Result keeps:
+	// RetainAll (the default), RetainErrors (only verification failures),
+	// or RetainNone (aggregate only). The canonical spelling of RetainAll
+	// is the empty string, so specs predating the policy keep their hashes;
+	// the other policies hash distinctly because they change the Result.
+	TrialRetention string `json:"trial_retention,omitempty"`
 	// Params overrides the algorithms' constant factors (nil = defaults).
 	Params *core.Params `json:"params,omitempty"`
 	// Wake configures asynchronous starts (AlgoAsyncMIS only).
@@ -186,6 +192,9 @@ func (s Spec) Canonical() Spec {
 	}
 	if c.Adversary.Kind == "" {
 		c.Adversary.Kind = AdvCollision
+	}
+	if c.TrialRetention == RetainAll {
+		c.TrialRetention = "" // canonical spelling of the default (hash stability)
 	}
 	if c.Adversary.Kind != AdvUniform {
 		c.Adversary.P = 0
@@ -271,6 +280,12 @@ func (s Spec) Validate() error {
 	}
 	if c.MaxRounds < 0 {
 		return fmt.Errorf("scenario: negative max_rounds %d", c.MaxRounds)
+	}
+	switch c.TrialRetention {
+	case "", RetainErrors, RetainNone: // "" is canonical RetainAll
+	default:
+		return fmt.Errorf("scenario: unknown trial_retention %q (want %s|%s|%s)",
+			c.TrialRetention, RetainAll, RetainErrors, RetainNone)
 	}
 	if s.Wake != nil && s.Algorithm != AlgoAsyncMIS {
 		return fmt.Errorf("scenario: wake is only meaningful for algorithm %q", AlgoAsyncMIS)

@@ -206,6 +206,13 @@ func (a SweepAxes) dims() ([]sweepDim, error) {
 	return dims, nil
 }
 
+// Dim is one expanded sweep axis: its name and its ordered value labels.
+// The labels are the same strings the child names embed (n=64, tau=2, ...).
+type Dim struct {
+	Name   string   `json:"name"`
+	Labels []string `json:"labels"`
+}
+
 // Expansion is a sweep expanded into compiled children: the deterministic
 // grid order, each child's canonical hash, and the stable sweep hash.
 type Expansion struct {
@@ -216,7 +223,15 @@ type Expansion struct {
 	// grid points that canonicalize to the same workload keep only the
 	// first occurrence.
 	Children []*Compiled
-	hash     string
+	// Dims are the expanded axes in declaration order (empty for an
+	// axis-free sweep of one child).
+	Dims []Dim
+	// Grid maps every grid point — odometer order over Dims, last axis
+	// fastest — to its index in Children. Deduplicated grid points share a
+	// child, so len(Grid) is the full axis product while len(Children) may
+	// be smaller.
+	Grid []int
+	hash string
 }
 
 // ExpandSweep expands a sweep into its compiled children. Expansion is
@@ -245,8 +260,11 @@ func ExpandSweep(sw SweepSpec) (*Expansion, error) {
 	if baseName == "" {
 		baseName = sw.Base.Name
 	}
-	exp := &Expansion{Spec: sw}
-	seen := make(map[string]bool, total)
+	exp := &Expansion{Spec: sw, Grid: make([]int, 0, total)}
+	for _, d := range dims {
+		exp.Dims = append(exp.Dims, Dim{Name: d.name, Labels: d.labels})
+	}
+	seen := make(map[string]int, total)
 	idx := make([]int, len(dims))
 	for child := 0; child < total; child++ {
 		spec := sw.Base
@@ -262,10 +280,13 @@ func ExpandSweep(sw SweepSpec) (*Expansion, error) {
 		if err != nil {
 			return nil, fmt.Errorf("scenario: sweep child {%s}: %w", strings.Join(coords, " "), err)
 		}
-		if !seen[comp.Hash()] {
-			seen[comp.Hash()] = true
+		ci, ok := seen[comp.Hash()]
+		if !ok {
+			ci = len(exp.Children)
+			seen[comp.Hash()] = ci
 			exp.Children = append(exp.Children, comp)
 		}
+		exp.Grid = append(exp.Grid, ci)
 		// Odometer increment: last axis fastest.
 		for di := len(dims) - 1; di >= 0; di-- {
 			idx[di]++

@@ -7,6 +7,7 @@ import (
 	"io"
 	"net/http"
 
+	"dualradio/internal/report"
 	"dualradio/internal/scenario"
 )
 
@@ -27,6 +28,7 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /v1/sweeps/{id}", s.handleGetSweep)
 	s.mux.HandleFunc("DELETE /v1/sweeps/{id}", s.handleCancelSweep)
 	s.mux.HandleFunc("GET /v1/sweeps/{id}/events", s.handleSweepEvents)
+	s.mux.HandleFunc("GET /v1/sweeps/{id}/report", s.handleSweepReport)
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -59,6 +61,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	jobs := len(s.jobs)
 	sweeps := len(s.sweeps)
 	s.mu.Unlock()
+	calibJobs, nsPerUnit := s.Calibration()
 	h := map[string]any{
 		"status":           "ok",
 		"jobs":             jobs,
@@ -70,11 +73,18 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		"cache_cap":        s.results.Cap(),
 		"pending_cost":     s.pending.Load(),
 		"max_pending_cost": s.cfg.MaxPendingCost,
+		// Admission calibration: measured wallclock per cost unit over
+		// completed (non-cached) runs, for sanity-checking the analytic
+		// n·trials·rounds estimate against reality.
+		"calibration_jobs": calibJobs,
+		"ns_per_cost_unit": nsPerUnit,
 		"spec_version":     scenario.SpecVersion,
 	}
 	if s.store != nil {
 		h["store_len"] = s.store.Len()
 		h["store_dir"] = s.store.Dir()
+		h["store_bytes"] = s.store.Bytes()
+		h["store_max_bytes"] = s.cfg.StoreMaxBytes
 		h["store_errors"] = s.storeErrs.Load()
 	}
 	writeJSON(w, http.StatusOK, h)
@@ -295,6 +305,46 @@ func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
 		}
 		return out, terminal, wake
 	})
+}
+
+// handleSweepReport renders a completed sweep as a pivot report: child
+// aggregates onto the sweep's axes, rows × columns of the chosen metric.
+// Query parameters: metric (default mean_rounds; see report.Metrics),
+// rows/cols (axis names; default first/second axis), format (csv, json, or
+// table; default table). A sweep with unfinished, failed, or cancelled
+// children is not reportable and answers 409.
+func (s *Server) handleSweepReport(w http.ResponseWriter, r *http.Request) {
+	sw, ok := s.sweepOr404(w, r)
+	if !ok {
+		return
+	}
+	exp, aggs, err := sw.reportData()
+	if err != nil {
+		writeError(w, http.StatusConflict, "sweep not reportable: %v", err)
+		return
+	}
+	q := r.URL.Query()
+	rep, err := report.Build(exp, aggs, report.Options{
+		Metric: q.Get("metric"),
+		Rows:   q.Get("rows"),
+		Cols:   q.Get("cols"),
+	})
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	switch format := q.Get("format"); format {
+	case "csv":
+		w.Header().Set("Content-Type", "text/csv")
+		_, _ = io.WriteString(w, rep.CSV())
+	case "json":
+		writeJSON(w, http.StatusOK, rep)
+	case "", "table":
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_, _ = io.WriteString(w, rep.Table())
+	default:
+		writeError(w, http.StatusBadRequest, "unknown format %q (want csv|json|table)", format)
+	}
 }
 
 // handleSweepEvents streams the sweep's child completions as NDJSON:

@@ -27,8 +27,10 @@ func (s JobStatus) terminal() bool {
 
 // Event is one NDJSON progress record on a job's event stream. Every job
 // emits "queued", then (unless cache-served or cancelled while queued)
-// "started", one "trial" per completed trial carrying its result, and
-// finally exactly one terminal event: "done", "failed", or "cancelled".
+// "started", one "trial" per completed trial carrying its result, an
+// "aggregate" whenever the streaming reduction advances (carrying the
+// partial aggregate over the folded trial prefix), and finally exactly one
+// terminal event: "done", "failed", or "cancelled".
 type Event struct {
 	Type string `json:"type"`
 	Job  string `json:"job"`
@@ -37,6 +39,11 @@ type Event struct {
 	Total     int `json:"total"`
 	// Trial carries the finished trial's result on "trial" events.
 	Trial *scenario.TrialResult `json:"trial,omitempty"`
+	// Aggregate carries the streaming partial aggregate on "aggregate"
+	// events; Folded is the contiguous trial prefix it covers. The final
+	// "aggregate" event equals the result's Aggregate exactly.
+	Aggregate *scenario.Aggregate `json:"aggregate,omitempty"`
+	Folded    int                 `json:"folded,omitempty"`
 	// Cached marks a "done" event served from the result cache.
 	Cached bool `json:"cached,omitempty"`
 	// Error carries the failure message on "failed" events.
@@ -52,6 +59,7 @@ type Job struct {
 	mu        sync.Mutex
 	status    JobStatus
 	completed int
+	folded    int // trials covered by the last streamed aggregate
 	cached    bool
 	result    *scenario.Result
 	errMsg    string
@@ -159,12 +167,26 @@ func (j *Job) tryStart(cancel func()) bool {
 	return true
 }
 
-// progress records one completed trial.
-func (j *Job) progress(tr scenario.TrialResult) {
+// progress records one completed trial and, when the streaming reduction
+// advanced, the live partial aggregate.
+func (j *Job) progress(p scenario.Progress) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	j.completed++
+	tr := p.Trial
 	j.appendLocked(Event{Type: "trial", Trial: &tr})
+	if p.Folded > j.folded {
+		j.folded = p.Folded
+		agg := p.Aggregate
+		j.appendLocked(Event{Type: "aggregate", Aggregate: &agg, Folded: p.Folded})
+	}
+}
+
+// Result returns the completed run (nil unless the job is done).
+func (j *Job) Result() *scenario.Result {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.result
 }
 
 // complete finishes the job with a result; cached marks a cache hit. Only

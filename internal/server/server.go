@@ -18,8 +18,9 @@
 //	GET    /v1/sweeps/{id}        sweep rollup: per-child status counts + children
 //	DELETE /v1/sweeps/{id}        cancel every non-terminal child
 //	GET    /v1/sweeps/{id}/events NDJSON child-completion stream
+//	GET    /v1/sweeps/{id}/report pivot report (metric, rows, cols, format=csv|json|table)
 //	GET    /v1/presets            named preset specs
-//	GET    /healthz               liveness + queue/cache/store gauges
+//	GET    /healthz               liveness + queue/cache/store gauges + cost calibration
 package server
 
 import (
@@ -31,6 +32,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"dualradio/internal/memo"
 	"dualradio/internal/scenario"
@@ -61,6 +63,10 @@ type Config struct {
 	// misses, so identical specs survive daemon restarts without
 	// re-simulation.
 	DataDir string
+	// StoreMaxBytes caps the persistent store's total size: after every
+	// write, the oldest result files (by modification time) are evicted
+	// until the store fits (0 = unbounded, the historical behavior).
+	StoreMaxBytes int64
 	// MaxPendingCost bounds the admitted-but-unfinished work, measured by
 	// the analytic cost estimate n·trials·schedule-rounds summed over
 	// queued and running jobs (default 1<<32 round-process units).
@@ -113,6 +119,14 @@ type Server struct {
 	pending   atomic.Int64 // cost estimate of queued + running jobs
 	storeErrs atomic.Int64 // persistence failures (best-effort writes)
 
+	// calib tracks measured wallclock per admission cost unit over
+	// completed (non-cached) jobs, so the analytic n·trials·rounds cost
+	// model can be sanity-checked against reality via /healthz.
+	calibMu    sync.Mutex
+	calibJobs  int
+	calibNanos float64 // total measured run wallclock
+	calibCost  float64 // total admission cost of those runs
+
 	mu         sync.Mutex
 	jobs       map[string]*Job
 	order      []string // submission order, for listing and oldest-first pruning
@@ -133,6 +147,7 @@ func New(cfg Config) (*Server, error) {
 		if st, err = store.Open(cfg.DataDir); err != nil {
 			return nil, err
 		}
+		st.SetMaxBytes(cfg.StoreMaxBytes)
 	}
 	ctx, stop := context.WithCancel(context.Background())
 	s := &Server{
@@ -420,6 +435,33 @@ func (s *Server) Sweeps() []*Sweep {
 	return out
 }
 
+// recordCalibration folds one measured run into the wallclock-per-cost-unit
+// calibration. Only real simulations count — cache hits would drag the
+// factor toward zero and say nothing about the cost model.
+func (s *Server) recordCalibration(cost int64, elapsed time.Duration) {
+	if cost <= 0 {
+		return
+	}
+	s.calibMu.Lock()
+	s.calibJobs++
+	s.calibNanos += float64(elapsed)
+	s.calibCost += float64(cost)
+	s.calibMu.Unlock()
+}
+
+// Calibration returns the running admission-cost calibration: how many
+// jobs contributed and the measured nanoseconds per cost unit (0 until a
+// job completes). The factor is cumulative — total wallclock over total
+// cost — so long jobs weigh in proportionally to the work they measured.
+func (s *Server) Calibration() (jobs int, nsPerUnit float64) {
+	s.calibMu.Lock()
+	defer s.calibMu.Unlock()
+	if s.calibCost > 0 {
+		nsPerUnit = s.calibNanos / s.calibCost
+	}
+	return s.calibJobs, nsPerUnit
+}
+
 // worker pulls jobs off the queue until the server context stops.
 func (s *Server) worker() {
 	defer s.wg.Done()
@@ -453,6 +495,7 @@ func (s *Server) runJob(job *Job) {
 	if !job.tryStart(cancel) {
 		return // cancelled while queued
 	}
+	start := time.Now()
 	res, err := job.comp.Run(ctx, s.cfg.TrialWorkers, job.progress)
 	switch {
 	case err == nil:
@@ -460,6 +503,7 @@ func (s *Server) runJob(job *Job) {
 		// completed — only complete results are ever cached or persisted
 		// under the spec hash (a cancelled or failed run returns a nil
 		// result with its error instead).
+		s.recordCalibration(job.comp.CostEstimate(), time.Since(start))
 		s.persist(job.comp.Hash(), res)
 		job.complete(res, false)
 	case ctx.Err() != nil:

@@ -125,16 +125,31 @@ func TestJobLifecycleSubmitPollStreamResult(t *testing.T) {
 	}
 
 	// The event stream replays history and ends after the terminal event.
+	// Each trial is followed by a streaming "aggregate" event covering the
+	// folded prefix (with one trial worker, trials fold in order, so every
+	// trial advances the fold).
 	events := streamEvents(t, jobURL+"/events")
 	types := eventTypes(events)
-	want := []string{"queued", "started", "trial", "trial", "done"}
+	want := []string{"queued", "started", "trial", "aggregate", "trial", "aggregate", "done"}
 	if !reflect.DeepEqual(types, want) {
 		t.Fatalf("event sequence %v, want %v", types, want)
 	}
+	var lastAgg *scenario.Aggregate
 	for _, e := range events {
 		if e.Type == "trial" && e.Trial == nil {
 			t.Fatal("trial event without a trial result")
 		}
+		if e.Type == "aggregate" {
+			if e.Aggregate == nil || e.Folded == 0 || e.Aggregate.Trials != e.Folded {
+				t.Fatalf("malformed aggregate event: %+v", e)
+			}
+			lastAgg = e.Aggregate
+		}
+	}
+	// The final streamed aggregate is the result's aggregate exactly.
+	if lastAgg == nil || *lastAgg != done.Result.Aggregate {
+		t.Fatalf("final streamed aggregate %+v != result aggregate %+v",
+			lastAgg, done.Result.Aggregate)
 	}
 
 	// The job listing shows the job without the result payload.

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"fmt"
 	"sync"
 	"time"
 
@@ -17,6 +18,7 @@ type Sweep struct {
 	hash  string
 	name  string
 	total int
+	exp   *scenario.Expansion // immutable; axes + grid for report pivoting
 
 	mu       sync.Mutex
 	children []*Job // grid order; fully populated before the sweep is published
@@ -50,6 +52,7 @@ func newSweep(id string, exp *scenario.Expansion) *Sweep {
 		id:       id,
 		hash:     exp.Hash(),
 		name:     exp.Spec.Name,
+		exp:      exp,
 		total:    len(exp.Children),
 		children: make([]*Job, len(exp.Children)),
 		created:  time.Now(),
@@ -105,6 +108,25 @@ func (sw *Sweep) eventsSince(from int) (events []SweepEvent, terminal bool, wake
 		return append([]SweepEvent(nil), sw.events[from:]...), sw.done == sw.total, nil
 	}
 	return nil, sw.done == sw.total, sw.wake
+}
+
+// reportData hands the report engine its inputs: the sweep's expansion and
+// the child aggregates in grid order. A sweep is reportable exactly when
+// every child is done — a failed or cancelled child has no aggregate, and a
+// partial pivot would silently misrepresent the grid.
+func (sw *Sweep) reportData() (*scenario.Expansion, []scenario.Aggregate, error) {
+	aggs := make([]scenario.Aggregate, len(sw.children))
+	for i, j := range sw.children {
+		if st := j.Status(); st != StatusDone {
+			return nil, nil, fmt.Errorf("child %s is %s, not done", j.id, st)
+		}
+		res := j.Result()
+		if res == nil {
+			return nil, nil, fmt.Errorf("child %s has no result", j.id)
+		}
+		aggs[i] = res.Aggregate
+	}
+	return sw.exp, aggs, nil
 }
 
 // CancelChildren cancels every non-terminal child and reports how many

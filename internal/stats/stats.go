@@ -22,15 +22,15 @@ type Summary struct {
 }
 
 // Summarize computes a Summary; an empty sample yields the zero value.
+// The sample is sorted once and every order statistic (Min, Max, Median,
+// P90) reads the shared sorted copy.
 func Summarize(xs []float64) Summary {
 	if len(xs) == 0 {
 		return Summary{}
 	}
-	s := Summary{N: len(xs), Min: xs[0], Max: xs[0]}
+	s := Summary{N: len(xs)}
 	for _, x := range xs {
 		s.Mean += x
-		s.Min = math.Min(s.Min, x)
-		s.Max = math.Max(s.Max, x)
 	}
 	s.Mean /= float64(len(xs))
 	for _, x := range xs {
@@ -42,8 +42,12 @@ func Summarize(xs []float64) Summary {
 	} else {
 		s.Std = 0
 	}
-	s.Median = Percentile(xs, 50)
-	s.P90 = Percentile(xs, 90)
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	s.Min = sorted[0]
+	s.Max = sorted[len(sorted)-1]
+	s.Median = percentileSorted(sorted, 50)
+	s.P90 = percentileSorted(sorted, 90)
 	return s
 }
 
@@ -55,6 +59,11 @@ func Percentile(xs []float64, p float64) float64 {
 	}
 	sorted := append([]float64(nil), xs...)
 	sort.Float64s(sorted)
+	return percentileSorted(sorted, p)
+}
+
+// percentileSorted is Percentile over an already-sorted non-empty sample.
+func percentileSorted(sorted []float64, p float64) float64 {
 	if p <= 0 {
 		return sorted[0]
 	}

@@ -9,6 +9,12 @@
 // (an equal value by determinism). Writes go through a temp file + rename,
 // so a crash mid-write never leaves a truncated entry where a hash would
 // be served from.
+//
+// Growth is bounded by an optional byte cap (SetMaxBytes): when a write
+// pushes the store past it, the oldest entries by modification time are
+// evicted until it fits. Eviction is safe because the store is a cache of
+// reproducible results — an evicted spec simply re-simulates on its next
+// submission.
 package store
 
 import (
@@ -16,6 +22,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 	"sync"
 )
@@ -26,8 +33,10 @@ import (
 type Store struct {
 	dir string
 
-	mu    sync.Mutex
-	count int // resident entries; maintained so Len avoids readdir
+	mu       sync.Mutex
+	count    int   // resident entries; maintained so Len avoids readdir
+	bytes    int64 // resident payload bytes
+	maxBytes int64 // 0 = unbounded
 }
 
 // Open creates (if needed) and opens a store rooted at dir.
@@ -42,13 +51,17 @@ func Open(dir string) (*Store, error) {
 	if err != nil {
 		return nil, fmt.Errorf("store: open: %w", err)
 	}
-	count := 0
+	st := &Store{dir: dir}
 	for _, e := range entries {
-		if !e.IsDir() && strings.HasSuffix(e.Name(), ".json") {
-			count++
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".json") {
+			continue
+		}
+		st.count++
+		if info, err := e.Info(); err == nil {
+			st.bytes += info.Size()
 		}
 	}
-	return &Store{dir: dir, count: count}, nil
+	return st, nil
 }
 
 // Dir returns the store's root directory.
@@ -59,6 +72,25 @@ func (s *Store) Len() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.count
+}
+
+// Bytes returns the resident payload size.
+func (s *Store) Bytes() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.bytes
+}
+
+// SetMaxBytes caps the store's total size (0 = unbounded). Whenever a
+// write pushes the store past the cap, the oldest entries by modification
+// time are evicted until it fits again — the growth policy for long-running
+// daemons whose stores would otherwise grow append-only forever. Setting a
+// cap over an already-oversized store garbage-collects immediately.
+func (s *Store) SetMaxBytes(n int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.maxBytes = n
+	s.gcLocked("")
 }
 
 // validHash gates keys to hex strings so a key can never traverse outside
@@ -129,5 +161,54 @@ func (s *Store) Put(hash string, data []byte) error {
 		return fmt.Errorf("store: put %s: %w", hash, werr)
 	}
 	s.count++
+	s.bytes += int64(len(data))
+	s.gcLocked(hash + ".json")
 	return nil
+}
+
+// gcLocked enforces the byte cap: while the store exceeds it, the oldest
+// entries by modification time are removed (ties broken by name for
+// determinism). keep names the just-written entry, which is never evicted —
+// the cap bounds growth by shedding old results, not fresh ones. Callers
+// must hold mu.
+func (s *Store) gcLocked(keep string) {
+	if s.maxBytes <= 0 || s.bytes <= s.maxBytes {
+		return
+	}
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return
+	}
+	type victim struct {
+		name  string
+		size  int64
+		mtime int64
+	}
+	var victims []victim
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".json") || e.Name() == keep {
+			continue
+		}
+		info, err := e.Info()
+		if err != nil {
+			continue
+		}
+		victims = append(victims, victim{e.Name(), info.Size(), info.ModTime().UnixNano()})
+	}
+	sort.Slice(victims, func(i, j int) bool {
+		if victims[i].mtime != victims[j].mtime {
+			return victims[i].mtime < victims[j].mtime
+		}
+		return victims[i].name < victims[j].name
+	})
+	for _, v := range victims {
+		if s.bytes <= s.maxBytes {
+			return
+		}
+		if err := os.Remove(filepath.Join(s.dir, v.name)); err != nil {
+			continue
+		}
+		s.count--
+		s.bytes -= v.size
+	}
 }

@@ -10,6 +10,7 @@ import (
 	"strings"
 	"sync"
 	"testing"
+	"time"
 )
 
 func hashOf(s string) string {
@@ -165,5 +166,82 @@ func BenchmarkStoreRoundTrip(b *testing.B) {
 		if _, ok, err := st.Get(h); err != nil || !ok {
 			b.Fatal("get miss")
 		}
+	}
+}
+
+// TestGCEvictsOldestByMtime: with a byte cap, writes shed the oldest
+// entries (by modification time, name-tiebroken) until the store fits,
+// and the entry just written is never the victim.
+func TestGCEvictsOldestByMtime(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := func(i int) []byte { return bytes.Repeat([]byte{'0' + byte(i)}, 100) }
+	hashes := make([]string, 5)
+	for i := range hashes {
+		hashes[i] = hashOf(fmt.Sprintf("gc-%d", i))
+		if err := st.Put(hashes[i], payload(i)); err != nil {
+			t.Fatal(err)
+		}
+		// Age the entry so mtime order matches write order even on
+		// coarse-mtime filesystems.
+		mt := time.Now().Add(time.Duration(i-10) * time.Hour)
+		if err := os.Chtimes(filepath.Join(dir, hashes[i]+".json"), mt, mt); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st.Bytes() != 500 || st.Len() != 5 {
+		t.Fatalf("pre-GC store: %d entries, %d bytes", st.Len(), st.Bytes())
+	}
+
+	// Capping at 250 evicts the two oldest immediately.
+	st.SetMaxBytes(250)
+	if st.Len() != 2 || st.Bytes() != 200 {
+		t.Fatalf("post-cap store: %d entries, %d bytes", st.Len(), st.Bytes())
+	}
+	for i, h := range hashes {
+		_, ok, err := st.Get(h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := i >= 3; ok != want {
+			t.Fatalf("entry %d resident=%v, want %v", i, ok, want)
+		}
+	}
+
+	// A new write triggers GC and survives it: the oldest remaining entry
+	// goes instead.
+	h := hashOf("gc-new")
+	if err := st.Put(h, payload(9)); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, _ := st.Get(h); !ok {
+		t.Fatal("freshly written entry was evicted")
+	}
+	if _, ok, _ := st.Get(hashes[3]); ok {
+		t.Fatal("oldest remaining entry survived GC")
+	}
+	if st.Bytes() > 250 {
+		t.Fatalf("store %d bytes exceeds cap", st.Bytes())
+	}
+
+	// Reopen recomputes the byte tally from disk.
+	st2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.Bytes() != st.Bytes() || st2.Len() != st.Len() {
+		t.Fatalf("reopen tally (%d, %d) != (%d, %d)", st2.Len(), st2.Bytes(), st.Len(), st.Bytes())
+	}
+
+	// Unbounded stores never GC.
+	st2.SetMaxBytes(0)
+	if err := st2.Put(hashOf("gc-more"), payload(1)); err != nil {
+		t.Fatal(err)
+	}
+	if st2.Len() != st.Len()+1 {
+		t.Fatal("unbounded store evicted")
 	}
 }

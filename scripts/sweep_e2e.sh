@@ -1,9 +1,11 @@
 #!/bin/sh
-# sweep_e2e.sh — end-to-end check of the sweep + durability layer against a
-# real radiod process: boot with a temp -data dir, run a 2×2 sweep over
-# HTTP, restart the daemon, resubmit the identical sweep, and assert every
-# child is served from the persistent store ("cached":true) without
-# re-simulation. Run from the repo root; used by CI and runnable locally.
+# sweep_e2e.sh — end-to-end check of the sweep + durability + report layer
+# against a real radiod process: boot with a temp -data dir, run a 2×2
+# sweep over HTTP, fetch its CSV report, restart the daemon, resubmit the
+# identical sweep, and assert every child is served from the persistent
+# store ("cached":true) without re-simulation AND that the post-restart CSV
+# report is byte-identical to the pre-restart one. Run from the repo root;
+# used by CI and runnable locally.
 set -eu
 
 ADDR="${ADDR:-127.0.0.1:18080}"
@@ -71,6 +73,10 @@ wait_done() {
 	exit 1
 }
 
+fetch_report() {
+	curl -sf "$BASE/v1/sweeps/$1/report?metric=mean_rounds&format=csv"
+}
+
 # Round 1: fresh daemon, fresh store — the sweep simulates for real.
 start_daemon
 ACCEPT1="$(submit_sweep)"
@@ -80,6 +86,10 @@ DONE1="$(wait_done "$ID1")"
 HASH1="$(printf '%s' "$DONE1" | sed -n 's/.*"sweep_hash": "\([0-9a-f]*\)".*/\1/p' | head -n 1)"
 STORED="$(ls "$DATA"/*.json 2>/dev/null | wc -l)"
 [ "$STORED" -eq 4 ] || { echo "FAIL: store holds $STORED results, want 4" >&2; exit 1; }
+fetch_report "$ID1" >"$WORK/report1.csv" \
+	|| { echo "FAIL: no CSV report for $ID1" >&2; exit 1; }
+grep -q 'n\\gray_prob' "$WORK/report1.csv" \
+	|| { echo "FAIL: report lacks the pivot header:" >&2; cat "$WORK/report1.csv" >&2; exit 1; }
 stop_daemon
 
 # Round 2: restarted daemon, same store — every child must be a cache hit.
@@ -92,6 +102,15 @@ printf '%s' "$ACCEPT2" | grep -q '"status": "done"' \
 	|| { echo "FAIL: restarted sweep not done at submission: $ACCEPT2" >&2; exit 1; }
 CACHED="$(printf '%s' "$ACCEPT2" | grep -c '"cached": true')"
 [ "$CACHED" -eq 4 ] || { echo "FAIL: $CACHED/4 children cached after restart" >&2; exit 1; }
+# The report over the store-served sweep must be byte-identical to the one
+# computed from the fresh simulations before the restart.
+fetch_report "$ID2" >"$WORK/report2.csv" \
+	|| { echo "FAIL: no CSV report for $ID2 after restart" >&2; exit 1; }
+cmp -s "$WORK/report1.csv" "$WORK/report2.csv" || {
+	echo "FAIL: CSV report changed across restart" >&2
+	diff "$WORK/report1.csv" "$WORK/report2.csv" >&2 || true
+	exit 1
+}
 stop_daemon
 
-echo "OK: 2x2 sweep $ID1/$ID2 hash=$HASH1 survived restart with 4/4 store hits"
+echo "OK: 2x2 sweep $ID1/$ID2 hash=$HASH1 survived restart with 4/4 store hits and a byte-identical CSV report"
