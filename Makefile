@@ -4,7 +4,7 @@ DATE := $(shell date +%F)
 # the same day (e.g. make bench OUT=BENCH_$(DATE)-pr2.json).
 OUT ?= BENCH_$(DATE).json
 
-.PHONY: build test check bench bench-headline bench-sweep bench-report verify serve sweep-e2e
+.PHONY: build test check bench bench-headline bench-sweep bench-report verify serve sweep-e2e crash-e2e chaos
 
 build:
 	$(GO) build ./...
@@ -61,6 +61,18 @@ bench-report:
 # real radiod against a temp -data dir; see scripts/sweep_e2e.sh).
 sweep-e2e:
 	sh scripts/sweep_e2e.sh
+
+# crash-e2e kills a real radiod with SIGKILL mid-sweep, restarts it on the
+# same -data dir, and asserts the journal-resumed sweep's CSV report is
+# byte-identical to an uninterrupted run's (see scripts/crash_e2e.sh).
+crash-e2e:
+	sh scripts/crash_e2e.sh
+
+# chaos reruns the crash e2e under the stock chaos fault spec: injected
+# transient trial errors and panics (plus delays) that retry and panic
+# isolation must absorb without changing the final report.
+chaos:
+	FAULT_SPEC=scripts/chaos_fault.json sh scripts/crash_e2e.sh
 
 # bench-headline runs only the acceptance benchmarks (E1/E3/E8 + setup).
 bench-headline:

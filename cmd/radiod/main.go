@@ -10,6 +10,12 @@
 //	radiod -data ./radiod-data   # persist results across restarts
 //	radiod -addr :9000 -workers 4 -queue 128 -cache 256 -trial-workers 2
 //	radiod -max-cost 8589934592  # double the admission budget
+//	radiod -fault-spec faults.json -retry-backoff 50ms  # chaos testing
+//
+// With -data the daemon is crash-safe: every admission and terminal
+// transition is journaled, and a restart — graceful or kill -9 — re-admits
+// incomplete jobs and resumes half-finished sweeps, serving already-stored
+// child results from the persistent store without re-simulation.
 //
 // The process drains gracefully on SIGINT/SIGTERM: in-flight HTTP requests
 // get a shutdown window, running jobs are cancelled via their contexts, and
@@ -28,6 +34,7 @@ import (
 	"syscall"
 	"time"
 
+	"dualradio/internal/faultinject"
 	"dualradio/internal/server"
 )
 
@@ -50,19 +57,38 @@ func run() error {
 		storeMax     = flag.Int64("store-max-bytes", 0, "evict oldest stored results past this total size (0 = unbounded)")
 		maxCost      = flag.Int64("max-cost", 0, "admission budget in round-process units (0 = default)")
 		drain        = flag.Duration("drain", 10*time.Second, "graceful shutdown window")
+		maxRetries   = flag.Int("max-retries", 3, "automatic retries after a transient failure (0 disables)")
+		retryBackoff = flag.Duration("retry-backoff", 250*time.Millisecond, "initial retry backoff (doubles per retry)")
+		retryMax     = flag.Duration("retry-max-backoff", 5*time.Second, "retry backoff cap")
+		faultSpec    = flag.String("fault-spec", "", "JSON fault-injection spec for chaos testing (see internal/faultinject)")
 	)
 	flag.Parse()
 
-	svc, err := server.New(server.Config{
-		Workers:        *workers,
-		QueueDepth:     *queue,
-		CacheSize:      *cache,
-		TrialWorkers:   *trialWorkers,
-		History:        *history,
-		DataDir:        *dataDir,
-		StoreMaxBytes:  *storeMax,
-		MaxPendingCost: *maxCost,
-	})
+	cfg := server.Config{
+		Workers:         *workers,
+		QueueDepth:      *queue,
+		CacheSize:       *cache,
+		TrialWorkers:    *trialWorkers,
+		History:         *history,
+		DataDir:         *dataDir,
+		StoreMaxBytes:   *storeMax,
+		MaxPendingCost:  *maxCost,
+		MaxRetries:      *maxRetries,
+		RetryBackoff:    *retryBackoff,
+		RetryMaxBackoff: *retryMax,
+	}
+	if *maxRetries <= 0 {
+		cfg.MaxRetries = -1 // Config treats 0 as "default"; negative disables
+	}
+	if *faultSpec != "" {
+		inj, err := faultinject.Load(*faultSpec)
+		if err != nil {
+			return err
+		}
+		cfg.Fault = inj
+		log.Printf("radiod: fault injection active: %d rules from %s", inj.Rules(), *faultSpec)
+	}
+	svc, err := server.New(cfg)
 	if err != nil {
 		return err
 	}

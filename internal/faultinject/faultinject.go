@@ -1,0 +1,213 @@
+// Package faultinject injects deterministic faults into the simulation
+// service so its fault-tolerance machinery — retry with backoff, per-trial
+// panic isolation, journal replay, best-effort persistence — is exercised
+// by tests and chaos runs instead of waiting for production to misbehave.
+//
+// Faults are described by a JSON spec of rules. Every decision is a pure
+// function of (spec seed, rule index, canonical spec hash, trial, attempt):
+// the same fault spec against the same workload injects exactly the same
+// faults in every run, so chaos tests are reproducible and a "transient"
+// error really does vanish on the retry the rule's attempt gate allows.
+package faultinject
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"os"
+	"time"
+)
+
+// Rule kinds.
+const (
+	// KindTrialError makes the matched trial fail with an error.
+	KindTrialError = "trial-error"
+	// KindTrialPanic makes the matched trial panic (exercising the
+	// per-trial recover boundary).
+	KindTrialPanic = "trial-panic"
+	// KindTrialDelay sleeps before the matched trial runs (artificial
+	// latency; never changes results).
+	KindTrialDelay = "trial-delay"
+	// KindStoreError fails the matched persistent-store write.
+	KindStoreError = "store-error"
+)
+
+// Rule is one fault: where it fires and what it does. All match fields are
+// conjunctive; an omitted field matches everything.
+type Rule struct {
+	// Kind is one of the Kind* constants.
+	Kind string `json:"kind"`
+	// HashPrefix restricts the rule to workloads whose canonical spec hash
+	// starts with it ("" = every workload).
+	HashPrefix string `json:"hash_prefix,omitempty"`
+	// Trial restricts the rule to one trial index (nil = every trial).
+	Trial *int `json:"trial,omitempty"`
+	// Attempts fires the rule only while the job's attempt counter is
+	// below it: 1 = first attempt only (so one retry recovers),
+	// 0 = every attempt (a permanent fault even when marked transient).
+	Attempts int `json:"attempts,omitempty"`
+	// P injects with this probability per matched site, decided by the
+	// seeded deterministic coin (0 or >= 1 = always).
+	P float64 `json:"p,omitempty"`
+	// DelayMS is the sleep for KindTrialDelay.
+	DelayMS int `json:"delay_ms,omitempty"`
+	// Transient marks injected errors and panics retryable.
+	Transient bool `json:"transient,omitempty"`
+	// Message overrides the injected error text.
+	Message string `json:"message,omitempty"`
+}
+
+// Spec is a fault-injection configuration: a seed for the deterministic
+// coins plus the rule list.
+type Spec struct {
+	Seed  uint64 `json:"seed,omitempty"`
+	Rules []Rule `json:"rules"`
+}
+
+// Injector evaluates a Spec's rules at the service's fault points. It is
+// immutable and safe for concurrent use.
+type Injector struct {
+	spec Spec
+}
+
+// New validates the spec and returns an injector over it.
+func New(spec Spec) (*Injector, error) {
+	for i, r := range spec.Rules {
+		switch r.Kind {
+		case KindTrialError, KindTrialPanic, KindTrialDelay, KindStoreError:
+		default:
+			return nil, fmt.Errorf("faultinject: rule %d: unknown kind %q", i, r.Kind)
+		}
+		if r.P < 0 || r.P > 1 {
+			return nil, fmt.Errorf("faultinject: rule %d: p=%v out of [0, 1]", i, r.P)
+		}
+		if r.DelayMS < 0 {
+			return nil, fmt.Errorf("faultinject: rule %d: negative delay_ms", i)
+		}
+		if r.Attempts < 0 {
+			return nil, fmt.Errorf("faultinject: rule %d: negative attempts", i)
+		}
+		if r.Kind == KindTrialDelay && r.DelayMS == 0 {
+			return nil, fmt.Errorf("faultinject: rule %d: trial-delay needs delay_ms", i)
+		}
+	}
+	return &Injector{spec: spec}, nil
+}
+
+// Parse decodes a JSON fault spec, rejecting unknown fields.
+func Parse(data []byte) (*Injector, error) {
+	var spec Spec
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		return nil, fmt.Errorf("faultinject: parse spec: %w", err)
+	}
+	return New(spec)
+}
+
+// Load reads and parses a fault spec file.
+func Load(path string) (*Injector, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("faultinject: %w", err)
+	}
+	return Parse(data)
+}
+
+// Rules returns the number of configured rules.
+func (in *Injector) Rules() int { return len(in.spec.Rules) }
+
+// transientError marks an injected error retryable. It matches the
+// scenario package's transient classification through the Transient()
+// method, so faultinject needs no import of the execution layer.
+type transientError struct{ msg string }
+
+func (e *transientError) Error() string   { return e.msg }
+func (e *transientError) Transient() bool { return true }
+
+// InjectedError is the error type of injected faults that are not marked
+// transient.
+type InjectedError struct{ msg string }
+
+func (e *InjectedError) Error() string { return e.msg }
+
+func (r *Rule) newError(site string) error {
+	msg := r.Message
+	if msg == "" {
+		msg = fmt.Sprintf("faultinject: injected %s at %s", r.Kind, site)
+	}
+	if r.Transient {
+		return &transientError{msg: msg}
+	}
+	return &InjectedError{msg: msg}
+}
+
+// coin decides a probabilistic injection deterministically: an FNV-64 hash
+// of (seed, rule index, site key) mapped to [0, 1) and compared against p.
+func (in *Injector) coin(rule int, p float64, site string) bool {
+	if p <= 0 || p >= 1 {
+		return true
+	}
+	h := fnv.New64a()
+	var buf [16]byte
+	binary.LittleEndian.PutUint64(buf[:8], in.spec.Seed)
+	binary.LittleEndian.PutUint64(buf[8:], uint64(rule))
+	h.Write(buf[:])
+	h.Write([]byte(site))
+	u := float64(h.Sum64()>>11) / float64(1<<53) // 53 uniform mantissa bits
+	return u < p
+}
+
+func (r *Rule) matches(hash string, trial, attempt int) bool {
+	if r.HashPrefix != "" && (len(hash) < len(r.HashPrefix) || hash[:len(r.HashPrefix)] != r.HashPrefix) {
+		return false
+	}
+	if r.Trial != nil && trial >= 0 && *r.Trial != trial {
+		return false
+	}
+	if r.Attempts > 0 && attempt >= r.Attempts {
+		return false
+	}
+	return true
+}
+
+// Trial evaluates the trial-scoped rules for (workload hash, trial,
+// attempt): delays sleep in order, then the first firing error or panic
+// rule wins. A returned error fails the trial; a panic rule panics with
+// its error value, exercising the recover boundary.
+func (in *Injector) Trial(hash string, trial, attempt int) error {
+	site := fmt.Sprintf("trial/%s/%d/%d", hash, trial, attempt)
+	for i, r := range in.spec.Rules {
+		if r.Kind != KindTrialDelay || !r.matches(hash, trial, attempt) || !in.coin(i, r.P, site) {
+			continue
+		}
+		time.Sleep(time.Duration(r.DelayMS) * time.Millisecond)
+	}
+	for i, r := range in.spec.Rules {
+		if (r.Kind != KindTrialError && r.Kind != KindTrialPanic) ||
+			!r.matches(hash, trial, attempt) || !in.coin(i, r.P, site) {
+			continue
+		}
+		err := r.newError(site)
+		if r.Kind == KindTrialPanic {
+			panic(err)
+		}
+		return err
+	}
+	return nil
+}
+
+// StorePut evaluates the store-scoped rules for a result write under
+// hash, returning the injected write error if one fires.
+func (in *Injector) StorePut(hash string) error {
+	site := "store/" + hash
+	for i, r := range in.spec.Rules {
+		if r.Kind != KindStoreError || !r.matches(hash, -1, 0) || !in.coin(i, r.P, site) {
+			continue
+		}
+		return r.newError(site)
+	}
+	return nil
+}

@@ -1,0 +1,153 @@
+package faultinject
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func intp(i int) *int { return &i }
+
+func TestValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		spec Spec
+	}{
+		{"unknown kind", Spec{Rules: []Rule{{Kind: "meteor-strike"}}}},
+		{"p above 1", Spec{Rules: []Rule{{Kind: KindTrialError, P: 1.5}}}},
+		{"negative p", Spec{Rules: []Rule{{Kind: KindTrialError, P: -0.1}}}},
+		{"negative delay", Spec{Rules: []Rule{{Kind: KindTrialDelay, DelayMS: -5}}}},
+		{"delay without ms", Spec{Rules: []Rule{{Kind: KindTrialDelay}}}},
+		{"negative attempts", Spec{Rules: []Rule{{Kind: KindTrialError, Attempts: -1}}}},
+	}
+	for _, tc := range cases {
+		if _, err := New(tc.spec); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+	if _, err := Parse([]byte(`{"rules":[{"kind":"trial-error","typo":1}]}`)); err == nil {
+		t.Error("Parse accepted an unknown field")
+	}
+}
+
+func TestTrialErrorMatchingAndAttemptGate(t *testing.T) {
+	in, err := New(Spec{Rules: []Rule{{
+		Kind:      KindTrialError,
+		Trial:     intp(3),
+		Attempts:  1,
+		Transient: true,
+		Message:   "injected flake",
+	}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const hash = "deadbeefdeadbeef"
+	// Fires exactly on (trial 3, attempt 0).
+	if err := in.Trial(hash, 3, 0); err == nil || err.Error() != "injected flake" {
+		t.Fatalf("trial 3 attempt 0: err = %v", err)
+	}
+	// Marked transient via the Transient() method contract.
+	var tr interface{ Transient() bool }
+	if err := in.Trial(hash, 3, 0); !errors.As(err, &tr) || !tr.Transient() {
+		t.Fatalf("injected transient error lacks Transient(): %v", err)
+	}
+	// The attempt gate lets the retry through.
+	if err := in.Trial(hash, 3, 1); err != nil {
+		t.Fatalf("trial 3 attempt 1: unexpected %v", err)
+	}
+	// Other trials are untouched.
+	if err := in.Trial(hash, 2, 0); err != nil {
+		t.Fatalf("trial 2: unexpected %v", err)
+	}
+}
+
+func TestHashPrefixScoping(t *testing.T) {
+	in, err := New(Spec{Rules: []Rule{{Kind: KindTrialError, HashPrefix: "abcd"}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := in.Trial("abcd1234", 0, 0); err == nil {
+		t.Fatal("matching hash prefix did not fire")
+	}
+	if err := in.Trial("ffff1234", 0, 0); err != nil {
+		t.Fatalf("non-matching hash prefix fired: %v", err)
+	}
+}
+
+func TestTrialPanicPanicsWithError(t *testing.T) {
+	in, err := New(Spec{Rules: []Rule{{Kind: KindTrialPanic, Transient: true}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		p := recover()
+		if p == nil {
+			t.Fatal("trial-panic rule did not panic")
+		}
+		perr, ok := p.(error)
+		if !ok {
+			t.Fatalf("panicked with %T, want error", p)
+		}
+		var tr interface{ Transient() bool }
+		if !errors.As(perr, &tr) || !tr.Transient() {
+			t.Fatalf("panic error not transient: %v", perr)
+		}
+	}()
+	_ = in.Trial("deadbeef", 0, 0)
+}
+
+// The probability coin is a pure function of (seed, rule, site): the same
+// spec injects the same faults in every run, and different seeds decorrelate.
+func TestProbabilisticInjectionIsDeterministic(t *testing.T) {
+	spec := Spec{Seed: 42, Rules: []Rule{{Kind: KindTrialError, P: 0.5}}}
+	a, _ := New(spec)
+	b, _ := New(spec)
+	fired, differs := 0, false
+	for trial := 0; trial < 200; trial++ {
+		ea := a.Trial("cafe0123", trial, 0)
+		eb := b.Trial("cafe0123", trial, 0)
+		if (ea == nil) != (eb == nil) {
+			t.Fatalf("trial %d: nondeterministic injection", trial)
+		}
+		if ea != nil {
+			fired++
+		}
+		other, _ := New(Spec{Seed: 43, Rules: spec.Rules})
+		if (other.Trial("cafe0123", trial, 0) == nil) != (ea == nil) {
+			differs = true
+		}
+	}
+	// p=0.5 over 200 deterministic coins: expect a balanced-ish split.
+	if fired < 50 || fired > 150 {
+		t.Errorf("p=0.5 fired %d/200 times", fired)
+	}
+	if !differs {
+		t.Error("seeds 42 and 43 injected identically across 200 sites")
+	}
+}
+
+func TestStorePut(t *testing.T) {
+	in, err := New(Spec{Rules: []Rule{
+		{Kind: KindStoreError, HashPrefix: "aa", Message: "disk on fire"},
+		{Kind: KindTrialError}, // trial rules must not leak into store writes
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := in.StorePut("aa00"); err == nil || !strings.Contains(err.Error(), "disk on fire") {
+		t.Fatalf("store error not injected: %v", err)
+	}
+	if err := in.StorePut("bb00"); err != nil {
+		t.Fatalf("unscoped store write failed: %v", err)
+	}
+}
+
+func TestTrialDelaySleepsWithoutError(t *testing.T) {
+	in, err := New(Spec{Rules: []Rule{{Kind: KindTrialDelay, DelayMS: 1}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := in.Trial("deadbeef", 0, 0); err != nil {
+		t.Fatalf("delay rule returned error: %v", err)
+	}
+}

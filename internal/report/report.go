@@ -62,6 +62,12 @@ type Options struct {
 	// collapsed into the cells. The explicit value "-" pivots nothing onto
 	// that dimension (collapsing the axis that would have been picked).
 	Rows, Cols string
+	// Present, when non-nil, masks which children carry aggregates (indexed
+	// like exp.Children): grid points whose child is absent are skipped, so
+	// their cells fold only the points that actually completed — possibly
+	// rendering empty. This is how partial reports over still-running
+	// sweeps stay honest. nil means every child is present.
+	Present []bool
 }
 
 // Cell is one pivot cell: the metric over every grid point that maps to
@@ -97,6 +103,9 @@ type Report struct {
 func Build(exp *scenario.Expansion, aggs []scenario.Aggregate, opts Options) (*Report, error) {
 	if len(aggs) != len(exp.Children) {
 		return nil, fmt.Errorf("report: %d aggregates for %d children", len(aggs), len(exp.Children))
+	}
+	if opts.Present != nil && len(opts.Present) != len(exp.Children) {
+		return nil, fmt.Errorf("report: presence mask covers %d of %d children", len(opts.Present), len(exp.Children))
 	}
 	metric := opts.Metric
 	if metric == "" {
@@ -151,8 +160,10 @@ func Build(exp *scenario.Expansion, aggs []scenario.Aggregate, opts Options) (*R
 		if colDim >= 0 {
 			col = coord[colDim]
 		}
-		if v, ok := metricValue(aggs[ci], metric); ok {
-			accs[row][col].Add(v)
+		if opts.Present == nil || opts.Present[ci] {
+			if v, ok := metricValue(aggs[ci], metric); ok {
+				accs[row][col].Add(v)
+			}
 		}
 		for di := len(coord) - 1; di >= 0; di-- {
 			coord[di]++

@@ -39,7 +39,11 @@ func Compile(spec Spec) (*Compiled, error) {
 		return nil, err
 	}
 	c := spec.Canonical()
-	return &Compiled{spec: c, hash: c.Hash()}, nil
+	h, err := c.CanonicalHash()
+	if err != nil {
+		return nil, err
+	}
+	return &Compiled{spec: c, hash: h}, nil
 }
 
 // Spec returns the canonical spec.

@@ -1,0 +1,38 @@
+package scenario
+
+import "errors"
+
+// Transient classification. A transient error is one where an identical
+// rerun can plausibly succeed — injected flakes, resource pressure — as
+// opposed to deterministic failures (bad spec, verification failure,
+// timeout of a deterministic workload) that every rerun would repeat.
+// Classification travels with the error value itself through a structural
+// interface, so producers (e.g. the fault injector) need no import of this
+// package.
+
+// transientMarked is implemented by any error that self-reports whether a
+// retry can help.
+type transientMarked interface{ Transient() bool }
+
+// transientErr wraps an error to mark it transient.
+type transientErr struct{ err error }
+
+func (e *transientErr) Error() string   { return e.err.Error() }
+func (e *transientErr) Unwrap() error   { return e.err }
+func (e *transientErr) Transient() bool { return true }
+
+// MarkTransient returns err marked as transient (retryable). A nil err
+// stays nil.
+func MarkTransient(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &transientErr{err: err}
+}
+
+// IsTransient reports whether any error in err's chain marks itself
+// transient via a `Transient() bool` method returning true.
+func IsTransient(err error) bool {
+	var tm transientMarked
+	return errors.As(err, &tm) && tm.Transient()
+}

@@ -3,6 +3,8 @@ package scenario
 import (
 	"context"
 	"errors"
+	"fmt"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 )
@@ -64,20 +66,72 @@ type Progress struct {
 	Aggregate Aggregate
 }
 
+// FaultHook, if configured, runs before every trial with (trial, attempt)
+// and may inject an error, a delay, or a panic. It exists for deterministic
+// fault injection; production runs leave it nil.
+type FaultHook func(trial, attempt int) error
+
+// RunOptions configures RunWithOptions beyond the spec itself. The zero
+// value runs sequentially with no callback, attempt 0, and no faults.
+type RunOptions struct {
+	// Workers is the trial fan-out (values < 2 run sequentially).
+	Workers int
+	// OnProgress, if non-nil, is invoked once per completed trial in
+	// completion order; calls are serialized, so the callback needs no
+	// locking of its own.
+	OnProgress func(Progress)
+	// Attempt is the retry attempt this run represents (0 = first). It is
+	// threaded to the fault hook so attempt-gated faults can vanish on
+	// retry; it never affects the trials themselves.
+	Attempt int
+	// Fault is the optional fault-injection hook.
+	Fault FaultHook
+}
+
 // Run executes every trial, fanning them across workers goroutines
 // (values < 2 run sequentially), and streams the outcomes through the
 // reducer. The results — retained trials and aggregate — are identical for
-// every worker count.
-//
-// onProgress, if non-nil, is invoked once per completed trial in completion
-// order; calls are serialized, so the callback needs no locking of its own.
+// every worker count. It is shorthand for RunWithOptions.
+func (c *Compiled) Run(ctx context.Context, workers int, onProgress func(Progress)) (*Result, error) {
+	return c.RunWithOptions(ctx, RunOptions{Workers: workers, OnProgress: onProgress})
+}
+
+// safeTrial runs one trial behind a recover boundary: a panicking trial —
+// from a poisoned input, a bug in an algorithm layer, or an injected
+// fault — becomes that trial's error instead of crashing the process. An
+// error-typed panic value is wrapped (preserving transient marking); any
+// other value is rendered with its stack so the report stays debuggable.
+func (c *Compiled) safeTrial(trial int, opts RunOptions) (res TrialResult, err error) {
+	defer func() {
+		p := recover()
+		if p == nil {
+			return
+		}
+		if perr, ok := p.(error); ok {
+			err = fmt.Errorf("scenario: trial %d panicked: %w", trial, perr)
+			return
+		}
+		err = fmt.Errorf("scenario: trial %d panicked: %v\n%s", trial, p, debug.Stack())
+	}()
+	if opts.Fault != nil {
+		if ferr := opts.Fault(trial, opts.Attempt); ferr != nil {
+			return TrialResult{}, ferr
+		}
+	}
+	return c.RunTrial(trial)
+}
+
+// RunWithOptions executes every trial per opts.
 //
 // Cancellation is observed between trials: once ctx is done no new trial
-// starts, in-flight trials finish, and Run returns ctx's error with a nil
-// Result. A trial error aborts the same way and is reported in trial order
-// (the error a sequential loop would have surfaced first).
-func (c *Compiled) Run(ctx context.Context, workers int, onProgress func(Progress)) (*Result, error) {
+// starts, in-flight trials finish, and the run returns ctx's error with a
+// nil Result. A trial error — including a recovered trial panic — aborts
+// the same way and is reported in trial order (the error a sequential loop
+// would have surfaced first).
+func (c *Compiled) RunWithOptions(ctx context.Context, opts RunOptions) (*Result, error) {
 	count := c.spec.Trials
+	onProgress := opts.OnProgress
+	workers := opts.Workers
 	if workers < 1 {
 		workers = 1
 	}
@@ -108,7 +162,7 @@ func (c *Compiled) Run(ctx context.Context, workers int, onProgress func(Progres
 				if i >= count {
 					return
 				}
-				r, err := c.RunTrial(i)
+				r, err := c.safeTrial(i, opts)
 				if err != nil {
 					errs[i] = err
 					failed.Store(true)

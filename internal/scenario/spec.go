@@ -17,6 +17,7 @@ import (
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
+	"math"
 
 	"dualradio/internal/core"
 )
@@ -157,6 +158,12 @@ type Spec struct {
 	// is the empty string, so specs predating the policy keep their hashes;
 	// the other policies hash distinctly because they change the Result.
 	TrialRetention string `json:"trial_retention,omitempty"`
+	// TimeoutMS caps the run's wallclock in milliseconds (0 = no
+	// deadline). It is an execution policy, not part of the workload: the
+	// result of a run that finishes is independent of any deadline, so
+	// TimeoutMS is excluded from the canonical hash entirely and two specs
+	// differing only here share one cache entry.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
 	// Params overrides the algorithms' constant factors (nil = defaults).
 	Params *core.Params `json:"params,omitempty"`
 	// Wake configures asynchronous starts (AlgoAsyncMIS only).
@@ -247,6 +254,23 @@ func (s Spec) Validate() error {
 	default:
 		return fmt.Errorf("scenario: unknown algorithm %q", c.Algorithm)
 	}
+	// Non-finite floats slip through the range checks below (NaN compares
+	// false against everything) and would make the canonical form
+	// unencodable; reject them by name instead.
+	for _, f := range []struct {
+		name string
+		v    float64
+	}{
+		{"target_degree", c.Network.TargetDegree},
+		{"gray_prob", c.Network.GrayProb},
+		{"adversary p", c.Adversary.P},
+		{"adversary mean_up", c.Adversary.MeanUp},
+		{"adversary mean_down", c.Adversary.MeanDown},
+	} {
+		if math.IsNaN(f.v) || math.IsInf(f.v, 0) {
+			return fmt.Errorf("scenario: non-finite %s %v", f.name, f.v)
+		}
+	}
 	if c.Network.N < 2 || c.Network.N > MaxN {
 		return fmt.Errorf("scenario: network n=%d out of range [2, %d]", c.Network.N, MaxN)
 	}
@@ -281,6 +305,9 @@ func (s Spec) Validate() error {
 	if c.MaxRounds < 0 {
 		return fmt.Errorf("scenario: negative max_rounds %d", c.MaxRounds)
 	}
+	if c.TimeoutMS < 0 {
+		return fmt.Errorf("scenario: negative timeout_ms %d", c.TimeoutMS)
+	}
 	switch c.TrialRetention {
 	case "", RetainErrors, RetainNone: // "" is canonical RetainAll
 	default:
@@ -310,22 +337,26 @@ func (s Spec) Validate() error {
 	return nil
 }
 
-// Hash returns the canonical spec hash: the hex SHA-256 of the canonical
-// form's JSON encoding with the cosmetic Name cleared. Two specs hash equal
-// exactly when they describe the same workload, which makes the hash a
-// sound result-cache key. Go's encoding/json emits struct fields in
-// declaration order, so the encoding — and the hash — is deterministic
-// across processes and platforms.
-func (s Spec) Hash() string {
+// CanonicalHash returns the canonical spec hash: the hex SHA-256 of the
+// canonical form's JSON encoding with the cosmetic Name and the TimeoutMS
+// execution policy cleared. Two specs hash equal exactly when they describe
+// the same workload, which makes the hash a sound result-cache key. Go's
+// encoding/json emits struct fields in declaration order, so the encoding —
+// and the hash — is deterministic across processes and platforms.
+//
+// Marshal failures (e.g. a non-finite float smuggled past validation) are
+// propagated instead of panicking: a malformed spec must fail its own
+// submission, never crash the process hashing it.
+func (s Spec) CanonicalHash() (string, error) {
 	c := s.Canonical()
 	c.Name = ""
+	c.TimeoutMS = 0
 	b, err := json.Marshal(c)
 	if err != nil {
-		// A Spec contains only plain data; Marshal cannot fail.
-		panic(fmt.Sprintf("scenario: marshal canonical spec: %v", err))
+		return "", fmt.Errorf("scenario: marshal canonical spec: %w", err)
 	}
 	sum := sha256.Sum256(b)
-	return hex.EncodeToString(sum[:])
+	return hex.EncodeToString(sum[:]), nil
 }
 
 // ParseSpec decodes a JSON spec, rejecting unknown fields so typos surface

@@ -18,7 +18,7 @@ func TestSpecJSONRoundTrip(t *testing.T) {
 		if err != nil {
 			t.Fatalf("%s: parse: %v", p.Name, err)
 		}
-		if back.Hash() != p.Spec.Hash() {
+		if mustHash(t, back) != mustHash(t, p.Spec) {
 			t.Errorf("%s: hash changed across a JSON round trip", p.Name)
 		}
 		c1, err := Compile(p.Spec)
@@ -42,6 +42,15 @@ func TestSpecJSONRoundTrip(t *testing.T) {
 			t.Errorf("%s: canonical form not idempotent:\n%s\n%s", p.Name, j1, j3)
 		}
 	}
+}
+
+func mustHash(t *testing.T, s Spec) string {
+	t.Helper()
+	h, err := s.CanonicalHash()
+	if err != nil {
+		t.Fatalf("canonical hash: %v", err)
+	}
+	return h
 }
 
 func mustJSON(t *testing.T, v any) string {
@@ -74,7 +83,7 @@ func TestHashIgnoresFieldOrderNameAndSpelledOutDefaults(t *testing.T) {
 		if err != nil {
 			t.Fatalf("parse %s: %v", v, err)
 		}
-		if s.Hash() != base.Hash() {
+		if mustHash(t, s) != mustHash(t, base) {
 			t.Errorf("hash of %s differs from the base spec", v)
 		}
 	}
@@ -82,8 +91,15 @@ func TestHashIgnoresFieldOrderNameAndSpelledOutDefaults(t *testing.T) {
 	p := core.DefaultParams()
 	withDefaults := base
 	withDefaults.Params = &p
-	if withDefaults.Hash() != base.Hash() {
+	if mustHash(t, withDefaults) != mustHash(t, base) {
 		t.Errorf("explicit default params changed the hash")
+	}
+	// timeout_ms is execution policy, not workload identity: a deadline must
+	// not split the result cache.
+	withDeadline := base
+	withDeadline.TimeoutMS = 5000
+	if mustHash(t, withDeadline) != mustHash(t, base) {
+		t.Errorf("timeout_ms changed the canonical hash")
 	}
 }
 
@@ -101,7 +117,7 @@ func TestHashSeparatesWorkloads(t *testing.T) {
 	}
 	seen := map[string]int{}
 	for i, s := range specs {
-		h := s.Hash()
+		h := mustHash(t, s)
 		if j, dup := seen[h]; dup {
 			t.Errorf("specs %d and %d hash identically", i, j)
 		}
@@ -118,7 +134,7 @@ func TestHashGolden(t *testing.T) {
 	// {"version":1,"algorithm":"mis","network":{"n":64},
 	//  "adversary":{"kind":"collision"},"trials":1,"seed":1}.
 	const want = "85c80ff24c3911fe8a8b514086277940a3b32645d7027c6f2d1e250793748ead"
-	if got := s.Hash(); got != want {
+	if got := mustHash(t, s); got != want {
 		t.Fatalf("canonical hash changed:\n got %s\nwant %s\ncanonical form: %s",
 			got, want, mustJSON(t, s.Canonical()))
 	}
@@ -152,10 +168,10 @@ func TestPresetHashesGolden(t *testing.T) {
 	for _, p := range presets {
 		w, ok := want[p.Name]
 		if !ok {
-			t.Errorf("preset %q has no golden hash; add %q", p.Name, p.Spec.Hash())
+			t.Errorf("preset %q has no golden hash; add %q", p.Name, mustHash(t, p.Spec))
 			continue
 		}
-		if got := p.Spec.Hash(); got != w {
+		if got := mustHash(t, p.Spec); got != w {
 			t.Errorf("preset %q canonical hash changed:\n got %s\nwant %s\ncanonical form: %s",
 				p.Name, got, w, mustJSON(t, p.Spec.Canonical()))
 		}

@@ -145,7 +145,7 @@ func TestSweepNoAxesExpandsToBase(t *testing.T) {
 	if len(exp.Children) != 1 {
 		t.Fatalf("axis-less sweep expanded to %d children", len(exp.Children))
 	}
-	if exp.Children[0].Hash() != (Spec{Algorithm: AlgoMIS, Network: NetworkSpec{N: 32}}).Hash() {
+	if exp.Children[0].Hash() != mustHash(t, Spec{Algorithm: AlgoMIS, Network: NetworkSpec{N: 32}}) {
 		t.Fatal("axis-less child is not the base spec")
 	}
 }

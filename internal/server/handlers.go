@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 
 	"dualradio/internal/report"
 	"dualradio/internal/scenario"
@@ -60,6 +61,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	jobs := len(s.jobs)
 	sweeps := len(s.sweeps)
+	replayedJobs, replayedSweeps, replayDropped := s.replayedJobs, s.replayedSweeps, s.replayDropped
 	s.mu.Unlock()
 	calibJobs, nsPerUnit := s.Calibration()
 	h := map[string]any{
@@ -78,6 +80,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		// n·trials·rounds estimate against reality.
 		"calibration_jobs": calibJobs,
 		"ns_per_cost_unit": nsPerUnit,
+		"retries":          s.retries.Load(),
 		"spec_version":     scenario.SpecVersion,
 	}
 	if s.store != nil {
@@ -86,6 +89,17 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		h["store_bytes"] = s.store.Bytes()
 		h["store_max_bytes"] = s.cfg.StoreMaxBytes
 		h["store_errors"] = s.storeErrs.Load()
+	}
+	if s.journal != nil {
+		h["journal_path"] = s.journal.Path()
+		h["journal_appends"] = s.journal.Appends()
+		h["journal_errors"] = s.journalErrs.Load()
+		h["replayed_jobs"] = replayedJobs
+		h["replayed_sweeps"] = replayedSweeps
+		h["replay_dropped"] = replayDropped
+	}
+	if s.cfg.Fault != nil {
+		h["fault_rules"] = s.cfg.Fault.Rules()
 	}
 	writeJSON(w, http.StatusOK, h)
 }
@@ -307,28 +321,38 @@ func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// handleSweepReport renders a completed sweep as a pivot report: child
-// aggregates onto the sweep's axes, rows × columns of the chosen metric.
-// Query parameters: metric (default mean_rounds; see report.Metrics),
-// rows/cols (axis names; default first/second axis), format (csv, json, or
-// table; default table). A sweep with unfinished, failed, or cancelled
-// children is not reportable and answers 409.
+// handleSweepReport renders a sweep as a pivot report: child aggregates
+// onto the sweep's axes, rows × columns of the chosen metric. Query
+// parameters: metric (default mean_rounds; see report.Metrics), rows/cols
+// (axis names; default first/second axis), format (csv, json, or table;
+// default table). A sweep with unfinished, failed, or cancelled children
+// is not reportable and answers 409 — unless partial=1, which pivots the
+// completed children only (absent cells render empty) and labels the
+// response with X-Complete-Children / X-Total-Children headers so callers
+// can tell how much of the grid they are looking at.
 func (s *Server) handleSweepReport(w http.ResponseWriter, r *http.Request) {
 	sw, ok := s.sweepOr404(w, r)
 	if !ok {
 		return
 	}
-	exp, aggs, err := sw.reportData()
+	q := r.URL.Query()
+	partial := q.Get("partial") == "1" || q.Get("partial") == "true"
+	exp, aggs, present, done, err := sw.reportData(partial)
 	if err != nil {
 		writeError(w, http.StatusConflict, "sweep not reportable: %v", err)
 		return
 	}
-	q := r.URL.Query()
-	rep, err := report.Build(exp, aggs, report.Options{
+	opts := report.Options{
 		Metric: q.Get("metric"),
 		Rows:   q.Get("rows"),
 		Cols:   q.Get("cols"),
-	})
+	}
+	if partial {
+		opts.Present = present
+		w.Header().Set("X-Complete-Children", strconv.Itoa(done))
+		w.Header().Set("X-Total-Children", strconv.Itoa(len(present)))
+	}
+	rep, err := report.Build(exp, aggs, opts)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return

@@ -11,8 +11,9 @@ import (
 type JobStatus string
 
 // Job lifecycle: queued → running → {done, failed, cancelled}. A cache hit
-// goes queued → done directly. Cancellation can land in any non-terminal
-// state.
+// goes queued → done directly. A transient failure loops running → queued
+// (a "retry" event, then a backed-off requeue) up to the server's retry
+// cap. Cancellation can land in any non-terminal state.
 const (
 	StatusQueued    JobStatus = "queued"
 	StatusRunning   JobStatus = "running"
@@ -30,13 +31,17 @@ func (s JobStatus) terminal() bool {
 // "started", one "trial" per completed trial carrying its result, an
 // "aggregate" whenever the streaming reduction advances (carrying the
 // partial aggregate over the folded trial prefix), and finally exactly one
-// terminal event: "done", "failed", or "cancelled".
+// terminal event: "done", "failed", or "cancelled". A transiently-failed
+// job additionally emits "retry" — carrying the attempt count it is about
+// to begin and the error that triggered it — before re-entering the queue.
 type Event struct {
 	Type string `json:"type"`
 	Job  string `json:"job"`
 	// Completed and Total track trial progress.
 	Completed int `json:"completed"`
 	Total     int `json:"total"`
+	// Attempt carries the upcoming retry attempt on "retry" events.
+	Attempt int `json:"attempt,omitempty"`
 	// Trial carries the finished trial's result on "trial" events.
 	Trial *scenario.TrialResult `json:"trial,omitempty"`
 	// Aggregate carries the streaming partial aggregate on "aggregate"
@@ -56,10 +61,16 @@ type Job struct {
 	id   string
 	comp *scenario.Compiled
 
+	// fromSweep marks sweep children, which the journal covers through
+	// their sweep record rather than individual accept records. Set before
+	// the job is shared; read-only afterwards.
+	fromSweep bool
+
 	mu        sync.Mutex
 	status    JobStatus
 	completed int
 	folded    int // trials covered by the last streamed aggregate
+	attempt   int // retry attempts so far (0 = first run)
 	cached    bool
 	result    *scenario.Result
 	errMsg    string
@@ -167,6 +178,33 @@ func (j *Job) tryStart(cancel func()) bool {
 	return true
 }
 
+// Attempt returns the job's retry attempt count (0 = first run).
+func (j *Job) Attempt() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.attempt
+}
+
+// retry returns a running job to the queued state for another attempt
+// after a transient failure: progress resets, the attempt counter
+// advances, and a "retry" event carrying the new attempt count and the
+// cause is emitted. It reports false if the job is not running (e.g. it
+// was cancelled while the failure was being classified).
+func (j *Job) retry(cause error) bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.status != StatusRunning {
+		return false
+	}
+	j.status = StatusQueued
+	j.cancel = nil
+	j.attempt++
+	j.completed = 0
+	j.folded = 0
+	j.appendLocked(Event{Type: "retry", Attempt: j.attempt, Error: cause.Error()})
+	return true
+}
+
 // progress records one completed trial and, when the streaming reduction
 // advanced, the live partial aggregate.
 func (j *Job) progress(p scenario.Progress) {
@@ -265,11 +303,13 @@ type JobView struct {
 	Spec      scenario.Spec `json:"spec"`
 	Completed int           `json:"completed"`
 	Total     int           `json:"total"`
-	Cached    bool          `json:"cached,omitempty"`
-	Created   time.Time     `json:"created"`
-	Started   *time.Time    `json:"started,omitempty"`
-	Finished  *time.Time    `json:"finished,omitempty"`
-	Error     string        `json:"error,omitempty"`
+	// Attempt counts transient-failure retries (0 = never retried).
+	Attempt  int        `json:"attempt,omitempty"`
+	Cached   bool       `json:"cached,omitempty"`
+	Created  time.Time  `json:"created"`
+	Started  *time.Time `json:"started,omitempty"`
+	Finished *time.Time `json:"finished,omitempty"`
+	Error    string     `json:"error,omitempty"`
 	// Result is populated on done jobs (full view only).
 	Result *scenario.Result `json:"result,omitempty"`
 }
@@ -286,6 +326,7 @@ func (j *Job) View(withResult bool) JobView {
 		Spec:      j.comp.Spec(),
 		Completed: j.completed,
 		Total:     j.comp.Trials(),
+		Attempt:   j.attempt,
 		Cached:    j.cached,
 		Created:   j.created,
 		Error:     j.errMsg,

@@ -1,0 +1,307 @@
+package server
+
+import (
+	"encoding/json"
+	"path/filepath"
+	"strconv"
+
+	"dualradio/internal/journal"
+	"dualradio/internal/scenario"
+)
+
+// The job journal is the service's crash-recovery backbone: an append-only
+// NDJSON log under DataDir recording every admission and terminal
+// transition. On startup the previous generation is replayed: every
+// standalone job without a terminal record and every sweep with an
+// incomplete child is re-admitted through the normal submission paths under
+// its original id — which also rewrites the new generation to exactly the
+// live set, so replay doubles as compaction. Completed children of a
+// resumed sweep become cache hits against the content-addressed result
+// store, so a restart re-runs only the work the crash actually lost and
+// the final report is byte-identical to an uninterrupted run's.
+
+// Journal record ops.
+const (
+	opAccept   = "accept"   // standalone job admitted; Spec carries its canonical spec
+	opStart    = "start"    // job began executing (observability; replay ignores it)
+	opTerminal = "terminal" // job reached a terminal status
+	opSweep    = "sweep"    // sweep admitted; Sweep + Children carry its spec and child ids
+)
+
+// journalRecord is one NDJSON line of the job journal.
+type journalRecord struct {
+	Op     string    `json:"op"`
+	ID     string    `json:"id"`
+	Status JobStatus `json:"status,omitempty"`
+	// Attempt tags start records with the retry attempt they begin.
+	Attempt  int             `json:"attempt,omitempty"`
+	Spec     json.RawMessage `json:"spec,omitempty"`
+	Sweep    json.RawMessage `json:"sweep,omitempty"`
+	Children []string        `json:"children,omitempty"`
+}
+
+func journalPath(dataDir string) string { return filepath.Join(dataDir, "journal.ndjson") }
+
+// journalAppend writes one record; failures are counted, not fatal — the
+// journal is a recovery aid and must never take the service down.
+func (s *Server) journalAppend(rec journalRecord) {
+	if s.journal == nil {
+		return
+	}
+	if err := s.journal.Append(rec); err != nil {
+		s.journalErrs.Add(1)
+	}
+}
+
+func acceptRecord(j *Job) journalRecord {
+	// Canonical specs are plain validated data; Marshal cannot fail. A nil
+	// Spec would simply drop the job from replay.
+	spec, _ := json.Marshal(j.comp.Spec())
+	return journalRecord{Op: opAccept, ID: j.id, Spec: spec}
+}
+
+// idSuffix returns the numeric suffix of a j%06d / s%06d id (0 if
+// malformed), for resuming id allocation past everything the journal saw.
+func idSuffix(id string) int {
+	if len(id) < 2 {
+		return 0
+	}
+	n, err := strconv.Atoi(id[1:])
+	if err != nil || n < 0 {
+		return 0
+	}
+	return n
+}
+
+// replayJournal reads the previous journal generation, re-admits every
+// incomplete job and sweep under its original id, and seals a fresh
+// generation containing exactly the live set. Workers are already running,
+// so replay uses blocking queue sends (nothing else holds s.mu, and
+// workers never take it, so the sends drain and cannot deadlock).
+//
+// Children of a resumed sweep are all re-admitted: previously completed
+// ones hit the result store and complete instantly as cache hits;
+// previously failed or cancelled ones get a fresh attempt — the journal
+// records that they finished, not their irreproducible error state, and
+// re-running is always correct for a deterministic workload.
+func (s *Server) replayJournal() error {
+	path := journalPath(s.cfg.DataDir)
+	lines, err := journal.ReadAll(path)
+	if err != nil {
+		return err
+	}
+	jl, err := journal.Begin(path)
+	if err != nil {
+		return err
+	}
+	s.journal = jl
+
+	// Pass 1: index the records. Terminal records may precede their accept
+	// records in the log (a cache hit journals its terminal transition
+	// inside the admission critical section), so replay never assumes order.
+	var (
+		acceptOrder []string
+		accepts     = make(map[string]json.RawMessage)
+		terminals   = make(map[string]bool)
+		sweepOrder  []string
+		sweepRecs   = make(map[string]journalRecord)
+		sweepChild  = make(map[string]bool)
+	)
+	for _, line := range lines {
+		var rec journalRecord
+		if err := json.Unmarshal(line, &rec); err != nil {
+			s.journalErrs.Add(1)
+			continue
+		}
+		switch rec.Op {
+		case opAccept:
+			if _, dup := accepts[rec.ID]; !dup {
+				accepts[rec.ID] = rec.Spec
+				acceptOrder = append(acceptOrder, rec.ID)
+			}
+		case opTerminal:
+			terminals[rec.ID] = true
+		case opSweep:
+			if _, dup := sweepRecs[rec.ID]; !dup {
+				sweepRecs[rec.ID] = rec
+				sweepOrder = append(sweepOrder, rec.ID)
+			}
+			for _, c := range rec.Children {
+				sweepChild[c] = true
+			}
+		}
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.replaying = true
+	defer func() { s.replaying = false }()
+
+	// Resume id allocation past every id the previous generation mentioned,
+	// terminal or not, so new submissions never collide with pre-crash ids.
+	bumpJob := func(id string) {
+		if n := idSuffix(id); n > s.nextID {
+			s.nextID = n
+		}
+	}
+	for _, id := range acceptOrder {
+		bumpJob(id)
+	}
+	for id := range sweepChild {
+		bumpJob(id)
+	}
+	for _, id := range sweepOrder {
+		if n := idSuffix(id); n > s.nextSweep {
+			s.nextSweep = n
+		}
+	}
+
+	// Pass 2a: re-admit incomplete standalone jobs in acceptance order.
+	for _, id := range acceptOrder {
+		if sweepChild[id] || terminals[id] {
+			continue
+		}
+		spec, err := scenario.ParseSpec(accepts[id])
+		if err != nil {
+			s.replayDropped++
+			continue
+		}
+		comp, err := scenario.Compile(spec)
+		if err != nil {
+			s.replayDropped++
+			continue
+		}
+		res, cached := s.lookupResult(comp.Hash())
+		if _, err := s.startJobLocked(id, comp, res, cached, nil); err != nil {
+			s.replayDropped++
+			continue
+		}
+		s.replayedJobs++
+	}
+
+	// Pass 2b: resume sweeps with at least one child lacking a terminal
+	// record. ExpandSweep is deterministic, so re-expansion reproduces the
+	// pre-crash grid; a mismatch against the journaled child ids means the
+	// journal and the code disagree, and the sweep is dropped rather than
+	// resurrected wrong.
+	for _, sid := range sweepOrder {
+		rec := sweepRecs[sid]
+		complete := len(rec.Children) > 0
+		for _, cid := range rec.Children {
+			if !terminals[cid] {
+				complete = false
+				break
+			}
+		}
+		if complete {
+			continue
+		}
+		var swspec scenario.SweepSpec
+		if err := json.Unmarshal(rec.Sweep, &swspec); err != nil {
+			s.replayDropped++
+			continue
+		}
+		exp, err := scenario.ExpandSweep(swspec)
+		if err != nil || len(exp.Children) != len(rec.Children) {
+			s.replayDropped++
+			continue
+		}
+		// Re-journal the sweep before its children, mirroring SubmitSweep:
+		// a crash mid-resume must not lose the admitted prefix.
+		s.journalAppend(journalRecord{Op: opSweep, ID: sid, Sweep: rec.Sweep, Children: rec.Children})
+		swp := newSweep(sid, exp)
+		admitted := true
+		for i, comp := range exp.Children {
+			res, cached := s.lookupResult(comp.Hash())
+			job, err := s.startJobLocked(rec.Children[i], comp, res, cached, swp)
+			if err != nil {
+				admitted = false
+				break
+			}
+			swp.children[i] = job
+		}
+		if !admitted {
+			for _, cid := range rec.Children {
+				s.journalAppend(journalRecord{Op: opTerminal, ID: cid, Status: StatusCancelled})
+			}
+			for _, c := range swp.children {
+				if c != nil {
+					c.Cancel()
+				}
+			}
+			s.replayDropped++
+			continue
+		}
+		s.sweeps[sid] = swp
+		s.sweepOrder = append(s.sweepOrder, sid)
+		s.replayedSweeps++
+	}
+	return jl.Seal()
+}
+
+// journalCompactEvery triggers an in-process journal rewrite once the
+// current generation holds this many records (and dwarfs the live set). A
+// variable so tests can lower it.
+var journalCompactEvery = 4096
+
+// maybeCompactJournalLocked rewrites the journal to the minimal live
+// record set once the generation has grown far past it. Callers hold s.mu.
+//
+// A child may reach a terminal state concurrently with the rewrite and
+// have its terminal record land in the discarded generation; the journal
+// is then conservative — replay re-runs that child, and determinism plus
+// the result store make the redo a cache hit — so the race loses a little
+// work, never any results.
+func (s *Server) maybeCompactJournalLocked() {
+	if s.journal == nil {
+		return
+	}
+	appends := s.journal.Appends()
+	if appends < journalCompactEvery {
+		return
+	}
+	live := s.liveJournalRecordsLocked()
+	if appends < 4*len(live) {
+		return
+	}
+	if err := s.journal.Compact(live); err != nil {
+		s.journalErrs.Add(1)
+	}
+}
+
+// liveJournalRecordsLocked rebuilds the minimal record set describing the
+// registry's live state: accept records for non-terminal standalone jobs,
+// sweep records plus per-child terminal records for unfinished sweeps.
+// Terminal standalone jobs and completed sweeps need no records at all —
+// replay would drop them anyway. Callers hold s.mu.
+func (s *Server) liveJournalRecordsLocked() []any {
+	var recs []any
+	for _, id := range s.order {
+		j := s.jobs[id]
+		if j.fromSweep || j.Status().terminal() {
+			continue
+		}
+		recs = append(recs, acceptRecord(j))
+	}
+	for _, sid := range s.sweepOrder {
+		sw := s.sweeps[sid]
+		if sw.terminal() {
+			continue
+		}
+		raw, err := json.Marshal(sw.exp.Spec)
+		if err != nil {
+			continue
+		}
+		children := make([]string, len(sw.children))
+		var terms []any
+		for i, c := range sw.children {
+			children[i] = c.id
+			if st := c.Status(); st.terminal() {
+				terms = append(terms, journalRecord{Op: opTerminal, ID: c.id, Status: st})
+			}
+		}
+		recs = append(recs, journalRecord{Op: opSweep, ID: sid, Sweep: raw, Children: children})
+		recs = append(recs, terms...)
+	}
+	return recs
+}

@@ -6,6 +6,13 @@
 // admission so oversized workloads are rejected instead of wedging the
 // queue.
 //
+// The service is crash-safe: with a DataDir every admission and terminal
+// transition is journaled (see journal.go), so a killed daemon re-admits
+// its incomplete jobs and resumes half-finished sweeps on restart.
+// Transient failures retry with jittered exponential backoff, specs can
+// carry a timeout_ms deadline, a panicking trial fails its job instead of
+// the process, and the faultinject package drives all of it in chaos runs.
+//
 // API (see DESIGN.md for curl examples):
 //
 //	POST   /v1/jobs               submit a spec ({"preset": "name"} or a spec object)
@@ -18,7 +25,7 @@
 //	GET    /v1/sweeps/{id}        sweep rollup: per-child status counts + children
 //	DELETE /v1/sweeps/{id}        cancel every non-terminal child
 //	GET    /v1/sweeps/{id}/events NDJSON child-completion stream
-//	GET    /v1/sweeps/{id}/report pivot report (metric, rows, cols, format=csv|json|table)
+//	GET    /v1/sweeps/{id}/report pivot report (metric, rows, cols, format=csv|json|table, partial=1)
 //	GET    /v1/presets            named preset specs
 //	GET    /healthz               liveness + queue/cache/store gauges + cost calibration
 package server
@@ -28,12 +35,15 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math/rand/v2"
 	"net/http"
 	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"dualradio/internal/faultinject"
+	"dualradio/internal/journal"
 	"dualradio/internal/memo"
 	"dualradio/internal/scenario"
 	"dualradio/internal/store"
@@ -73,6 +83,19 @@ type Config struct {
 	// Submissions that would exceed it — huge single jobs or huge sweeps —
 	// are rejected with 429 instead of wedging the queue for hours.
 	MaxPendingCost int64
+	// MaxRetries caps automatic re-runs of a job after a transient failure
+	// (an error marked retryable per scenario.IsTransient). Default 3;
+	// negative disables retries entirely.
+	MaxRetries int
+	// RetryBackoff delays the first retry; each further retry doubles it,
+	// capped at RetryMaxBackoff, with up to 50% added jitter (defaults
+	// 250ms and 5s).
+	RetryBackoff    time.Duration
+	RetryMaxBackoff time.Duration
+	// Fault, when non-nil, injects deterministic faults at the service's
+	// fault points — trial execution and store writes — for chaos testing.
+	// Production servers leave it nil.
+	Fault *faultinject.Injector
 }
 
 func (c Config) withDefaults() Config {
@@ -93,6 +116,17 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxPendingCost <= 0 {
 		c.MaxPendingCost = 1 << 32
+	}
+	if c.MaxRetries == 0 {
+		c.MaxRetries = 3
+	} else if c.MaxRetries < 0 {
+		c.MaxRetries = 0
+	}
+	if c.RetryBackoff <= 0 {
+		c.RetryBackoff = 250 * time.Millisecond
+	}
+	if c.RetryMaxBackoff <= 0 {
+		c.RetryMaxBackoff = 5 * time.Second
 	}
 	return c
 }
@@ -116,8 +150,15 @@ type Server struct {
 	results *memo.LRU[string, *scenario.Result]
 	store   *store.Store // nil without DataDir
 
-	pending   atomic.Int64 // cost estimate of queued + running jobs
-	storeErrs atomic.Int64 // persistence failures (best-effort writes)
+	pending     atomic.Int64 // cost estimate of queued + running jobs
+	storeErrs   atomic.Int64 // persistence failures (best-effort writes)
+	journalErrs atomic.Int64 // journal write/parse failures (best-effort)
+	retries     atomic.Int64 // transient-failure retries scheduled
+
+	journal *journal.Journal // nil without DataDir
+
+	retryMu     sync.Mutex
+	retryTimers map[*Job]*time.Timer // backed-off jobs awaiting requeue
 
 	// calib tracks measured wallclock per admission cost unit over
 	// completed (non-cached) jobs, so the analytic n·trials·rounds cost
@@ -135,10 +176,22 @@ type Server struct {
 	nextID     int
 	nextSweep  int
 	closed     bool
+
+	// Journal-replay state (under mu). replaying switches startJobLocked to
+	// blocking queue sends and disables budget rejection — every replayed
+	// job was admitted before the crash, so recovery must not re-litigate
+	// admission. The gauges feed /healthz.
+	replaying      bool
+	replayedJobs   int
+	replayedSweeps int
+	replayDropped  int
 }
 
 // New starts a server: its worker pool runs until Close. With a DataDir it
-// opens (creating if absent) the persistent result store first.
+// opens (creating if absent) the persistent result store first, then
+// replays the job journal: every job and sweep the previous process
+// accepted but did not finish is re-admitted under its original id, with
+// already-stored child results served from the store as cache hits.
 func New(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
 	var st *store.Store
@@ -148,23 +201,33 @@ func New(cfg Config) (*Server, error) {
 			return nil, err
 		}
 		st.SetMaxBytes(cfg.StoreMaxBytes)
+		if cfg.Fault != nil {
+			st.SetPutHook(cfg.Fault.StorePut)
+		}
 	}
 	ctx, stop := context.WithCancel(context.Background())
 	s := &Server{
-		cfg:     cfg,
-		mux:     http.NewServeMux(),
-		ctx:     ctx,
-		stop:    stop,
-		queue:   make(chan *Job, cfg.QueueDepth),
-		results: memo.NewLRU[string, *scenario.Result](cfg.CacheSize),
-		store:   st,
-		jobs:    make(map[string]*Job),
-		sweeps:  make(map[string]*Sweep),
+		cfg:         cfg,
+		mux:         http.NewServeMux(),
+		ctx:         ctx,
+		stop:        stop,
+		queue:       make(chan *Job, cfg.QueueDepth),
+		results:     memo.NewLRU[string, *scenario.Result](cfg.CacheSize),
+		store:       st,
+		retryTimers: make(map[*Job]*time.Timer),
+		jobs:        make(map[string]*Job),
+		sweeps:      make(map[string]*Sweep),
 	}
 	s.routes()
 	for w := 0; w < cfg.Workers; w++ {
 		s.wg.Add(1)
 		go s.worker()
+	}
+	if cfg.DataDir != "" {
+		if err := s.replayJournal(); err != nil {
+			s.Close()
+			return nil, err
+		}
 	}
 	return s, nil
 }
@@ -183,13 +246,29 @@ func (s *Server) Close() {
 	s.mu.Unlock()
 	s.stop()
 	s.wg.Wait()
+drain:
 	for {
 		select {
 		case job := <-s.queue:
 			job.markCancelled()
 		default:
-			return
+			break drain
 		}
+	}
+	// Backed-off jobs waiting on retry timers would otherwise wait forever
+	// for a requeue that cannot come. fireRetry checks closed under s.mu,
+	// so a timer that already fired either enqueued before closed was set
+	// (drained above) or cancels its job itself.
+	s.retryMu.Lock()
+	for job, t := range s.retryTimers {
+		t.Stop()
+		delete(s.retryTimers, job)
+		job.markCancelled()
+	}
+	s.retryMu.Unlock()
+	if s.journal != nil {
+		// After the terminal transitions above, so their records landed.
+		s.journal.Close()
 	}
 }
 
@@ -255,45 +334,71 @@ func (s *Server) Submit(spec scenario.Spec) (*Job, error) {
 	if s.closed {
 		return nil, errors.New("server: closed")
 	}
-	job, err := s.startJobLocked(comp, res, cached, nil)
+	job, err := s.startJobLocked(fmt.Sprintf("j%06d", s.nextID+1), comp, res, cached, nil)
 	if err != nil {
 		return nil, err
 	}
+	s.nextID++
 	s.pruneLocked()
+	s.maybeCompactJournalLocked()
 	return job, nil
 }
 
 // startJobLocked creates, registers, and dispatches one job: cached jobs
 // complete immediately, everything else is charged against the admission
-// budget and enqueued. The terminal hooks — sweep rollup and cost release —
-// are registered before the job can possibly finish, and none of them
-// takes s.mu, so they are safe to fire from any path (including the inline
-// cache-hit completion below, which runs with s.mu held). Callers hold
-// s.mu.
-func (s *Server) startJobLocked(comp *scenario.Compiled, res *scenario.Result, cached bool, sw *Sweep) (*Job, error) {
-	job := newJob(fmt.Sprintf("j%06d", s.nextID+1), comp)
+// budget and enqueued. id is caller-allocated: submissions pass a fresh id
+// (advancing nextID on success), journal replay passes the job's pre-crash
+// id so restarts preserve identity. The terminal hooks — sweep rollup,
+// journal terminal record, and cost release — are registered before the
+// job can possibly finish, and none of them takes s.mu, so they are safe
+// to fire from any path (including the inline cache-hit completion below,
+// which runs with s.mu held). Callers hold s.mu.
+func (s *Server) startJobLocked(id string, comp *scenario.Compiled, res *scenario.Result, cached bool, sw *Sweep) (*Job, error) {
+	job := newJob(id, comp)
 	if sw != nil {
+		job.fromSweep = true
 		job.onTerminal(func() { sw.childTerminal(job) })
 	}
+	job.onTerminal(func() {
+		s.journalAppend(journalRecord{Op: opTerminal, ID: job.id, Status: job.Status()})
+	})
 	if cached {
 		job.complete(res, true)
 	} else {
 		cost := comp.CostEstimate()
-		if s.pending.Load()+cost > s.cfg.MaxPendingCost {
+		if !s.replaying && s.pending.Load()+cost > s.cfg.MaxPendingCost {
 			return nil, fmt.Errorf("%w: estimate %d over budget %d", ErrOverBudget, cost, s.cfg.MaxPendingCost)
 		}
 		s.pending.Add(cost)
 		job.onTerminal(func() { s.pending.Add(-cost) })
-		select {
-		case s.queue <- job:
-		default:
-			s.pending.Add(-cost)
-			return nil, ErrQueueFull
+		if s.replaying {
+			// Replay may re-admit more jobs than the queue holds. Workers
+			// are already draining and never take s.mu, so a blocking send
+			// cannot deadlock; every replayed job was admitted before the
+			// crash, so it is never rejected a second time.
+			select {
+			case s.queue <- job:
+			case <-s.ctx.Done():
+				s.pending.Add(-cost)
+				return nil, errors.New("server: closed")
+			}
+		} else {
+			select {
+			case s.queue <- job:
+			default:
+				s.pending.Add(-cost)
+				return nil, ErrQueueFull
+			}
 		}
 	}
-	s.nextID++
 	s.jobs[job.id] = job
 	s.order = append(s.order, job.id)
+	// The accept record lands only after admission fully succeeded — a
+	// rejected submission must leave no trace for replay to resurrect.
+	// Sweep children are covered by their sweep record instead.
+	if sw == nil {
+		s.journalAppend(acceptRecord(job))
+	}
 	return job, nil
 }
 
@@ -333,13 +438,29 @@ func (s *Server) SubmitSweep(sw scenario.SweepSpec) (*Sweep, error) {
 	if s.pending.Load()+cost > s.cfg.MaxPendingCost {
 		return nil, fmt.Errorf("%w: sweep estimate %d over budget %d", ErrOverBudget, cost, s.cfg.MaxPendingCost)
 	}
-	swp := newSweep(fmt.Sprintf("s%06d", s.nextSweep+1), exp)
+	swpID := fmt.Sprintf("s%06d", s.nextSweep+1)
+	childIDs := make([]string, len(exp.Children))
+	for i := range childIDs {
+		childIDs[i] = fmt.Sprintf("j%06d", s.nextID+1+i)
+	}
+	// Journal the whole batch before admitting any child: a crash between
+	// this record and the last admission re-admits every child on replay
+	// (completed ones as store cache hits) instead of losing the tail.
+	if raw, err := json.Marshal(exp.Spec); err == nil {
+		s.journalAppend(journalRecord{Op: opSweep, ID: swpID, Sweep: raw, Children: childIDs})
+	}
+	swp := newSweep(swpID, exp)
 	s.nextSweep++
 	for i, comp := range exp.Children {
-		job, err := s.startJobLocked(comp, looks[i].res, looks[i].cached, swp)
+		job, err := s.startJobLocked(childIDs[i], comp, looks[i].res, looks[i].cached, swp)
 		if err != nil {
 			// Unreachable given the up-front checks; fail closed anyway so a
-			// future change cannot leave a half-registered sweep behind.
+			// future change cannot leave a half-registered sweep behind —
+			// including in the journal, where terminal records for every
+			// journaled child mark the sweep complete for replay.
+			for _, cid := range childIDs {
+				s.journalAppend(journalRecord{Op: opTerminal, ID: cid, Status: StatusCancelled})
+			}
 			for _, c := range swp.children {
 				if c != nil {
 					c.Cancel()
@@ -347,11 +468,13 @@ func (s *Server) SubmitSweep(sw scenario.SweepSpec) (*Sweep, error) {
 			}
 			return nil, err
 		}
+		s.nextID++
 		swp.children[i] = job
 	}
 	s.sweeps[swp.id] = swp
 	s.sweepOrder = append(s.sweepOrder, swp.id)
 	s.pruneLocked()
+	s.maybeCompactJournalLocked()
 	return swp, nil
 }
 
@@ -475,9 +598,10 @@ func (s *Server) worker() {
 	}
 }
 
-// runJob executes one job end to end. The job's context descends from the
-// server's, so both DELETE and Close cancel it; cancellation is observed
-// between trials.
+// runJob executes one attempt of a job. The job's context descends from
+// the server's, so both DELETE and Close cancel it; a spec with timeout_ms
+// additionally bounds the attempt's wallclock. Cancellation and deadline
+// are observed between trials.
 func (s *Server) runJob(job *Job) {
 	// Re-check the cache (and, through lookupResult, the persistent
 	// store) before starting: an identical job submitted earlier may have
@@ -492,23 +616,99 @@ func (s *Server) runJob(job *Job) {
 	}
 	ctx, cancel := context.WithCancel(s.ctx)
 	defer cancel()
+	deadline := job.comp.Spec().TimeoutMS
+	if deadline > 0 {
+		var tcancel context.CancelFunc
+		ctx, tcancel = context.WithTimeout(ctx, time.Duration(deadline)*time.Millisecond)
+		defer tcancel()
+	}
 	if !job.tryStart(cancel) {
 		return // cancelled while queued
 	}
+	attempt := job.Attempt()
+	s.journalAppend(journalRecord{Op: opStart, ID: job.id, Attempt: attempt})
+	opts := scenario.RunOptions{
+		Workers:    s.cfg.TrialWorkers,
+		OnProgress: job.progress,
+		Attempt:    attempt,
+	}
+	if s.cfg.Fault != nil {
+		hash := job.comp.Hash()
+		opts.Fault = func(trial, at int) error { return s.cfg.Fault.Trial(hash, trial, at) }
+	}
 	start := time.Now()
-	res, err := job.comp.Run(ctx, s.cfg.TrialWorkers, job.progress)
+	res, err := job.comp.RunWithOptions(ctx, opts)
 	switch {
 	case err == nil:
-		// Run returned without error, which guarantees every trial
+		// The run returned without error, which guarantees every trial
 		// completed — only complete results are ever cached or persisted
 		// under the spec hash (a cancelled or failed run returns a nil
 		// result with its error instead).
 		s.recordCalibration(job.comp.CostEstimate(), time.Since(start))
 		s.persist(job.comp.Hash(), res)
 		job.complete(res, false)
-	case ctx.Err() != nil:
+	case s.ctx.Err() != nil:
+		// Server shutdown cancels every run.
 		job.markCancelled()
+	case errors.Is(err, context.DeadlineExceeded) || errors.Is(ctx.Err(), context.DeadlineExceeded):
+		// The attempt blew the spec's deadline. The workload is
+		// deterministic, so a rerun would time out identically: permanent
+		// failure, never retried.
+		job.fail(fmt.Errorf("run exceeded %dms deadline", deadline))
+	case ctx.Err() != nil:
+		// DELETE cancelled this job specifically.
+		job.markCancelled()
+	case scenario.IsTransient(err) && attempt < s.cfg.MaxRetries:
+		s.scheduleRetry(job, err, attempt)
 	default:
 		job.fail(err)
+	}
+}
+
+// scheduleRetry requeues a transiently-failed job after a jittered
+// exponential backoff. The job transitions back to queued immediately,
+// emitting a "retry" event carrying the attempt count and the cause; the
+// timer fires the actual requeue.
+func (s *Server) scheduleRetry(job *Job, cause error, attempt int) {
+	if !job.retry(cause) {
+		return // turned terminal concurrently (e.g. cancelled mid-failure)
+	}
+	s.retries.Add(1)
+	backoff := s.cfg.RetryBackoff << attempt
+	if backoff <= 0 || backoff > s.cfg.RetryMaxBackoff {
+		backoff = s.cfg.RetryMaxBackoff
+	}
+	// Up to 50% jitter decorrelates retry herds. The delay is not part of
+	// any result, so unseeded randomness is fine here.
+	backoff += time.Duration(rand.Int64N(int64(backoff)/2 + 1))
+	s.retryMu.Lock()
+	s.retryTimers[job] = time.AfterFunc(backoff, func() { s.fireRetry(job) })
+	s.retryMu.Unlock()
+}
+
+// fireRetry moves a backed-off job back into the queue. The closed check
+// and the send share one s.mu critical section, mirroring the submission
+// invariant: an enqueue strictly precedes Close setting closed, so Close's
+// post-wait drain observes every requeued job.
+func (s *Server) fireRetry(job *Job) {
+	s.retryMu.Lock()
+	delete(s.retryTimers, job)
+	s.retryMu.Unlock()
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		job.markCancelled()
+		return
+	}
+	select {
+	case s.queue <- job:
+		s.mu.Unlock()
+	default:
+		// Queue momentarily full: try again shortly rather than failing a
+		// job the backlog merely delayed.
+		s.mu.Unlock()
+		s.retryMu.Lock()
+		s.retryTimers[job] = time.AfterFunc(s.cfg.RetryBackoff, func() { s.fireRetry(job) })
+		s.retryMu.Unlock()
 	}
 }

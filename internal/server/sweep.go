@@ -110,23 +110,35 @@ func (sw *Sweep) eventsSince(from int) (events []SweepEvent, terminal bool, wake
 	return nil, sw.done == sw.total, sw.wake
 }
 
-// reportData hands the report engine its inputs: the sweep's expansion and
-// the child aggregates in grid order. A sweep is reportable exactly when
-// every child is done — a failed or cancelled child has no aggregate, and a
-// partial pivot would silently misrepresent the grid.
-func (sw *Sweep) reportData() (*scenario.Expansion, []scenario.Aggregate, error) {
-	aggs := make([]scenario.Aggregate, len(sw.children))
+// reportData hands the report engine its inputs: the sweep's expansion,
+// the child aggregates in grid order, and the presence mask. A full report
+// (partial=false) requires every child done — a failed or cancelled child
+// has no aggregate, and a silently partial pivot would misrepresent the
+// grid. Partial mode instead masks out children that are not (yet) done,
+// so callers can watch an in-flight sweep converge; done counts the
+// present children so the caller can label the report's completeness.
+func (sw *Sweep) reportData(partial bool) (exp *scenario.Expansion, aggs []scenario.Aggregate, present []bool, done int, err error) {
+	aggs = make([]scenario.Aggregate, len(sw.children))
+	present = make([]bool, len(sw.children))
 	for i, j := range sw.children {
 		if st := j.Status(); st != StatusDone {
-			return nil, nil, fmt.Errorf("child %s is %s, not done", j.id, st)
+			if !partial {
+				return nil, nil, nil, 0, fmt.Errorf("child %s is %s, not done", j.id, st)
+			}
+			continue
 		}
 		res := j.Result()
 		if res == nil {
-			return nil, nil, fmt.Errorf("child %s has no result", j.id)
+			if !partial {
+				return nil, nil, nil, 0, fmt.Errorf("child %s has no result", j.id)
+			}
+			continue
 		}
 		aggs[i] = res.Aggregate
+		present[i] = true
+		done++
 	}
-	return sw.exp, aggs, nil
+	return sw.exp, aggs, present, done, nil
 }
 
 // CancelChildren cancels every non-terminal child and reports how many

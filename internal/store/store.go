@@ -37,6 +37,16 @@ type Store struct {
 	count    int   // resident entries; maintained so Len avoids readdir
 	bytes    int64 // resident payload bytes
 	maxBytes int64 // 0 = unbounded
+	putHook  func(hash string) error
+}
+
+// SetPutHook installs a hook consulted before every write; a non-nil
+// return fails the Put without touching the filesystem. It exists for
+// deterministic fault injection in tests and chaos runs (nil disables it).
+func (s *Store) SetPutHook(hook func(hash string) error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.putHook = hook
 }
 
 // Open creates (if needed) and opens a store rooted at dir.
@@ -143,6 +153,11 @@ func (s *Store) Put(hash string, data []byte) error {
 	path := s.path(hash)
 	if _, err := os.Stat(path); err == nil {
 		return nil
+	}
+	if s.putHook != nil {
+		if err := s.putHook(hash); err != nil {
+			return fmt.Errorf("store: put %s: %w", hash, err)
+		}
 	}
 	tmp, err := os.CreateTemp(s.dir, hash+".tmp-*")
 	if err != nil {

@@ -245,3 +245,38 @@ func TestGCEvictsOldestByMtime(t *testing.T) {
 		t.Fatal("unbounded store evicted")
 	}
 }
+
+// The put hook can veto writes (fault injection); a vetoed write leaves no
+// entry and no temp litter, and the same hash can be written once the hook
+// relents.
+func TestPutHookVetoesWrites(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := hashOf("spec-hooked")
+	st.SetPutHook(func(hash string) error {
+		if hash == h {
+			return fmt.Errorf("injected write failure for %s", hash)
+		}
+		return nil
+	})
+	if err := st.Put(h, []byte("{}")); err == nil || !strings.Contains(err.Error(), "injected write failure") {
+		t.Fatalf("hooked Put = %v", err)
+	}
+	if _, ok, _ := st.Get(h); ok {
+		t.Fatal("vetoed write left an entry")
+	}
+	if st.Len() != 0 {
+		t.Fatalf("Len after vetoed write = %d", st.Len())
+	}
+	other := hashOf("spec-other")
+	if err := st.Put(other, []byte("{}")); err != nil {
+		t.Fatalf("unscoped Put failed: %v", err)
+	}
+	st.SetPutHook(nil)
+	if err := st.Put(h, []byte("{}")); err != nil {
+		t.Fatalf("Put after clearing hook: %v", err)
+	}
+}
