@@ -4,7 +4,7 @@ DATE := $(shell date +%F)
 # the same day (e.g. make bench OUT=BENCH_$(DATE)-pr2.json).
 OUT ?= BENCH_$(DATE).json
 
-.PHONY: build test check bench bench-headline bench-sweep bench-report verify serve sweep-e2e crash-e2e chaos
+.PHONY: build test check bench bench-headline bench-sweep bench-report verify serve sweep-e2e crash-e2e fleet-e2e chaos
 
 build:
 	$(GO) build ./...
@@ -67,6 +67,13 @@ sweep-e2e:
 # byte-identical to an uninterrupted run's (see scripts/crash_e2e.sh).
 crash-e2e:
 	sh scripts/crash_e2e.sh
+
+# fleet-e2e runs a coordinator plus two worker processes, kills one with
+# SIGKILL while it holds a lease, and asserts the re-dispatched sweep's
+# CSV report is byte-identical to a single-node run's (see
+# scripts/fleet_e2e.sh).
+fleet-e2e:
+	sh scripts/fleet_e2e.sh
 
 # chaos reruns the crash e2e under the stock chaos fault spec: injected
 # transient trial errors and panics (plus delays) that retry and panic

@@ -11,6 +11,14 @@
 //	radiod -addr :9000 -workers 4 -queue 128 -cache 256 -trial-workers 2
 //	radiod -max-cost 8589934592  # double the admission budget
 //	radiod -fault-spec faults.json -retry-backoff 50ms  # chaos testing
+//	radiod -worker http://coordinator:8080 -worker-name w1  # fleet worker
+//	radiod -workers -1 -data ./d # coordinator-only: dispatch to fleet
+//
+// Every radiod is also a fleet coordinator: remote workers started with
+// -worker register against it, heartbeat, and pull leased jobs off the
+// same queue the local pool drains. A worker that stops heartbeating is
+// declared dead and its in-flight jobs are re-dispatched to survivors (or
+// run locally); with no workers registered the fleet layer is inert.
 //
 // With -data the daemon is crash-safe: every admission and terminal
 // transition is journaled, and a restart — graceful or kill -9 — re-admits
@@ -35,6 +43,7 @@ import (
 	"time"
 
 	"dualradio/internal/faultinject"
+	"dualradio/internal/fleet"
 	"dualradio/internal/server"
 )
 
@@ -48,7 +57,7 @@ func main() {
 func run() error {
 	var (
 		addr         = flag.String("addr", ":8080", "listen address")
-		workers      = flag.Int("workers", 0, "concurrent jobs (0 = GOMAXPROCS)")
+		workers      = flag.Int("workers", 0, "concurrent local jobs (0 = GOMAXPROCS, -1 = none: dispatch only to fleet workers)")
 		queue        = flag.Int("queue", 64, "job queue depth")
 		cache        = flag.Int("cache", 128, "result cache entries")
 		trialWorkers = flag.Int("trial-workers", 1, "goroutines per job's trial fan-out")
@@ -61,8 +70,43 @@ func run() error {
 		retryBackoff = flag.Duration("retry-backoff", 250*time.Millisecond, "initial retry backoff (doubles per retry)")
 		retryMax     = flag.Duration("retry-max-backoff", 5*time.Second, "retry backoff cap")
 		faultSpec    = flag.String("fault-spec", "", "JSON fault-injection spec for chaos testing (see internal/faultinject)")
+
+		workerURL      = flag.String("worker", "", "run as a fleet worker for the coordinator at this URL (serves no HTTP API)")
+		workerName     = flag.String("worker-name", "", "worker name reported to the coordinator (default hostname)")
+		workerSlots    = flag.Int("worker-slots", 0, "concurrent leased jobs in worker mode (0 = GOMAXPROCS)")
+		fleetHeartbeat = flag.Duration("fleet-heartbeat", 2*time.Second, "coordinator: heartbeat interval workers are told to use")
+		fleetDeadAfter = flag.Duration("fleet-dead-after", 0, "coordinator: declare a worker dead after this heartbeat silence (0 = 3x heartbeat)")
+		fleetLeaseTTL  = flag.Duration("fleet-lease-ttl", 10*time.Minute, "coordinator: absolute lease lifetime before re-dispatch")
 	)
 	flag.Parse()
+
+	var inj *faultinject.Injector
+	if *faultSpec != "" {
+		var err error
+		if inj, err = faultinject.Load(*faultSpec); err != nil {
+			return err
+		}
+		log.Printf("radiod: fault injection active: %d rules from %s", inj.Rules(), *faultSpec)
+	}
+
+	if *workerURL != "" {
+		name := *workerName
+		if name == "" {
+			name, _ = os.Hostname()
+		}
+		w := fleet.NewWorker(fleet.WorkerConfig{
+			Coordinator:  *workerURL,
+			Name:         name,
+			Slots:        *workerSlots,
+			TrialWorkers: *trialWorkers,
+			Fault:        inj,
+			Logf:         log.Printf,
+		})
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+		defer stop()
+		log.Printf("radiod: worker %s serving coordinator %s", name, *workerURL)
+		return w.Run(ctx)
+	}
 
 	cfg := server.Config{
 		Workers:         *workers,
@@ -76,17 +120,15 @@ func run() error {
 		MaxRetries:      *maxRetries,
 		RetryBackoff:    *retryBackoff,
 		RetryMaxBackoff: *retryMax,
+		Fault:           inj,
+		Fleet: fleet.Config{
+			Heartbeat: *fleetHeartbeat,
+			DeadAfter: *fleetDeadAfter,
+			LeaseTTL:  *fleetLeaseTTL,
+		},
 	}
 	if *maxRetries <= 0 {
 		cfg.MaxRetries = -1 // Config treats 0 as "default"; negative disables
-	}
-	if *faultSpec != "" {
-		inj, err := faultinject.Load(*faultSpec)
-		if err != nil {
-			return err
-		}
-		cfg.Fault = inj
-		log.Printf("radiod: fault injection active: %d rules from %s", inj.Rules(), *faultSpec)
 	}
 	svc, err := server.New(cfg)
 	if err != nil {

@@ -32,6 +32,25 @@ const (
 	KindTrialDelay = "trial-delay"
 	// KindStoreError fails the matched persistent-store write.
 	KindStoreError = "store-error"
+	// KindRPCDrop drops the matched fleet RPC before it is sent (the
+	// worker sees a network error; the coordinator sees nothing — exactly
+	// a lost packet). A drop rule with Path "heartbeat" and an After/Count
+	// window is a deterministic heartbeat blackout.
+	KindRPCDrop = "rpc-drop"
+	// KindRPCDelay sleeps before the matched fleet RPC is sent (artificial
+	// network latency; never changes results).
+	KindRPCDelay = "rpc-delay"
+	// KindRPCDup delivers the matched fleet RPC twice (duplicate
+	// delivery, exercising coordinator-side idempotency).
+	KindRPCDup = "rpc-dup"
+)
+
+// RPC paths matched by Rule.Path (empty matches every path).
+const (
+	PathRegister  = "register"
+	PathHeartbeat = "heartbeat"
+	PathLease     = "lease"
+	PathComplete  = "complete"
 )
 
 // Rule is one fault: where it fires and what it does. All match fields are
@@ -57,6 +76,24 @@ type Rule struct {
 	Transient bool `json:"transient,omitempty"`
 	// Message overrides the injected error text.
 	Message string `json:"message,omitempty"`
+	// Path restricts rpc-* rules to one fleet RPC (one of the Path*
+	// constants; "" = every RPC).
+	Path string `json:"path,omitempty"`
+	// After and Count window rpc-* rules over the per-path call sequence:
+	// the rule fires for calls with seq >= After and, when Count > 0,
+	// seq < After+Count. A (Path "heartbeat", After, Count) drop rule is a
+	// bounded heartbeat blackout that deterministically ends.
+	After int `json:"after,omitempty"`
+	Count int `json:"count,omitempty"`
+}
+
+// isRPC reports whether the rule kind targets fleet RPCs.
+func (r *Rule) isRPC() bool {
+	switch r.Kind {
+	case KindRPCDrop, KindRPCDelay, KindRPCDup:
+		return true
+	}
+	return false
 }
 
 // Spec is a fault-injection configuration: a seed for the deterministic
@@ -76,7 +113,8 @@ type Injector struct {
 func New(spec Spec) (*Injector, error) {
 	for i, r := range spec.Rules {
 		switch r.Kind {
-		case KindTrialError, KindTrialPanic, KindTrialDelay, KindStoreError:
+		case KindTrialError, KindTrialPanic, KindTrialDelay, KindStoreError,
+			KindRPCDrop, KindRPCDelay, KindRPCDup:
 		default:
 			return nil, fmt.Errorf("faultinject: rule %d: unknown kind %q", i, r.Kind)
 		}
@@ -91,6 +129,24 @@ func New(spec Spec) (*Injector, error) {
 		}
 		if r.Kind == KindTrialDelay && r.DelayMS == 0 {
 			return nil, fmt.Errorf("faultinject: rule %d: trial-delay needs delay_ms", i)
+		}
+		if r.Kind == KindRPCDelay && r.DelayMS == 0 {
+			return nil, fmt.Errorf("faultinject: rule %d: rpc-delay needs delay_ms", i)
+		}
+		if r.After < 0 || r.Count < 0 {
+			return nil, fmt.Errorf("faultinject: rule %d: negative after/count", i)
+		}
+		if r.isRPC() {
+			switch r.Path {
+			case "", PathRegister, PathHeartbeat, PathLease, PathComplete:
+			default:
+				return nil, fmt.Errorf("faultinject: rule %d: unknown rpc path %q", i, r.Path)
+			}
+			if r.Trial != nil || r.Attempts != 0 || r.Transient {
+				return nil, fmt.Errorf("faultinject: rule %d: trial/attempts/transient are meaningless on %s", i, r.Kind)
+			}
+		} else if r.Path != "" || r.After != 0 || r.Count != 0 {
+			return nil, fmt.Errorf("faultinject: rule %d: path/after/count are meaningless on %s", i, r.Kind)
 		}
 	}
 	return &Injector{spec: spec}, nil
@@ -197,6 +253,48 @@ func (in *Injector) Trial(hash string, trial, attempt int) error {
 		return err
 	}
 	return nil
+}
+
+// matchesRPC gates an rpc-* rule on its path filter and call-sequence
+// window.
+func (r *Rule) matchesRPC(path string, seq int) bool {
+	if !r.isRPC() {
+		return false
+	}
+	if r.Path != "" && r.Path != path {
+		return false
+	}
+	if seq < r.After {
+		return false
+	}
+	if r.Count > 0 && seq >= r.After+r.Count {
+		return false
+	}
+	return true
+}
+
+// RPC evaluates the network-scoped rules for the seq'th call on one fleet
+// RPC path (register, heartbeat, lease, complete; seq counts per path from
+// 0 on the caller's side). Delays accumulate; drop simulates a lost
+// request; dup asks the caller to deliver the request twice. Decisions are
+// deterministic in (seed, rule, path, seq), so a heartbeat blackout or a
+// duplicated completion happens at exactly the same point in every run.
+func (in *Injector) RPC(path string, seq int) (drop bool, delay time.Duration, dup bool) {
+	site := fmt.Sprintf("rpc/%s/%d", path, seq)
+	for i, r := range in.spec.Rules {
+		if !r.matchesRPC(path, seq) || !in.coin(i, r.P, site) {
+			continue
+		}
+		switch r.Kind {
+		case KindRPCDrop:
+			drop = true
+		case KindRPCDelay:
+			delay += time.Duration(r.DelayMS) * time.Millisecond
+		case KindRPCDup:
+			dup = true
+		}
+	}
+	return drop, delay, dup
 }
 
 // StorePut evaluates the store-scoped rules for a result write under

@@ -1,0 +1,102 @@
+package faultinject
+
+import (
+	"testing"
+	"time"
+)
+
+func TestRPCRuleValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		spec Spec
+	}{
+		{"rpc-delay without ms", Spec{Rules: []Rule{{Kind: KindRPCDelay, Path: PathLease}}}},
+		{"unknown path", Spec{Rules: []Rule{{Kind: KindRPCDrop, Path: "teleport"}}}},
+		{"path on trial rule", Spec{Rules: []Rule{{Kind: KindTrialError, Path: PathLease}}}},
+		{"after on trial rule", Spec{Rules: []Rule{{Kind: KindTrialError, After: 2}}}},
+		{"count on trial rule", Spec{Rules: []Rule{{Kind: KindTrialError, Count: 2}}}},
+		{"trial on rpc rule", Spec{Rules: []Rule{{Kind: KindRPCDrop, Trial: intp(1)}}}},
+		{"attempts on rpc rule", Spec{Rules: []Rule{{Kind: KindRPCDrop, Attempts: 1}}}},
+		{"transient on rpc rule", Spec{Rules: []Rule{{Kind: KindRPCDrop, Transient: true}}}},
+		{"negative after", Spec{Rules: []Rule{{Kind: KindRPCDrop, After: -1}}}},
+		{"negative count", Spec{Rules: []Rule{{Kind: KindRPCDrop, Count: -1}}}},
+	}
+	for _, tc := range cases {
+		if _, err := New(tc.spec); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+	// The valid shapes parse.
+	_, err := New(Spec{Rules: []Rule{
+		{Kind: KindRPCDrop, Path: PathHeartbeat},
+		{Kind: KindRPCDelay, DelayMS: 10, After: 1, Count: 3},
+		{Kind: KindRPCDup, Path: PathComplete, P: 0.5},
+	}})
+	if err != nil {
+		t.Fatalf("valid rpc rules rejected: %v", err)
+	}
+}
+
+func TestRPCWindowSemantics(t *testing.T) {
+	in, err := New(Spec{Rules: []Rule{
+		{Kind: KindRPCDrop, Path: PathHeartbeat, After: 2, Count: 3},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Drops exactly calls 2, 3, 4 of the heartbeat path; other paths and
+	// out-of-window calls pass.
+	for seq := 0; seq < 8; seq++ {
+		drop, _, _ := in.RPC(PathHeartbeat, seq)
+		want := seq >= 2 && seq < 5
+		if drop != want {
+			t.Errorf("heartbeat seq %d: drop=%v, want %v", seq, drop, want)
+		}
+	}
+	if drop, _, _ := in.RPC(PathLease, 3); drop {
+		t.Error("rule leaked onto the lease path")
+	}
+}
+
+func TestRPCDelayAccumulatesAndDup(t *testing.T) {
+	in, err := New(Spec{Rules: []Rule{
+		{Kind: KindRPCDelay, Path: PathComplete, DelayMS: 20},
+		{Kind: KindRPCDelay, DelayMS: 5}, // pathless: every rpc
+		{Kind: KindRPCDup, Path: PathComplete},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	drop, delay, dup := in.RPC(PathComplete, 0)
+	if drop || !dup || delay != 25*time.Millisecond {
+		t.Fatalf("complete: drop=%v delay=%v dup=%v, want false 25ms true", drop, delay, dup)
+	}
+	if _, delay, dup := in.RPC(PathRegister, 0); delay != 5*time.Millisecond || dup {
+		t.Fatalf("register: delay=%v dup=%v, want 5ms false", delay, dup)
+	}
+}
+
+func TestRPCProbabilisticDeterminism(t *testing.T) {
+	mk := func() *Injector {
+		in, err := New(Spec{Rules: []Rule{{Kind: KindRPCDrop, Path: PathLease, P: 0.5}}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return in
+	}
+	a, b := mk(), mk()
+	dropped := 0
+	for seq := 0; seq < 200; seq++ {
+		da, _, _ := a.RPC(PathLease, seq)
+		db, _, _ := b.RPC(PathLease, seq)
+		if da != db {
+			t.Fatalf("seq %d: identical injectors disagreed", seq)
+		}
+		if da {
+			dropped++
+		}
+	}
+	if dropped == 0 || dropped == 200 {
+		t.Fatalf("p=0.5 dropped %d/200 calls", dropped)
+	}
+}

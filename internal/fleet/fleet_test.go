@@ -1,0 +1,325 @@
+package fleet
+
+import (
+	"encoding/json"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"dualradio/internal/scenario"
+)
+
+// fakeBackend is an in-memory Backend: a queue of job ids, a job table
+// tracking each job's state, and a write-once "store" keyed by job id that
+// mirrors the real content-addressed store's dedup semantics.
+type fakeBackend struct {
+	mu      sync.Mutex
+	queue   []string
+	state   map[string]string // queued | running | done | failed
+	leases  map[string]string // job → active lease id
+	store   map[string][]byte // first write wins
+	puts    map[string]int    // completion deliveries per job
+	records []Record
+	spec    json.RawMessage // unit spec served by Next (placeholder if nil)
+}
+
+func newFakeBackend(jobs ...string) *fakeBackend {
+	b := &fakeBackend{
+		state:  make(map[string]string),
+		leases: make(map[string]string),
+		store:  make(map[string][]byte),
+		puts:   make(map[string]int),
+	}
+	for _, j := range jobs {
+		b.queue = append(b.queue, j)
+		b.state[j] = "queued"
+	}
+	return b
+}
+
+func (b *fakeBackend) Next(worker, lease string) *scenario.WorkUnit {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if len(b.queue) == 0 {
+		return nil
+	}
+	job := b.queue[0]
+	b.queue = b.queue[1:]
+	b.state[job] = "running"
+	b.leases[job] = lease
+	spec := b.spec
+	if spec == nil {
+		spec, _ = json.Marshal(map[string]any{"algorithm": "mis"})
+	}
+	return &scenario.WorkUnit{Job: job, Lease: lease, Spec: spec}
+}
+
+func (b *fakeBackend) Complete(job string, result []byte) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if _, ok := b.state[job]; !ok {
+		return fmt.Errorf("unknown job %s", job)
+	}
+	b.puts[job]++
+	if _, dup := b.store[job]; !dup {
+		b.store[job] = result // write-once, like the content-addressed store
+	}
+	if b.state[job] != "done" && b.state[job] != "failed" {
+		b.state[job] = "done"
+		delete(b.leases, job)
+	}
+	return nil
+}
+
+func (b *fakeBackend) Fail(job, msg string, transient bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state[job] == "running" {
+		b.state[job] = "failed"
+		delete(b.leases, job)
+	}
+}
+
+func (b *fakeBackend) Requeue(job, lease, worker, reason string) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state[job] != "running" || b.leases[job] != lease {
+		return false
+	}
+	b.state[job] = "queued"
+	delete(b.leases, job)
+	b.queue = append(b.queue, job)
+	b.records = append(b.records, Record{Op: OpRedispatch, Job: job, Lease: lease, Worker: worker, Reason: reason})
+	return true
+}
+
+func (b *fakeBackend) WorkerEvent(op, worker, name string) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.records = append(b.records, Record{Op: op, Worker: worker, Name: name})
+}
+
+func (b *fakeBackend) jobState(job string) string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state[job]
+}
+
+func (b *fakeBackend) ops() []string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make([]string, len(b.records))
+	for i, r := range b.records {
+		out[i] = r.Op
+	}
+	return out
+}
+
+// fakeClock drives the coordinator's failure detector without sleeping.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newFakeClock() *fakeClock { return &fakeClock{t: time.Unix(1000, 0)} }
+
+func (c *fakeClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+func testCoordinator(be Backend, cfg Config) (*Coordinator, *fakeClock) {
+	c := New(be, cfg)
+	clk := newFakeClock()
+	c.now = clk.now
+	return c, clk
+}
+
+func TestLeaseLifecycle(t *testing.T) {
+	be := newFakeBackend("j1", "j2")
+	c, _ := testCoordinator(be, Config{})
+
+	id, err := c.Register("w1", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	units, err := c.Lease(id, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(units) != 2 {
+		t.Fatalf("leased %d units, want 2 (slot-bounded)", len(units))
+	}
+	if units[0].Job != "j1" || units[0].Lease == "" {
+		t.Fatalf("unexpected first unit %+v", units[0])
+	}
+	// Slots exhausted: further leases grant nothing.
+	if more, _ := c.Lease(id, 1); len(more) != 0 {
+		t.Fatalf("over-slot lease granted %d units", len(more))
+	}
+	if err := c.Complete(id, units[0].Lease, "j1", []byte(`{"ok":1}`), "", false); err != nil {
+		t.Fatal(err)
+	}
+	if got := be.jobState("j1"); got != "done" {
+		t.Fatalf("j1 state %q after completion", got)
+	}
+	snap := c.Snapshot()
+	if snap.Counters.LeasesGranted != 2 || snap.Counters.Completed != 1 || snap.Counters.LeasesActive != 1 {
+		t.Fatalf("counters %+v", snap.Counters)
+	}
+}
+
+// TestHeartbeatTimeoutRedispatch is the robustness core: a worker leases a
+// job, stops heartbeating, is declared dead, and the job is re-dispatched;
+// the dead worker's late result is still adopted, and the survivor's
+// duplicate completion dedups via the write-once store.
+func TestHeartbeatTimeoutRedispatch(t *testing.T) {
+	be := newFakeBackend("j1")
+	c, clk := testCoordinator(be, Config{Heartbeat: time.Second})
+
+	w1, _ := c.Register("w1", 1)
+	units, _ := c.Lease(w1, 1)
+	if len(units) != 1 {
+		t.Fatalf("leased %d units", len(units))
+	}
+
+	// Silence past DeadAfter (3×heartbeat): the reaper declares w1 dead
+	// and requeues its lease.
+	clk.advance(4 * time.Second)
+	c.reap()
+	if err := c.Heartbeat(w1); err != ErrGone {
+		t.Fatalf("dead worker heartbeat: %v, want ErrGone", err)
+	}
+	if got := be.jobState("j1"); got != "queued" {
+		t.Fatalf("j1 state %q after worker death, want queued", got)
+	}
+	ops := be.ops()
+	if len(ops) < 3 || ops[len(ops)-2] != OpWorkerDead || ops[len(ops)-1] != OpRedispatch {
+		t.Fatalf("journal ops %v, want ...worker-dead, redispatch", ops)
+	}
+
+	// A survivor picks the job up under a fresh lease.
+	w2, _ := c.Register("w2", 1)
+	units2, _ := c.Lease(w2, 1)
+	if len(units2) != 1 || units2[0].Job != "j1" {
+		t.Fatalf("survivor leased %+v, want j1", units2)
+	}
+	if units2[0].Lease == units[0].Lease {
+		t.Fatal("re-dispatch reused the dead lease id")
+	}
+
+	// The "dead" worker was merely partitioned: its late result arrives
+	// under the void lease and is adopted.
+	if err := c.Complete(w1, units[0].Lease, "j1", []byte(`{"from":"w1"}`), "", false); err != nil {
+		t.Fatal(err)
+	}
+	if got := be.jobState("j1"); got != "done" {
+		t.Fatalf("j1 state %q after adopted completion", got)
+	}
+	// The survivor finishes too; the duplicate merges via the store's
+	// write-once Put — first result wins, second delivery no-ops.
+	if err := c.Complete(w2, units2[0].Lease, "j1", []byte(`{"from":"w2"}`), "", false); err != nil {
+		t.Fatal(err)
+	}
+	be.mu.Lock()
+	stored, puts := string(be.store["j1"]), be.puts["j1"]
+	be.mu.Unlock()
+	if puts != 2 || stored != `{"from":"w1"}` {
+		t.Fatalf("store saw %d puts, kept %q; want 2 puts, first write kept", puts, stored)
+	}
+	snap := c.Snapshot()
+	if snap.Counters.Redispatched != 1 || snap.Counters.Adopted != 1 || snap.Counters.WorkersDead != 1 {
+		t.Fatalf("counters %+v", snap.Counters)
+	}
+}
+
+func TestLeaseTTLExpiry(t *testing.T) {
+	be := newFakeBackend("j1")
+	c, clk := testCoordinator(be, Config{Heartbeat: time.Second, LeaseTTL: 10 * time.Second})
+
+	w1, _ := c.Register("w1", 1)
+	units, _ := c.Lease(w1, 1)
+	if len(units) != 1 {
+		t.Fatal("no lease granted")
+	}
+	// Keep heartbeating — the worker is live but wedged on the job.
+	for i := 0; i < 11; i++ {
+		clk.advance(time.Second)
+		if err := c.Heartbeat(w1); err != nil {
+			t.Fatal(err)
+		}
+		c.reap()
+	}
+	if got := be.jobState("j1"); got != "queued" {
+		t.Fatalf("j1 state %q after TTL expiry, want queued", got)
+	}
+	if err := c.Heartbeat(w1); err != nil {
+		t.Fatalf("live worker evicted with its lease: %v", err)
+	}
+	if c.Snapshot().Counters.LeasesExpired != 1 {
+		t.Fatalf("counters %+v", c.Snapshot().Counters)
+	}
+}
+
+func TestStaleFailureReportDropped(t *testing.T) {
+	be := newFakeBackend("j1")
+	c, clk := testCoordinator(be, Config{Heartbeat: time.Second})
+
+	w1, _ := c.Register("w1", 1)
+	units, _ := c.Lease(w1, 1)
+	clk.advance(4 * time.Second)
+	c.reap() // w1 dead, j1 requeued
+
+	// w1's late failure report must not disturb the re-dispatched job.
+	if err := c.Complete(w1, units[0].Lease, "j1", nil, "boom", true); err != nil {
+		t.Fatal(err)
+	}
+	if got := be.jobState("j1"); got != "queued" {
+		t.Fatalf("stale failure moved j1 to %q", got)
+	}
+	// A current lease holder's failure is honored.
+	w2, _ := c.Register("w2", 1)
+	units2, _ := c.Lease(w2, 1)
+	if err := c.Complete(w2, units2[0].Lease, "j1", nil, "boom", false); err != nil {
+		t.Fatal(err)
+	}
+	if got := be.jobState("j1"); got != "failed" {
+		t.Fatalf("current failure left j1 in %q", got)
+	}
+}
+
+func TestCloseRequeuesLeases(t *testing.T) {
+	be := newFakeBackend("j1", "j2")
+	c, _ := testCoordinator(be, Config{})
+	w1, _ := c.Register("w1", 2)
+	if units, _ := c.Lease(w1, 2); len(units) != 2 {
+		t.Fatalf("leased %d units", len(units))
+	}
+	c.Close()
+	if got := be.jobState("j1"); got != "queued" {
+		t.Fatalf("j1 state %q after Close, want queued", got)
+	}
+	if _, err := c.Register("w2", 1); err == nil {
+		t.Fatal("register succeeded on a closed coordinator")
+	}
+}
+
+func TestRegisterCapsSlots(t *testing.T) {
+	be := newFakeBackend()
+	c, _ := testCoordinator(be, Config{MaxSlots: 2})
+	id, _ := c.Register("greedy", 100)
+	c.mu.Lock()
+	slots := c.workers[id].slots
+	c.mu.Unlock()
+	if slots != 2 {
+		t.Fatalf("slots %d, want capped at 2", slots)
+	}
+}

@@ -1,0 +1,168 @@
+package fleet
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+
+	"dualradio/internal/scenario"
+)
+
+// ErrGone tells a worker the coordinator no longer recognizes it — it was
+// declared dead, or the coordinator restarted and lost the registry — and
+// it must re-register before doing anything else. Served as 410 Gone.
+var ErrGone = errors.New("fleet: worker gone; re-register")
+
+var errClosed = errors.New("fleet: coordinator closed")
+
+func workerID(n int) string { return fmt.Sprintf("w%06d", n) }
+func leaseIDf(n int) string { return fmt.Sprintf("l%06d", n) }
+
+// The wire protocol. Every request is a small JSON POST; the worker is
+// the only client, so bodies are bounded tightly.
+const maxRPCBytes = 8 << 20 // a complete Result with per-trial payloads
+
+type registerRequest struct {
+	Name  string `json:"name"`
+	Slots int    `json:"slots,omitempty"`
+}
+
+type registerResponse struct {
+	WorkerID    string `json:"worker_id"`
+	HeartbeatMS int64  `json:"heartbeat_ms"`
+	DeadAfterMS int64  `json:"dead_after_ms"`
+}
+
+type heartbeatRequest struct {
+	WorkerID string `json:"worker_id"`
+}
+
+type leaseRequest struct {
+	WorkerID string `json:"worker_id"`
+	Max      int    `json:"max,omitempty"`
+}
+
+type leaseResponse struct {
+	Units []scenario.WorkUnit `json:"units"`
+}
+
+// completeRequest reports one finished work unit: exactly one of Result
+// (the marshaled scenario.Result) or Error is set.
+type completeRequest struct {
+	WorkerID  string          `json:"worker_id"`
+	Lease     string          `json:"lease"`
+	Job       string          `json:"job"`
+	Result    json.RawMessage `json:"result,omitempty"`
+	Error     string          `json:"error,omitempty"`
+	Transient bool            `json:"transient,omitempty"`
+}
+
+// Mount registers the coordinator's endpoints on mux:
+//
+//	POST /v1/fleet/register   admit a worker → id + heartbeat contract
+//	POST /v1/fleet/heartbeat  refresh liveness (410 = re-register)
+//	POST /v1/fleet/lease      pull leased work units (410 = re-register)
+//	POST /v1/fleet/complete   report a unit's result or failure
+//	GET  /v1/fleet            fleet view: workers, leases, counters
+func (c *Coordinator) Mount(mux *http.ServeMux) {
+	mux.HandleFunc("POST /v1/fleet/register", c.handleRegister)
+	mux.HandleFunc("POST /v1/fleet/heartbeat", c.handleHeartbeat)
+	mux.HandleFunc("POST /v1/fleet/lease", c.handleLease)
+	mux.HandleFunc("POST /v1/fleet/complete", c.handleComplete)
+	mux.HandleFunc("GET /v1/fleet", c.handleView)
+}
+
+func rpcError(w http.ResponseWriter, err error) {
+	status := http.StatusBadRequest
+	if errors.Is(err, ErrGone) || errors.Is(err, errClosed) {
+		status = http.StatusGone
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}
+
+func rpcJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func decodeRPC(w http.ResponseWriter, r *http.Request, v any) bool {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxRPCBytes))
+	if err == nil {
+		err = json.Unmarshal(body, v)
+	}
+	if err != nil {
+		rpcError(w, fmt.Errorf("fleet: bad request body: %w", err))
+		return false
+	}
+	return true
+}
+
+func (c *Coordinator) handleRegister(w http.ResponseWriter, r *http.Request) {
+	var req registerRequest
+	if !decodeRPC(w, r, &req) {
+		return
+	}
+	id, err := c.Register(req.Name, req.Slots)
+	if err != nil {
+		rpcError(w, err)
+		return
+	}
+	rpcJSON(w, registerResponse{
+		WorkerID:    id,
+		HeartbeatMS: c.cfg.Heartbeat.Milliseconds(),
+		DeadAfterMS: c.cfg.DeadAfter.Milliseconds(),
+	})
+}
+
+func (c *Coordinator) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
+	var req heartbeatRequest
+	if !decodeRPC(w, r, &req) {
+		return
+	}
+	if err := c.Heartbeat(req.WorkerID); err != nil {
+		rpcError(w, err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (c *Coordinator) handleLease(w http.ResponseWriter, r *http.Request) {
+	var req leaseRequest
+	if !decodeRPC(w, r, &req) {
+		return
+	}
+	units, err := c.Lease(req.WorkerID, req.Max)
+	if err != nil {
+		rpcError(w, err)
+		return
+	}
+	if units == nil {
+		units = []scenario.WorkUnit{}
+	}
+	rpcJSON(w, leaseResponse{Units: units})
+}
+
+func (c *Coordinator) handleComplete(w http.ResponseWriter, r *http.Request) {
+	var req completeRequest
+	if !decodeRPC(w, r, &req) {
+		return
+	}
+	if req.Job == "" || (req.Result == nil && req.Error == "") {
+		rpcError(w, errors.New("fleet: completion needs a job and a result or error"))
+		return
+	}
+	if err := c.Complete(req.WorkerID, req.Lease, req.Job, req.Result, req.Error, req.Transient); err != nil {
+		rpcError(w, err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (c *Coordinator) handleView(w http.ResponseWriter, r *http.Request) {
+	rpcJSON(w, c.Snapshot())
+}

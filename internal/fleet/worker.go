@@ -1,0 +1,314 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"sync"
+	"time"
+
+	"dualradio/internal/faultinject"
+	"dualradio/internal/scenario"
+)
+
+// WorkerConfig configures a fleet worker process.
+type WorkerConfig struct {
+	// Coordinator is the coordinator's base URL (e.g. http://host:8080).
+	Coordinator string
+	// Name identifies the worker in views and journal records.
+	Name string
+	// Slots is the number of work units executed concurrently
+	// (default GOMAXPROCS).
+	Slots int
+	// TrialWorkers is the per-unit trial fan-out (default 1).
+	TrialWorkers int
+	// Poll is the idle wait between lease attempts when the coordinator
+	// has no work (default 250ms).
+	Poll time.Duration
+	// Fault, when non-nil, injects deterministic faults: trial-scoped
+	// rules at execution, rpc-scoped rules (drop/delay/duplicate,
+	// heartbeat blackouts) at every coordinator RPC.
+	Fault *faultinject.Injector
+	// Logf, when non-nil, receives progress lines (log.Printf-shaped).
+	Logf func(format string, args ...any)
+}
+
+func (c WorkerConfig) withDefaults() WorkerConfig {
+	if c.Slots <= 0 {
+		c.Slots = runtime.GOMAXPROCS(0)
+	}
+	if c.TrialWorkers <= 0 {
+		c.TrialWorkers = 1
+	}
+	if c.Poll <= 0 {
+		c.Poll = 250 * time.Millisecond
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+	return c
+}
+
+// Worker is a fleet worker: it registers with the coordinator, heartbeats,
+// pulls leased work units, executes them with the same deterministic
+// engine the coordinator would use locally, and reports results. On a 410
+// from the coordinator — it was declared dead during a partition, or the
+// coordinator restarted — it re-registers and carries on; executions
+// already in flight finish and report under their old lease, which the
+// coordinator adopts by job id.
+type Worker struct {
+	cfg WorkerConfig
+	hc  *http.Client
+
+	// seq counts RPCs per path for deterministic fault-injection windows.
+	seqMu sync.Mutex
+	seq   map[string]int
+}
+
+// NewWorker builds a worker; Run drives it.
+func NewWorker(cfg WorkerConfig) *Worker {
+	return &Worker{
+		cfg: cfg.withDefaults(),
+		hc:  &http.Client{Timeout: 30 * time.Second},
+		seq: make(map[string]int),
+	}
+}
+
+// Run executes the worker loop until ctx is cancelled: register (retrying
+// until the coordinator answers), then heartbeat and lease/execute until
+// the registration dies, then re-register. It returns nil on ctx
+// cancellation.
+func (w *Worker) Run(ctx context.Context) error {
+	slots := make(chan struct{}, w.cfg.Slots)
+	for i := 0; i < w.cfg.Slots; i++ {
+		slots <- struct{}{}
+	}
+	for {
+		reg, err := w.register(ctx)
+		if err != nil {
+			return err // only ctx cancellation ends registration retries
+		}
+		w.cfg.Logf("fleet worker %s: registered as %s (heartbeat %dms)", w.cfg.Name, reg.WorkerID, reg.HeartbeatMS)
+		w.session(ctx, reg, slots)
+		if ctx.Err() != nil {
+			return nil
+		}
+		w.cfg.Logf("fleet worker %s: registration %s gone; re-registering", w.cfg.Name, reg.WorkerID)
+	}
+}
+
+// register retries until the coordinator admits the worker or ctx ends.
+func (w *Worker) register(ctx context.Context) (registerResponse, error) {
+	backoff := 100 * time.Millisecond
+	for {
+		var resp registerResponse
+		err := w.post(ctx, faultinject.PathRegister, registerRequest{Name: w.cfg.Name, Slots: w.cfg.Slots}, &resp)
+		if err == nil {
+			return resp, nil
+		}
+		w.cfg.Logf("fleet worker %s: register: %v (retrying in %v)", w.cfg.Name, err, backoff)
+		select {
+		case <-ctx.Done():
+			return registerResponse{}, ctx.Err()
+		case <-time.After(backoff):
+		}
+		if backoff *= 2; backoff > 5*time.Second {
+			backoff = 5 * time.Second
+		}
+	}
+}
+
+// session runs one registration's heartbeat and lease loops until the
+// coordinator answers 410 or ctx ends.
+func (w *Worker) session(ctx context.Context, reg registerResponse, slots chan struct{}) {
+	sctx, gone := context.WithCancel(ctx)
+	defer gone()
+
+	heartbeat := time.Duration(reg.HeartbeatMS) * time.Millisecond
+	if heartbeat <= 0 {
+		heartbeat = 2 * time.Second
+	}
+	go func() {
+		t := time.NewTicker(heartbeat)
+		defer t.Stop()
+		for {
+			select {
+			case <-sctx.Done():
+				return
+			case <-t.C:
+				err := w.post(sctx, faultinject.PathHeartbeat, heartbeatRequest{WorkerID: reg.WorkerID}, nil)
+				if errors.Is(err, ErrGone) {
+					gone()
+					return
+				}
+				// Other errors (drops, timeouts) are tolerable: liveness
+				// only lapses after DeadAfter of consecutive silence.
+			}
+		}
+	}()
+
+	for {
+		// Take a slot before asking for work so a grant never waits on a
+		// busy executor while its lease clock runs.
+		select {
+		case <-sctx.Done():
+			return
+		case <-slots:
+		}
+		var resp leaseResponse
+		err := w.post(sctx, faultinject.PathLease, leaseRequest{WorkerID: reg.WorkerID, Max: 1}, &resp)
+		switch {
+		case errors.Is(err, ErrGone):
+			slots <- struct{}{}
+			gone()
+			return
+		case err != nil || len(resp.Units) == 0:
+			slots <- struct{}{}
+			select {
+			case <-sctx.Done():
+				return
+			case <-time.After(w.cfg.Poll):
+			}
+			continue
+		}
+		unit := resp.Units[0]
+		go func() {
+			defer func() { slots <- struct{}{} }()
+			// Execution rides the outer ctx: a lost registration does not
+			// abort work already leased — the result is still valid and
+			// the coordinator adopts it by job id.
+			w.runUnit(ctx, reg.WorkerID, unit)
+		}()
+	}
+}
+
+// runUnit executes one leased work unit and reports the outcome.
+func (w *Worker) runUnit(ctx context.Context, workerID string, unit scenario.WorkUnit) {
+	req := w.execute(ctx, unit)
+	if req == nil {
+		return // shutdown mid-run; the coordinator will re-dispatch
+	}
+	req.WorkerID = workerID
+	req.Lease = unit.Lease
+	req.Job = unit.Job
+	w.complete(ctx, *req)
+}
+
+// execute compiles and runs the unit, classifying the outcome the same way
+// the server does locally. Transient failures are reported, not retried
+// here: the retry budget and its backoff live with the coordinator, which
+// owns the job's attempt counter. A nil return means ctx was cancelled
+// mid-run and nothing should be reported.
+func (w *Worker) execute(ctx context.Context, unit scenario.WorkUnit) *completeRequest {
+	comp, err := unit.Compile()
+	if err != nil {
+		return &completeRequest{Error: err.Error()}
+	}
+	runCtx := ctx
+	deadline := comp.Spec().TimeoutMS
+	if deadline > 0 {
+		var cancel context.CancelFunc
+		runCtx, cancel = context.WithTimeout(ctx, time.Duration(deadline)*time.Millisecond)
+		defer cancel()
+	}
+	opts := scenario.RunOptions{Workers: w.cfg.TrialWorkers, Attempt: unit.Attempt}
+	if w.cfg.Fault != nil {
+		hash := comp.Hash()
+		opts.Fault = func(trial, at int) error { return w.cfg.Fault.Trial(hash, trial, at) }
+	}
+	res, err := comp.RunWithOptions(runCtx, opts)
+	switch {
+	case err == nil:
+		data, merr := json.Marshal(res)
+		if merr != nil {
+			return &completeRequest{Error: fmt.Sprintf("marshal result: %v", merr)}
+		}
+		return &completeRequest{Result: data}
+	case errors.Is(err, context.DeadlineExceeded) || errors.Is(runCtx.Err(), context.DeadlineExceeded):
+		// Deterministic workload: a rerun would time out identically.
+		return &completeRequest{Error: fmt.Sprintf("run exceeded %dms deadline", deadline)}
+	case ctx.Err() != nil:
+		return nil // worker shutting down
+	default:
+		return &completeRequest{Error: err.Error(), Transient: scenario.IsTransient(err)}
+	}
+}
+
+// complete reports a finished unit with bounded retries. Giving up is
+// safe: the lease's heartbeat timeout or TTL re-dispatches the job.
+func (w *Worker) complete(ctx context.Context, req completeRequest) {
+	for attempt := 0; attempt < 5; attempt++ {
+		err := w.post(ctx, faultinject.PathComplete, req, nil)
+		if err == nil || errors.Is(err, ErrGone) {
+			return
+		}
+		w.cfg.Logf("fleet worker %s: complete %s: %v", w.cfg.Name, req.Job, err)
+		select {
+		case <-ctx.Done():
+			return
+		case <-time.After(time.Duration(attempt+1) * 200 * time.Millisecond):
+		}
+	}
+}
+
+// post sends one coordinator RPC, applying rpc-scoped fault rules on the
+// client side: an injected drop fails the call without sending (a lost
+// request), a delay sleeps first, a dup sends the request twice — the
+// coordinator must (and does) tolerate the duplicate.
+func (w *Worker) post(ctx context.Context, path string, body any, out any) error {
+	if w.cfg.Fault != nil {
+		w.seqMu.Lock()
+		seq := w.seq[path]
+		w.seq[path] = seq + 1
+		w.seqMu.Unlock()
+		drop, delay, dup := w.cfg.Fault.RPC(path, seq)
+		if delay > 0 {
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-time.After(delay):
+			}
+		}
+		if drop {
+			return fmt.Errorf("fleet: injected drop of %s rpc", path)
+		}
+		if dup {
+			_ = w.doPost(ctx, path, body, nil) // best-effort duplicate
+		}
+	}
+	return w.doPost(ctx, path, body, out)
+}
+
+func (w *Worker) doPost(ctx context.Context, path string, body any, out any) error {
+	data, err := json.Marshal(body)
+	if err != nil {
+		return fmt.Errorf("fleet: marshal %s request: %w", path, err)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, w.cfg.Coordinator+"/v1/fleet/"+path, bytes.NewReader(data))
+	if err != nil {
+		return fmt.Errorf("fleet: %s request: %w", path, err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := w.hc.Do(req)
+	if err != nil {
+		return fmt.Errorf("fleet: %s rpc: %w", path, err)
+	}
+	defer resp.Body.Close()
+	switch {
+	case resp.StatusCode == http.StatusGone:
+		return ErrGone
+	case resp.StatusCode >= 300:
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 1024))
+		return fmt.Errorf("fleet: %s rpc: status %d: %s", path, resp.StatusCode, bytes.TrimSpace(msg))
+	case out != nil:
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			return fmt.Errorf("fleet: decode %s response: %w", path, err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,152 @@
+package fleet
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"dualradio/internal/faultinject"
+	"dualradio/internal/scenario"
+)
+
+// testSpec returns a compiled tiny scenario plus its canonical raw form —
+// the shape a coordinator serializes into work units.
+func testSpec(t *testing.T, trials int, seed uint64) (*scenario.Compiled, json.RawMessage) {
+	t.Helper()
+	comp, err := scenario.Compile(scenario.Spec{
+		Algorithm:       scenario.AlgoMIS,
+		Network:         scenario.NetworkSpec{N: 24},
+		Trials:          trials,
+		Seed:            seed,
+		StopWhenDecided: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := json.Marshal(comp.Spec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return comp, raw
+}
+
+// startFleet serves the coordinator over HTTP and runs a worker against
+// it, returning the backend for inspection.
+func startFleet(t *testing.T, be *fakeBackend, cfg Config, wcfg WorkerConfig) (*Coordinator, context.CancelFunc) {
+	t.Helper()
+	c := New(be, cfg)
+	ctx, cancel := context.WithCancel(context.Background())
+	c.Start(ctx)
+	mux := http.NewServeMux()
+	c.Mount(mux)
+	ts := httptest.NewServer(mux)
+	wcfg.Coordinator = ts.URL
+	if wcfg.Poll == 0 {
+		wcfg.Poll = 10 * time.Millisecond
+	}
+	w := NewWorker(wcfg)
+	go func() { _ = w.Run(ctx) }()
+	t.Cleanup(func() {
+		cancel()
+		c.Close()
+		ts.Close()
+	})
+	return c, cancel
+}
+
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestWorkerExecutesUnit drives the full remote path: register → lease →
+// execute the real deterministic engine → complete. The reported result
+// must verify against the spec the coordinator serialized.
+func TestWorkerExecutesUnit(t *testing.T) {
+	comp, raw := testSpec(t, 2, 7)
+	be := newFakeBackend("j1")
+	be.spec = raw
+	startFleet(t, be, Config{Heartbeat: 50 * time.Millisecond},
+		WorkerConfig{Name: "w1", Slots: 1})
+
+	waitFor(t, "j1 completion", func() bool { return be.jobState("j1") == "done" })
+	be.mu.Lock()
+	stored := be.store["j1"]
+	be.mu.Unlock()
+	var res scenario.Result
+	if err := json.Unmarshal(stored, &res); err != nil {
+		t.Fatalf("worker result does not decode: %v", err)
+	}
+	if res.SpecHash != comp.Hash() {
+		t.Fatalf("result hash %s, want %s", res.SpecHash, comp.Hash())
+	}
+	if res.Aggregate.Trials != comp.Trials() {
+		t.Fatalf("result covers %d trials, want %d", res.Aggregate.Trials, comp.Trials())
+	}
+}
+
+// TestWorkerReregistersAfterBlackout simulates a network partition with
+// deterministic rpc faults: every heartbeat is dropped and, after the
+// first grant, leases are dropped too. The coordinator declares the worker
+// dead; when the lease window heals the worker learns it is gone (410) and
+// re-registers.
+func TestWorkerReregistersAfterBlackout(t *testing.T) {
+	_, raw := testSpec(t, 1, 11)
+	be := newFakeBackend("j1")
+	be.spec = raw
+	inj, err := faultinject.New(faultinject.Spec{Rules: []faultinject.Rule{
+		{Kind: faultinject.KindRPCDrop, Path: faultinject.PathHeartbeat},
+		{Kind: faultinject.KindRPCDrop, Path: faultinject.PathLease, After: 1, Count: 40},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, _ := startFleet(t, be,
+		Config{Heartbeat: 25 * time.Millisecond, DeadAfter: 100 * time.Millisecond},
+		WorkerConfig{Name: "w1", Slots: 1, Fault: inj})
+
+	waitFor(t, "death and re-registration", func() bool {
+		snap := c.Snapshot()
+		return snap.Counters.WorkersDead >= 1 && snap.Counters.WorkersLive >= 1 && len(snap.Workers) >= 2
+	})
+	// The first grant's job completed before (or despite) the blackout.
+	waitFor(t, "j1 completion", func() bool { return be.jobState("j1") == "done" })
+}
+
+// TestDuplicateCompletionRPC exercises coordinator-side idempotency: an
+// rpc-dup rule delivers every completion twice, and the write-once store
+// keeps exactly one result.
+func TestDuplicateCompletionRPC(t *testing.T) {
+	_, raw := testSpec(t, 1, 13)
+	be := newFakeBackend("j1")
+	be.spec = raw
+	inj, err := faultinject.New(faultinject.Spec{Rules: []faultinject.Rule{
+		{Kind: faultinject.KindRPCDup, Path: faultinject.PathComplete},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	startFleet(t, be, Config{Heartbeat: 50 * time.Millisecond},
+		WorkerConfig{Name: "w1", Slots: 1, Fault: inj})
+
+	waitFor(t, "j1 completion", func() bool { return be.jobState("j1") == "done" })
+	waitFor(t, "duplicate delivery", func() bool {
+		be.mu.Lock()
+		defer be.mu.Unlock()
+		return be.puts["j1"] >= 2
+	})
+	be.mu.Lock()
+	defer be.mu.Unlock()
+	if len(be.store) != 1 {
+		t.Fatalf("store holds %d entries, want 1", len(be.store))
+	}
+}

@@ -134,6 +134,16 @@ func (j *Journal) Seal() error {
 	return nil
 }
 
+// Sealed reports whether the current generation has been renamed over the
+// journal path — the precondition for Compact. Callers that may hold a
+// never-sealed generation (e.g. a server torn down mid-startup) check this
+// before compacting on shutdown.
+func (j *Journal) Sealed() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.sealed
+}
+
 // Compact replaces the journal's contents with exactly records: a fresh
 // generation is written to the side, sealed, and becomes the append target.
 // The journal must already be sealed — compacting an unsealed generation

@@ -1,0 +1,63 @@
+package scenario
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+)
+
+// WorkUnit is one serializable child dispatch in a distributed fleet: the
+// coordinator's job id, the lease that authorizes the execution, the retry
+// attempt the dispatch represents, and the canonical spec to run. It is the
+// wire format between a coordinator and its workers — a worker that parses
+// a unit, compiles its spec, and runs it produces exactly the result the
+// coordinator would have produced locally, because the spec is canonical
+// and execution is deterministic in the canonical spec.
+type WorkUnit struct {
+	// Job is the coordinator-side job id the unit executes.
+	Job string `json:"job"`
+	// Lease identifies the grant; completions echo it so the coordinator
+	// can match results to outstanding leases (and adopt results whose
+	// lease has since expired).
+	Lease string `json:"lease"`
+	// Attempt is the retry attempt this dispatch represents (0 = first).
+	// It is threaded to the worker's fault hook exactly like a local run's
+	// attempt counter; it never affects the trials themselves.
+	Attempt int `json:"attempt,omitempty"`
+	// Spec is the canonical scenario spec to execute.
+	Spec json.RawMessage `json:"spec"`
+}
+
+// ParseWorkUnit decodes a JSON work unit, rejecting unknown fields so a
+// protocol mismatch between coordinator and worker surfaces as an error
+// instead of silently running the wrong workload.
+func ParseWorkUnit(data []byte) (WorkUnit, error) {
+	var u WorkUnit
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&u); err != nil {
+		return WorkUnit{}, fmt.Errorf("scenario: parse work unit: %w", err)
+	}
+	if u.Job == "" || u.Lease == "" {
+		return WorkUnit{}, fmt.Errorf("scenario: work unit missing job or lease id")
+	}
+	if len(u.Spec) == 0 {
+		return WorkUnit{}, fmt.Errorf("scenario: work unit %s has no spec", u.Job)
+	}
+	return u, nil
+}
+
+// Compile parses and compiles the unit's spec. The resulting Compiled
+// carries the same canonical hash the coordinator computed when it admitted
+// the job, so the worker's result is verifiable by hash on arrival.
+func (u WorkUnit) Compile() (*Compiled, error) {
+	spec, err := ParseSpec(u.Spec)
+	if err != nil {
+		return nil, fmt.Errorf("scenario: work unit %s: %w", u.Job, err)
+	}
+	comp, err := Compile(spec)
+	if err != nil {
+		return nil, fmt.Errorf("scenario: work unit %s: %w", u.Job, err)
+	}
+	return comp, nil
+}

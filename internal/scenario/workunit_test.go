@@ -1,0 +1,70 @@
+package scenario
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func unitJSON(t *testing.T, v any) []byte {
+	t.Helper()
+	b, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestParseWorkUnitStrict(t *testing.T) {
+	comp, err := Compile(Spec{Algorithm: AlgoMIS, Network: NetworkSpec{N: 16}, Trials: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := unitJSON(t, comp.Spec())
+
+	good := unitJSON(t, map[string]any{
+		"job": "j1", "lease": "l1", "attempt": 2, "spec": json.RawMessage(spec),
+	})
+	u, err := ParseWorkUnit(good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.Job != "j1" || u.Lease != "l1" || u.Attempt != 2 {
+		t.Fatalf("parsed %+v", u)
+	}
+
+	bad := map[string][]byte{
+		"unknown field": unitJSON(t, map[string]any{"job": "j", "lease": "l", "spec": json.RawMessage(spec), "bogus": 1}),
+		"missing job":   unitJSON(t, map[string]any{"lease": "l", "spec": json.RawMessage(spec)}),
+		"missing lease": unitJSON(t, map[string]any{"job": "j", "spec": json.RawMessage(spec)}),
+		"missing spec":  unitJSON(t, map[string]any{"job": "j", "lease": "l"}),
+	}
+	for name, raw := range bad {
+		if _, err := ParseWorkUnit(raw); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+// TestWorkUnitCompileRoundTrip: a unit built from a compiled spec's
+// canonical form must compile back to the same hash — the property that
+// lets a remote worker's result be verified against the coordinator's job.
+func TestWorkUnitCompileRoundTrip(t *testing.T) {
+	comp, err := Compile(Spec{
+		Algorithm: AlgoMIS, Network: NetworkSpec{N: 40}, Trials: 3, Seed: 9,
+		StopWhenDecided: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := WorkUnit{Job: "j1", Lease: "l1", Spec: unitJSON(t, comp.Spec())}
+	back, err := u.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Hash() != comp.Hash() {
+		t.Fatalf("round-trip hash %s, want %s", back.Hash(), comp.Hash())
+	}
+	if _, err := (WorkUnit{Job: "j", Lease: "l", Spec: []byte(`{"algorithm":"warp"}`)}).Compile(); err == nil {
+		t.Fatal("invalid spec compiled")
+	}
+}

@@ -1,0 +1,28 @@
+package server
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math/rand/v2"
+	"time"
+)
+
+// retryDelay computes the backoff before retry `attempt` of the job with
+// the given id: base<<attempt capped at max, plus up to 50% jitter to
+// decorrelate retry herds. The jitter is seeded by (id, attempt), so the
+// schedule is a pure function of the job's identity: a replayed run, a
+// test, and a fleet re-dispatch all observe the same delays, and distinct
+// jobs still spread out.
+func retryDelay(base, max time.Duration, id string, attempt int) time.Duration {
+	d := base << attempt
+	// Large attempt counts shift to zero or overflow negative; both mean
+	// "past the cap", exactly like a shifted value that exceeds max.
+	if d <= 0 || d > max {
+		d = max
+	}
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%s/%d", id, attempt)
+	seed := h.Sum64()
+	r := rand.New(rand.NewPCG(seed, seed^0x9e3779b97f4a7c15))
+	return d + time.Duration(r.Int64N(int64(d)/2+1))
+}

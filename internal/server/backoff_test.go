@@ -1,0 +1,48 @@
+package server
+
+import (
+	"testing"
+	"time"
+)
+
+func TestRetryDelayDeterministic(t *testing.T) {
+	base, max := 250*time.Millisecond, 5*time.Second
+	for attempt := 0; attempt < 6; attempt++ {
+		a := retryDelay(base, max, "job-000042", attempt)
+		b := retryDelay(base, max, "job-000042", attempt)
+		if a != b {
+			t.Fatalf("attempt %d: %v != %v — backoff must be deterministic per (id, attempt)", attempt, a, b)
+		}
+	}
+	// Different jobs (and different attempts of one job) de-synchronize.
+	if retryDelay(base, max, "job-000001", 3) == retryDelay(base, max, "job-000002", 3) &&
+		retryDelay(base, max, "job-000001", 4) == retryDelay(base, max, "job-000002", 4) {
+		t.Fatal("distinct jobs drew identical jitter on consecutive attempts")
+	}
+}
+
+func TestRetryDelayRange(t *testing.T) {
+	base, max := 100*time.Millisecond, 10*time.Second
+	for attempt := 0; attempt < 5; attempt++ {
+		want := base << attempt
+		got := retryDelay(base, max, "j", attempt)
+		if got < want || got > want+want/2 {
+			t.Fatalf("attempt %d: delay %v outside [%v, %v]", attempt, got, want, want+want/2)
+		}
+	}
+}
+
+func TestRetryDelayCapsAtMax(t *testing.T) {
+	base, max := 250*time.Millisecond, time.Second
+	// 250ms << 4 = 4s exceeds the 1s cap.
+	if got := retryDelay(base, max, "j", 4); got < max || got > max+max/2 {
+		t.Fatalf("capped delay %v outside [%v, %v]", got, max, max+max/2)
+	}
+	// Huge attempts shift the base to zero or negative; still capped, never
+	// zero or panicking.
+	for _, attempt := range []int{62, 63, 64, 100} {
+		if got := retryDelay(base, max, "j", attempt); got < max || got > max+max/2 {
+			t.Fatalf("attempt %d: overflow delay %v outside [%v, %v]", attempt, got, max, max+max/2)
+		}
+	}
+}

@@ -1,0 +1,116 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+
+	"dualradio/internal/fleet"
+	"dualradio/internal/scenario"
+)
+
+// fleetBackend adapts the server's job queue to the fleet coordinator.
+// Every method is called without coordinator locks held and may take s.mu
+// (via fireRetry) or job locks freely.
+type fleetBackend struct{ s *Server }
+
+// Next pulls the next runnable job off the shared queue and leases it.
+// Remote dispatch and the local worker pool drain the same channel, so
+// work naturally flows to whoever has capacity; with no registered
+// workers nothing ever calls Next and the service is byte-for-byte the
+// single-node one.
+func (b fleetBackend) Next(worker, leaseID string) *scenario.WorkUnit {
+	s := b.s
+	for {
+		var job *Job
+		select {
+		case job = <-s.queue:
+		default:
+			return nil
+		}
+		// Same cache recheck as runJob: an identical job may have finished
+		// (locally or remotely) while this one sat in the queue.
+		if res, ok := s.lookupResult(job.comp.Hash()); ok {
+			job.complete(res, true)
+			continue
+		}
+		if !job.tryLease(leaseID, worker) {
+			continue // cancelled while queued
+		}
+		s.journalAppend(fleet.Record{Op: fleet.OpLease, Job: job.id, Lease: leaseID, Worker: worker})
+		// Canonical specs are plain validated data; Marshal cannot fail.
+		spec, _ := json.Marshal(job.comp.Spec())
+		return &scenario.WorkUnit{Job: job.id, Lease: leaseID, Attempt: job.Attempt(), Spec: spec}
+	}
+}
+
+// Complete finishes a job with a worker's result. The payload is decoded
+// and sanity-checked against the job's own spec (the worker ran the
+// canonical spec this server serialized, so trial count and hash must
+// line up), then persisted under the spec hash exactly like a local run's
+// result — the store's write-once Put makes duplicate deliveries merge
+// byte-exactly. complete no-ops on a job that already reached a terminal
+// state, so late results from "dead" workers are safely adopted.
+func (b fleetBackend) Complete(jobID string, result []byte) error {
+	job, ok := b.s.Job(jobID)
+	if !ok {
+		return fmt.Errorf("server: unknown job %s", jobID)
+	}
+	var res scenario.Result
+	if err := json.Unmarshal(result, &res); err != nil {
+		return fmt.Errorf("server: job %s: decode remote result: %w", jobID, err)
+	}
+	if res.SpecHash != job.comp.Hash() {
+		return fmt.Errorf("server: job %s: remote result hash %s != spec hash %s", jobID, res.SpecHash, job.comp.Hash())
+	}
+	if res.Aggregate.Trials != job.comp.Trials() {
+		return fmt.Errorf("server: job %s: remote result covers %d trials, want %d", jobID, res.Aggregate.Trials, job.comp.Trials())
+	}
+	b.s.persist(job.comp.Hash(), &res)
+	job.complete(&res, false)
+	return nil
+}
+
+// Fail applies the server's local failure policy to a remote failure:
+// transient errors with retry budget left go through the usual jittered
+// backoff (the job re-enters the shared queue and may land anywhere);
+// everything else fails the job.
+func (b fleetBackend) Fail(jobID, msg string, transient bool) {
+	job, ok := b.s.Job(jobID)
+	if !ok {
+		return
+	}
+	err := errors.New(msg)
+	if transient {
+		err = scenario.MarkTransient(err)
+	}
+	attempt := job.Attempt()
+	if transient && attempt < b.s.cfg.MaxRetries {
+		b.s.scheduleRetry(job, err, attempt)
+		return
+	}
+	job.fail(err)
+}
+
+// Requeue returns a leased job to the queue after its worker died or its
+// lease expired. The job-side transition is lease-scoped (a stale expiry
+// cannot disturb a job that moved on); on success the re-dispatch is
+// journaled and the job re-enters the queue through the same
+// closed-checked path retries use.
+func (b fleetBackend) Requeue(jobID, leaseID, worker, reason string) bool {
+	job, ok := b.s.Job(jobID)
+	if !ok {
+		return false
+	}
+	if !job.requeue(leaseID, worker, reason) {
+		return false
+	}
+	b.s.journalAppend(fleet.Record{Op: fleet.OpRedispatch, Job: jobID, Lease: leaseID, Worker: worker, Reason: reason})
+	b.s.fireRetry(job)
+	return true
+}
+
+// WorkerEvent journals a worker lifecycle transition.
+func (b fleetBackend) WorkerEvent(op, worker, name string) {
+	b.s.journalAppend(fleet.Record{Op: op, Worker: worker, Name: name})
+}

@@ -18,6 +18,8 @@ const maxBodyBytes = 1 << 20
 
 func (s *Server) routes() {
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.fleet.Mount(s.mux)
 	s.mux.HandleFunc("GET /v1/presets", s.handlePresets)
 	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	s.mux.HandleFunc("GET /v1/jobs", s.handleListJobs)
@@ -101,6 +103,11 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if s.cfg.Fault != nil {
 		h["fault_rules"] = s.cfg.Fault.Rules()
 	}
+	fc := s.fleet.Snapshot().Counters
+	h["fleet_workers_live"] = fc.WorkersLive
+	h["fleet_workers_dead"] = fc.WorkersDead
+	h["fleet_leases_active"] = fc.LeasesActive
+	h["fleet_redispatched"] = fc.Redispatched
 	writeJSON(w, http.StatusOK, h)
 }
 

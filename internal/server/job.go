@@ -53,6 +53,12 @@ type Event struct {
 	Cached bool `json:"cached,omitempty"`
 	// Error carries the failure message on "failed" events.
 	Error string `json:"error,omitempty"`
+	// Worker names the fleet worker on "started" events for remotely
+	// leased runs and on "redispatch" events.
+	Worker string `json:"worker,omitempty"`
+	// Reason says why a "redispatch" event returned the job to the queue
+	// (missed heartbeats, lease TTL, shutdown).
+	Reason string `json:"reason,omitempty"`
 }
 
 // Job is one submitted scenario run. All mutable state is guarded by mu;
@@ -69,8 +75,9 @@ type Job struct {
 	mu        sync.Mutex
 	status    JobStatus
 	completed int
-	folded    int // trials covered by the last streamed aggregate
-	attempt   int // retry attempts so far (0 = first run)
+	folded    int    // trials covered by the last streamed aggregate
+	attempt   int    // retry attempts so far (0 = first run)
+	lease     string // active fleet lease id while running remotely
 	cached    bool
 	result    *scenario.Result
 	errMsg    string
@@ -130,6 +137,7 @@ func (j *Job) onTerminal(h func()) {
 func (j *Job) terminalLocked(status JobStatus, e Event) []func() {
 	j.status = status
 	j.cancel = nil
+	j.lease = ""
 	j.finished = time.Now()
 	j.appendLocked(e)
 	hooks := j.hooks
@@ -178,6 +186,48 @@ func (j *Job) tryStart(cancel func()) bool {
 	return true
 }
 
+// tryLease transitions queued → running for remote execution under a
+// fleet lease: the lease id scopes later requeue requests to exactly this
+// grant, and the "started" event names the worker. Cancellation of a
+// remotely leased job takes effect immediately — there is no remote
+// context to unwind, and a late completion against the cancelled job
+// no-ops. It fails when the job was cancelled while queued.
+func (j *Job) tryLease(lease, worker string) bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.status != StatusQueued {
+		return false
+	}
+	j.status = StatusRunning
+	j.started = time.Now()
+	j.lease = lease
+	j.cancel = j.markCancelled
+	j.appendLocked(Event{Type: "started", Worker: worker})
+	return true
+}
+
+// requeue returns a remotely leased job to the queued state after its
+// worker died, its lease expired, or the coordinator shut down. The lease
+// id must match the job's active lease: a stale expiry request for a job
+// that has since completed, been re-leased, or been picked up locally is
+// refused, so a job can never be yanked out from under a live run. Unlike
+// retry, the attempt counter does not advance — a dead worker is not the
+// job's fault and must not consume its retry budget.
+func (j *Job) requeue(lease, worker, reason string) bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.status != StatusRunning || j.lease == "" || j.lease != lease {
+		return false
+	}
+	j.status = StatusQueued
+	j.cancel = nil
+	j.lease = ""
+	j.completed = 0
+	j.folded = 0
+	j.appendLocked(Event{Type: "redispatch", Worker: worker, Reason: reason})
+	return true
+}
+
 // Attempt returns the job's retry attempt count (0 = first run).
 func (j *Job) Attempt() int {
 	j.mu.Lock()
@@ -198,6 +248,7 @@ func (j *Job) retry(cause error) bool {
 	}
 	j.status = StatusQueued
 	j.cancel = nil
+	j.lease = ""
 	j.attempt++
 	j.completed = 0
 	j.folded = 0

@@ -42,9 +42,11 @@ type journalRecord struct {
 
 func journalPath(dataDir string) string { return filepath.Join(dataDir, "journal.ndjson") }
 
-// journalAppend writes one record; failures are counted, not fatal — the
-// journal is a recovery aid and must never take the service down.
-func (s *Server) journalAppend(rec journalRecord) {
+// journalAppend writes one record — a journalRecord, or a fleet.Record
+// for lease/worker transitions (replay ignores their ops; they document
+// the assignment history). Failures are counted, not fatal — the journal
+// is a recovery aid and must never take the service down.
+func (s *Server) journalAppend(rec any) {
 	if s.journal == nil {
 		return
 	}

@@ -211,7 +211,18 @@ func TestReplayResumesHalfFinishedSweep(t *testing.T) {
 	victim := swA.children[2]
 	victimID, victimHash := victim.id, victim.comp.Hash()
 	sweepID := swA.id
+	// Snapshot the journal before Close: graceful shutdown compacts it to
+	// the live set (empty here — the sweep finished), but this test wants
+	// the crash shape, where the full generation survives. Restoring the
+	// snapshot turns the graceful close back into a kill -9.
+	preClose, err := os.ReadFile(journalPath(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
 	svcA.Close()
+	if err := os.WriteFile(journalPath(dir), preClose, 0o644); err != nil {
+		t.Fatal(err)
+	}
 
 	// Rewind: drop the victim's terminal record and its stored result, as if
 	// the crash landed before either was written.

@@ -35,7 +35,6 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
-	"math/rand/v2"
 	"net/http"
 	"runtime"
 	"sync"
@@ -43,6 +42,7 @@ import (
 	"time"
 
 	"dualradio/internal/faultinject"
+	"dualradio/internal/fleet"
 	"dualradio/internal/journal"
 	"dualradio/internal/memo"
 	"dualradio/internal/scenario"
@@ -51,7 +51,9 @@ import (
 
 // Config sizes the service.
 type Config struct {
-	// Workers is the number of jobs run concurrently (default GOMAXPROCS).
+	// Workers is the number of jobs run concurrently by the local pool
+	// (0 = GOMAXPROCS; -1 = none, for a coordinator that only dispatches
+	// to fleet workers).
 	Workers int
 	// QueueDepth bounds the backlog of queued jobs; submissions beyond it
 	// are rejected with 503 (default 64).
@@ -96,10 +98,17 @@ type Config struct {
 	// fault points — trial execution and store writes — for chaos testing.
 	// Production servers leave it nil.
 	Fault *faultinject.Injector
+	// Fleet tunes the embedded fleet coordinator (heartbeat cadence, death
+	// timeout, lease TTL). The coordinator is always mounted; with no
+	// registered workers it is inert and the service behaves exactly like
+	// a single node.
+	Fleet fleet.Config
 }
 
 func (c Config) withDefaults() Config {
-	if c.Workers <= 0 {
+	if c.Workers < 0 {
+		c.Workers = 0 // coordinator-only: fleet workers drain the queue
+	} else if c.Workers == 0 {
 		c.Workers = runtime.GOMAXPROCS(0)
 	}
 	if c.QueueDepth <= 0 {
@@ -149,6 +158,7 @@ type Server struct {
 	queue   chan *Job
 	results *memo.LRU[string, *scenario.Result]
 	store   *store.Store // nil without DataDir
+	fleet   *fleet.Coordinator
 
 	pending     atomic.Int64 // cost estimate of queued + running jobs
 	storeErrs   atomic.Int64 // persistence failures (best-effort writes)
@@ -218,7 +228,9 @@ func New(cfg Config) (*Server, error) {
 		jobs:        make(map[string]*Job),
 		sweeps:      make(map[string]*Sweep),
 	}
+	s.fleet = fleet.New(fleetBackend{s}, cfg.Fleet)
 	s.routes()
+	s.fleet.Start(ctx)
 	for w := 0; w < cfg.Workers; w++ {
 		s.wg.Add(1)
 		go s.worker()
@@ -238,8 +250,13 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 }
 
 // Close stops the worker pool: running jobs are cancelled via their
-// contexts, queued jobs are marked cancelled, and Close blocks until every
-// worker has exited. Event streams observe the terminal events and end.
+// contexts, queued jobs are marked cancelled, remotely leased jobs are
+// abandoned (requeued, then cancelled through the closed-server path),
+// and Close blocks until every worker has exited. Event streams observe
+// the terminal events and end. On a graceful shutdown the journal is
+// compacted down to the live record set before closing, so the next boot
+// replays only what is actually outstanding instead of chewing through
+// the full generation.
 func (s *Server) Close() {
 	s.mu.Lock()
 	s.closed = true
@@ -255,6 +272,12 @@ drain:
 			break drain
 		}
 	}
+	// Leased jobs are requeued by the coordinator's Close; with the server
+	// closed, fireRetry turns each requeue into a cancellation, and the
+	// terminal journal records land before the compaction below.
+	if s.fleet != nil {
+		s.fleet.Close()
+	}
 	// Backed-off jobs waiting on retry timers would otherwise wait forever
 	// for a requeue that cannot come. fireRetry checks closed under s.mu,
 	// so a timer that already fired either enqueued before closed was set
@@ -268,6 +291,16 @@ drain:
 	s.retryMu.Unlock()
 	if s.journal != nil {
 		// After the terminal transitions above, so their records landed.
+		// Sealed is false only when New failed mid-startup — an unsealed
+		// generation must not be compacted over the previous one.
+		if s.journal.Sealed() {
+			s.mu.Lock()
+			live := s.liveJournalRecordsLocked()
+			s.mu.Unlock()
+			if err := s.journal.Compact(live); err != nil {
+				s.journalErrs.Add(1)
+			}
+		}
 		s.journal.Close()
 	}
 }
@@ -375,12 +408,25 @@ func (s *Server) startJobLocked(id string, comp *scenario.Compiled, res *scenari
 			// Replay may re-admit more jobs than the queue holds. Workers
 			// are already draining and never take s.mu, so a blocking send
 			// cannot deadlock; every replayed job was admitted before the
-			// crash, so it is never rejected a second time.
-			select {
-			case s.queue <- job:
-			case <-s.ctx.Done():
-				s.pending.Add(-cost)
-				return nil, errors.New("server: closed")
+			// crash, so it is never rejected a second time. A
+			// coordinator-only server (Workers -1) has no local drain, so
+			// overflow jobs go through the retry-timer path instead — they
+			// re-enter the queue as fleet workers free it up.
+			if s.cfg.Workers == 0 {
+				select {
+				case s.queue <- job:
+				default:
+					s.retryMu.Lock()
+					s.retryTimers[job] = time.AfterFunc(s.cfg.RetryBackoff, func() { s.fireRetry(job) })
+					s.retryMu.Unlock()
+				}
+			} else {
+				select {
+				case s.queue <- job:
+				case <-s.ctx.Done():
+					s.pending.Add(-cost)
+					return nil, errors.New("server: closed")
+				}
 			}
 		} else {
 			select {
@@ -674,13 +720,7 @@ func (s *Server) scheduleRetry(job *Job, cause error, attempt int) {
 		return // turned terminal concurrently (e.g. cancelled mid-failure)
 	}
 	s.retries.Add(1)
-	backoff := s.cfg.RetryBackoff << attempt
-	if backoff <= 0 || backoff > s.cfg.RetryMaxBackoff {
-		backoff = s.cfg.RetryMaxBackoff
-	}
-	// Up to 50% jitter decorrelates retry herds. The delay is not part of
-	// any result, so unseeded randomness is fine here.
-	backoff += time.Duration(rand.Int64N(int64(backoff)/2 + 1))
+	backoff := retryDelay(s.cfg.RetryBackoff, s.cfg.RetryMaxBackoff, job.id, attempt)
 	s.retryMu.Lock()
 	s.retryTimers[job] = time.AfterFunc(backoff, func() { s.fireRetry(job) })
 	s.retryMu.Unlock()

@@ -19,6 +19,8 @@
 # report). Run from the repo root; used by CI and runnable locally.
 set -eu
 
+. "$(dirname "$0")/lib.sh"
+
 ADDR="${ADDR:-127.0.0.1:18081}"
 BASE="http://$ADDR"
 WORK="$(mktemp -d)"
@@ -44,15 +46,7 @@ start_daemon() {
 	"$WORK/radiod" -addr "$ADDR" -data "$data" -workers 1 \
 		-fault-spec "$FAULT_SPEC" -retry-backoff 20ms >>"$WORK/radiod.log" 2>&1 &
 	PID=$!
-	for _ in $(seq 1 100); do
-		if curl -sf "$BASE/healthz" >/dev/null 2>&1; then
-			return 0
-		fi
-		sleep 0.1
-	done
-	echo "FAIL: radiod did not become healthy" >&2
-	cat "$WORK/radiod.log" >&2
-	exit 1
+	poll "radiod health" 15 healthy "$BASE"
 }
 
 stop_daemon() {
@@ -71,24 +65,15 @@ submit_sweep() {
 	curl -sf -X POST "$BASE/v1/sweeps" -d "$SWEEP"
 }
 
-sweep_id() {
-	printf '%s' "$1" | sed -n 's/.*"id": "\(s[0-9]*\)".*/\1/p' | head -n 1
-}
-
 # The detail view also renders each child's "status", so the sweep's own
 # completion is detected through its status-counts rollup: all 4 children
 # done.
+sweep_done() {
+	curl -sf "$BASE/v1/sweeps/$1" | grep -q '"done": 4'
+}
+
 wait_done() {
-	id="$1"
-	for _ in $(seq 1 600); do
-		if curl -sf "$BASE/v1/sweeps/$id" | grep -q '"done": 4'; then
-			return 0
-		fi
-		sleep 0.1
-	done
-	echo "FAIL: sweep $id never finished" >&2
-	cat "$WORK/radiod.log" >&2
-	exit 1
+	poll "sweep $1 completion" 60 sweep_done "$1"
 }
 
 fetch_report() {
@@ -108,7 +93,8 @@ start_daemon "$WORK/data-crash"
 ID="$(sweep_id "$(submit_sweep)")"
 [ -n "$ID" ] || { echo "FAIL: crash-run sweep not accepted" >&2; exit 1; }
 KILLED=0
-for _ in $(seq 1 600); do
+DEADLINE=$(($(date +%s) + 60))
+while [ "$(date +%s)" -lt "$DEADLINE" ]; do
 	COUNTS="$(curl -sf "$BASE/v1/sweeps/$ID" || true)"
 	if printf '%s' "$COUNTS" | grep -q '"done": 4'; then
 		break

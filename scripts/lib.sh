@@ -1,0 +1,30 @@
+# lib.sh — shared helpers for the e2e scripts. POSIX sh; source after
+# defining WORK (poll dumps $WORK/radiod.log on timeout when present).
+
+# poll <what> <seconds> <cmd...> — run cmd (silenced) until it succeeds or
+# the wall-clock deadline passes. Bounded by elapsed time, not iteration
+# count, so a slow machine gets the full window instead of a smaller one.
+poll() {
+	_what="$1"
+	_secs="$2"
+	shift 2
+	_deadline=$(($(date +%s) + _secs))
+	until "$@" >/dev/null 2>&1; do
+		if [ "$(date +%s)" -ge "$_deadline" ]; then
+			echo "FAIL: timed out after ${_secs}s waiting for $_what" >&2
+			[ -f "${WORK:-}/radiod.log" ] && cat "$WORK/radiod.log" >&2
+			exit 1
+		fi
+		sleep 0.1
+	done
+}
+
+# healthy <base-url> — true once /healthz answers.
+healthy() {
+	curl -sf "$1/healthz" >/dev/null 2>&1
+}
+
+# sweep_id <accept-json> — extract the sweep id from a submission response.
+sweep_id() {
+	printf '%s' "$1" | sed -n 's/.*"id": "\(s[0-9]*\)".*/\1/p' | head -n 1
+}

@@ -8,6 +8,8 @@
 # used by CI and runnable locally.
 set -eu
 
+. "$(dirname "$0")/lib.sh"
+
 ADDR="${ADDR:-127.0.0.1:18080}"
 BASE="http://$ADDR"
 WORK="$(mktemp -d)"
@@ -25,15 +27,7 @@ go build -o "$WORK/radiod" ./cmd/radiod
 start_daemon() {
 	"$WORK/radiod" -addr "$ADDR" -data "$DATA" >"$WORK/radiod.log" 2>&1 &
 	PID=$!
-	for _ in $(seq 1 100); do
-		if curl -sf "$BASE/healthz" >/dev/null 2>&1; then
-			return 0
-		fi
-		sleep 0.1
-	done
-	echo "FAIL: radiod did not become healthy" >&2
-	cat "$WORK/radiod.log" >&2
-	exit 1
+	poll "radiod health" 15 healthy "$BASE"
 }
 
 stop_daemon() {
@@ -52,25 +46,16 @@ submit_sweep() {
 	curl -sf -X POST "$BASE/v1/sweeps" -d "$SWEEP"
 }
 
-sweep_id() {
-	printf '%s' "$1" | sed -n 's/.*"id": "\(s[0-9]*\)".*/\1/p' | head -n 1
+# Poll the listing view: it omits children, so the only '"status": ...'
+# field in the body is the sweep's own (the detail view would also match a
+# finished child's status).
+listing_done() {
+	curl -sf "$BASE/v1/sweeps" | grep -q '"status": "done"'
 }
 
 wait_done() {
-	id="$1"
-	for _ in $(seq 1 200); do
-		# Poll the listing view: it omits children, so the only
-		# '"status": ...' field in the body is the sweep's own (the detail
-		# view would also match a finished child's status).
-		body="$(curl -sf "$BASE/v1/sweeps")"
-		if printf '%s' "$body" | grep -q '"status": "done"'; then
-			curl -sf "$BASE/v1/sweeps/$id"
-			return 0
-		fi
-		sleep 0.1
-	done
-	echo "FAIL: sweep $id never finished" >&2
-	exit 1
+	poll "sweep $1 completion" 30 listing_done
+	curl -sf "$BASE/v1/sweeps/$1"
 }
 
 fetch_report() {
