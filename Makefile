@@ -4,7 +4,7 @@ DATE := $(shell date +%F)
 # the same day (e.g. make bench OUT=BENCH_$(DATE)-pr2.json).
 OUT ?= BENCH_$(DATE).json
 
-.PHONY: build test check bench bench-headline bench-sweep bench-report verify serve sweep-e2e crash-e2e fleet-e2e chaos
+.PHONY: build test check bench bench-headline bench-sweep bench-report verify serve sweep-e2e crash-e2e fleet-e2e metrics-e2e chaos
 
 build:
 	$(GO) build ./...
@@ -74,6 +74,13 @@ crash-e2e:
 # scripts/fleet_e2e.sh).
 fleet-e2e:
 	sh scripts/fleet_e2e.sh
+
+# metrics-e2e boots a real radiod, runs the mis-quick preset twice (miss
+# then cache hit) and a 2x2 sweep, lints the /metrics exposition with
+# cmd/promlint, and asserts cache counters, latency-histogram sums, phase
+# monotonicity, and the per-sweep stats rollup (see scripts/metrics_e2e.sh).
+metrics-e2e:
+	sh scripts/metrics_e2e.sh
 
 # chaos reruns the crash e2e under the stock chaos fault spec: injected
 # transient trial errors and panics (plus delays) that retry and panic

@@ -1,0 +1,74 @@
+// Command promlint lints a Prometheus text exposition payload (stdin or a
+// file argument) against the contract internal/metrics.WriteProm promises:
+// HELP/TYPE headers for every family, well-formed and escaped labels, no
+// duplicate series, coherent cumulative histograms. The e2e scripts pipe
+// live /metrics output through it; CI fails on any violation.
+//
+// Usage:
+//
+//	curl -s localhost:8080/metrics | promlint -min-histograms 3
+//	promlint -require radiod_cache_hits_total metrics.txt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+
+	"dualradio/internal/metrics"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "promlint:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	minHistograms := flag.Int("min-histograms", 0, "fail unless at least this many histogram families are present")
+	var requires multiFlag
+	flag.Var(&requires, "require", "fail unless a sample line matches this regexp (repeatable)")
+	flag.Parse()
+
+	var data []byte
+	var err error
+	if flag.NArg() > 0 {
+		data, err = os.ReadFile(flag.Arg(0))
+	} else {
+		data, err = io.ReadAll(os.Stdin)
+	}
+	if err != nil {
+		return err
+	}
+
+	stats, err := metrics.Lint(data)
+	if err != nil {
+		return err
+	}
+	if stats.Histograms < *minHistograms {
+		return fmt.Errorf("%d histogram families, want >= %d", stats.Histograms, *minHistograms)
+	}
+	for _, req := range requires {
+		re, err := regexp.Compile("(?m)" + req)
+		if err != nil {
+			return fmt.Errorf("bad -require %q: %w", req, err)
+		}
+		if !re.Match(data) {
+			return fmt.Errorf("no line matches -require %q", req)
+		}
+	}
+	fmt.Printf("ok: %d families (%d counters, %d gauges, %d histograms), %d series\n",
+		stats.Families, stats.Counters, stats.Gauges, stats.Histograms, stats.Series)
+	return nil
+}
+
+type multiFlag []string
+
+func (m *multiFlag) String() string { return fmt.Sprint([]string(*m)) }
+func (m *multiFlag) Set(v string) error {
+	*m = append(*m, v)
+	return nil
+}

@@ -58,6 +58,9 @@ type Record struct {
 	Job    string `json:"job,omitempty"`
 	Lease  string `json:"lease,omitempty"`
 	Reason string `json:"reason,omitempty"`
+	// TS is the wallclock append time, stamped by the journal writer for
+	// forensics and ignored by replay.
+	TS time.Time `json:"ts"`
 }
 
 // Backend is the coordinator's view of the job queue — implemented by the
@@ -146,6 +149,7 @@ type Coordinator struct {
 	cfg Config
 	be  Backend
 	now func() time.Time // injectable clock for tests
+	m   *instruments     // nil until Instrument; set before any traffic
 
 	stopReaper context.CancelFunc
 	reaperDone chan struct{}
@@ -289,9 +293,11 @@ func (c *Coordinator) Lease(workerID string, max int) ([]scenario.WorkUnit, erro
 			c.mu.Unlock()
 			// The worker died (or the coordinator is closing) mid-grant:
 			// hand everything already pulled straight back.
+			name := c.workerName(workerID)
 			for _, u := range units {
 				if c.be.Requeue(u.Job, u.Lease, workerID, "worker gone during grant") {
 					c.redispatched.Add(1)
+					c.m.leaseRedispatched(name)
 				}
 			}
 			return nil, ErrGone
@@ -316,6 +322,7 @@ func (c *Coordinator) Lease(workerID string, max int) ([]scenario.WorkUnit, erro
 			c.mu.Unlock()
 			if c.be.Requeue(unit.Job, leaseID, workerID, "worker gone during grant") {
 				c.redispatched.Add(1)
+				c.m.leaseRedispatched(w.name)
 			}
 			continue
 		}
@@ -324,6 +331,7 @@ func (c *Coordinator) Lease(workerID string, max int) ([]scenario.WorkUnit, erro
 		c.leases[leaseID] = l
 		c.mu.Unlock()
 		c.granted.Add(1)
+		c.m.leaseGranted(w.name)
 		units = append(units, *unit)
 	}
 	return units, nil
@@ -361,13 +369,16 @@ func (c *Coordinator) Complete(workerID, leaseID, job string, result []byte, err
 			// unusable payload would leave the job running forever.
 			if current && c.be.Requeue(job, leaseID, workerID, "unusable result: "+err.Error()) {
 				c.redispatched.Add(1)
+				c.m.leaseRedispatched(c.workerName(workerID))
 			}
 			return err
 		}
 		c.completed.Add(1)
+		c.m.jobCompleted(c.workerName(workerID))
 		return nil
 	case current:
 		c.failed.Add(1)
+		c.m.jobFailed(c.workerName(workerID))
 		c.be.Fail(job, errMsg, transient)
 		return nil
 	default:
@@ -421,6 +432,7 @@ func (c *Coordinator) reap() {
 	for _, a := range acts {
 		if c.be.Requeue(a.l.job, a.l.id, a.l.worker, a.reason) {
 			c.redispatched.Add(1)
+			c.m.leaseRedispatched(c.workerName(a.l.worker))
 		}
 	}
 }

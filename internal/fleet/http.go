@@ -107,6 +107,7 @@ func (c *Coordinator) handleRegister(w http.ResponseWriter, r *http.Request) {
 	if !decodeRPC(w, r, &req) {
 		return
 	}
+	c.m.rpc(req.Name, "register")
 	id, err := c.Register(req.Name, req.Slots)
 	if err != nil {
 		rpcError(w, err)
@@ -124,6 +125,7 @@ func (c *Coordinator) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
 	if !decodeRPC(w, r, &req) {
 		return
 	}
+	c.m.rpc(c.workerName(req.WorkerID), "heartbeat")
 	if err := c.Heartbeat(req.WorkerID); err != nil {
 		rpcError(w, err)
 		return
@@ -136,6 +138,7 @@ func (c *Coordinator) handleLease(w http.ResponseWriter, r *http.Request) {
 	if !decodeRPC(w, r, &req) {
 		return
 	}
+	c.m.rpc(c.workerName(req.WorkerID), "lease")
 	units, err := c.Lease(req.WorkerID, req.Max)
 	if err != nil {
 		rpcError(w, err)
@@ -152,6 +155,7 @@ func (c *Coordinator) handleComplete(w http.ResponseWriter, r *http.Request) {
 	if !decodeRPC(w, r, &req) {
 		return
 	}
+	c.m.rpc(c.workerName(req.WorkerID), "complete")
 	if req.Job == "" || (req.Result == nil && req.Error == "") {
 		rpcError(w, errors.New("fleet: completion needs a job and a result or error"))
 		return

@@ -1,0 +1,98 @@
+package fleet
+
+import (
+	"dualradio/internal/metrics"
+)
+
+// instruments holds the coordinator's per-worker metric families. A nil
+// *instruments makes every record call a no-op, so coordinators that were
+// never Instrument-ed (tests, embedded fakes) pay nothing.
+type instruments struct {
+	granted      metrics.CounterVec
+	completed    metrics.CounterVec
+	failed       metrics.CounterVec
+	redispatched metrics.CounterVec
+	rpcs         metrics.CounterVec
+}
+
+// Instrument registers the coordinator's per-worker series on r:
+//
+//	radiod_fleet_worker_leases_granted_total{worker}
+//	radiod_fleet_worker_completed_total{worker}
+//	radiod_fleet_worker_failed_total{worker}
+//	radiod_fleet_worker_redispatched_total{worker}
+//	radiod_fleet_worker_rpc_total{worker,rpc}
+//	radiod_fleet_worker_heartbeat_age_seconds{worker}
+//
+// Series are labeled by worker name (not registration id), so a worker
+// that re-registers after a partition keeps accumulating on its series;
+// the registry's cardinality cap bounds unbounded name churn. The
+// heartbeat-age gauge is refreshed at scrape time for live workers only —
+// a dead worker's series disappears rather than aging forever. Call before
+// Start and before serving scrapes; Instrument is not safe to race with
+// coordinator traffic.
+func (c *Coordinator) Instrument(r *metrics.Registry) {
+	c.m = &instruments{
+		granted:      r.CounterVec("radiod_fleet_worker_leases_granted_total", "Work-unit leases granted, by worker.", "worker"),
+		completed:    r.CounterVec("radiod_fleet_worker_completed_total", "Leased jobs completed, by worker.", "worker"),
+		failed:       r.CounterVec("radiod_fleet_worker_failed_total", "Leased jobs failed, by worker.", "worker"),
+		redispatched: r.CounterVec("radiod_fleet_worker_redispatched_total", "Leases returned to the queue, by worker.", "worker"),
+		rpcs:         r.CounterVec("radiod_fleet_worker_rpc_total", "Fleet RPCs served, by worker and endpoint.", "worker", "rpc"),
+	}
+	hbAge := r.GaugeVec("radiod_fleet_worker_heartbeat_age_seconds", "Seconds since each live worker's last heartbeat.", "worker")
+	r.OnCollect(func() {
+		hbAge.Reset()
+		now := c.now()
+		c.mu.Lock()
+		for _, id := range c.order {
+			w := c.workers[id]
+			if w.live {
+				hbAge.With(w.name).Set(now.Sub(w.lastBeat).Seconds())
+			}
+		}
+		c.mu.Unlock()
+	})
+}
+
+func (m *instruments) leaseGranted(worker string) {
+	if m != nil {
+		m.granted.With(worker).Inc()
+	}
+}
+
+func (m *instruments) jobCompleted(worker string) {
+	if m != nil {
+		m.completed.With(worker).Inc()
+	}
+}
+
+func (m *instruments) jobFailed(worker string) {
+	if m != nil {
+		m.failed.With(worker).Inc()
+	}
+}
+
+func (m *instruments) leaseRedispatched(worker string) {
+	if m != nil {
+		m.redispatched.With(worker).Inc()
+	}
+}
+
+func (m *instruments) rpc(worker, endpoint string) {
+	if m != nil {
+		m.rpcs.With(worker, endpoint).Inc()
+	}
+}
+
+// workerName resolves a worker id to its registered name for metric
+// labels ("unknown" for ids this coordinator never registered — e.g. a
+// pre-restart worker reporting a late completion). Dead workers keep
+// their names, so their redispatches still attribute correctly.
+func (c *Coordinator) workerName(id string) string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if w, ok := c.workers[id]; ok {
+		return w.name
+	}
+	return "unknown"
+}

@@ -1,0 +1,346 @@
+package metrics
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// LintStats summarizes a linted exposition payload.
+type LintStats struct {
+	Families   int
+	Counters   int
+	Gauges     int
+	Histograms int
+	Series     int // distinct (name, labels) sample series
+}
+
+// Lint parses a Prometheus text exposition payload and enforces the
+// contract WriteProm promises (and scrapers assume):
+//
+//   - every sample belongs to a family announced by a preceding # HELP and
+//     # TYPE pair, and families do not interleave;
+//   - metric and label names are well-formed, label values are properly
+//     escaped, and no series appears twice;
+//   - histograms are complete and coherent: cumulative buckets are
+//     non-decreasing, the +Inf bucket is present and equals _count, and
+//     _sum / _count accompany every series.
+//
+// It returns the payload's stats so callers can additionally assert shape
+// (e.g. "at least 3 histograms"). It is used by the registry's own tests
+// and by the e2e scripts to lint live /metrics output.
+func Lint(data []byte) (LintStats, error) {
+	var stats LintStats
+	type histSeries struct {
+		buckets map[float64]int64
+		sum     *float64
+		count   *int64
+	}
+	var (
+		curName string // current family, "" before the first
+		curKind Kind
+		helped  = map[string]bool{}
+		typed   = map[string]Kind{}
+		closed  = map[string]bool{} // families that may not reappear
+		seen    = map[string]bool{} // full series keys
+		hists   = map[string]*histSeries{}
+	)
+	finishFamily := func() error {
+		if curName == "" || curKind != KindHistogram {
+			return nil
+		}
+		prefix := curName + "\xff"
+		found := false
+		for key, hs := range hists {
+			if !strings.HasPrefix(key, prefix) {
+				continue
+			}
+			found = true
+			if hs.sum == nil {
+				return fmt.Errorf("histogram %s series %q lacks _sum", curName, key)
+			}
+			if hs.count == nil {
+				return fmt.Errorf("histogram %s series %q lacks _count", curName, key)
+			}
+			inf, ok := hs.buckets[inf()]
+			if !ok {
+				return fmt.Errorf("histogram %s series %q lacks le=\"+Inf\" bucket", curName, key)
+			}
+			if inf != *hs.count {
+				return fmt.Errorf("histogram %s series %q: +Inf bucket %d != count %d", curName, key, inf, *hs.count)
+			}
+			bounds := make([]float64, 0, len(hs.buckets))
+			for b := range hs.buckets {
+				bounds = append(bounds, b)
+			}
+			sort.Float64s(bounds)
+			last := int64(-1)
+			for _, b := range bounds {
+				if hs.buckets[b] < last {
+					return fmt.Errorf("histogram %s series %q: bucket le=%q count %d decreases", curName, key, formatValue(b), hs.buckets[b])
+				}
+				last = hs.buckets[b]
+			}
+		}
+		if !found {
+			return fmt.Errorf("histogram %s has no _bucket series", curName)
+		}
+		return nil
+	}
+	sc := bufio.NewScanner(bytes.NewReader(data))
+	sc.Buffer(nil, 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.SplitN(line, " ", 4)
+			if len(fields) < 3 || (fields[1] != "HELP" && fields[1] != "TYPE") {
+				continue // free-form comment
+			}
+			name := fields[2]
+			if !nameRe.MatchString(name) {
+				return stats, fmt.Errorf("line %d: invalid metric name %q", lineNo, name)
+			}
+			switch fields[1] {
+			case "HELP":
+				if helped[name] {
+					return stats, fmt.Errorf("line %d: duplicate HELP for %s", lineNo, name)
+				}
+				helped[name] = true
+			case "TYPE":
+				if len(fields) < 4 {
+					return stats, fmt.Errorf("line %d: TYPE %s lacks a type", lineNo, name)
+				}
+				kind := Kind(fields[3])
+				if kind != KindCounter && kind != KindGauge && kind != KindHistogram {
+					return stats, fmt.Errorf("line %d: unknown type %q for %s", lineNo, fields[3], name)
+				}
+				if !helped[name] {
+					return stats, fmt.Errorf("line %d: TYPE %s precedes its HELP", lineNo, name)
+				}
+				if _, dup := typed[name]; dup {
+					return stats, fmt.Errorf("line %d: duplicate TYPE for %s", lineNo, name)
+				}
+				if closed[name] {
+					return stats, fmt.Errorf("line %d: family %s reopened (interleaved families)", lineNo, name)
+				}
+				if err := finishFamily(); err != nil {
+					return stats, err
+				}
+				if curName != "" {
+					closed[curName] = true
+				}
+				typed[name] = kind
+				curName, curKind = name, kind
+				stats.Families++
+				switch kind {
+				case KindCounter:
+					stats.Counters++
+				case KindGauge:
+					stats.Gauges++
+				case KindHistogram:
+					stats.Histograms++
+				}
+			}
+			continue
+		}
+		name, labels, leVal, hasLE, value, err := parseSample(line)
+		if err != nil {
+			return stats, fmt.Errorf("line %d: %v", lineNo, err)
+		}
+		if curName == "" {
+			return stats, fmt.Errorf("line %d: sample %s before any TYPE line", lineNo, name)
+		}
+		base := name
+		suffix := ""
+		if curKind == KindHistogram {
+			for _, sfx := range []string{"_bucket", "_sum", "_count"} {
+				if strings.HasSuffix(name, sfx) && strings.TrimSuffix(name, sfx) == curName {
+					base, suffix = curName, sfx
+					break
+				}
+			}
+		}
+		if base != curName {
+			return stats, fmt.Errorf("line %d: sample %s outside its family block (current family %s)", lineNo, name, curName)
+		}
+		if curKind == KindHistogram && suffix == "" {
+			return stats, fmt.Errorf("line %d: bare sample %s in histogram family", lineNo, name)
+		}
+		if suffix == "_bucket" && !hasLE {
+			return stats, fmt.Errorf("line %d: %s lacks an le label", lineNo, name)
+		}
+		if suffix != "_bucket" && hasLE {
+			return stats, fmt.Errorf("line %d: %s carries an le label", lineNo, name)
+		}
+		seriesKey := base + "\xff" + labels
+		fullKey := name + "\xff" + labels + "\xff" + leVal
+		if seen[fullKey] {
+			return stats, fmt.Errorf("line %d: duplicate series %s{%s}", lineNo, name, labels)
+		}
+		seen[fullKey] = true
+		if curKind == KindHistogram {
+			hs := hists[seriesKey]
+			if hs == nil {
+				hs = &histSeries{buckets: map[float64]int64{}}
+				hists[seriesKey] = hs
+				stats.Series++
+			}
+			switch suffix {
+			case "_bucket":
+				bound, err := parseLE(leVal)
+				if err != nil {
+					return stats, fmt.Errorf("line %d: %v", lineNo, err)
+				}
+				hs.buckets[bound] = int64(value)
+			case "_sum":
+				v := value
+				hs.sum = &v
+			case "_count":
+				c := int64(value)
+				hs.count = &c
+			}
+		} else {
+			stats.Series++
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return stats, err
+	}
+	if err := finishFamily(); err != nil {
+		return stats, err
+	}
+	if stats.Families == 0 {
+		return stats, fmt.Errorf("no metric families found")
+	}
+	return stats, nil
+}
+
+func inf() float64 { v, _ := strconv.ParseFloat("+Inf", 64); return v }
+
+func parseLE(s string) (float64, error) {
+	if s == "+Inf" {
+		return inf(), nil
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad le bound %q", s)
+	}
+	return v, nil
+}
+
+// parseSample parses one exposition sample line into its metric name, a
+// canonical label string (le excluded), the le value if present, and the
+// sample value. Escapes in label values are validated and decoded.
+func parseSample(line string) (name, labels, leVal string, hasLE bool, value float64, err error) {
+	rest := line
+	brace := strings.IndexByte(rest, '{')
+	space := strings.IndexByte(rest, ' ')
+	if space < 0 {
+		return "", "", "", false, 0, fmt.Errorf("sample %q lacks a value", line)
+	}
+	if brace >= 0 && brace < space {
+		name = rest[:brace]
+		end, pairs, perr := parseLabels(rest[brace:])
+		if perr != nil {
+			return "", "", "", false, 0, perr
+		}
+		var kept []string
+		for _, p := range pairs {
+			if p[0] == "le" {
+				leVal, hasLE = p[1], true
+				continue
+			}
+			if !labelRe.MatchString(p[0]) {
+				return "", "", "", false, 0, fmt.Errorf("bad label name %q", p[0])
+			}
+			kept = append(kept, p[0]+"="+p[1])
+		}
+		labels = strings.Join(kept, ",")
+		rest = rest[brace+end:]
+	} else {
+		name = rest[:space]
+		rest = rest[space:]
+	}
+	if !nameRe.MatchString(name) {
+		return "", "", "", false, 0, fmt.Errorf("bad metric name %q", name)
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 { // optional trailing timestamp
+		return "", "", "", false, 0, fmt.Errorf("sample %q has %d value fields", line, len(fields))
+	}
+	value, err = strconv.ParseFloat(fields[0], 64)
+	if err != nil {
+		return "", "", "", false, 0, fmt.Errorf("bad sample value %q", fields[0])
+	}
+	return name, labels, leVal, hasLE, value, nil
+}
+
+// parseLabels parses a {k="v",...} block starting at s[0] == '{'. It
+// returns the index just past the closing brace and the decoded pairs.
+func parseLabels(s string) (int, [][2]string, error) {
+	i := 1
+	var pairs [][2]string
+	for {
+		if i >= len(s) {
+			return 0, nil, fmt.Errorf("unterminated label block")
+		}
+		if s[i] == '}' {
+			return i + 1, pairs, nil
+		}
+		eq := strings.IndexByte(s[i:], '=')
+		if eq < 0 {
+			return 0, nil, fmt.Errorf("label without '=' in %q", s)
+		}
+		key := s[i : i+eq]
+		i += eq + 1
+		if i >= len(s) || s[i] != '"' {
+			return 0, nil, fmt.Errorf("unquoted label value in %q", s)
+		}
+		i++
+		var val strings.Builder
+		for {
+			if i >= len(s) {
+				return 0, nil, fmt.Errorf("unterminated label value in %q", s)
+			}
+			c := s[i]
+			if c == '\\' {
+				if i+1 >= len(s) {
+					return 0, nil, fmt.Errorf("dangling escape in %q", s)
+				}
+				switch s[i+1] {
+				case '\\':
+					val.WriteByte('\\')
+				case '"':
+					val.WriteByte('"')
+				case 'n':
+					val.WriteByte('\n')
+				default:
+					return 0, nil, fmt.Errorf("invalid escape \\%c in %q", s[i+1], s)
+				}
+				i += 2
+				continue
+			}
+			if c == '"' {
+				i++
+				break
+			}
+			if c == '\n' {
+				return 0, nil, fmt.Errorf("raw newline in label value in %q", s)
+			}
+			val.WriteByte(c)
+			i++
+		}
+		pairs = append(pairs, [2]string{key, val.String()})
+		if i < len(s) && s[i] == ',' {
+			i++
+		}
+	}
+}

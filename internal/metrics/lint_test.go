@@ -1,0 +1,125 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+)
+
+const validPayload = `# HELP radiod_jobs Registered jobs.
+# TYPE radiod_jobs gauge
+radiod_jobs 3
+# HELP radiod_cache_hits_total Cache hits.
+# TYPE radiod_cache_hits_total counter
+radiod_cache_hits_total{tier="lru"} 5
+radiod_cache_hits_total{tier="store"} 2
+# HELP radiod_job_duration_seconds Job wallclock.
+# TYPE radiod_job_duration_seconds histogram
+radiod_job_duration_seconds_bucket{preset="mis-quick",le="0.1"} 1
+radiod_job_duration_seconds_bucket{preset="mis-quick",le="1"} 3
+radiod_job_duration_seconds_bucket{preset="mis-quick",le="+Inf"} 4
+radiod_job_duration_seconds_sum{preset="mis-quick"} 2.5
+radiod_job_duration_seconds_count{preset="mis-quick"} 4
+`
+
+func TestLintAcceptsValidPayload(t *testing.T) {
+	stats, err := Lint([]byte(validPayload))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Families != 3 || stats.Counters != 1 || stats.Gauges != 1 || stats.Histograms != 1 {
+		t.Fatalf("stats %+v", stats)
+	}
+	if stats.Series != 4 { // 1 gauge + 2 counter series + 1 histogram series
+		t.Fatalf("series %d, want 4", stats.Series)
+	}
+}
+
+func TestLintRejections(t *testing.T) {
+	cases := map[string]struct {
+		payload string
+		wantErr string
+	}{
+		"sample before TYPE": {
+			payload: "radiod_jobs 3\n",
+			wantErr: "before any TYPE",
+		},
+		"TYPE without HELP": {
+			payload: "# TYPE x gauge\nx 1\n",
+			wantErr: "precedes its HELP",
+		},
+		"interleaved families": {
+			payload: "# HELP a h\n# TYPE a gauge\na 1\n# HELP b h\n# TYPE b gauge\nb 1\na 2\n",
+			wantErr: "outside its family block",
+		},
+		"duplicate series": {
+			payload: "# HELP a h\n# TYPE a counter\na{k=\"v\"} 1\na{k=\"v\"} 2\n",
+			wantErr: "duplicate series",
+		},
+		"histogram without +Inf": {
+			payload: "# HELP h h\n# TYPE h histogram\nh_bucket{le=\"1\"} 1\nh_sum 1\nh_count 1\n",
+			wantErr: `lacks le="+Inf"`,
+		},
+		"histogram without sum": {
+			payload: "# HELP h h\n# TYPE h histogram\nh_bucket{le=\"+Inf\"} 1\nh_count 1\n",
+			wantErr: "lacks _sum",
+		},
+		"histogram count mismatch": {
+			payload: "# HELP h h\n# TYPE h histogram\nh_bucket{le=\"+Inf\"} 1\nh_sum 1\nh_count 2\n",
+			wantErr: "!= count",
+		},
+		"non-cumulative buckets": {
+			payload: "# HELP h h\n# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_bucket{le=\"2\"} 3\nh_bucket{le=\"+Inf\"} 5\nh_sum 1\nh_count 5\n",
+			wantErr: "decreases",
+		},
+		"bucket without le": {
+			payload: "# HELP h h\n# TYPE h histogram\nh_bucket 1\nh_sum 1\nh_count 1\n",
+			wantErr: "lacks an le label",
+		},
+		"bad escape": {
+			payload: "# HELP a h\n# TYPE a counter\na{k=\"\\x\"} 1\n",
+			wantErr: "invalid escape",
+		},
+		"unterminated label value": {
+			payload: "# HELP a h\n# TYPE a counter\na{k=\"v} 1\n",
+			wantErr: "unterminated",
+		},
+		"bad value": {
+			payload: "# HELP a h\n# TYPE a gauge\na xyz\n",
+			wantErr: "bad sample value",
+		},
+		"empty payload": {
+			payload: "",
+			wantErr: "no metric families",
+		},
+		"reopened family": {
+			payload: "# HELP a h\n# TYPE a gauge\na 1\n# HELP b h\n# TYPE b gauge\nb 1\n# HELP a h\n# TYPE a gauge\n",
+			wantErr: "duplicate HELP",
+		},
+	}
+	for name, tc := range cases {
+		_, err := Lint([]byte(tc.payload))
+		if err == nil {
+			t.Fatalf("%s: lint accepted bad payload", name)
+		}
+		if !strings.Contains(err.Error(), tc.wantErr) {
+			t.Fatalf("%s: error %q does not mention %q", name, err, tc.wantErr)
+		}
+	}
+}
+
+// TestLintDecodesEscapes: escaped label values parse back to their raw
+// form and round-trip through EscapeLabelValue.
+func TestLintDecodesEscapes(t *testing.T) {
+	raw := "a\\b\"c\nd"
+	payload := "# HELP a h\n# TYPE a counter\na{k=\"" + EscapeLabelValue(raw) + "\"} 1\n"
+	if _, err := Lint([]byte(payload)); err != nil {
+		t.Fatalf("escaped payload rejected: %v", err)
+	}
+	_, labels, _, _, _, err := parseSample("a{k=\"" + EscapeLabelValue(raw) + "\"} 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if labels != "k="+raw {
+		t.Fatalf("decoded labels %q, want %q", labels, "k="+raw)
+	}
+}

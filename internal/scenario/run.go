@@ -7,6 +7,7 @@ import (
 	"runtime/debug"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Result is a complete scenario run: the aggregate the service reports plus
@@ -86,6 +87,10 @@ type RunOptions struct {
 	Attempt int
 	// Fault is the optional fault-injection hook.
 	Fault FaultHook
+	// ObserveTrial, if non-nil, receives each completed trial's wallclock
+	// duration (successful trials only). Calls may be concurrent — one per
+	// trial worker — so observers must be safe for concurrent use.
+	ObserveTrial func(d time.Duration)
 }
 
 // Run executes every trial, fanning them across workers goroutines
@@ -162,11 +167,15 @@ func (c *Compiled) RunWithOptions(ctx context.Context, opts RunOptions) (*Result
 				if i >= count {
 					return
 				}
+				trialStart := time.Now()
 				r, err := c.safeTrial(i, opts)
 				if err != nil {
 					errs[i] = err
 					failed.Store(true)
 					continue
+				}
+				if opts.ObserveTrial != nil {
+					opts.ObserveTrial(time.Since(trialStart))
 				}
 				done.Add(1)
 				mu.Lock()

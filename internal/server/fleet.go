@@ -31,12 +31,15 @@ func (b fleetBackend) Next(worker, leaseID string) *scenario.WorkUnit {
 		// Same cache recheck as runJob: an identical job may have finished
 		// (locally or remotely) while this one sat in the queue.
 		if res, ok := s.lookupResult(job.comp.Hash()); ok {
-			job.complete(res, true)
+			if job.complete(res, true) {
+				s.srvm.attempts.With("cached").Inc()
+			}
 			continue
 		}
 		if !job.tryLease(leaseID, worker) {
 			continue // cancelled while queued
 		}
+		s.srvm.queueWait.With(job.comp.Spec().Algorithm).Observe(job.queueWait().Seconds())
 		s.journalAppend(fleet.Record{Op: fleet.OpLease, Job: job.id, Lease: leaseID, Worker: worker})
 		// Canonical specs are plain validated data; Marshal cannot fail.
 		spec, _ := json.Marshal(job.comp.Spec())
@@ -67,7 +70,12 @@ func (b fleetBackend) Complete(jobID string, result []byte) error {
 		return fmt.Errorf("server: job %s: remote result covers %d trials, want %d", jobID, res.Aggregate.Trials, job.comp.Trials())
 	}
 	b.s.persist(job.comp.Hash(), &res)
-	job.complete(&res, false)
+	job.markPersisted()
+	if job.complete(&res, false) {
+		b.s.srvm.attempts.With("done").Inc()
+		spec := job.comp.Spec()
+		b.s.srvm.jobDuration.With(spec.Algorithm, presetLabel(spec)).Observe(job.totalDuration().Seconds())
+	}
 	return nil
 }
 
@@ -89,7 +97,9 @@ func (b fleetBackend) Fail(jobID, msg string, transient bool) {
 		b.s.scheduleRetry(job, err, attempt)
 		return
 	}
-	job.fail(err)
+	if job.fail(err) {
+		b.s.srvm.attempts.With("failed").Inc()
+	}
 }
 
 // Requeue returns a leased job to the queue after its worker died or its

@@ -32,6 +32,7 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("DELETE /v1/sweeps/{id}", s.handleCancelSweep)
 	s.mux.HandleFunc("GET /v1/sweeps/{id}/events", s.handleSweepEvents)
 	s.mux.HandleFunc("GET /v1/sweeps/{id}/report", s.handleSweepReport)
+	s.mux.HandleFunc("GET /v1/sweeps/{id}/stats", s.handleSweepStats)
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -108,7 +109,20 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	h["fleet_workers_dead"] = fc.WorkersDead
 	h["fleet_leases_active"] = fc.LeasesActive
 	h["fleet_redispatched"] = fc.Redispatched
+	// The full registry — counters, gauges, histograms — as JSON, so health
+	// probes see everything /metrics exposes without parsing the text format.
+	h["metrics"] = s.metrics.Snapshot()
 	writeJSON(w, http.StatusOK, h)
+}
+
+// handleSweepStats serves per-phase timing rollups over the sweep's
+// terminal children (see Sweep.Stats).
+func (s *Server) handleSweepStats(w http.ResponseWriter, r *http.Request) {
+	sw, ok := s.sweepOr404(w, r)
+	if !ok {
+		return
+	}
+	writeJSON(w, http.StatusOK, sw.Stats())
 }
 
 func (s *Server) handlePresets(w http.ResponseWriter, r *http.Request) {

@@ -30,13 +30,17 @@ func (s JobStatus) terminal() bool {
 // emits "queued", then (unless cache-served or cancelled while queued)
 // "started", one "trial" per completed trial carrying its result, an
 // "aggregate" whenever the streaming reduction advances (carrying the
-// partial aggregate over the folded trial prefix), and finally exactly one
+// partial aggregate over the folded trial prefix), then a "phases" event
+// carrying the job's per-phase timing breakdown, and finally exactly one
 // terminal event: "done", "failed", or "cancelled". A transiently-failed
 // job additionally emits "retry" — carrying the attempt count it is about
 // to begin and the error that triggered it — before re-entering the queue.
 type Event struct {
 	Type string `json:"type"`
 	Job  string `json:"job"`
+	// TS is the wallclock append time. It is pure observability: replay
+	// and canonical result hashing never read it.
+	TS time.Time `json:"ts"`
 	// Completed and Total track trial progress.
 	Completed int `json:"completed"`
 	Total     int `json:"total"`
@@ -59,6 +63,26 @@ type Event struct {
 	// Reason says why a "redispatch" event returned the job to the queue
 	// (missed heartbeats, lease TTL, shutdown).
 	Reason string `json:"reason,omitempty"`
+	// Phases carries the per-phase timing breakdown on "phases" events.
+	Phases *PhaseView `json:"phases,omitempty"`
+}
+
+// PhaseView is a terminal job's per-phase timing breakdown, derived from
+// the lifecycle milestones accepted → started → trials done → reduced →
+// persisted → finished. Durations cover the job's final attempt (retries
+// and redispatches reset the milestones); phases a job never entered —
+// e.g. trials/reduce on a cache hit or a remotely executed run — report 0.
+type PhaseView struct {
+	// QueueWaitMS is admission (or the last requeue) to execution start.
+	QueueWaitMS float64 `json:"queue_wait_ms"`
+	// TrialsMS is execution start to the last completed trial.
+	TrialsMS float64 `json:"trials_ms"`
+	// ReduceMS is the last trial to the run returning its reduced result.
+	ReduceMS float64 `json:"reduce_ms"`
+	// PersistMS is reduction to the result landing in the cache/store.
+	PersistMS float64 `json:"persist_ms"`
+	// TotalMS is submission to the terminal transition.
+	TotalMS float64 `json:"total_ms"`
 }
 
 // Job is one submitted scenario run. All mutable state is guarded by mu;
@@ -84,10 +108,17 @@ type Job struct {
 	created   time.Time
 	started   time.Time
 	finished  time.Time
-	cancel    func() // non-nil while running; requests the run's context stop
-	events    []Event
-	wake      chan struct{} // closed and replaced whenever events grows
-	hooks     []func()      // run once, after the terminal transition, outside mu
+	// Phase milestones for the timing breakdown. queuedAt tracks the last
+	// (re)entry into the queue; the rest mark the final attempt's progress
+	// and are reset by retry/requeue.
+	queuedAt   time.Time
+	trialsDone time.Time // last completed trial
+	reduced    time.Time // run returned its reduced result
+	persisted  time.Time // result landed in the cache/store
+	cancel     func()    // non-nil while running; requests the run's context stop
+	events     []Event
+	wake       chan struct{} // closed and replaced whenever events grows
+	hooks      []func()      // run once, after the terminal transition, outside mu
 }
 
 func newJob(id string, comp *scenario.Compiled) *Job {
@@ -98,6 +129,7 @@ func newJob(id string, comp *scenario.Compiled) *Job {
 		created: time.Now(),
 		wake:    make(chan struct{}),
 	}
+	j.queuedAt = j.created
 	j.appendLocked(Event{Type: "queued"})
 	return j
 }
@@ -106,6 +138,7 @@ func newJob(id string, comp *scenario.Compiled) *Job {
 // mu — except newJob, whose job is not yet shared.
 func (j *Job) appendLocked(e Event) {
 	e.Job = j.id
+	e.TS = time.Now()
 	e.Completed = j.completed
 	e.Total = j.comp.Trials()
 	j.events = append(j.events, e)
@@ -131,18 +164,84 @@ func (j *Job) onTerminal(h func()) {
 }
 
 // terminalLocked finalizes the bookkeeping every terminal transition
-// shares and hands back the hooks for the caller to run once the lock is
-// released. Callers must hold mu and have checked the job is not already
-// terminal.
+// shares — including the "phases" timing event, emitted just before the
+// terminal event so streams always see the breakdown first — and hands
+// back the hooks for the caller to run once the lock is released. Callers
+// must hold mu and have checked the job is not already terminal.
 func (j *Job) terminalLocked(status JobStatus, e Event) []func() {
 	j.status = status
 	j.cancel = nil
 	j.lease = ""
 	j.finished = time.Now()
+	j.appendLocked(Event{Type: "phases", Phases: j.phaseViewLocked()})
 	j.appendLocked(e)
 	hooks := j.hooks
 	j.hooks = nil
 	return hooks
+}
+
+// phaseViewLocked derives the per-phase breakdown from the milestones;
+// nil until the job is terminal. Callers must hold mu.
+func (j *Job) phaseViewLocked() *PhaseView {
+	if j.finished.IsZero() {
+		return nil
+	}
+	ms := func(d time.Duration) float64 {
+		if d < 0 {
+			return 0
+		}
+		return float64(d) / float64(time.Millisecond)
+	}
+	pv := &PhaseView{TotalMS: ms(j.finished.Sub(j.created))}
+	if !j.started.IsZero() {
+		pv.QueueWaitMS = ms(j.started.Sub(j.queuedAt))
+		if !j.trialsDone.IsZero() {
+			pv.TrialsMS = ms(j.trialsDone.Sub(j.started))
+			if !j.reduced.IsZero() {
+				pv.ReduceMS = ms(j.reduced.Sub(j.trialsDone))
+			}
+		}
+	}
+	if !j.persisted.IsZero() && !j.reduced.IsZero() {
+		pv.PersistMS = ms(j.persisted.Sub(j.reduced))
+	}
+	return pv
+}
+
+// queueWait returns how long the job sat queued before its current run
+// started — the queue-wait histogram's sample, taken right after
+// tryStart/tryLease.
+func (j *Job) queueWait() time.Duration {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.started.IsZero() {
+		return 0
+	}
+	return j.started.Sub(j.queuedAt)
+}
+
+// totalDuration returns submission-to-terminal wallclock (0 while live).
+func (j *Job) totalDuration() time.Duration {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.finished.IsZero() {
+		return 0
+	}
+	return j.finished.Sub(j.created)
+}
+
+// markReduced records the run returning its reduced result.
+func (j *Job) markReduced() {
+	j.mu.Lock()
+	j.reduced = time.Now()
+	j.mu.Unlock()
+}
+
+// markPersisted records the result landing in the cache/store.
+func (j *Job) markPersisted() {
+	j.mu.Lock()
+	j.persisted = time.Now()
+	j.mu.Unlock()
 }
 
 func runHooks(hooks []func()) {
@@ -201,7 +300,7 @@ func (j *Job) tryLease(lease, worker string) bool {
 	j.status = StatusRunning
 	j.started = time.Now()
 	j.lease = lease
-	j.cancel = j.markCancelled
+	j.cancel = func() { j.markCancelled() }
 	j.appendLocked(Event{Type: "started", Worker: worker})
 	return true
 }
@@ -224,8 +323,20 @@ func (j *Job) requeue(lease, worker, reason string) bool {
 	j.lease = ""
 	j.completed = 0
 	j.folded = 0
+	j.resetMilestonesLocked()
 	j.appendLocked(Event{Type: "redispatch", Worker: worker, Reason: reason})
 	return true
+}
+
+// resetMilestonesLocked restarts the phase clock when a job re-enters the
+// queue: the final breakdown describes the attempt that actually finished,
+// not a sum over abandoned ones. Callers must hold mu.
+func (j *Job) resetMilestonesLocked() {
+	j.queuedAt = time.Now()
+	j.started = time.Time{}
+	j.trialsDone = time.Time{}
+	j.reduced = time.Time{}
+	j.persisted = time.Time{}
 }
 
 // Attempt returns the job's retry attempt count (0 = first run).
@@ -252,6 +363,7 @@ func (j *Job) retry(cause error) bool {
 	j.attempt++
 	j.completed = 0
 	j.folded = 0
+	j.resetMilestonesLocked()
 	j.appendLocked(Event{Type: "retry", Attempt: j.attempt, Error: cause.Error()})
 	return true
 }
@@ -262,6 +374,7 @@ func (j *Job) progress(p scenario.Progress) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	j.completed++
+	j.trialsDone = time.Now()
 	tr := p.Trial
 	j.appendLocked(Event{Type: "trial", Trial: &tr})
 	if p.Folded > j.folded {
@@ -282,12 +395,14 @@ func (j *Job) Result() *scenario.Result {
 // fully completed runs reach here: the caller either ran every trial to
 // the end or is serving a result that did (the cache and the persistent
 // store are populated exclusively with complete results), so a terminal
-// job can never expose a partial result under its spec hash.
-func (j *Job) complete(res *scenario.Result, cached bool) {
+// job can never expose a partial result under its spec hash. It reports
+// whether this call performed the transition (false once terminal), so
+// callers can attribute outcome metrics exactly once.
+func (j *Job) complete(res *scenario.Result, cached bool) bool {
 	j.mu.Lock()
 	if j.status.terminal() {
 		j.mu.Unlock()
-		return
+		return false
 	}
 	j.result = res
 	j.cached = cached
@@ -297,31 +412,36 @@ func (j *Job) complete(res *scenario.Result, cached bool) {
 	hooks := j.terminalLocked(StatusDone, Event{Type: "done", Cached: cached})
 	j.mu.Unlock()
 	runHooks(hooks)
+	return true
 }
 
-// fail finishes the job with an error.
-func (j *Job) fail(err error) {
+// fail finishes the job with an error, reporting whether this call
+// performed the transition.
+func (j *Job) fail(err error) bool {
 	j.mu.Lock()
 	if j.status.terminal() {
 		j.mu.Unlock()
-		return
+		return false
 	}
 	j.errMsg = err.Error()
 	hooks := j.terminalLocked(StatusFailed, Event{Type: "failed", Error: j.errMsg})
 	j.mu.Unlock()
 	runHooks(hooks)
+	return true
 }
 
-// markCancelled finishes the job as cancelled (no-op once terminal).
-func (j *Job) markCancelled() {
+// markCancelled finishes the job as cancelled (no-op once terminal),
+// reporting whether this call performed the transition.
+func (j *Job) markCancelled() bool {
 	j.mu.Lock()
 	if j.status.terminal() {
 		j.mu.Unlock()
-		return
+		return false
 	}
 	hooks := j.terminalLocked(StatusCancelled, Event{Type: "cancelled"})
 	j.mu.Unlock()
 	runHooks(hooks)
+	return true
 }
 
 // Cancel requests cancellation: a queued job is cancelled immediately, a
@@ -361,6 +481,8 @@ type JobView struct {
 	Started  *time.Time `json:"started,omitempty"`
 	Finished *time.Time `json:"finished,omitempty"`
 	Error    string     `json:"error,omitempty"`
+	// Phases is the per-phase timing breakdown, present once terminal.
+	Phases *PhaseView `json:"phases,omitempty"`
 	// Result is populated on done jobs (full view only).
 	Result *scenario.Result `json:"result,omitempty"`
 }
@@ -390,6 +512,7 @@ func (j *Job) View(withResult bool) JobView {
 		t := j.finished
 		v.Finished = &t
 	}
+	v.Phases = j.phaseViewLocked()
 	if withResult {
 		v.Result = j.result
 	}

@@ -4,7 +4,9 @@ import (
 	"encoding/json"
 	"path/filepath"
 	"strconv"
+	"time"
 
+	"dualradio/internal/fleet"
 	"dualradio/internal/journal"
 	"dualradio/internal/scenario"
 )
@@ -38,19 +40,35 @@ type journalRecord struct {
 	Spec     json.RawMessage `json:"spec,omitempty"`
 	Sweep    json.RawMessage `json:"sweep,omitempty"`
 	Children []string        `json:"children,omitempty"`
+	// TS is the wallclock append time, stamped by journalAppend. It is
+	// forensic only: replay never reads it, and it does not participate
+	// in any canonical hash.
+	TS time.Time `json:"ts"`
 }
 
 func journalPath(dataDir string) string { return filepath.Join(dataDir, "journal.ndjson") }
 
 // journalAppend writes one record — a journalRecord, or a fleet.Record
 // for lease/worker transitions (replay ignores their ops; they document
-// the assignment history). Failures are counted, not fatal — the journal
-// is a recovery aid and must never take the service down.
+// the assignment history) — stamping its wallclock TS and observing the
+// append latency. Failures are counted, not fatal — the journal is a
+// recovery aid and must never take the service down.
 func (s *Server) journalAppend(rec any) {
 	if s.journal == nil {
 		return
 	}
-	if err := s.journal.Append(rec); err != nil {
+	switch r := rec.(type) {
+	case journalRecord:
+		r.TS = time.Now()
+		rec = r
+	case fleet.Record:
+		r.TS = time.Now()
+		rec = r
+	}
+	start := time.Now()
+	err := s.journal.Append(rec)
+	s.srvm.journalAppend.Observe(time.Since(start).Seconds())
+	if err != nil {
 		s.journalErrs.Add(1)
 	}
 }

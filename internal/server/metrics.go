@@ -1,63 +1,22 @@
 package server
 
 import (
-	"fmt"
+	"bytes"
 	"net/http"
-	"strings"
 )
 
-// handleMetrics serves the gauges /healthz computes as plaintext in the
-// Prometheus exposition format (one `radiod_<name> <value>` line each), so
-// a fleet is scrapeable by standard tooling without a client that parses
-// the health JSON. Only numeric gauges are exported; emission order is
-// fixed so diffs between scrapes are line-stable.
+// handleMetrics serves the server's metrics registry in the Prometheus
+// text exposition format (0.0.4): HELP/TYPE headers, counters, gauges,
+// and cumulative histograms, in a stable order (families name-sorted,
+// series label-sorted) so diffs between scrapes are line-stable. Every
+// gauge the pre-registry endpoint emitted is still here under the same
+// name; the registry adds the counter and histogram families on top.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	s.mu.Lock()
-	jobs := len(s.jobs)
-	sweeps := len(s.sweeps)
-	replayedJobs, replayedSweeps, replayDropped := s.replayedJobs, s.replayedSweeps, s.replayDropped
-	s.mu.Unlock()
-	calibJobs, nsPerUnit := s.Calibration()
-
-	var b strings.Builder
-	gauge := func(name string, v any) {
-		fmt.Fprintf(&b, "radiod_%s %v\n", name, v)
+	var b bytes.Buffer
+	if err := s.metrics.WriteProm(&b); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
 	}
-	gauge("jobs", jobs)
-	gauge("sweeps", sweeps)
-	gauge("queued", len(s.queue))
-	gauge("queue_depth", s.cfg.QueueDepth)
-	gauge("workers", s.cfg.Workers)
-	gauge("cache_len", s.results.Len())
-	gauge("cache_cap", s.results.Cap())
-	gauge("pending_cost", s.pending.Load())
-	gauge("max_pending_cost", s.cfg.MaxPendingCost)
-	gauge("retries", s.retries.Load())
-	gauge("calibration_jobs", calibJobs)
-	gauge("ns_per_cost_unit", nsPerUnit)
-	if s.store != nil {
-		gauge("store_len", s.store.Len())
-		gauge("store_bytes", s.store.Bytes())
-		gauge("store_errors", s.storeErrs.Load())
-	}
-	if s.journal != nil {
-		gauge("journal_appends", s.journal.Appends())
-		gauge("journal_errors", s.journalErrs.Load())
-		gauge("replayed_jobs", replayedJobs)
-		gauge("replayed_sweeps", replayedSweeps)
-		gauge("replay_dropped", replayDropped)
-	}
-	fc := s.fleet.Snapshot().Counters
-	gauge("fleet_workers_live", fc.WorkersLive)
-	gauge("fleet_workers_dead", fc.WorkersDead)
-	gauge("fleet_leases_active", fc.LeasesActive)
-	gauge("fleet_leases_granted", fc.LeasesGranted)
-	gauge("fleet_completed", fc.Completed)
-	gauge("fleet_failed", fc.Failed)
-	gauge("fleet_redispatched", fc.Redispatched)
-	gauge("fleet_leases_expired", fc.LeasesExpired)
-	gauge("fleet_adopted", fc.Adopted)
-
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	_, _ = w.Write([]byte(b.String()))
+	_, _ = w.Write(b.Bytes())
 }

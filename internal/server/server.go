@@ -45,6 +45,7 @@ import (
 	"dualradio/internal/fleet"
 	"dualradio/internal/journal"
 	"dualradio/internal/memo"
+	"dualradio/internal/metrics"
 	"dualradio/internal/scenario"
 	"dualradio/internal/store"
 )
@@ -159,6 +160,8 @@ type Server struct {
 	results *memo.LRU[string, *scenario.Result]
 	store   *store.Store // nil without DataDir
 	fleet   *fleet.Coordinator
+	metrics *metrics.Registry
+	srvm    *srvMetrics
 
 	pending     atomic.Int64 // cost estimate of queued + running jobs
 	storeErrs   atomic.Int64 // persistence failures (best-effort writes)
@@ -227,8 +230,17 @@ func New(cfg Config) (*Server, error) {
 		retryTimers: make(map[*Job]*time.Timer),
 		jobs:        make(map[string]*Job),
 		sweeps:      make(map[string]*Sweep),
+		metrics:     metrics.NewRegistry(),
 	}
 	s.fleet = fleet.New(fleetBackend{s}, cfg.Fleet)
+	// Instrument everything before any traffic: srvm before the journal can
+	// append, gauges and fleet series before the routes can be scraped.
+	s.srvm = newServerInstruments(s.metrics)
+	s.registerBaseGauges()
+	if st != nil {
+		s.registerStoreGauges()
+	}
+	s.fleet.Instrument(s.metrics)
 	s.routes()
 	s.fleet.Start(ctx)
 	for w := 0; w < cfg.Workers; w++ {
@@ -240,6 +252,7 @@ func New(cfg Config) (*Server, error) {
 			s.Close()
 			return nil, err
 		}
+		s.registerJournalGauges()
 	}
 	return s, nil
 }
@@ -311,19 +324,24 @@ drain:
 // which is always correct).
 func (s *Server) lookupResult(hash string) (*scenario.Result, bool) {
 	if res, ok := s.results.Peek(hash); ok {
+		s.srvm.cacheHits.Inc()
 		return res, true
 	}
+	s.srvm.cacheMisses.Inc()
 	if s.store == nil {
 		return nil, false
 	}
 	data, ok, err := s.store.Get(hash)
 	if err != nil || !ok {
+		s.srvm.storeMisses.Inc()
 		return nil, false
 	}
 	var res scenario.Result
 	if err := json.Unmarshal(data, &res); err != nil {
+		s.srvm.storeMisses.Inc()
 		return nil, false
 	}
+	s.srvm.storeHits.Inc()
 	s.results.Add(hash, &res)
 	return &res, true
 }
@@ -359,15 +377,18 @@ func (s *Server) persist(hash string, res *scenario.Result) {
 func (s *Server) Submit(spec scenario.Spec) (*Job, error) {
 	comp, err := scenario.Compile(spec)
 	if err != nil {
+		s.srvm.admit("job", err)
 		return nil, err
 	}
 	res, cached := s.lookupResult(comp.Hash())
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
+		s.srvm.admissions.With("job", "closed").Inc()
 		return nil, errors.New("server: closed")
 	}
 	job, err := s.startJobLocked(fmt.Sprintf("j%06d", s.nextID+1), comp, res, cached, nil)
+	s.srvm.admit("job", err)
 	if err != nil {
 		return nil, err
 	}
@@ -396,7 +417,9 @@ func (s *Server) startJobLocked(id string, comp *scenario.Compiled, res *scenari
 		s.journalAppend(journalRecord{Op: opTerminal, ID: job.id, Status: job.Status()})
 	})
 	if cached {
-		job.complete(res, true)
+		if job.complete(res, true) {
+			s.srvm.attempts.With("cached").Inc()
+		}
 	} else {
 		cost := comp.CostEstimate()
 		if !s.replaying && s.pending.Load()+cost > s.cfg.MaxPendingCost {
@@ -457,6 +480,7 @@ func (s *Server) startJobLocked(id string, comp *scenario.Compiled, res *scenari
 func (s *Server) SubmitSweep(sw scenario.SweepSpec) (*Sweep, error) {
 	exp, err := scenario.ExpandSweep(sw)
 	if err != nil {
+		s.srvm.admit("sweep", err)
 		return nil, err
 	}
 	type lookup struct {
@@ -476,12 +500,15 @@ func (s *Server) SubmitSweep(sw scenario.SweepSpec) (*Sweep, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
+		s.srvm.admissions.With("sweep", "closed").Inc()
 		return nil, errors.New("server: closed")
 	}
 	if len(s.queue)+need > cap(s.queue) {
+		s.srvm.admissions.With("sweep", "queue_full").Inc()
 		return nil, fmt.Errorf("%w: sweep needs %d queue slots", ErrQueueFull, need)
 	}
 	if s.pending.Load()+cost > s.cfg.MaxPendingCost {
+		s.srvm.admissions.With("sweep", "over_budget").Inc()
 		return nil, fmt.Errorf("%w: sweep estimate %d over budget %d", ErrOverBudget, cost, s.cfg.MaxPendingCost)
 	}
 	swpID := fmt.Sprintf("s%06d", s.nextSweep+1)
@@ -512,6 +539,7 @@ func (s *Server) SubmitSweep(sw scenario.SweepSpec) (*Sweep, error) {
 					c.Cancel()
 				}
 			}
+			s.srvm.admit("sweep", err)
 			return nil, err
 		}
 		s.nextID++
@@ -521,6 +549,7 @@ func (s *Server) SubmitSweep(sw scenario.SweepSpec) (*Sweep, error) {
 	s.sweepOrder = append(s.sweepOrder, swp.id)
 	s.pruneLocked()
 	s.maybeCompactJournalLocked()
+	s.srvm.admit("sweep", nil)
 	return swp, nil
 }
 
@@ -657,7 +686,9 @@ func (s *Server) runJob(job *Job) {
 	// queued → done event shape (complete no-ops if the job was cancelled
 	// while queued).
 	if res, ok := s.lookupResult(job.comp.Hash()); ok {
-		job.complete(res, true)
+		if job.complete(res, true) {
+			s.srvm.attempts.With("cached").Inc()
+		}
 		return
 	}
 	ctx, cancel := context.WithCancel(s.ctx)
@@ -671,12 +702,18 @@ func (s *Server) runJob(job *Job) {
 	if !job.tryStart(cancel) {
 		return // cancelled while queued
 	}
+	algo := job.comp.Spec().Algorithm
+	s.srvm.queueWait.With(algo).Observe(job.queueWait().Seconds())
 	attempt := job.Attempt()
 	s.journalAppend(journalRecord{Op: opStart, ID: job.id, Attempt: attempt})
 	opts := scenario.RunOptions{
 		Workers:    s.cfg.TrialWorkers,
 		OnProgress: job.progress,
 		Attempt:    attempt,
+		ObserveTrial: func(d time.Duration) {
+			s.srvm.trials.Inc()
+			s.srvm.trialDuration.With(algo).Observe(d.Seconds())
+		},
 	}
 	if s.cfg.Fault != nil {
 		hash := job.comp.Hash()
@@ -690,24 +727,37 @@ func (s *Server) runJob(job *Job) {
 		// completed — only complete results are ever cached or persisted
 		// under the spec hash (a cancelled or failed run returns a nil
 		// result with its error instead).
+		job.markReduced()
 		s.recordCalibration(job.comp.CostEstimate(), time.Since(start))
 		s.persist(job.comp.Hash(), res)
-		job.complete(res, false)
+		job.markPersisted()
+		if job.complete(res, false) {
+			s.srvm.attempts.With("done").Inc()
+			s.srvm.jobDuration.With(algo, presetLabel(job.comp.Spec())).Observe(job.totalDuration().Seconds())
+		}
 	case s.ctx.Err() != nil:
 		// Server shutdown cancels every run.
-		job.markCancelled()
+		if job.markCancelled() {
+			s.srvm.attempts.With("cancelled").Inc()
+		}
 	case errors.Is(err, context.DeadlineExceeded) || errors.Is(ctx.Err(), context.DeadlineExceeded):
 		// The attempt blew the spec's deadline. The workload is
 		// deterministic, so a rerun would time out identically: permanent
 		// failure, never retried.
-		job.fail(fmt.Errorf("run exceeded %dms deadline", deadline))
+		if job.fail(fmt.Errorf("run exceeded %dms deadline", deadline)) {
+			s.srvm.attempts.With("deadline").Inc()
+		}
 	case ctx.Err() != nil:
 		// DELETE cancelled this job specifically.
-		job.markCancelled()
+		if job.markCancelled() {
+			s.srvm.attempts.With("cancelled").Inc()
+		}
 	case scenario.IsTransient(err) && attempt < s.cfg.MaxRetries:
 		s.scheduleRetry(job, err, attempt)
 	default:
-		job.fail(err)
+		if job.fail(err) {
+			s.srvm.attempts.With("failed").Inc()
+		}
 	}
 }
 
@@ -719,6 +769,7 @@ func (s *Server) scheduleRetry(job *Job, cause error, attempt int) {
 	if !job.retry(cause) {
 		return // turned terminal concurrently (e.g. cancelled mid-failure)
 	}
+	s.srvm.attempts.With("retry").Inc()
 	s.retries.Add(1)
 	backoff := retryDelay(s.cfg.RetryBackoff, s.cfg.RetryMaxBackoff, job.id, attempt)
 	s.retryMu.Lock()

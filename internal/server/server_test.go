@@ -130,7 +130,7 @@ func TestJobLifecycleSubmitPollStreamResult(t *testing.T) {
 	// trial advances the fold).
 	events := streamEvents(t, jobURL+"/events")
 	types := eventTypes(events)
-	want := []string{"queued", "started", "trial", "aggregate", "trial", "aggregate", "done"}
+	want := []string{"queued", "started", "trial", "aggregate", "trial", "aggregate", "phases", "done"}
 	if !reflect.DeepEqual(types, want) {
 		t.Fatalf("event sequence %v, want %v", types, want)
 	}
@@ -187,8 +187,8 @@ func TestIdenticalResubmissionServedFromCache(t *testing.T) {
 	}
 	// A cache-served job's stream has no started/trial events.
 	types := eventTypes(streamEvents(t, ts.URL+"/v1/jobs/"+second.ID+"/events"))
-	if !reflect.DeepEqual(types, []string{"queued", "done"}) {
-		t.Fatalf("cached job events %v, want [queued done]", types)
+	if !reflect.DeepEqual(types, []string{"queued", "phases", "done"}) {
+		t.Fatalf("cached job events %v, want [queued phases done]", types)
 	}
 }
 
@@ -278,8 +278,8 @@ func TestCancelQueuedJob(t *testing.T) {
 	resp.Body.Close()
 	waitForStatus(t, ts.URL+"/v1/jobs/"+queued.id, StatusCancelled)
 	types := eventTypes(streamEvents(t, ts.URL+"/v1/jobs/"+queued.id+"/events"))
-	if !reflect.DeepEqual(types, []string{"queued", "cancelled"}) {
-		t.Fatalf("queued-cancel events %v, want [queued cancelled]", types)
+	if !reflect.DeepEqual(types, []string{"queued", "phases", "cancelled"}) {
+		t.Fatalf("queued-cancel events %v, want [queued phases cancelled]", types)
 	}
 	blocker.Cancel()
 }
@@ -479,8 +479,8 @@ func TestQueueDelayedCacheHitKeepsCachedEventShape(t *testing.T) {
 		t.Fatal("queue-delayed identical job was not cache-served")
 	}
 	types := eventTypes(streamEvents(t, ts.URL+"/v1/jobs/"+second.id+"/events"))
-	if !reflect.DeepEqual(types, []string{"queued", "done"}) {
-		t.Fatalf("queue-delayed cached job events %v, want [queued done]", types)
+	if !reflect.DeepEqual(types, []string{"queued", "phases", "done"}) {
+		t.Fatalf("queue-delayed cached job events %v, want [queued phases done]", types)
 	}
 }
 

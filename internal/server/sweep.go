@@ -36,6 +36,8 @@ type Sweep struct {
 type SweepEvent struct {
 	Type  string `json:"type"`
 	Sweep string `json:"sweep"`
+	// TS is the wallclock append time — observability only, never hashed.
+	TS time.Time `json:"ts"`
 	// Job, SpecHash, Status, and Cached describe the finished child on
 	// "child" events.
 	Job      string    `json:"job,omitempty"`
@@ -66,6 +68,7 @@ func newSweep(id string, exp *scenario.Expansion) *Sweep {
 // hold mu — except newSweep, whose sweep is not yet shared.
 func (sw *Sweep) appendLocked(e SweepEvent) {
 	e.Sweep = sw.id
+	e.TS = time.Now()
 	e.Completed = sw.done
 	e.Total = sw.total
 	sw.events = append(sw.events, e)
@@ -139,6 +142,75 @@ func (sw *Sweep) reportData(partial bool) (exp *scenario.Expansion, aggs []scena
 		done++
 	}
 	return sw.exp, aggs, present, done, nil
+}
+
+// PhaseStat summarizes one timing phase across a sweep's terminal
+// children, in milliseconds.
+type PhaseStat struct {
+	Count  int     `json:"count"`
+	MinMS  float64 `json:"min_ms"`
+	MeanMS float64 `json:"mean_ms"`
+	MaxMS  float64 `json:"max_ms"`
+	SumMS  float64 `json:"sum_ms"`
+}
+
+// SweepStats is the GET /v1/sweeps/{id}/stats payload: per-phase timing
+// rollups over the terminal children, plus status and cache-hit counts so
+// the reader can interpret them (cached children contribute near-zero
+// totals and no trial/reduce time).
+type SweepStats struct {
+	ID       string            `json:"id"`
+	Total    int               `json:"total"`
+	Terminal int               `json:"terminal"`
+	Cached   int               `json:"cached"`
+	Counts   map[JobStatus]int `json:"counts"`
+	// Phases keys: queue_wait, trials, reduce, persist, total.
+	Phases map[string]PhaseStat `json:"phases"`
+}
+
+// Stats rolls the terminal children's phase breakdowns up into per-phase
+// count/min/mean/max/sum. Non-terminal children are excluded (their
+// phases are not final); callers can poll until Terminal == Total.
+func (sw *Sweep) Stats() SweepStats {
+	st := SweepStats{
+		ID:     sw.id,
+		Total:  sw.total,
+		Counts: make(map[JobStatus]int, 4),
+		Phases: make(map[string]PhaseStat, 5),
+	}
+	fold := func(name string, v float64) {
+		ps := st.Phases[name]
+		if ps.Count == 0 || v < ps.MinMS {
+			ps.MinMS = v
+		}
+		if v > ps.MaxMS {
+			ps.MaxMS = v
+		}
+		ps.SumMS += v
+		ps.Count++
+		st.Phases[name] = ps
+	}
+	for _, j := range sw.children {
+		v := j.View(false)
+		st.Counts[v.Status]++
+		if v.Phases == nil {
+			continue
+		}
+		st.Terminal++
+		if v.Cached {
+			st.Cached++
+		}
+		fold("queue_wait", v.Phases.QueueWaitMS)
+		fold("trials", v.Phases.TrialsMS)
+		fold("reduce", v.Phases.ReduceMS)
+		fold("persist", v.Phases.PersistMS)
+		fold("total", v.Phases.TotalMS)
+	}
+	for name, ps := range st.Phases {
+		ps.MeanMS = ps.SumMS / float64(ps.Count)
+		st.Phases[name] = ps
+	}
+	return st
 }
 
 // CancelChildren cancels every non-terminal child and reports how many

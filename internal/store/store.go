@@ -25,6 +25,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
 )
 
 // Store is a per-hash file store rooted at one directory. It is safe for
@@ -38,6 +39,7 @@ type Store struct {
 	bytes    int64 // resident payload bytes
 	maxBytes int64 // 0 = unbounded
 	putHook  func(hash string) error
+	observer func(op string, d time.Duration)
 }
 
 // SetPutHook installs a hook consulted before every write; a non-nil
@@ -47,6 +49,16 @@ func (s *Store) SetPutHook(hook func(hash string) error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.putHook = hook
+}
+
+// SetObserver installs a latency observer: it receives the wallclock of
+// every Put ("put") and of every byte-cap GC pass that actually scans the
+// directory ("gc"). nil disables it. Observers run with the store lock
+// held and must not call back into the store.
+func (s *Store) SetObserver(fn func(op string, d time.Duration)) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.observer = fn
 }
 
 // Open creates (if needed) and opens a store rooted at dir.
@@ -150,6 +162,10 @@ func (s *Store) Put(hash string, data []byte) error {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.observer != nil {
+		start := time.Now()
+		defer func() { s.observer("put", time.Since(start)) }()
+	}
 	path := s.path(hash)
 	if _, err := os.Stat(path); err == nil {
 		return nil
@@ -189,6 +205,10 @@ func (s *Store) Put(hash string, data []byte) error {
 func (s *Store) gcLocked(keep string) {
 	if s.maxBytes <= 0 || s.bytes <= s.maxBytes {
 		return
+	}
+	if s.observer != nil {
+		start := time.Now()
+		defer func() { s.observer("gc", time.Since(start)) }()
 	}
 	entries, err := os.ReadDir(s.dir)
 	if err != nil {

@@ -36,6 +36,7 @@ cleanup() {
 trap cleanup EXIT INT TERM
 
 go build -o "$WORK/radiod" ./cmd/radiod
+go build -o "$WORK/promlint" ./cmd/promlint
 
 # Slow every trial on the workers so the kill reliably lands while w1
 # holds a lease; delays never change results.
@@ -108,6 +109,23 @@ curl -sf "$BASE/metrics" | grep -Eq '^radiod_fleet_redispatched [1-9]' \
 	|| { echo "FAIL: /metrics shows no redispatch" >&2; curl -sf "$BASE/metrics" >&2; exit 1; }
 curl -sf "$BASE/metrics" | grep -Eq '^radiod_fleet_workers_dead [1-9]' \
 	|| { echo "FAIL: /metrics shows no dead worker" >&2; curl -sf "$BASE/metrics" >&2; exit 1; }
+
+# The exposition must lint strictly and carry per-worker labeled series:
+# both workers leased and polled, the survivor finished work, and only the
+# survivor still reports a heartbeat age (dead workers' gauges are dropped
+# at scrape time).
+METRICS="$WORK/metrics.txt"
+curl -sf "$BASE/metrics" >"$METRICS"
+"$WORK/promlint" -min-histograms 1 \
+	-require '^radiod_fleet_worker_leases_granted_total\{worker="w1"\} [1-9]' \
+	-require '^radiod_fleet_worker_leases_granted_total\{worker="w2"\} [1-9]' \
+	-require '^radiod_fleet_worker_rpc_total\{worker="w1",rpc="lease"\} [1-9]' \
+	-require '^radiod_fleet_worker_completed_total\{worker="w2"\} [1-9]' \
+	-require '^radiod_fleet_worker_heartbeat_age_seconds\{worker="w2"\}' \
+	"$METRICS" \
+	|| { echo "FAIL: fleet /metrics lacks per-worker series or fails lint" >&2; cat "$METRICS" >&2; exit 1; }
+grep -q '^radiod_fleet_worker_heartbeat_age_seconds{worker="w1"}' "$METRICS" \
+	&& { echo "FAIL: dead worker w1 still reports a heartbeat age" >&2; cat "$METRICS" >&2; exit 1; }
 
 fetch_report "$ID" >"$WORK/report_fleet.csv"
 
