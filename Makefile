@@ -4,7 +4,7 @@ DATE := $(shell date +%F)
 # the same day (e.g. make bench OUT=BENCH_$(DATE)-pr2.json).
 OUT ?= BENCH_$(DATE).json
 
-.PHONY: build test check bench bench-headline bench-sweep bench-report verify serve sweep-e2e crash-e2e fleet-e2e metrics-e2e chaos
+.PHONY: build test check detvet fuzz-smoke bench bench-headline bench-sweep bench-report verify serve sweep-e2e crash-e2e fleet-e2e metrics-e2e chaos
 
 build:
 	$(GO) build ./...
@@ -14,13 +14,26 @@ test:
 
 verify: build test
 
-# check is the tier-1 gate (see ROADMAP.md): formatting, vet, build, tests.
+# check is the tier-1 gate (see ROADMAP.md): formatting, vet, detvet,
+# build, tests. detvet is the in-repo determinism/hash-neutrality linter
+# (see DESIGN.md "Static analysis"); a finding fails the gate.
 check:
 	@fmtout=$$(gofmt -l .); if [ -n "$$fmtout" ]; then \
 		echo "gofmt needed on:"; echo "$$fmtout"; exit 1; fi
 	$(GO) vet ./...
+	$(GO) run ./cmd/detvet ./...
 	$(GO) build ./...
 	$(GO) test ./...
+
+# detvet runs the determinism & hash-neutrality analyzers standalone
+# (walltime, globalrand, maporder, journalerr, hashneutral, annotations).
+detvet:
+	$(GO) run ./cmd/detvet ./...
+
+# fuzz-smoke runs the spec-canonicalization fuzzer briefly — long enough to
+# replay the corpus and shake the mutator, short enough for CI.
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz FuzzSpecCanonicalization -fuzztime 30s ./internal/scenario
 
 # serve runs the simulation service daemon (see examples/radiod/README.md
 # for the API quickstart; ADDR overrides the listen address).

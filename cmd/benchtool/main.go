@@ -61,14 +61,14 @@ func main() {
 	out := flag.String("out", "", "output JSON path (default: BENCH_<date>.json)")
 	flag.Parse()
 	if *out == "" {
-		*out = fmt.Sprintf("BENCH_%s.json", time.Now().Format("2006-01-02"))
+		*out = fmt.Sprintf("BENCH_%s.json", time.Now().Format("2006-01-02")) //detvet:wallclock snapshot filename date; bench metadata, not simulation state
 	}
 	snap, err := parse(bufio.NewScanner(os.Stdin))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchtool:", err)
 		os.Exit(1)
 	}
-	snap.Date = time.Now().Format(time.RFC3339)
+	snap.Date = time.Now().Format(time.RFC3339) //detvet:wallclock bench snapshot metadata
 	data, err := json.MarshalIndent(snap, "", "  ")
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchtool:", err)

@@ -1,0 +1,55 @@
+// Command detvet is the repo's determinism lint wall: a suite of static
+// analyzers that mechanically enforce the invariant every layer rests on —
+// execution is a pure function of (spec, seed), so reports, cached results,
+// and journal replays are byte-identical across restarts, workers, and
+// crashes.
+//
+// Usage:
+//
+//	go run ./cmd/detvet [-list] [packages]
+//
+// With no package patterns it analyzes ./... from the current directory.
+// Findings print as file:line:col: analyzer: message and a non-zero exit
+// makes `make check` (and CI) fail. See the "Static analysis" section of
+// DESIGN.md for each analyzer's rationale and the //detvet:<key> <reason>
+// annotation grammar.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dualradio/internal/analysis"
+)
+
+func main() {
+	list := flag.Bool("list", false, "print the analyzer suite and exit")
+	flag.Parse()
+
+	analyzers := analysis.All()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := analysis.Load(".", patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "detvet:", err)
+		os.Exit(2)
+	}
+	diags := analysis.Analyze(pkgs, analyzers)
+	for _, d := range diags {
+		fmt.Printf("%s: %s: %s\n", d.Pos, d.Analyzer, d.Message)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "detvet: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,308 @@
+// Package analysis is detvet's static-analysis framework: a deliberately
+// small, stdlib-only reimplementation of the slice of
+// golang.org/x/tools/go/analysis that the repo's determinism lint wall
+// needs. (The build environment pins the module graph to the standard
+// library, so the x/tools multichecker is not available; the Analyzer /
+// Pass / Diagnostic shape below mirrors it closely enough that a future
+// migration is mechanical.)
+//
+// The analyzers in this package encode the invariant the whole system is
+// named for: execution is a pure function of (spec, seed), so results,
+// reports, and journal replays are byte-identical across restarts, workers,
+// and crashes. Differential tests (e.g. TestWallclockStampsAreHashNeutral)
+// catch violations after the fact; these analyzers reject them at `make
+// check` time.
+//
+// # Annotation grammar
+//
+// A diagnostic is suppressed by a detvet annotation — a line or block
+// comment of the form
+//
+//	//detvet:<key> <reason>
+//
+// placed on the same line as the flagged expression (trailing — covers
+// exactly that line) or alone on the line immediately above it (covers
+// exactly the next line). The <key> names the analyzer's escape hatch
+// (the walltime analyzer uses the key "wallclock"); the <reason> is a
+// free-form justification and is mandatory: an annotation without a reason
+// is itself a diagnostic, so an escape hatch can never be silent. Marker
+// keys (currently "hashed", consumed by the hashneutral analyzer) label
+// declarations rather than excusing diagnostics and need no reason.
+// Unknown keys are diagnostics too, so a typoed annotation fails loudly
+// instead of silently not suppressing.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// An Analyzer describes one detvet check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics.
+	Name string
+	// Doc is the one-paragraph description printed by detvet -list.
+	Doc string
+	// Keys are the annotation keys whose //detvet:<key> <reason> comments
+	// suppress this analyzer's diagnostics. Usually {Name}; walltime uses
+	// the established "wallclock" key.
+	Keys []string
+	// MarkerKeys are annotation keys this analyzer consumes as declaration
+	// markers (no reason required, no suppression semantics).
+	MarkerKeys []string
+	// Run reports diagnostics via pass.Reportf.
+	Run func(*Pass)
+}
+
+// A Diagnostic is one finding, positioned for file:line:col printing.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+// A Pass carries one analyzer's run over one package.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+
+	annots []Annotation
+	diags  []Diagnostic
+}
+
+// An Annotation is one parsed //detvet:<key> <reason> comment.
+type Annotation struct {
+	Key    string
+	Reason string
+	File   string
+	Line   int
+	Pos    token.Pos
+	// OwnLine reports whether the annotation is alone on its line. A
+	// standalone annotation covers the line below it; a trailing one covers
+	// exactly the line it shares with code — never the next line, so an
+	// annotation can't silently leak onto an unrelated neighbor.
+	OwnLine bool
+}
+
+// annotationPrefix is what a comment body must start with to be a detvet
+// annotation. Like //go:build directives there is no space after the
+// comment marker, so prose that merely mentions an annotation never parses
+// as one.
+const annotationPrefix = "detvet:"
+
+// parseAnnotations extracts every detvet annotation from the files'
+// comments, line and block comments alike.
+func parseAnnotations(fset *token.FileSet, files []*ast.File) []Annotation {
+	var out []Annotation
+	for _, f := range files {
+		// Mark the lines that hold code tokens so trailing annotations can
+		// be told apart from standalone ones.
+		codeLines := map[int]bool{}
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n == nil {
+				return false
+			}
+			if _, isComment := n.(*ast.Comment); isComment {
+				return false
+			}
+			if _, isGroup := n.(*ast.CommentGroup); isGroup {
+				return false
+			}
+			if n.Pos().IsValid() {
+				codeLines[fset.Position(n.Pos()).Line] = true
+			}
+			return true
+		})
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				body := c.Text
+				switch {
+				case strings.HasPrefix(body, "//"):
+					body = body[2:]
+				case strings.HasPrefix(body, "/*"):
+					body = strings.TrimSuffix(body[2:], "*/")
+				}
+				if !strings.HasPrefix(body, annotationPrefix) {
+					continue
+				}
+				rest := strings.TrimPrefix(body, annotationPrefix)
+				key, reason, _ := strings.Cut(rest, " ")
+				pos := fset.Position(c.Pos())
+				out = append(out, Annotation{
+					Key:     strings.TrimSpace(key),
+					Reason:  strings.TrimSpace(reason),
+					File:    pos.Filename,
+					Line:    pos.Line,
+					Pos:     c.Pos(),
+					OwnLine: !codeLines[pos.Line],
+				})
+			}
+		}
+	}
+	return out
+}
+
+// Reportf records a diagnostic at pos unless a matching annotation
+// suppresses it. An annotation matches when its key is one of the
+// analyzer's Keys and it sits on the diagnostic's line (trailing) or the
+// line immediately above. A reasonless annotation still suppresses — its
+// own "requires a reason" diagnostic is the single actionable finding.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	if p.suppressed(position) {
+		return
+	}
+	p.diags = append(p.diags, Diagnostic{
+		Pos:      position,
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+func (p *Pass) suppressed(pos token.Position) bool {
+	for _, a := range p.annots {
+		if a.File != pos.Filename {
+			continue
+		}
+		if a.OwnLine {
+			if a.Line != pos.Line-1 {
+				continue
+			}
+		} else if a.Line != pos.Line {
+			continue
+		}
+		for _, k := range p.Analyzer.Keys {
+			if a.Key == k {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Annotations returns the package's parsed detvet annotations (all keys,
+// not just this analyzer's). Analyzers that consume markers use this.
+func (p *Pass) Annotations() []Annotation { return p.annots }
+
+// RunAnalyzer runs one analyzer over one loaded package and returns its
+// diagnostics, including the "annotation requires a reason" findings for
+// the analyzer's own keys.
+func RunAnalyzer(a *Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info) []Diagnostic {
+	pass := &Pass{
+		Analyzer: a,
+		Fset:     fset,
+		Files:    files,
+		Pkg:      pkg,
+		Info:     info,
+		annots:   parseAnnotations(fset, files),
+	}
+	a.Run(pass)
+	for _, an := range pass.annots {
+		for _, k := range a.Keys {
+			if an.Key == k && an.Reason == "" {
+				pass.diags = append(pass.diags, Diagnostic{
+					Pos:      fset.Position(an.Pos),
+					Analyzer: a.Name,
+					Message: fmt.Sprintf("//detvet:%s annotation requires a reason (write //detvet:%s <why this site is exempt>)",
+						k, k),
+				})
+			}
+		}
+	}
+	return pass.diags
+}
+
+// KnownKeys collects every annotation key the analyzer set understands.
+func KnownKeys(analyzers []*Analyzer) map[string]bool {
+	known := map[string]bool{}
+	for _, a := range analyzers {
+		for _, k := range a.Keys {
+			known[k] = true
+		}
+		for _, k := range a.MarkerKeys {
+			known[k] = true
+		}
+	}
+	return known
+}
+
+// CheckAnnotations flags detvet annotations whose key no analyzer in the
+// run understands: a typo in the key would otherwise silently fail to
+// suppress anything.
+func CheckAnnotations(fset *token.FileSet, files []*ast.File, known map[string]bool) []Diagnostic {
+	var diags []Diagnostic
+	for _, a := range parseAnnotations(fset, files) {
+		if known[a.Key] {
+			continue
+		}
+		diags = append(diags, Diagnostic{
+			Pos:      fset.Position(a.Pos),
+			Analyzer: "annotations",
+			Message:  fmt.Sprintf("unknown detvet annotation key %q", a.Key),
+		})
+	}
+	return diags
+}
+
+// Analyze runs every analyzer over every package, checks annotation keys,
+// and returns the deduplicated findings in file/line order.
+func Analyze(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	known := KnownKeys(analyzers)
+	var diags []Diagnostic
+	for _, p := range pkgs {
+		for _, a := range analyzers {
+			diags = append(diags, RunAnalyzer(a, p.Fset, p.Files, p.Types, p.Info)...)
+		}
+		diags = append(diags, CheckAnnotations(p.Fset, p.Files, known)...)
+	}
+	seen := map[string]bool{}
+	out := diags[:0]
+	for _, d := range diags {
+		key := fmt.Sprintf("%s:%d:%d:%s:%s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		out = append(out, d)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Pos.Filename != out[j].Pos.Filename {
+			return out[i].Pos.Filename < out[j].Pos.Filename
+		}
+		if out[i].Pos.Line != out[j].Pos.Line {
+			return out[i].Pos.Line < out[j].Pos.Line
+		}
+		if out[i].Pos.Column != out[j].Pos.Column {
+			return out[i].Pos.Column < out[j].Pos.Column
+		}
+		return out[i].Analyzer < out[j].Analyzer
+	})
+	return out
+}
+
+// FuncOf resolves the *types.Func a call or selector expression names, or
+// nil when the expression is not a statically-known function or method
+// (builtins, type conversions, function-typed variables).
+func FuncOf(info *types.Info, e ast.Expr) *types.Func {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		fn, _ := info.Uses[e].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := info.Uses[e.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// All returns the detvet analyzer suite in its canonical order.
+func All() []*Analyzer {
+	return []*Analyzer{Walltime, Globalrand, Maporder, Journalerr, Hashneutral}
+}

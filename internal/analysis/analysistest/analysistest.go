@@ -1,0 +1,250 @@
+// Package analysistest runs a detvet analyzer over a directory of fixture
+// files and checks its diagnostics against `// want "regexp"` comments, the
+// same contract as golang.org/x/tools/go/analysis/analysistest. Fixtures
+// type-check against small in-memory stubs of the packages the analyzers
+// care about (time, math/rand/v2, encoding/json, crypto/sha256, sort,
+// dualradio/internal/journal, …), so the tests are hermetic: no go tool,
+// no build cache, no network.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+
+	"dualradio/internal/analysis"
+)
+
+// stubs maps import paths to minimal package sources. Bodies are omitted
+// (bodyless functions type-check like assembly-backed declarations);
+// signatures only need to be close enough for the analyzers' package-path +
+// name matching.
+var stubs = map[string]string{
+	"time": `package time
+type Duration int64
+func (d Duration) Seconds() float64
+type Time struct{ wall uint64 }
+func (t Time) Sub(u Time) Duration
+func Now() Time
+func Since(t Time) Duration
+func Until(t Time) Duration
+func Tick(d Duration) <-chan Time
+func After(d Duration) <-chan Time
+func Sleep(d Duration)
+`,
+	"math/rand/v2": `package rand
+type Source interface{ Uint64() uint64 }
+type PCG struct{ hi, lo uint64 }
+func NewPCG(seed1, seed2 uint64) *PCG
+func (p *PCG) Uint64() uint64
+type Rand struct{ src Source }
+func New(src Source) *Rand
+func (r *Rand) IntN(n int) int
+func (r *Rand) Float64() float64
+func (r *Rand) Uint64() uint64
+func IntN(n int) int
+func Int() int
+func Uint64() uint64
+func Float64() float64
+func Perm(n int) []int
+func Shuffle(n int, swap func(i, j int))
+`,
+	"encoding/json": `package json
+func Marshal(v any) ([]byte, error)
+func MarshalIndent(v any, prefix, indent string) ([]byte, error)
+type Encoder struct{ w any }
+func NewEncoder(w any) *Encoder
+func (e *Encoder) Encode(v any) error
+`,
+	"hash": `package hash
+type Hash interface {
+	Write(p []byte) (n int, err error)
+	Sum(b []byte) []byte
+}
+`,
+	"crypto/sha256": `package sha256
+import "hash"
+const Size = 32
+func Sum256(data []byte) [Size]byte
+func New() hash.Hash
+`,
+	"sort": `package sort
+func Strings(x []string)
+func Ints(x []int)
+func Slice(x any, less func(i, j int) bool)
+`,
+	"slices": `package slices
+type ordered interface{ ~int | ~int64 | ~float64 | ~string }
+func Sort[E ordered](x []E)
+func SortFunc[E any](x []E, cmp func(a, b E) int)
+`,
+	"dualradio/internal/journal": `package journal
+type Journal struct{ path string }
+func Begin(path string) (*Journal, error)
+func (j *Journal) Append(v any) error
+func (j *Journal) Seal() error
+func (j *Journal) Compact(records []any) error
+`,
+	"dualradio/internal/store": `package store
+type Store struct{ dir string }
+func Open(dir string) (*Store, error)
+func (s *Store) Put(hash string, data []byte) error
+func (s *Store) Get(hash string) ([]byte, bool, error)
+`,
+	"example.com/remote": `package remote
+type Untagged struct {
+	Epochs float64
+	Phase  float64
+}
+type Tagged struct {
+	Epochs float64 ` + "`json:\"epochs,omitempty\"`" + `
+}
+`,
+}
+
+// stubImporter lazily type-checks stub sources, using itself for nested
+// stub imports.
+type stubImporter struct {
+	fset *token.FileSet
+	pkgs map[string]*types.Package
+}
+
+func (si *stubImporter) Import(path string) (*types.Package, error) {
+	if p, ok := si.pkgs[path]; ok {
+		return p, nil
+	}
+	src, ok := stubs[path]
+	if !ok {
+		return nil, fmt.Errorf("analysistest: no stub for import %q", path)
+	}
+	f, err := parser.ParseFile(si.fset, path+"/stub.go", src, 0)
+	if err != nil {
+		return nil, fmt.Errorf("analysistest: parse stub %q: %v", path, err)
+	}
+	conf := types.Config{Importer: si}
+	pkg, err := conf.Check(path, si.fset, []*ast.File{f}, nil)
+	if err != nil {
+		return nil, fmt.Errorf("analysistest: typecheck stub %q: %v", path, err)
+	}
+	si.pkgs[path] = pkg
+	return pkg, nil
+}
+
+// expectation is one `// want` regexp anchored to a file line.
+type expectation struct {
+	file string
+	line int
+	rx   *regexp.Regexp
+}
+
+var wantRe = regexp.MustCompile("`([^`]*)`|\"([^\"]*)\"")
+
+// parseWants extracts the expectations from `// want "rx" "rx2"` comments.
+func parseWants(t *testing.T, fset *token.FileSet, files []*ast.File) []expectation {
+	t.Helper()
+	var wants []expectation
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				body, ok := strings.CutPrefix(c.Text, "// want ")
+				if !ok {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				matches := wantRe.FindAllStringSubmatch(body, -1)
+				if len(matches) == 0 {
+					t.Fatalf("%s: malformed want comment %q", pos, c.Text)
+				}
+				for _, m := range matches {
+					pat := m[1]
+					if pat == "" {
+						pat = m[2]
+					}
+					rx, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %q: %v", pos, pat, err)
+					}
+					wants = append(wants, expectation{file: pos.Filename, line: pos.Line, rx: rx})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// Run loads every .go file under dir as one fixture package, runs the
+// analyzer (with the framework's annotation semantics), and asserts that
+// diagnostics and `// want` expectations match one-to-one per line.
+func Run(t *testing.T, a *analysis.Analyzer, dir string) {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("analysistest: %v", err)
+	}
+	fset := token.NewFileSet()
+	var files []*ast.File
+	var names []string
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		names = append(names, e.Name())
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		t.Fatalf("analysistest: no fixture files in %s", dir)
+	}
+	for _, name := range names {
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			t.Fatalf("analysistest: parse %s: %v", name, err)
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	si := &stubImporter{fset: fset, pkgs: map[string]*types.Package{}}
+	conf := types.Config{Importer: si}
+	pkg, err := conf.Check("fixture", fset, files, info)
+	if err != nil {
+		t.Fatalf("analysistest: typecheck fixtures in %s: %v", dir, err)
+	}
+
+	diags := analysis.RunAnalyzer(a, fset, files, pkg, info)
+	wants := parseWants(t, fset, files)
+
+	matchedDiag := make([]bool, len(diags))
+	for _, w := range wants {
+		found := false
+		for i, d := range diags {
+			if matchedDiag[i] || d.Pos.Filename != w.file || d.Pos.Line != w.line {
+				continue
+			}
+			if w.rx.MatchString(d.Message) {
+				matchedDiag[i] = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("%s:%d: no diagnostic matching %q", w.file, w.line, w.rx)
+		}
+	}
+	for i, d := range diags {
+		if !matchedDiag[i] {
+			t.Errorf("%s: unexpected diagnostic: %s: %s", d.Pos, d.Analyzer, d.Message)
+		}
+	}
+}

@@ -1,0 +1,28 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"dualradio/internal/analysis"
+	"dualradio/internal/analysis/analysistest"
+)
+
+func TestWalltime(t *testing.T) {
+	analysistest.Run(t, analysis.Walltime, "testdata/walltime")
+}
+
+func TestGlobalrand(t *testing.T) {
+	analysistest.Run(t, analysis.Globalrand, "testdata/globalrand")
+}
+
+func TestMaporder(t *testing.T) {
+	analysistest.Run(t, analysis.Maporder, "testdata/maporder")
+}
+
+func TestJournalerr(t *testing.T) {
+	analysistest.Run(t, analysis.Journalerr, "testdata/journalerr")
+}
+
+func TestHashneutral(t *testing.T) {
+	analysistest.Run(t, analysis.Hashneutral, "testdata/hashneutral")
+}

@@ -1,0 +1,88 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+func parseOne(t *testing.T, src string) (*token.FileSet, []*ast.File) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "a.go", src, parser.ParseComments|parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return fset, []*ast.File{f}
+}
+
+func TestParseAnnotations(t *testing.T) {
+	fset, files := parseOne(t, `package p
+
+//detvet:wallclock event timestamp only
+var a int
+
+var b int //detvet:journalerr best-effort shutdown
+
+/*detvet:maporder consumer is a set*/
+var c int
+
+// detvet:wallclock a space after the marker means prose, not an annotation
+var d int
+
+// The //detvet:wallclock grammar mentioned mid-comment is not an annotation.
+var e int
+`)
+	got := parseAnnotations(fset, files)
+	if len(got) != 3 {
+		t.Fatalf("got %d annotations, want 3: %+v", len(got), got)
+	}
+	wants := []struct {
+		key, reason string
+		line        int
+	}{
+		{"wallclock", "event timestamp only", 3},
+		{"journalerr", "best-effort shutdown", 6},
+		{"maporder", "consumer is a set", 8},
+	}
+	for i, w := range wants {
+		a := got[i]
+		if a.Key != w.key || a.Reason != w.reason || a.Line != w.line {
+			t.Errorf("annotation %d = {%q %q line %d}, want {%q %q line %d}",
+				i, a.Key, a.Reason, a.Line, w.key, w.reason, w.line)
+		}
+	}
+}
+
+func TestCheckAnnotationsUnknownKey(t *testing.T) {
+	fset, files := parseOne(t, `package p
+
+//detvet:walltime wrong key: the walltime analyzer's hatch is "wallclock"
+var a int
+
+//detvet:wallclock correctly keyed
+var b int
+`)
+	known := KnownKeys(All())
+	diags := CheckAnnotations(fset, files, known)
+	if len(diags) != 1 {
+		t.Fatalf("got %d diagnostics, want 1: %+v", len(diags), diags)
+	}
+	if !strings.Contains(diags[0].Message, `unknown detvet annotation key "walltime"`) {
+		t.Errorf("unexpected message: %s", diags[0].Message)
+	}
+}
+
+func TestKnownKeysCoverSuite(t *testing.T) {
+	known := KnownKeys(All())
+	for _, k := range []string{"wallclock", "globalrand", "maporder", "journalerr", "hashneutral", "hashed"} {
+		if !known[k] {
+			t.Errorf("key %q missing from the suite's known set", k)
+		}
+	}
+	if known["walltime"] {
+		t.Error("walltime must not be an annotation key; the hatch is spelled wallclock")
+	}
+}

@@ -1,0 +1,51 @@
+package analysis
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// Globalrand forbids the package-level math/rand and math/rand/v2
+// convenience functions (rand.IntN, rand.Float64, rand.Shuffle, …)
+// everywhere: they draw from a process-global generator seeded outside the
+// spec, so two runs of the same (spec, seed) would diverge. Constructors
+// (rand.New, rand.NewPCG, rand.NewChaCha8, rand.NewZipf, rand.NewSource)
+// and methods on an explicit *rand.Rand are fine — that is exactly the
+// discipline the repo already follows: every consumer threads a seeded
+// *rand.Rand or PCG stream derived from the spec seed.
+var Globalrand = &Analyzer{
+	Name: "globalrand",
+	Doc: "forbid package-level math/rand[/v2] functions; randomness must flow " +
+		"from a seeded *rand.Rand derived from the spec seed",
+	Keys: []string{"globalrand"},
+	Run:  runGlobalrand,
+}
+
+func runGlobalrand(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn := FuncOf(pass.Info, sel)
+			if fn == nil || fn.Pkg() == nil {
+				return true
+			}
+			path := fn.Pkg().Path()
+			if path != "math/rand" && path != "math/rand/v2" {
+				return true
+			}
+			if sig := fn.Signature(); sig != nil && sig.Recv() != nil {
+				return true // methods on an explicit generator are the sanctioned form
+			}
+			if strings.HasPrefix(fn.Name(), "New") {
+				return true // constructors produce the explicit generator
+			}
+			pass.Reportf(sel.Pos(),
+				"rand.%s draws from the process-global generator; thread a seeded *rand.Rand (or PCG stream) derived from the spec seed instead",
+				fn.Name())
+			return true
+		})
+	}
+}

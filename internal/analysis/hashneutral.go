@@ -1,0 +1,302 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"reflect"
+	"sort"
+	"strings"
+)
+
+// Hashneutral enforces struct-tag discipline on canonically-hashed structs
+// so a new field can never half-join the hash. A struct is covered when it
+// has a CanonicalHash method (the spec-identity contract: hash = SHA-256 of
+// the canonical form's JSON) or carries a //detvet:hashed marker (structs
+// whose JSON encoding is persisted or compared byte-for-byte, e.g. results
+// served from the write-once store). Coverage extends recursively through
+// struct-typed fields, including pointers, slices, and cross-package types.
+//
+// Rules, in order, one diagnostic per field:
+//
+//   - every field must be exported: encoding/json silently skips unexported
+//     fields, so two specs differing there would collide on one hash;
+//   - every field must carry an explicit json tag (or json:"-"): an
+//     untagged field joins the encoding under its raw Go name;
+//   - on CanonicalHash structs only, every tagged field must either use
+//     omitempty, be explicitly cleared in the CanonicalHash method body
+//     (the established hash-excluded marker, e.g. Name and TimeoutMS), or
+//     carry a //detvet:hashneutral <reason> annotation. A field that always
+//     marshals changes the canonical bytes of every pre-existing spec the
+//     moment it is added, orphaning every stored result.
+var Hashneutral = &Analyzer{
+	Name: "hashneutral",
+	Doc: "struct-tag discipline for canonically-hashed structs: exported, " +
+		"explicitly json-tagged, and omitempty/cleared/annotated so new fields " +
+		"cannot silently rewrite existing hashes",
+	Keys:       []string{"hashneutral"},
+	MarkerKeys: []string{"hashed"},
+	Run:        runHashneutral,
+}
+
+// hashedMode distinguishes the two coverage tiers.
+type hashedMode int
+
+const (
+	// modeCanonical covers structs with a CanonicalHash method: full rules
+	// including the omitempty/cleared discipline (hash identity must be
+	// stable across schema growth).
+	modeCanonical hashedMode = iota
+	// modeMarked covers //detvet:hashed structs: exported + tagged only
+	// (their bytes are persisted per-version; growth is allowed to change
+	// new encodings but never to smuggle fields past the encoder).
+	modeMarked
+)
+
+func runHashneutral(pass *Pass) {
+	specs := map[*types.TypeName]*ast.TypeSpec{}
+	var marked, canonical []*types.TypeName
+	cleared := map[*types.TypeName]map[string]bool{}
+
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.TYPE {
+				continue
+			}
+			for _, s := range gd.Specs {
+				ts, ok := s.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				tn, ok := pass.Info.Defs[ts.Name].(*types.TypeName)
+				if !ok {
+					continue
+				}
+				specs[tn] = ts
+				if hasHashedMarker(gd.Doc) || hasHashedMarker(ts.Doc) {
+					marked = append(marked, tn)
+				}
+			}
+		}
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Name.Name != "CanonicalHash" || fd.Recv == nil || len(fd.Recv.List) == 0 {
+				continue
+			}
+			tn := receiverTypeName(pass.Info, fd.Recv.List[0].Type)
+			if tn == nil {
+				continue
+			}
+			if _, isStruct := tn.Type().Underlying().(*types.Struct); !isStruct {
+				continue
+			}
+			canonical = append(canonical, tn)
+			cleared[tn] = clearedFields(pass.Info, fd, tn)
+		}
+	}
+
+	sort.Slice(canonical, func(i, j int) bool { return canonical[i].Pos() < canonical[j].Pos() })
+	sort.Slice(marked, func(i, j int) bool { return marked[i].Pos() < marked[j].Pos() })
+
+	c := &hashChecker{pass: pass, specs: specs, visited: map[visitKey]bool{}}
+	for _, tn := range canonical {
+		c.checkStruct(tn, modeCanonical, cleared[tn], token.NoPos)
+	}
+	for _, tn := range marked {
+		c.checkStruct(tn, modeMarked, nil, token.NoPos)
+	}
+}
+
+func hasHashedMarker(doc *ast.CommentGroup) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		if strings.HasPrefix(c.Text, "//"+annotationPrefix+"hashed") {
+			return true
+		}
+	}
+	return false
+}
+
+func receiverTypeName(info *types.Info, recv ast.Expr) *types.TypeName {
+	if star, ok := recv.(*ast.StarExpr); ok {
+		recv = star.X
+	}
+	id, ok := recv.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	tn, _ := info.Uses[id].(*types.TypeName)
+	if tn == nil {
+		tn, _ = info.Defs[id].(*types.TypeName)
+	}
+	return tn
+}
+
+// clearedFields collects the field names the CanonicalHash body assigns on
+// any value of the receiver struct type — the established hash-excluded
+// marker (`c.Name = ""`, `c.TimeoutMS = 0` before marshalling).
+func clearedFields(info *types.Info, fd *ast.FuncDecl, tn *types.TypeName) map[string]bool {
+	out := map[string]bool{}
+	if fd.Body == nil {
+		return out
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		assign, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for _, lhs := range assign.Lhs {
+			sel, ok := lhs.(*ast.SelectorExpr)
+			if !ok {
+				continue
+			}
+			tv, ok := info.Types[sel.X]
+			if !ok || tv.Type == nil {
+				continue
+			}
+			t := tv.Type
+			if ptr, ok := t.Underlying().(*types.Pointer); ok {
+				t = ptr.Elem()
+			}
+			if named, ok := t.(*types.Named); ok && named.Obj() == tn {
+				out[sel.Sel.Name] = true
+			}
+		}
+		return true
+	})
+	return out
+}
+
+type visitKey struct {
+	tn   *types.TypeName
+	mode hashedMode
+}
+
+type hashChecker struct {
+	pass    *Pass
+	specs   map[*types.TypeName]*ast.TypeSpec
+	visited map[visitKey]bool
+}
+
+// checkStruct applies the field rules to tn's struct and recurses into
+// struct-typed fields. For same-package structs diagnostics anchor on the
+// field declaration; for cross-package structs (whose source is out of
+// reach) they anchor on fallbackPos, the referencing field, so a single
+// //detvet:hashneutral annotation there vouches for the whole remote type.
+func (c *hashChecker) checkStruct(tn *types.TypeName, mode hashedMode, cleared map[string]bool, fallbackPos token.Pos) {
+	key := visitKey{tn, mode}
+	if c.visited[key] {
+		return
+	}
+	c.visited[key] = true
+	st, ok := tn.Type().Underlying().(*types.Struct)
+	if !ok {
+		return
+	}
+	local := tn.Pkg() == c.pass.Pkg
+	for i := 0; i < st.NumFields(); i++ {
+		fld := st.Field(i)
+		pos := fallbackPos
+		if local {
+			if p := c.fieldPos(tn, fld.Name()); p != token.NoPos {
+				pos = p
+			}
+		}
+		where := fmt.Sprintf("hashed struct %s: field %s", tn.Name(), fld.Name())
+		if !local {
+			where = fmt.Sprintf("hashed struct %s (via %s.%s): field %s",
+				tn.Pkg().Path(), tn.Pkg().Name(), tn.Name(), fld.Name())
+		}
+		if !fld.Exported() {
+			c.pass.Reportf(pos,
+				"%s is unexported: encoding/json skips it, so the canonical hash silently ignores it", where)
+			continue
+		}
+		jsonTag, hasTag := reflect.StructTag(st.Tag(i)).Lookup("json")
+		if !hasTag {
+			c.pass.Reportf(pos,
+				"%s has no json tag: it joins the canonical encoding under its raw Go name; tag it explicitly (or json:\"-\" to exclude it)", where)
+			continue
+		}
+		name, opts, _ := strings.Cut(jsonTag, ",")
+		if name == "-" && opts == "" {
+			continue // excluded from the encoding entirely
+		}
+		// encoding/json ignores omitempty on non-pointer struct fields, so
+		// requiring it there would be noise; the discipline lives in the
+		// nested struct's own fields, which the recursion below covers.
+		_, inlineStruct := fld.Type().Underlying().(*types.Struct)
+		if mode == modeCanonical && !inlineStruct &&
+			!strings.Contains(","+opts+",", ",omitempty,") &&
+			!cleared[fld.Name()] {
+			c.pass.Reportf(pos,
+				"%s always joins the canonical encoding: adding such a field rewrites every existing spec hash; add omitempty, clear it in CanonicalHash, or annotate //detvet:hashneutral <reason>", where)
+			continue
+		}
+		if elem := structElem(fld.Type()); elem != nil {
+			c.checkStruct(elem, mode, nil, pos)
+		}
+	}
+}
+
+// fieldPos finds the declaration position of a field in a same-package
+// struct type.
+func (c *hashChecker) fieldPos(tn *types.TypeName, field string) token.Pos {
+	ts := c.specs[tn]
+	if ts == nil {
+		return token.NoPos
+	}
+	structType, ok := ts.Type.(*ast.StructType)
+	if !ok {
+		return token.NoPos
+	}
+	for _, f := range structType.Fields.List {
+		for _, name := range f.Names {
+			if name.Name == field {
+				return name.Pos()
+			}
+		}
+	}
+	return token.NoPos
+}
+
+// structElem unwraps pointers, slices, arrays, and map values down to a
+// named struct type worth recursing into; basic types, interfaces, and
+// stdlib opaque types return nil.
+func structElem(t types.Type) *types.TypeName {
+	for {
+		switch u := t.(type) {
+		case *types.Pointer:
+			t = u.Elem()
+		case *types.Slice:
+			t = u.Elem()
+		case *types.Array:
+			t = u.Elem()
+		case *types.Map:
+			t = u.Elem()
+		case *types.Named:
+			if _, ok := u.Underlying().(*types.Struct); !ok {
+				return nil
+			}
+			tn := u.Obj()
+			if tn.Pkg() == nil {
+				return nil
+			}
+			// A type with its own MarshalJSON controls its encoding
+			// wholesale; its fields are not the hash surface (time.Time is
+			// the canonical example).
+			if m, _, _ := types.LookupFieldOrMethod(types.NewPointer(u), true, nil, "MarshalJSON"); m != nil {
+				return nil
+			}
+			return tn
+		default:
+			return nil
+		}
+	}
+}

@@ -1,0 +1,113 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// Journalerr requires the error of every durability-critical call —
+// journal.Append, journal.Seal, journal.Compact, store.Put — to be
+// checked. These calls are the crash-safety contract: a dropped Append
+// error means a job the journal replay will never re-admit, a dropped Put
+// error a result the next restart silently recomputes. Discarding the
+// error with `_` counts as unchecked, as do `go` and `defer` statements
+// (their error has nowhere to go).
+var Journalerr = &Analyzer{
+	Name: "journalerr",
+	Doc: "require the error of journal.Append/Seal/Compact and store.Put to be " +
+		"checked; dropped durability errors break crash-safe replay",
+	Keys: []string{"journalerr"},
+	Run:  runJournalerr,
+}
+
+// durabilityTarget reports whether fn is one of the journal/store calls
+// whose error the analyzer guards. Matching is by defining package path
+// suffix plus name, so the check is typo-proof against unrelated methods
+// that happen to share a name (e.g. slices.Compact).
+func durabilityTarget(fn *types.Func) bool {
+	if fn == nil || fn.Pkg() == nil {
+		return false
+	}
+	switch path := fn.Pkg().Path(); {
+	case strings.HasSuffix(path, "internal/journal"):
+		switch fn.Name() {
+		case "Append", "Seal", "Compact":
+			return true
+		}
+	case strings.HasSuffix(path, "internal/store"):
+		return fn.Name() == "Put"
+	}
+	return false
+}
+
+func runJournalerr(pass *Pass) {
+	describe := func(call *ast.CallExpr) (*types.Func, bool) {
+		fn := FuncOf(pass.Info, call.Fun)
+		return fn, durabilityTarget(fn)
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := n.X.(*ast.CallExpr); ok {
+					if fn, hit := describe(call); hit {
+						pass.Reportf(call.Pos(),
+							"error of %s.%s is unchecked; a dropped durability error breaks crash-safe replay",
+							fn.Pkg().Name(), fn.Name())
+					}
+				}
+			case *ast.GoStmt:
+				if fn, hit := describe(n.Call); hit {
+					pass.Reportf(n.Call.Pos(),
+						"error of %s.%s is unchecked in go statement", fn.Pkg().Name(), fn.Name())
+				}
+			case *ast.DeferStmt:
+				if fn, hit := describe(n.Call); hit {
+					pass.Reportf(n.Call.Pos(),
+						"error of %s.%s is unchecked in defer statement", fn.Pkg().Name(), fn.Name())
+				}
+			case *ast.AssignStmt:
+				checkAssign(pass, n, describe)
+			}
+			return true
+		})
+	}
+}
+
+// checkAssign flags durability calls whose error lands in a blank
+// identifier, in both the 1:1 form `_ = j.Append(v)` and the tuple form
+// `v, _ := store.Get(...)`-style assignments where the error result's slot
+// is blank.
+func checkAssign(pass *Pass, n *ast.AssignStmt, describe func(*ast.CallExpr) (*types.Func, bool)) {
+	report := func(call *ast.CallExpr, fn *types.Func) {
+		pass.Reportf(call.Pos(),
+			"error of %s.%s is discarded with _; a dropped durability error breaks crash-safe replay",
+			fn.Pkg().Name(), fn.Name())
+	}
+	if len(n.Rhs) == 1 && len(n.Lhs) > 1 {
+		// Tuple assignment from one multi-result call: the error is by
+		// convention the final result.
+		if call, ok := n.Rhs[0].(*ast.CallExpr); ok {
+			if fn, hit := describe(call); hit && isBlank(n.Lhs[len(n.Lhs)-1]) {
+				report(call, fn)
+			}
+		}
+		return
+	}
+	for i, rhs := range n.Rhs {
+		if i >= len(n.Lhs) {
+			break
+		}
+		if call, ok := rhs.(*ast.CallExpr); ok {
+			if fn, hit := describe(call); hit && isBlank(n.Lhs[i]) {
+				report(call, fn)
+			}
+		}
+	}
+}
+
+func isBlank(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "_"
+}

@@ -1,0 +1,176 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// Maporder flags `range` over a map whose per-iteration output feeds
+// something order-sensitive in the same function: a JSON marshal or encode,
+// a hash write, a journal append or store put, or an append to a slice
+// declared outside the loop that the function never sorts afterwards. Map
+// iteration order is deliberately randomized by the runtime, so any of
+// those sinks makes output bytes differ run to run — breaking canonical
+// hashes, byte-identical cached results, and journal replay.
+//
+// The canonical fix — collect keys, sort, iterate the sorted slice — is
+// recognized and not flagged: an append to an outer slice is fine when a
+// sort.* or slices.* call over that slice appears later in the function.
+var Maporder = &Analyzer{
+	Name: "maporder",
+	Doc: "flag map iteration feeding JSON, hashes, journal/store writes, or " +
+		"unsorted slice accumulation; map order is nondeterministic",
+	Keys: []string{"maporder"},
+	Run:  runMaporder,
+}
+
+func runMaporder(pass *Pass) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFuncMaporder(pass, fd.Body)
+		}
+	}
+}
+
+func checkFuncMaporder(pass *Pass, body *ast.BlockStmt) {
+	var ranges []*ast.RangeStmt
+	ast.Inspect(body, func(n ast.Node) bool {
+		if r, ok := n.(*ast.RangeStmt); ok && isMapRange(pass.Info, r) {
+			ranges = append(ranges, r)
+		}
+		return true
+	})
+	for _, r := range ranges {
+		checkMapRange(pass, body, r)
+	}
+}
+
+func isMapRange(info *types.Info, r *ast.RangeStmt) bool {
+	tv, ok := info.Types[r.X]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	_, isMap := tv.Type.Underlying().(*types.Map)
+	return isMap
+}
+
+// checkMapRange scans one map-range body for order-sensitive sinks and for
+// appends to slices declared outside the loop; the latter are fine only if
+// the enclosing function sorts the slice somewhere.
+func checkMapRange(pass *Pass, fnBody *ast.BlockStmt, r *ast.RangeStmt) {
+	type pendingAppend struct {
+		obj  types.Object
+		call *ast.CallExpr
+	}
+	var appends []pendingAppend
+	ast.Inspect(r.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if fn := FuncOf(pass.Info, n.Fun); fn != nil {
+				if sink := orderSink(fn); sink != "" {
+					pass.Reportf(n.Pos(),
+						"%s inside range over a map: iteration order is nondeterministic, so the emitted bytes differ run to run; iterate sorted keys instead",
+						sink)
+				}
+			}
+		case *ast.AssignStmt:
+			for i, rhs := range n.Rhs {
+				call, ok := rhs.(*ast.CallExpr)
+				if !ok || !isBuiltinAppend(pass.Info, call) || i >= len(n.Lhs) {
+					continue
+				}
+				id, ok := n.Lhs[i].(*ast.Ident)
+				if !ok {
+					continue
+				}
+				obj := pass.Info.ObjectOf(id)
+				if obj == nil {
+					continue
+				}
+				// Appends to loop-local slices are harmless: whatever is
+				// accumulated dies (or is sorted) within one iteration.
+				if obj.Pos() >= r.Pos() && obj.Pos() <= r.End() {
+					continue
+				}
+				appends = append(appends, pendingAppend{obj: obj, call: call})
+			}
+		}
+		return true
+	})
+	for _, a := range appends {
+		if sortedLater(pass, fnBody, a.obj) {
+			continue
+		}
+		pass.Reportf(a.call.Pos(),
+			"append to %q inside range over a map with no later sort: element order is nondeterministic; sort %q before it feeds anything order-sensitive",
+			a.obj.Name(), a.obj.Name())
+	}
+}
+
+// orderSink classifies calls whose byte output depends on argument order:
+// JSON marshalling, hashing, and the durability layer.
+func orderSink(fn *types.Func) string {
+	if fn.Pkg() == nil {
+		return ""
+	}
+	path := fn.Pkg().Path()
+	switch {
+	case path == "encoding/json":
+		switch fn.Name() {
+		case "Marshal", "MarshalIndent", "Encode":
+			return "json." + fn.Name()
+		}
+	case path == "hash" || strings.HasPrefix(path, "hash/") || strings.HasPrefix(path, "crypto/"):
+		return path + "." + fn.Name() + " (hashing)"
+	case durabilityTarget(fn):
+		return fn.Pkg().Name() + "." + fn.Name() + " (durability write)"
+	}
+	return ""
+}
+
+func isBuiltinAppend(info *types.Info, call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != "append" {
+		return false
+	}
+	_, isBuiltin := info.Uses[id].(*types.Builtin)
+	return isBuiltin
+}
+
+// sortedLater reports whether the function body contains a sort.* or
+// slices.* call that mentions obj — the collect-then-sort idiom that makes
+// accumulating from a map range deterministic.
+func sortedLater(pass *Pass, fnBody *ast.BlockStmt, obj types.Object) bool {
+	found := false
+	ast.Inspect(fnBody, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := FuncOf(pass.Info, call.Fun)
+		if fn == nil || fn.Pkg() == nil {
+			return true
+		}
+		if path := fn.Pkg().Path(); path != "sort" && path != "slices" {
+			return true
+		}
+		for _, arg := range call.Args {
+			ast.Inspect(arg, func(m ast.Node) bool {
+				if id, ok := m.(*ast.Ident); ok && pass.Info.ObjectOf(id) == obj {
+					found = true
+				}
+				return !found
+			})
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,36 @@
+package fixture
+
+import "math/rand/v2"
+
+// Package-level convenience functions draw from the process-global RNG.
+func badIntN() int {
+	return rand.IntN(10) // want `rand\.IntN draws from the process-global generator`
+}
+
+func badFloat() float64 {
+	return rand.Float64() // want `rand\.Float64 draws from the process-global generator`
+}
+
+func badShuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want `rand\.Shuffle draws from the process-global generator`
+}
+
+// A reference as a value is the same global dependency.
+var perm = rand.Perm // want `rand\.Perm draws from the process-global generator`
+
+// The sanctioned form: a generator seeded from the spec seed, threaded
+// explicitly.
+func okSeeded(seed uint64) int {
+	r := rand.New(rand.NewPCG(seed, 0x9e3779b97f4a7c15))
+	return r.IntN(10)
+}
+
+// Constructors alone are fine too.
+func okConstructor(seed uint64) *rand.PCG {
+	return rand.NewPCG(seed, seed)
+}
+
+// The escape hatch works here as everywhere.
+func okAnnotated() int {
+	return rand.IntN(10) //detvet:globalrand jitter outside any deterministic path
+}

@@ -1,0 +1,93 @@
+package fixture
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+
+	"example.com/remote"
+)
+
+// GoodSpec follows the full discipline: omitempty everywhere growth can
+// happen, required identity fields annotated, excluded fields cleared in
+// CanonicalHash.
+type GoodSpec struct {
+	// Name is cosmetic and cleared before hashing.
+	Name string `json:"name,omitempty"`
+	// Kind is the identity-defining required field.
+	Kind string `json:"kind"` //detvet:hashneutral required identity field, present in every canonical encoding since v0
+	// Count joined after v0; omitempty keeps old hashes intact.
+	Count int `json:"count,omitempty"`
+	// Stamp is execution policy: no omitempty, but cleared in CanonicalHash.
+	Stamp int64 `json:"stamp"`
+	// Skipped never marshals.
+	Skipped int `json:"-"`
+	// Nested recursion follows omitempty discipline too.
+	Nested GoodNested `json:"nested,omitempty"`
+	// Remote types that keep the discipline pass without annotation.
+	Tagged *remote.Tagged `json:"tagged,omitempty"`
+}
+
+type GoodNested struct {
+	Weight float64 `json:"weight,omitempty"`
+}
+
+func (s GoodSpec) CanonicalHash() (string, error) {
+	c := s
+	c.Name = ""
+	c.Stamp = 0
+	b, err := json.Marshal(c)
+	if err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256(b)
+	return string(sum[:]), nil
+}
+
+// BadSpec breaks every rule once.
+type BadSpec struct {
+	ID     string `json:"id,omitempty"`
+	Extra  int    `json:"extra"` // want `field Extra always joins the canonical encoding`
+	NoTag  int    // want `field NoTag has no json tag`
+	hidden int    // want `field hidden is unexported`
+	// A non-pointer struct field needs no omitempty (encoding/json ignores
+	// it there); the discipline applies to the nested fields instead.
+	Nested BadNested `json:"nested"`
+	// Remote struct fields are checked through export data; an annotation
+	// on the referencing field vouches for the whole remote type.
+	Params    *remote.Untagged `json:"params,omitempty"`  // want `hashed struct example\.com/remote .* field Epochs has no json tag` `field Phase has no json tag`
+	ParamsOK  *remote.Untagged `json:"params2,omitempty"` //detvet:hashneutral legacy encoding under Go field names; retagging would orphan stored results
+	unused    bool             // want `field unused is unexported`
+	Recursive *BadSpec         `json:"recursive,omitempty"`
+}
+
+type BadNested struct {
+	Weight float64 // want `field Weight has no json tag`
+}
+
+func (s *BadSpec) CanonicalHash() string {
+	b, _ := json.Marshal(s)
+	sum := sha256.Sum256(b)
+	return string(sum[:])
+}
+
+// Plain structs without a CanonicalHash method or marker are untouched.
+type Plain struct {
+	X       int
+	private string
+}
+
+// MarkedResult is covered by the //detvet:hashed marker: persisted bytes,
+// so fields must be exported and explicitly tagged — but omitempty is not
+// required (results are written once per version).
+//
+//detvet:hashed
+type MarkedResult struct {
+	Rounds int          `json:"rounds"`
+	Loose  int          // want `field Loose has no json tag`
+	secret int          // want `field secret is unexported`
+	Items  []MarkedItem `json:"items,omitempty"`
+}
+
+type MarkedItem struct {
+	Seed uint64 // want `field Seed has no json tag`
+}

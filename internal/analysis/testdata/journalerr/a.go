@@ -1,0 +1,61 @@
+package fixture
+
+import (
+	"dualradio/internal/journal"
+	"dualradio/internal/store"
+)
+
+// Bare statement: the error vanishes.
+func badStmt(j *journal.Journal, v any) {
+	j.Append(v) // want `error of journal\.Append is unchecked`
+}
+
+// Blank assignment: the error is deliberately but silently dropped.
+func badBlank(j *journal.Journal) {
+	_ = j.Seal() // want `error of journal\.Seal is discarded with _`
+}
+
+// go/defer: the error has nowhere to go.
+func badGoDefer(j *journal.Journal, v any) {
+	go j.Append(v)       // want `error of journal\.Append is unchecked in go statement`
+	defer j.Compact(nil) // want `error of journal\.Compact is unchecked in defer statement`
+}
+
+func badStore(s *store.Store) {
+	s.Put("ab12", nil) // want `error of store\.Put is unchecked`
+}
+
+// Checked forms.
+func good(j *journal.Journal, s *store.Store, v any) error {
+	if err := j.Append(v); err != nil {
+		return err
+	}
+	if err := s.Put("ab12", nil); err != nil {
+		return err
+	}
+	if err := j.Compact(nil); err != nil {
+		return err
+	}
+	return j.Seal()
+}
+
+// Assigning to a real variable is checked (staticcheck/compiler guard
+// unused variables from there).
+func goodVar(j *journal.Journal, v any) error {
+	err := j.Append(v)
+	return err
+}
+
+// Unrelated methods that share a name are not targets.
+type other struct{}
+
+func (other) Append(v any) error { return nil }
+
+func goodUnrelated(o other, v any) {
+	o.Append(v)
+}
+
+// The escape hatch: shutdown paths that genuinely cannot propagate.
+func okAnnotated(j *journal.Journal) {
+	_ = j.Seal() //detvet:journalerr best-effort seal on shutdown path
+}

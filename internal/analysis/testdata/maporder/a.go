@@ -1,0 +1,109 @@
+package fixture
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"sort"
+
+	"dualradio/internal/journal"
+)
+
+// Marshalling per-iteration output of a map range emits bytes in random
+// order.
+func badJSON(m map[string]int) {
+	for k, v := range m {
+		json.Marshal([]any{k, v}) // want `json\.Marshal inside range over a map`
+	}
+}
+
+func badEncoder(m map[string]int, enc *json.Encoder) {
+	for k := range m {
+		enc.Encode(k) // want `json\.Encode inside range over a map`
+	}
+}
+
+// Hashing inside a map range makes the digest order-dependent.
+func badHash(m map[string][]byte) [32]byte {
+	var sum [32]byte
+	for _, v := range m {
+		sum = sha256.Sum256(v) // want `hashing\) inside range over a map`
+	}
+	return sum
+}
+
+// Durability writes inside a map range journal records in random order.
+func badJournal(m map[string]int, j *journal.Journal) error {
+	for k := range m {
+		if err := j.Append(k); err != nil { // want `journal\.Append \(durability write\) inside range over a map`
+			return err
+		}
+	}
+	return nil
+}
+
+// Accumulating into an outer slice with no later sort leaks map order.
+func badAppend(m map[string]int) []int {
+	var vals []int
+	for _, v := range m {
+		vals = append(vals, v) // want `append to "vals" inside range over a map with no later sort`
+	}
+	return vals
+}
+
+// The canonical fix — collect, sort, then use — is not flagged.
+func okSorted(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// sort.Slice with a comparator counts as sorting too.
+func okSortSlice(m map[string]int) []int {
+	var vals []int
+	for _, v := range m {
+		vals = append(vals, v)
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	return vals
+}
+
+// Loop-local accumulation dies within the iteration; order cannot leak.
+func okLocal(m map[string][]int) int {
+	n := 0
+	for _, vs := range m {
+		var tmp []int
+		tmp = append(tmp, vs...)
+		n += len(tmp)
+	}
+	return n
+}
+
+// Ranging over a slice is always ordered.
+func okSlice(xs []string) []string {
+	var out []string
+	for _, x := range xs {
+		out = append(out, x)
+	}
+	return out
+}
+
+// Order-insensitive reduction over a map is fine.
+func okReduce(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// The escape hatch: a vouched-for site is suppressed.
+func okAnnotated(m map[string]int) []int {
+	var vals []int
+	for _, v := range m {
+		vals = append(vals, v) //detvet:maporder consumer treats vals as a set
+	}
+	return vals
+}

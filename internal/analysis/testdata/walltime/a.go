@@ -1,0 +1,35 @@
+package fixture
+
+import "time"
+
+// bad call sites: unannotated wallclock reads.
+func badNow() time.Time {
+	return time.Now() // want `time\.Now reads the wallclock`
+}
+
+func badSince(t0 time.Time) time.Duration {
+	return time.Since(t0) // want `time\.Since reads the wallclock`
+}
+
+func badUntil(t0 time.Time) time.Duration {
+	return time.Until(t0) // want `time\.Until reads the wallclock`
+}
+
+func badTick() <-chan time.Time {
+	return time.Tick(1) // want `time\.Tick reads the wallclock`
+}
+
+// A reference to time.Now as a value is the same wallclock dependency as a
+// call (an injectable clock default, for instance).
+var clock = time.Now // want `time\.Now reads the wallclock`
+
+// Scheduling primitives decide when code runs, not what it computes.
+func okScheduling() {
+	time.Sleep(1)
+	<-time.After(1)
+}
+
+// Methods on Time/Duration values are pure.
+func okMethods(t0, t1 time.Time) float64 {
+	return t0.Sub(t1).Seconds()
+}

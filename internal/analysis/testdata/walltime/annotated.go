@@ -1,0 +1,27 @@
+package fixture
+
+import "time"
+
+// A trailing annotation with a reason suppresses the diagnostic.
+func okTrailing(t0 time.Time) time.Duration {
+	return time.Since(t0) //detvet:wallclock latency histogram only, hash-excluded
+}
+
+// So does an annotation on the line immediately above.
+func okPreceding() time.Time {
+	//detvet:wallclock event timestamp, replay-ignored and hash-excluded
+	return time.Now()
+}
+
+// An annotation two lines up does NOT reach the call.
+func badTooFar() time.Time {
+	//detvet:wallclock this annotation is orphaned by the blank line
+
+	return time.Now() // want `time\.Now reads the wallclock`
+}
+
+// An annotation without a reason still suppresses the underlying finding,
+// but is itself the diagnostic: escape hatches are never silent.
+func badNoReason() time.Time {
+	return time.Now() /*detvet:wallclock*/ // want `annotation requires a reason`
+}

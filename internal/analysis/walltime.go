@@ -1,0 +1,52 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// walltimeForbidden are the package-level time functions that read the
+// wallclock. Timer and ticker constructors (time.After, time.NewTicker,
+// time.AfterFunc, time.Sleep) are scheduling, not data: they decide when
+// code runs, never what it computes, so they are left to review. time.Tick
+// is included because its channel delivers wallclock Time values.
+var walltimeForbidden = map[string]bool{
+	"Now":   true,
+	"Since": true,
+	"Until": true,
+	"Tick":  true,
+}
+
+// Walltime forbids wallclock reads: every simulation, reduction, hash, and
+// report must be a pure function of (spec, seed), so time.Now and friends
+// may appear only at observability-only call sites that carry an explicit
+// //detvet:wallclock <reason> annotation (event timestamps, latency
+// histograms, calibration — all excluded from canonical hashes and replay).
+// References to the functions as values (e.g. an injectable `now: time.Now`
+// clock default) are flagged the same as calls: the value read is what
+// matters, not the call syntax.
+var Walltime = &Analyzer{
+	Name: "walltime",
+	Doc: "forbid wallclock reads (time.Now/Since/Until/Tick) outside annotated " +
+		"observability sites; deterministic code is a pure function of (spec, seed)",
+	Keys: []string{"wallclock"},
+	Run:  runWalltime,
+}
+
+func runWalltime(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn := FuncOf(pass.Info, sel)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "time" || !walltimeForbidden[fn.Name()] {
+				return true
+			}
+			pass.Reportf(sel.Pos(),
+				"time.%s reads the wallclock: deterministic code must be a pure function of (spec, seed); annotate observability-only sites with //detvet:wallclock <reason>",
+				fn.Name())
+			return true
+		})
+	}
+}

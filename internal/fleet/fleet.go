@@ -28,6 +28,7 @@ package fleet
 
 import (
 	"context"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -178,7 +179,7 @@ func New(be Backend, cfg Config) *Coordinator {
 	return &Coordinator{
 		cfg:     cfg.withDefaults(),
 		be:      be,
-		now:     time.Now,
+		now:     time.Now, //detvet:wallclock injectable liveness clock; heartbeat ages never touch results or hashes
 		workers: make(map[string]*workerState),
 		leases:  make(map[string]*lease),
 	}
@@ -228,6 +229,10 @@ func (c *Coordinator) Close() {
 			w.leases = make(map[string]*lease)
 		}
 		c.mu.Unlock()
+		// Requeue in lease-id order: the map walk above is randomized, and
+		// the requeue order decides both journal record order and the queue
+		// order jobs settle in.
+		sort.Slice(acts, func(i, j int) bool { return acts[i].id < acts[j].id })
 		for _, l := range acts {
 			c.be.Requeue(l.job, l.id, l.worker, "coordinator shutdown")
 		}
@@ -429,6 +434,10 @@ func (c *Coordinator) reap() {
 		c.deadWorkers.Add(1)
 		c.be.WorkerEvent(OpWorkerDead, w.id, w.name)
 	}
+	// acts was collected from two map walks (per-worker leases, then
+	// TTL-expired coordinator leases); sort so redispatch journal records
+	// and requeue order are stable for identical failure histories.
+	sort.Slice(acts, func(i, j int) bool { return acts[i].l.id < acts[j].l.id })
 	for _, a := range acts {
 		if c.be.Requeue(a.l.job, a.l.id, a.l.worker, a.reason) {
 			c.redispatched.Add(1)

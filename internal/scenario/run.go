@@ -13,7 +13,12 @@ import (
 // Result is a complete scenario run: the aggregate the service reports plus
 // the per-trial outcomes the spec's trial_retention policy kept. It is
 // deterministic in the canonical spec, so results cached under the spec
-// hash are indistinguishable from fresh runs.
+// hash are indistinguishable from fresh runs. The detvet:hashed marker
+// holds its JSON encoding (and, recursively, Aggregate's and
+// TrialResult's) to the hashneutral field discipline: these bytes are
+// persisted write-once and byte-compared across restarts and workers.
+//
+//detvet:hashed
 type Result struct {
 	// SpecHash is the canonical spec hash the run was keyed by.
 	SpecHash string `json:"spec_hash"`
@@ -167,7 +172,7 @@ func (c *Compiled) RunWithOptions(ctx context.Context, opts RunOptions) (*Result
 				if i >= count {
 					return
 				}
-				trialStart := time.Now()
+				trialStart := time.Now() //detvet:wallclock per-trial latency observation only; never reaches TrialResult or the aggregate
 				r, err := c.safeTrial(i, opts)
 				if err != nil {
 					errs[i] = err
@@ -175,7 +180,7 @@ func (c *Compiled) RunWithOptions(ctx context.Context, opts RunOptions) (*Result
 					continue
 				}
 				if opts.ObserveTrial != nil {
-					opts.ObserveTrial(time.Since(trialStart))
+					opts.ObserveTrial(time.Since(trialStart)) //detvet:wallclock feeds the trial_duration histogram, not the result
 				}
 				done.Add(1)
 				mu.Lock()

@@ -80,7 +80,7 @@ const (
 // one memoized (network, assignment, detector) instance per trial seed.
 type NetworkSpec struct {
 	// N is the network size (2..MaxN).
-	N int `json:"n"`
+	N int `json:"n"` //detvet:hashneutral required identity field, present in every canonical encoding since v0
 	// TargetDegree steers the reliable-graph degree (0 = generator default,
 	// 3·log₂ n).
 	TargetDegree float64 `json:"target_degree,omitempty"`
@@ -133,7 +133,7 @@ type Spec struct {
 	// Name is a cosmetic label; it is excluded from the canonical hash.
 	Name string `json:"name,omitempty"`
 	// Algorithm is one of the Algo* constants.
-	Algorithm string `json:"algorithm"`
+	Algorithm string `json:"algorithm"` //detvet:hashneutral required identity field, present in every canonical encoding since v0
 	// Network describes the generated instance.
 	Network NetworkSpec `json:"network"`
 	// B is the message-size bound in bits (0 defaults to 512 for the CCDS
@@ -165,7 +165,10 @@ type Spec struct {
 	// differing only here share one cache entry.
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
 	// Params overrides the algorithms' constant factors (nil = defaults).
-	Params *core.Params `json:"params,omitempty"`
+	// core.Params predates the tag discipline: its fields join the hash
+	// under their Go names, and retagging now would orphan every stored
+	// result for a params-carrying spec, so the encoding is frozen as-is.
+	Params *core.Params `json:"params,omitempty"` //detvet:hashneutral legacy v0 encoding under Go field names; retagging would rewrite existing hashes
 	// Wake configures asynchronous starts (AlgoAsyncMIS only).
 	Wake *WakeSpec `json:"wake,omitempty"`
 	// Dynamic configures the dynamic detector (AlgoContinuousCCDS only).

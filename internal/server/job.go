@@ -126,7 +126,7 @@ func newJob(id string, comp *scenario.Compiled) *Job {
 		id:      id,
 		comp:    comp,
 		status:  StatusQueued,
-		created: time.Now(),
+		created: time.Now(), //detvet:wallclock job age for status views; not part of any hash or report
 		wake:    make(chan struct{}),
 	}
 	j.queuedAt = j.created
@@ -138,7 +138,7 @@ func newJob(id string, comp *scenario.Compiled) *Job {
 // mu — except newJob, whose job is not yet shared.
 func (j *Job) appendLocked(e Event) {
 	e.Job = j.id
-	e.TS = time.Now()
+	e.TS = time.Now() //detvet:wallclock NDJSON event timestamp; hash-excluded and shape-stable
 	e.Completed = j.completed
 	e.Total = j.comp.Trials()
 	j.events = append(j.events, e)
@@ -172,7 +172,7 @@ func (j *Job) terminalLocked(status JobStatus, e Event) []func() {
 	j.status = status
 	j.cancel = nil
 	j.lease = ""
-	j.finished = time.Now()
+	j.finished = time.Now() //detvet:wallclock phase-timing milestone; excluded from result bytes
 	j.appendLocked(Event{Type: "phases", Phases: j.phaseViewLocked()})
 	j.appendLocked(e)
 	hooks := j.hooks
@@ -233,14 +233,14 @@ func (j *Job) totalDuration() time.Duration {
 // markReduced records the run returning its reduced result.
 func (j *Job) markReduced() {
 	j.mu.Lock()
-	j.reduced = time.Now()
+	j.reduced = time.Now() //detvet:wallclock phase-timing milestone; excluded from result bytes
 	j.mu.Unlock()
 }
 
 // markPersisted records the result landing in the cache/store.
 func (j *Job) markPersisted() {
 	j.mu.Lock()
-	j.persisted = time.Now()
+	j.persisted = time.Now() //detvet:wallclock phase-timing milestone; excluded from result bytes
 	j.mu.Unlock()
 }
 
@@ -279,7 +279,7 @@ func (j *Job) tryStart(cancel func()) bool {
 		return false
 	}
 	j.status = StatusRunning
-	j.started = time.Now()
+	j.started = time.Now() //detvet:wallclock phase-timing milestone; excluded from result bytes
 	j.cancel = cancel
 	j.appendLocked(Event{Type: "started"})
 	return true
@@ -298,7 +298,7 @@ func (j *Job) tryLease(lease, worker string) bool {
 		return false
 	}
 	j.status = StatusRunning
-	j.started = time.Now()
+	j.started = time.Now() //detvet:wallclock phase-timing milestone; excluded from result bytes
 	j.lease = lease
 	j.cancel = func() { j.markCancelled() }
 	j.appendLocked(Event{Type: "started", Worker: worker})
@@ -332,7 +332,7 @@ func (j *Job) requeue(lease, worker, reason string) bool {
 // queue: the final breakdown describes the attempt that actually finished,
 // not a sum over abandoned ones. Callers must hold mu.
 func (j *Job) resetMilestonesLocked() {
-	j.queuedAt = time.Now()
+	j.queuedAt = time.Now() //detvet:wallclock phase clock restart on requeue; observability only
 	j.started = time.Time{}
 	j.trialsDone = time.Time{}
 	j.reduced = time.Time{}
@@ -374,7 +374,7 @@ func (j *Job) progress(p scenario.Progress) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	j.completed++
-	j.trialsDone = time.Now()
+	j.trialsDone = time.Now() //detvet:wallclock phase-timing milestone; excluded from result bytes
 	tr := p.Trial
 	j.appendLocked(Event{Type: "trial", Trial: &tr})
 	if p.Folded > j.folded {

@@ -719,7 +719,7 @@ func (s *Server) runJob(job *Job) {
 		hash := job.comp.Hash()
 		opts.Fault = func(trial, at int) error { return s.cfg.Fault.Trial(hash, trial, at) }
 	}
-	start := time.Now()
+	start := time.Now() //detvet:wallclock admission-cost calibration sample; never reaches results
 	res, err := job.comp.RunWithOptions(ctx, opts)
 	switch {
 	case err == nil:
@@ -728,7 +728,7 @@ func (s *Server) runJob(job *Job) {
 		// under the spec hash (a cancelled or failed run returns a nil
 		// result with its error instead).
 		job.markReduced()
-		s.recordCalibration(job.comp.CostEstimate(), time.Since(start))
+		s.recordCalibration(job.comp.CostEstimate(), time.Since(start)) //detvet:wallclock admission-cost calibration sample
 		s.persist(job.comp.Hash(), res)
 		job.markPersisted()
 		if job.complete(res, false) {

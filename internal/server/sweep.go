@@ -57,7 +57,7 @@ func newSweep(id string, exp *scenario.Expansion) *Sweep {
 		exp:      exp,
 		total:    len(exp.Children),
 		children: make([]*Job, len(exp.Children)),
-		created:  time.Now(),
+		created:  time.Now(), //detvet:wallclock sweep age for status views; not part of any hash or report
 		wake:     make(chan struct{}),
 	}
 	sw.appendLocked(SweepEvent{Type: "queued"})
@@ -68,7 +68,7 @@ func newSweep(id string, exp *scenario.Expansion) *Sweep {
 // hold mu — except newSweep, whose sweep is not yet shared.
 func (sw *Sweep) appendLocked(e SweepEvent) {
 	e.Sweep = sw.id
-	e.TS = time.Now()
+	e.TS = time.Now() //detvet:wallclock NDJSON event timestamp; hash-excluded and shape-stable
 	e.Completed = sw.done
 	e.Total = sw.total
 	sw.events = append(sw.events, e)
@@ -90,7 +90,7 @@ func (sw *Sweep) childTerminal(j *Job) {
 		Cached:   v.Cached,
 	})
 	if sw.done == sw.total {
-		sw.finished = time.Now()
+		sw.finished = time.Now() //detvet:wallclock sweep duration for status views only
 		sw.appendLocked(SweepEvent{Type: "done"})
 	}
 	sw.mu.Unlock()

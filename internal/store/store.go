@@ -163,8 +163,8 @@ func (s *Store) Put(hash string, data []byte) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.observer != nil {
-		start := time.Now()
-		defer func() { s.observer("put", time.Since(start)) }()
+		start := time.Now()                                     //detvet:wallclock store_put latency histogram only
+		defer func() { s.observer("put", time.Since(start)) }() //detvet:wallclock store_put latency histogram only
 	}
 	path := s.path(hash)
 	if _, err := os.Stat(path); err == nil {
@@ -207,8 +207,8 @@ func (s *Store) gcLocked(keep string) {
 		return
 	}
 	if s.observer != nil {
-		start := time.Now()
-		defer func() { s.observer("gc", time.Since(start)) }()
+		start := time.Now()                                    //detvet:wallclock store_gc latency histogram only
+		defer func() { s.observer("gc", time.Since(start)) }() //detvet:wallclock store_gc latency histogram only
 	}
 	entries, err := os.ReadDir(s.dir)
 	if err != nil {
