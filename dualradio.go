@@ -151,6 +151,10 @@ type RunOptions struct {
 	// CollectTrace aggregates per-node and per-round activity during the
 	// run; the summary is reported in Result.TraceSummary.
 	CollectTrace bool
+	// Leap selects the leap-ahead engine: broadcast-free stretches are
+	// skipped via geometric sampling. Statistically equivalent to the
+	// default exact engine but not bit-identical run for run.
+	Leap bool
 }
 
 func (nw *Network) scenario(opts RunOptions) *harness.Scenario {
@@ -175,6 +179,7 @@ func (nw *Network) scenario(opts RunOptions) *harness.Scenario {
 		Seed:    opts.Seed,
 		B:       opts.MessageBits,
 		Workers: opts.Workers,
+		Leap:    opts.Leap,
 	}
 	if opts.CollectTrace {
 		s.Observer = trace.NewRecorder(nw.N())

@@ -21,6 +21,10 @@ type GoodSpec struct {
 	Stamp int64 `json:"stamp"`
 	// Skipped never marshals.
 	Skipped int `json:"-"`
+	// Engine is an enum with a canonical default: Canonical maps the
+	// default spelling to the empty string, so omitempty keeps every
+	// pre-field hash intact while non-default values hash distinctly.
+	Engine string `json:"engine,omitempty"`
 	// Nested recursion follows omitempty discipline too.
 	Nested GoodNested `json:"nested,omitempty"`
 	// Remote types that keep the discipline pass without annotation.
@@ -46,7 +50,8 @@ func (s GoodSpec) CanonicalHash() (string, error) {
 // BadSpec breaks every rule once.
 type BadSpec struct {
 	ID     string `json:"id,omitempty"`
-	Extra  int    `json:"extra"` // want `field Extra always joins the canonical encoding`
+	Extra  int    `json:"extra"`  // want `field Extra always joins the canonical encoding`
+	Engine string `json:"engine"` // want `field Engine always joins the canonical encoding`
 	NoTag  int    // want `field NoTag has no json tag`
 	hidden int    // want `field hidden is unexported`
 	// A non-pointer struct field needs no omitempty (encoding/json ignores

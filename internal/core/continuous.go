@@ -74,27 +74,34 @@ func (p *ContinuousCCDSProcess) Done() bool { return false }
 func (p *ContinuousCCDSProcess) Broadcast(round int) sim.Message {
 	local := round % p.period
 	if local == 0 {
-		p.commit()
-		inner, err := NewCCDSProcess(CCDSConfig{
-			ID:       p.cfg.ID,
-			N:        p.cfg.N,
-			Delta:    p.cfg.Delta,
-			B:        p.cfg.B,
-			Detector: p.cfg.DetectorAt(round),
-			Params:   p.cfg.Params,
-			Rng:      p.cfg.Rng,
-		})
-		if err != nil {
-			// Unreachable after the constructor validated the schedule.
-			p.inner = nil
-			return nil
-		}
-		p.inner = inner
+		p.beginPeriod(round)
 	}
 	if p.inner == nil {
 		return nil
 	}
 	return p.inner.Broadcast(local)
+}
+
+// beginPeriod commits the previous period's result and starts a fresh inner
+// CCDS run against the detector's current output. Called at every period
+// boundary by both the exact and leap broadcast paths.
+func (p *ContinuousCCDSProcess) beginPeriod(round int) {
+	p.commit()
+	inner, err := NewCCDSProcess(CCDSConfig{
+		ID:       p.cfg.ID,
+		N:        p.cfg.N,
+		Delta:    p.cfg.Delta,
+		B:        p.cfg.B,
+		Detector: p.cfg.DetectorAt(round),
+		Params:   p.cfg.Params,
+		Rng:      p.cfg.Rng,
+	})
+	if err != nil {
+		// Unreachable after the constructor validated the schedule.
+		p.inner = nil
+		return
+	}
+	p.inner = inner
 }
 
 // commit publishes the previous period's result: any process the inner run

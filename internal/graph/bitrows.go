@@ -1,0 +1,111 @@
+package graph
+
+import "math/bits"
+
+// Bitrows is a packed bitset adjacency view of an immutable Graph: one row
+// of ⌈n/64⌉ words per vertex, bit w of row v set iff (v, w) is an edge.
+// Neighbor scans against a vertex set become word-parallel AND+popcount
+// loops instead of per-neighbor lookups, which pays off on dense graphs —
+// detector-induced graphs H and gray graphs G' at high connectivity — where
+// a CSR row walk touches a large fraction of n anyway.
+//
+// A row costs ⌈n/64⌉ words regardless of degree, so for sparse graphs the
+// CSR walk stays faster; BitrowsIfDense applies that judgment for callers.
+type Bitrows struct {
+	n      int
+	stride int // words per row
+	rows   []uint64
+}
+
+// NewBitrows builds the packed adjacency rows of g.
+func NewBitrows(g *Graph) *Bitrows {
+	stride := (g.n + 63) / 64
+	b := &Bitrows{n: g.n, stride: stride, rows: make([]uint64, g.n*stride)}
+	for v := 0; v < g.n; v++ {
+		row := b.rows[v*stride : (v+1)*stride]
+		for _, w := range g.nbr[g.off[v]:g.off[v+1]] {
+			row[w>>6] |= 1 << (uint(w) & 63)
+		}
+	}
+	return b
+}
+
+// N returns the number of vertices.
+func (b *Bitrows) N() int { return b.n }
+
+// Row returns vertex v's packed neighbor row. The slice aliases the
+// Bitrows arena and must not be modified by callers.
+func (b *Bitrows) Row(v int) []uint64 {
+	return b.rows[v*b.stride : (v+1)*b.stride]
+}
+
+// Has reports whether the edge (u, v) is present.
+func (b *Bitrows) Has(u, v int) bool {
+	if u < 0 || u >= b.n || v < 0 || v >= b.n {
+		return false
+	}
+	return b.rows[u*b.stride+(v>>6)]&(1<<(uint(v)&63)) != 0
+}
+
+// IntersectsSet reports whether any neighbor of v is in the bitset set
+// (packed like a row: bit w of word w/64). set must hold at least
+// ⌈n/64⌉ words.
+func (b *Bitrows) IntersectsSet(v int, set []uint64) bool {
+	row := b.rows[v*b.stride : (v+1)*b.stride]
+	for i, w := range row {
+		if w&set[i] != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// CountSet returns the number of neighbors of v in the bitset set.
+func (b *Bitrows) CountSet(v int, set []uint64) int {
+	row := b.rows[v*b.stride : (v+1)*b.stride]
+	c := 0
+	for i, w := range row {
+		c += bits.OnesCount64(w & set[i])
+	}
+	return c
+}
+
+// NewBitset returns an empty vertex bitset sized for n vertices, compatible
+// with IntersectsSet and CountSet.
+func NewBitset(n int) []uint64 { return make([]uint64, (n+63)/64) }
+
+// SetBit adds vertex v to the bitset.
+func SetBit(set []uint64, v int) { set[v>>6] |= 1 << (uint(v) & 63) }
+
+// TestBit reports whether vertex v is in the bitset.
+func TestBit(set []uint64, v int) bool { return set[v>>6]&(1<<(uint(v)&63)) != 0 }
+
+// bitrowsDenseThreshold gates BitrowsIfDense: rows are built only when the
+// average degree reaches n divided by this factor, the regime where a
+// word-parallel row scan (⌈n/64⌉ word ops) beats the CSR neighbor walk
+// (degree element ops) by enough to cover the n²/8-bit build cost over
+// repeated queries.
+const bitrowsDenseThreshold = 128
+
+// Bitrows returns the packed adjacency view of g, building it on first use
+// and caching it on the graph (g is immutable, so the rows never go stale).
+// Safe for concurrent use.
+func (g *Graph) Bitrows() *Bitrows {
+	g.bitOnce.Do(func() { g.bit.Store(NewBitrows(g)) })
+	return g.bit.Load()
+}
+
+// BitrowsIfDense returns the cached packed adjacency view when the graph is
+// dense enough for word-parallel scans to win (average degree at least
+// n/bitrowsDenseThreshold), and nil otherwise. Callers fall back to CSR
+// neighbor walks on nil. A graph already carrying built rows returns them
+// regardless of density — the build cost is already sunk.
+func (g *Graph) BitrowsIfDense() *Bitrows {
+	if b := g.bit.Load(); b != nil {
+		return b
+	}
+	if g.n == 0 || 2*g.m*bitrowsDenseThreshold < g.n*g.n {
+		return nil
+	}
+	return g.Bitrows()
+}

@@ -1,0 +1,105 @@
+package graph
+
+import (
+	"math/rand/v2"
+	"testing"
+)
+
+// randomGraph builds an Erdős–Rényi graph with edge probability p.
+func randomGraph(t *testing.T, n int, p float64, seed uint64) *Graph {
+	t.Helper()
+	rng := rand.New(rand.NewPCG(seed, 0xB17))
+	b := NewBuilder(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if rng.Float64() < p {
+				if err := b.AddEdge(u, v); err != nil {
+					t.Fatalf("AddEdge(%d,%d): %v", u, v, err)
+				}
+			}
+		}
+	}
+	return b.Build()
+}
+
+func TestBitrowsMatchesCSR(t *testing.T) {
+	for _, p := range []float64{0, 0.05, 0.5, 1} {
+		g := randomGraph(t, 131, p, uint64(p*100)+1) // n deliberately not a multiple of 64
+		rows := NewBitrows(g)
+		if rows.N() != g.N() {
+			t.Fatalf("p=%v: Bitrows.N()=%d want %d", p, rows.N(), g.N())
+		}
+		for u := 0; u < g.N(); u++ {
+			deg := 0
+			for _, w := range rows.Row(u) {
+				for ; w != 0; w &= w - 1 {
+					deg++
+				}
+			}
+			if deg != g.Degree(u) {
+				t.Fatalf("p=%v: row %d popcount=%d want degree %d", p, u, deg, g.Degree(u))
+			}
+			for v := 0; v < g.N(); v++ {
+				if rows.Has(u, v) != g.HasEdge(u, v) {
+					t.Fatalf("p=%v: Has(%d,%d)=%v disagrees with CSR", p, u, v, rows.Has(u, v))
+				}
+			}
+		}
+	}
+}
+
+func TestBitsetScans(t *testing.T) {
+	g := randomGraph(t, 100, 0.3, 7)
+	rows := NewBitrows(g)
+	rng := rand.New(rand.NewPCG(7, 0x5E7))
+	for trial := 0; trial < 20; trial++ {
+		set := NewBitset(g.N())
+		in := make([]bool, g.N())
+		for v := 0; v < g.N(); v++ {
+			if rng.Float64() < 0.2 {
+				SetBit(set, v)
+				in[v] = true
+			}
+		}
+		for v := 0; v < g.N(); v++ {
+			if TestBit(set, v) != in[v] {
+				t.Fatalf("TestBit(%d) disagrees with membership", v)
+			}
+			want := 0
+			for _, w := range g.Neighbors(v) {
+				if in[w] {
+					want++
+				}
+			}
+			if got := rows.CountSet(v, set); got != want {
+				t.Fatalf("CountSet(%d)=%d want %d", v, got, want)
+			}
+			if got := rows.IntersectsSet(v, set); got != (want > 0) {
+				t.Fatalf("IntersectsSet(%d)=%v want %v", v, got, want > 0)
+			}
+		}
+	}
+}
+
+func TestBitrowsDensityGate(t *testing.T) {
+	sparse := randomGraph(t, 512, 0.001, 3)
+	if b := sparse.BitrowsIfDense(); b != nil {
+		t.Fatalf("sparse graph (avg degree %.2f) built bitrows", sparse.AvgDegree())
+	}
+	// Once explicitly built, the sunk rows are returned regardless of density.
+	built := sparse.Bitrows()
+	if built == nil {
+		t.Fatal("Bitrows() returned nil")
+	}
+	if b := sparse.BitrowsIfDense(); b != built {
+		t.Fatal("BitrowsIfDense did not return the already-built rows")
+	}
+
+	dense := randomGraph(t, 128, 0.5, 4)
+	if b := dense.BitrowsIfDense(); b == nil {
+		t.Fatalf("dense graph (avg degree %.2f) refused bitrows", dense.AvgDegree())
+	}
+	if dense.Bitrows() != dense.Bitrows() {
+		t.Fatal("Bitrows cache returned distinct views")
+	}
+}

@@ -45,6 +45,10 @@ type Scenario struct {
 	StopWhenDecided bool
 	// Workers fans process callbacks out over goroutines when > 1.
 	Workers int
+	// Leap selects the leap engine (sim.Config.Leap): geometric round
+	// sampling and clock jumps over broadcast-free stretches. Executions are
+	// statistically equivalent to the exact engine but not bit-identical.
+	Leap bool
 	// Observer, if non-nil, receives per-round callbacks.
 	Observer sim.Observer
 	// Shared, if non-nil, is the cached instance backing Net/Asg/Det.
@@ -146,6 +150,7 @@ func (s *Scenario) run(procs []sim.Process, maxRounds int) (*sim.Runner, error) 
 		MaxRounds:   maxRounds,
 		Observer:    s.Observer,
 		Workers:     s.Workers,
+		Leap:        s.Leap,
 	})
 	if err != nil {
 		return nil, err
@@ -367,6 +372,7 @@ func (s *Scenario) RunAsyncMIS(wake []int, filter core.FilterMode) (*AsyncOutcom
 		MaxRounds:   maxRounds,
 		Observer:    s.Observer,
 		Workers:     s.Workers,
+		Leap:        s.Leap,
 	})
 	if err != nil {
 		return nil, err

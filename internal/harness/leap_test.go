@@ -1,0 +1,267 @@
+package harness
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"dualradio/internal/adversary"
+	"dualradio/internal/core"
+	"dualradio/internal/detector"
+	"dualradio/internal/verify"
+)
+
+// The leap engine is statistically equivalent to the exact engine, not
+// bit-identical: a leap trial draws its coins in a different order, so the
+// two engines realize different executions of the same random process. The
+// suite below locks the equivalence at the level the paper's guarantees
+// live: every trial of every protocol must still solve its problem, the
+// deterministic schedule lengths must agree exactly, and batch statistics
+// (structure size, decision round) must agree within a three-sigma
+// two-sample band over a fixed seed set — deterministic, so a regression
+// that shifts the leap engine's distribution fails reproducibly.
+
+const leapEquivSeeds = 12
+
+// leapScenario assembles one trial scenario on the shared memoized instance.
+func leapScenario(t *testing.T, spec InstanceSpec, seed uint64, leap bool) (*Scenario, *Instance) {
+	t.Helper()
+	spec.Seed = seed
+	inst, err := SharedInstance(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &Scenario{
+		Net:    inst.Net,
+		Asg:    inst.Asg,
+		Det:    inst.Det,
+		Adv:    adversary.NewCollisionSeeking(inst.Net),
+		Params: core.DefaultParams(),
+		Seed:   seed,
+		Leap:   leap,
+		Shared: inst,
+	}, inst
+}
+
+// equivStats accumulates one engine's batch.
+type equivStats struct {
+	sizes   []float64
+	decided []float64
+	rounds  []int
+}
+
+func (s *equivStats) push(size, decided, rounds int) {
+	s.sizes = append(s.sizes, float64(size))
+	s.decided = append(s.decided, float64(decided))
+	s.rounds = append(s.rounds, rounds)
+}
+
+func meanVar(xs []float64) (float64, float64) {
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	mean := sum / float64(len(xs))
+	var sq float64
+	for _, x := range xs {
+		sq += (x - mean) * (x - mean)
+	}
+	return mean, sq / float64(len(xs))
+}
+
+// checkBand asserts |mean(a)-mean(b)| within the two-sample three-sigma
+// band (plus one unit of absolute slack for near-degenerate variances).
+func checkBand(t *testing.T, name string, a, b []float64) {
+	t.Helper()
+	ma, va := meanVar(a)
+	mb, vb := meanVar(b)
+	band := 3*math.Sqrt((va+vb)/float64(len(a))) + 1
+	if d := math.Abs(ma - mb); d > band {
+		t.Errorf("%s: exact mean %.2f vs leap mean %.2f differ by %.2f > band %.2f",
+			name, ma, mb, d, band)
+	}
+}
+
+func countMembers(inMIS []bool) int {
+	c := 0
+	for _, in := range inMIS {
+		if in {
+			c++
+		}
+	}
+	return c
+}
+
+// TestLeapEquivalenceMIS: every leap trial solves MIS; schedule length and
+// batch statistics match the exact engine.
+func TestLeapEquivalenceMIS(t *testing.T) {
+	spec := InstanceSpec{N: 64}
+	var exact, leap equivStats
+	for seed := uint64(1); seed <= leapEquivSeeds; seed++ {
+		for _, isLeap := range []bool{false, true} {
+			s, _ := leapScenario(t, spec, seed, isLeap)
+			out, err := s.RunMIS()
+			if err != nil {
+				t.Fatalf("seed %d leap=%v: %v", seed, isLeap, err)
+			}
+			if rep := verify.MIS(s.Net, s.H(), out.Outputs); !rep.OK() {
+				t.Fatalf("seed %d leap=%v: invalid MIS: %v", seed, isLeap, rep.Err())
+			}
+			st := &exact
+			if isLeap {
+				st = &leap
+			}
+			st.push(countMembers(out.InMIS), out.DecidedRound, out.Rounds)
+		}
+	}
+	for i := range exact.rounds {
+		if exact.rounds[i] != leap.rounds[i] {
+			t.Errorf("seed %d: fixed schedule length %d (exact) vs %d (leap)",
+				i+1, exact.rounds[i], leap.rounds[i])
+		}
+	}
+	checkBand(t, "mis size", exact.sizes, leap.sizes)
+	checkBand(t, "mis decided round", exact.decided, leap.decided)
+}
+
+// TestLeapEquivalenceCCDSFamily covers the three enumeration-era CCDS
+// variants: every leap trial yields a valid CCDS with the exact schedule
+// length, and structure sizes agree in distribution.
+func TestLeapEquivalenceCCDSFamily(t *testing.T) {
+	const b = 1 << 15
+	for _, tc := range []struct {
+		name string
+		tau  int
+		run  func(s *Scenario) (*Outcome, error)
+	}{
+		{"ccds", 0, func(s *Scenario) (*Outcome, error) { return s.RunCCDS() }},
+		{"baseline", 0, func(s *Scenario) (*Outcome, error) { return s.RunBaselineCCDS() }},
+		{"tau", 1, func(s *Scenario) (*Outcome, error) { return s.RunTauCCDS(1) }},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			spec := InstanceSpec{N: 48, Tau: tc.tau}
+			var exact, leap equivStats
+			for seed := uint64(1); seed <= leapEquivSeeds; seed++ {
+				for _, isLeap := range []bool{false, true} {
+					s, _ := leapScenario(t, spec, seed, isLeap)
+					s.B = b
+					out, err := tc.run(s)
+					if err != nil {
+						t.Fatalf("seed %d leap=%v: %v", seed, isLeap, err)
+					}
+					if rep := verify.CCDS(s.Net, s.H(), out.Outputs, 0); !rep.OK() {
+						t.Fatalf("seed %d leap=%v: invalid CCDS: %v", seed, isLeap, rep.Err())
+					}
+					st := &exact
+					if isLeap {
+						st = &leap
+					}
+					st.push(countMembers(out.InMIS), out.DecidedRound, out.Rounds)
+				}
+			}
+			for i := range exact.rounds {
+				if exact.rounds[i] != leap.rounds[i] {
+					t.Errorf("seed %d: fixed schedule length %d (exact) vs %d (leap)",
+						i+1, exact.rounds[i], leap.rounds[i])
+				}
+			}
+			checkBand(t, tc.name+" size", exact.sizes, leap.sizes)
+		})
+	}
+}
+
+// TestLeapEquivalenceAsyncMIS: asynchronous starts in the classic model;
+// every leap trial solves MIS over G and decision rounds agree in
+// distribution. AsyncMIS runs until all decide, so round counts are
+// distributional, not exact.
+func TestLeapEquivalenceAsyncMIS(t *testing.T) {
+	spec := InstanceSpec{N: 48, GrayProb: -1}
+	var exact, leap equivStats
+	for seed := uint64(1); seed <= leapEquivSeeds; seed++ {
+		for _, isLeap := range []bool{false, true} {
+			s, inst := leapScenario(t, spec, seed, isLeap)
+			s.Det = nil
+			s.Adv = nil
+			wake := make([]int, inst.Net.N())
+			for v := range wake {
+				wake[v] = (v * 37) % 200
+			}
+			out, err := s.RunAsyncMIS(wake, core.FilterNone)
+			if err != nil {
+				t.Fatalf("seed %d leap=%v: %v", seed, isLeap, err)
+			}
+			if rep := verify.MIS(s.Net, s.Net.G(), out.Outputs); !rep.OK() {
+				t.Fatalf("seed %d leap=%v: invalid async MIS: %v", seed, isLeap, rep.Err())
+			}
+			st := &exact
+			if isLeap {
+				st = &leap
+			}
+			st.push(countMembers(out.InMIS), out.DecidedRound, out.Rounds)
+		}
+	}
+	checkBand(t, "async size", exact.sizes, leap.sizes)
+	checkBand(t, "async decided round", exact.decided, leap.decided)
+}
+
+// TestLeapEquivalenceContinuousCCDS: the continuous rerun under a stable
+// detector; committed outputs at the checkpoint must solve CCDS for both
+// engines and the bounded execution length agrees exactly.
+func TestLeapEquivalenceContinuousCCDS(t *testing.T) {
+	const b = 1 << 15
+	spec := InstanceSpec{N: 48}
+	for seed := uint64(1); seed <= 4; seed++ {
+		var rounds [2]int
+		for ei, isLeap := range []bool{false, true} {
+			s, _ := leapScenario(t, spec, seed, isLeap)
+			s.B = b
+			period, err := core.CCDSRounds(s.Net.N(), s.Net.Delta(), b, s.Params)
+			if err != nil {
+				t.Fatal(err)
+			}
+			dyn := detector.NewSchedule(detector.ScheduleStep{Round: 0, Detector: s.Det})
+			checkpoint := 2 * period
+			out, err := s.RunContinuousCCDS(dyn, 3, []int{checkpoint})
+			if err != nil {
+				t.Fatalf("seed %d leap=%v: %v", seed, isLeap, err)
+			}
+			outputs, ok := out.Checkpoints[checkpoint]
+			if !ok {
+				t.Fatalf("seed %d leap=%v: checkpoint %d not sampled", seed, isLeap, checkpoint)
+			}
+			if rep := verify.CCDS(s.Net, s.H(), outputs, 0); !rep.OK() {
+				t.Fatalf("seed %d leap=%v: invalid committed CCDS: %v", seed, isLeap, rep.Err())
+			}
+			rounds[ei] = out.Rounds
+		}
+		if rounds[0] != rounds[1] {
+			t.Errorf("seed %d: bounded run length %d (exact) vs %d (leap)", seed, rounds[0], rounds[1])
+		}
+	}
+}
+
+// TestLeapDistinctExecutions guards against the equivalence suite passing
+// vacuously: the two engines must actually realize different coin orders,
+// so at least one seed must differ somewhere (outputs or decision round).
+func TestLeapDistinctExecutions(t *testing.T) {
+	spec := InstanceSpec{N: 64}
+	for seed := uint64(1); seed <= uint64(leapEquivSeeds); seed++ {
+		sE, _ := leapScenario(t, spec, seed, false)
+		sL, _ := leapScenario(t, spec, seed, true)
+		outE, err := sE.RunMIS()
+		if err != nil {
+			t.Fatal(err)
+		}
+		outL, err := sL.RunMIS()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if outE.DecidedRound != outL.DecidedRound {
+			return
+		}
+		if fmt.Sprint(outE.Outputs) != fmt.Sprint(outL.Outputs) {
+			return
+		}
+	}
+	t.Error("exact and leap realized identical executions on every seed; leap engine likely not engaged")
+}

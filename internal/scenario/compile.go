@@ -95,6 +95,7 @@ func (c *Compiled) Scenario(trial int) (*harness.Scenario, error) {
 		B:               sp.B,
 		MaxRounds:       sp.MaxRounds,
 		StopWhenDecided: sp.StopWhenDecided,
+		Leap:            sp.Engine == EngineLeap,
 		Shared:          inst,
 	}
 	if sp.Algorithm == AlgoAsyncMIS {

@@ -39,6 +39,10 @@ func FuzzSpecCanonicalization(f *testing.F) {
 		`{"algorithm":"mis","network":{"n":5,"gray_prob":-0.5},"adversary":{"kind":"uniform","p":2}}`,
 		`{"version":99,"algorithm":"tau_ccds","network":{"n":6,"tau":-3},"trial_retention":"bogus"}`,
 		`{"algorithm":"mis","network":{"n":2},"seed":18446744073709551615,"timeout_ms":-1}`,
+		`{"algorithm":"mis","network":{"n":8},"engine":"leap"}`,
+		`{"algorithm":"ccds","network":{"n":8},"b":512,"engine":"exact"}`,
+		`{"algorithm":"mis","network":{"n":8},"engine":"EXACT"}`,
+		`{"algorithm":"tau-ccds","network":{"n":8,"tau":1},"b":512,"engine":""}`,
 	} {
 		f.Add([]byte(hostile))
 	}

@@ -58,6 +58,18 @@ const (
 	AlgoContinuousCCDS = "continuous-ccds"
 )
 
+// Execution engines accepted by Spec.Engine.
+const (
+	// EngineExact is the round-by-round engine: every round is executed
+	// and every process draws its coins in round order, so results are
+	// bit-identical to the pre-engine-field scenario layer.
+	EngineExact = "exact"
+	// EngineLeap is the leap-ahead engine: broadcast-free stretches are
+	// skipped via geometric sampling. Statistically equivalent to exact
+	// but not bit-identical, so it hashes as a distinct workload.
+	EngineLeap = "leap"
+)
+
 // Adversary kinds accepted by AdversarySpec.Kind.
 const (
 	// AdvCollision is the greedy adaptive collision-seeking adversary (the
@@ -158,6 +170,12 @@ type Spec struct {
 	// is the empty string, so specs predating the policy keep their hashes;
 	// the other policies hash distinctly because they change the Result.
 	TrialRetention string `json:"trial_retention,omitempty"`
+	// Engine selects the execution engine: EngineExact (the default) or
+	// EngineLeap. The canonical spelling of EngineExact is the empty
+	// string, so every spec predating the field keeps its hash; EngineLeap
+	// hashes distinctly because leap trials are statistically equivalent
+	// but not bit-identical.
+	Engine string `json:"engine,omitempty"`
 	// TimeoutMS caps the run's wallclock in milliseconds (0 = no
 	// deadline). It is an execution policy, not part of the workload: the
 	// result of a run that finishes is independent of any deadline, so
@@ -205,6 +223,9 @@ func (s Spec) Canonical() Spec {
 	}
 	if c.TrialRetention == RetainAll {
 		c.TrialRetention = "" // canonical spelling of the default (hash stability)
+	}
+	if c.Engine == EngineExact {
+		c.Engine = "" // canonical spelling of the default (hash stability)
 	}
 	if c.Adversary.Kind != AdvUniform {
 		c.Adversary.P = 0
@@ -316,6 +337,12 @@ func (s Spec) Validate() error {
 	default:
 		return fmt.Errorf("scenario: unknown trial_retention %q (want %s|%s|%s)",
 			c.TrialRetention, RetainAll, RetainErrors, RetainNone)
+	}
+	switch c.Engine {
+	case "", EngineLeap: // "" is canonical EngineExact
+	default:
+		return fmt.Errorf("scenario: unknown engine %q (want %s|%s)",
+			c.Engine, EngineExact, EngineLeap)
 	}
 	if s.Wake != nil && s.Algorithm != AlgoAsyncMIS {
 		return fmt.Errorf("scenario: wake is only meaningful for algorithm %q", AlgoAsyncMIS)

@@ -114,6 +114,19 @@ type Config struct {
 	// many goroutines per round. The execution is identical to the
 	// sequential one because processes own disjoint state and RNG streams.
 	Workers int
+	// Leap enables the leap-ahead event engine: processes implementing
+	// LeapBroadcaster are driven through BroadcastLeap (which samples the
+	// next broadcast round geometrically instead of flipping a coin per
+	// round), and whenever every awake process is parked in the wake
+	// calendar the round clock jumps straight to the earliest scheduled
+	// wake. Skipped rounds execute trivially (no broadcasters, no
+	// deliveries) and still count in Stats.Rounds, but the Observer is not
+	// invoked for them and stateful adversaries see one Skip call (see
+	// adversary.Skipper) instead of per-round Reach calls. The execution is
+	// statistically equivalent to the exact engine — identical in
+	// distribution, NOT bit-identical, because the PCG streams are consumed
+	// in a different order.
+	Leap bool
 }
 
 // Runner executes a configured execution round by round.
@@ -184,16 +197,62 @@ type fixedLength interface {
 // a wake round w with the guarantee that skipping the Broadcast calls for
 // every round in (round, w) leaves the execution bit-identical: the process
 // would have returned nil and changed no observable state in each of them.
-// Protocols achieve this either by consuming no randomness while silent
-// (the MIS and banned-list CCDS schedules) or by pre-consuming the skipped
-// rounds' draws inside BroadcastSleep before declaring the sleep (the
-// enumeration-connect schedule, whose every round costs one coin). Receive
-// delivery is unaffected by sleeping; a reception may postpone the
+//
+// The coin pre-consumption rule. Bit-identity constrains how randomness may
+// be handled while silent, and the exact engine's correctness hangs on it.
+// Protocols satisfy it in exactly one of two ways:
+//
+//   - No randomness while silent: the skipped rounds would not have touched
+//     the process's RNG at all, so the stream position is trivially
+//     preserved (the MIS and banned-list CCDS schedules).
+//   - Pre-consuming the skipped draws: when every round — silent or not —
+//     costs a fixed number of draws, BroadcastSleep burns the skipped
+//     rounds' draws before declaring the sleep, leaving the stream exactly
+//     where a per-round drive would have left it (the enumeration-connect
+//     schedule, whose every round costs one coin).
+//
+// This rule is load-bearing for the exact engine only. The leap engine
+// (Config.Leap) drives LeapBroadcaster processes instead, whose contract
+// abandons bit-identity and therefore owes nothing for skipped rounds.
+//
+// Receive delivery is unaffected by sleeping; a reception may postpone the
 // process's next broadcast but must never move it earlier than the declared
 // wake round.
 type SleepBroadcaster interface {
 	Process
 	BroadcastSleep(round int) (Message, int)
+}
+
+// LeapBroadcaster is the optional Process extension the leap engine
+// (Config.Leap) drives in place of Broadcast/BroadcastSleep. Like
+// BroadcastSleep it returns the round's message together with a wake round w
+// such that the process is guaranteed silent for every round in (round, w) —
+// but the guarantee is distributional, not bit-identical: BroadcastLeap may
+// sample its next broadcast round directly from the geometric distribution
+// of the per-round coin's first success instead of flipping the coin each
+// round, so skipped rounds owe no randomness at all (no draws, no
+// pre-consumption). The law of the execution must equal the exact engine's;
+// the realized trajectory for a fixed seed generally differs.
+//
+// A pre-sampled broadcast round may be invalidated by a reception that
+// changes the process's state before the round arrives (a knockout, a stop
+// order). Discarding the stale sample and re-deciding from the current state
+// at the wake round preserves the law: the discarded coins correspond to
+// stream positions the exact schedule would never have consumed after the
+// same state change, and the geometric distribution is memoryless. As with
+// BroadcastSleep, a reception may postpone the next broadcast but never move
+// it earlier than the declared wake round.
+type LeapBroadcaster interface {
+	Process
+	BroadcastLeap(round int) (Message, int)
+}
+
+// leapAdapter plugs a LeapBroadcaster into the engine's sleep-calendar
+// machinery, which dispatches through the SleepBroadcaster shape.
+type leapAdapter struct{ LeapBroadcaster }
+
+func (a leapAdapter) BroadcastSleep(round int) (Message, int) {
+	return a.BroadcastLeap(round)
 }
 
 // PassiveReceiver is an optional marker for processes whose Receive is a
@@ -257,7 +316,15 @@ func NewRunner(cfg Config) (*Runner, error) {
 		case r.uniformDeadline != r.deadline[v]:
 			r.uniformDeadline = -1
 		}
-		if sb, ok := p.(SleepBroadcaster); ok {
+		if cfg.Leap {
+			// Leap mode prefers the distribution-preserving fast path;
+			// processes without one keep their exact sleep behavior.
+			if lb, ok := p.(LeapBroadcaster); ok {
+				r.sleepers[v] = leapAdapter{lb}
+			} else if sb, ok := p.(SleepBroadcaster); ok {
+				r.sleepers[v] = sb
+			}
+		} else if sb, ok := p.(SleepBroadcaster); ok {
 			r.sleepers[v] = sb
 		}
 		if _, ok := p.(PassiveReceiver); ok {
@@ -391,6 +458,28 @@ func (r *Runner) ActiveCount() int { return len(r.active) }
 func (r *Runner) Step() bool {
 	if r.fatalErr != nil || r.round >= r.cfg.MaxRounds {
 		return false
+	}
+
+	// Leap mode: when every awake process is parked in the wake calendar,
+	// the intervening rounds are provably broadcast-free — jump the clock
+	// straight to the earliest scheduled wake. (The runnable list is
+	// maintained by the sequential collect path; when it is stale — the
+	// parallel path leaves it at the full initial set — it is non-empty and
+	// the jump simply never fires.)
+	if r.cfg.Leap && len(r.runnable) == 0 && len(r.wakeHeap) > 0 {
+		if next := int(r.wakeHeap[0] >> 20); next > r.round {
+			target := min(next, r.cfg.MaxRounds)
+			if skipped := target - r.round; skipped > 0 {
+				if sk, ok := r.adv.(adversary.Skipper); ok {
+					sk.Skip(r.round, skipped)
+				}
+				r.round = target
+				r.stats.Rounds = r.round
+			}
+			if r.round >= r.cfg.MaxRounds {
+				return false
+			}
+		}
 	}
 
 	// Phase 1: collect broadcast decisions from the runnable processes
